@@ -1,0 +1,456 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5) plus the Theorem 6.1 experiment, printing measured
+   values next to the published ones, and runs Bechamel micro-benchmarks of
+   the critical inner operations.
+
+   Usage:  dune exec bench/main.exe -- [SECTION]... [--full] [--seed N]
+   Sections: fig6 fig7 table1 semijoin micro (default: all).
+   Quick mode uses reduced scales and run counts so the whole suite stays
+   in CI budgets; --full approaches the paper's parameters. *)
+
+module E = Jqi_experiments
+module Synth = Jqi_synth.Synth
+module Tpch = Jqi_tpch.Tpch
+module Universe = Jqi_core.Universe
+module State = Jqi_core.State
+module Strategy = Jqi_core.Strategy
+module Entropy = Jqi_core.Entropy
+module Prng = Jqi_util.Prng
+module Bits = Jqi_util.Bits
+
+let section_header title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: TPC-H experiments.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig6 ~full ~seed =
+  section_header "Figure 6 — TPC-H: interactions (6a/6b) and time (6c/6d)";
+  let small = { E.Fig6.name = "small"; scale = (if full then 3 else 1); seed } in
+  let large = { E.Fig6.name = "large"; scale = (if full then 10 else 3); seed } in
+  let run_setting (setting : E.Fig6.setting) paper_times sub_int sub_time =
+    let results = E.Fig6.run setting in
+    Printf.printf "\n--- Figure %s: interactions, %s scale (scale=%d) ---\n"
+      sub_int setting.name setting.scale;
+    print_string
+      (E.Fig6.interactions_chart
+         ~title:
+           (Printf.sprintf
+              "Interactions per goal join (%s scale). Paper shape: size-1 joins \
+               need 2-4 interactions, the size-2 join needs the most; TD/L2S win."
+              setting.name)
+         results);
+    Printf.printf "\n--- Figure %s: inference time in seconds, %s scale ---\n"
+      sub_time setting.name;
+    print_string (E.Fig6.time_table ~paper:paper_times results);
+    Printf.printf
+      "(paper columns are %s on the authors' Python/testbed — compare shape, \
+       not absolutes)\n"
+      (String.concat "/" E.Paper.strategy_order);
+    results
+  in
+  let small_results = run_setting small E.Paper.fig6c_times_sf1 "6a" "6c" in
+  let large_results = run_setting large E.Paper.fig6d_times_sf100000 "6b" "6d" in
+  (small_results, large_results)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: synthetic experiments.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig7_parts =
+  [ ("a", "c"); ("b", "d"); ("e", "g"); ("f", "h"); ("i", "k"); ("j", "l") ]
+
+let run_fig7 ~full ~seed =
+  section_header "Figure 7 — synthetic datasets: interactions and time";
+  let runs = if full then 100 else 10 in
+  let goals_per_size = if full then None else Some 3 in
+  List.map2
+    (fun config ((int_part, time_part), (config_label, paper_times)) ->
+      let result =
+        match goals_per_size with
+        | None -> E.Fig7.run ~seed ~runs config
+        | Some k -> E.Fig7.run ~seed ~runs ~goals_per_size:k config
+      in
+      Printf.printf "\n--- Figure 7%s: interactions, config %s (%d runs) ---\n"
+        int_part config_label runs;
+      print_string (E.Fig7.interactions_chart result);
+      Printf.printf "\n--- Figure 7%s: inference time (s), config %s ---\n"
+        time_part config_label;
+      print_string (E.Fig7.time_table ~paper:paper_times result);
+      result)
+    Synth.paper_configs
+    (List.combine fig7_parts E.Paper.fig7_times)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: the summary.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 ~fig6_results ~fig7_results =
+  section_header "Table 1 — summary of all experiments";
+  let small_results, large_results = fig6_results in
+  let paper_tpch rows =
+    List.map
+      (fun (r : E.Paper.table1_row) ->
+        (String.concat "/" r.best, r.best_interactions))
+      rows
+  in
+  Printf.printf "\nTPC-H, small scale (paper: SF=1):\n";
+  print_string
+    (E.Table1.render
+       ~paper_hint:(paper_tpch E.Paper.table1_tpch_sf1)
+       (E.Table1.of_fig6 ~dataset:"TPC-H small" small_results));
+  Printf.printf "\nTPC-H, large scale (paper: SF=100000):\n";
+  print_string
+    (E.Table1.render
+       ~paper_hint:(paper_tpch E.Paper.table1_tpch_sf100000)
+       (E.Table1.of_fig6 ~dataset:"TPC-H large" large_results));
+  List.iter2
+    (fun (result : E.Fig7.config_result) (block : E.Paper.synth_block) ->
+      Printf.printf "\nSynthetic %s (paper join ratio %.3f, ours %.3f):\n"
+        block.config block.join_ratio result.join_ratio;
+      print_string
+        (E.Table1.render
+           ~paper_hint:
+             (Array.to_list
+                (Array.map (fun (b, i, _) -> (b, i)) block.by_size))
+           (E.Table1.of_fig7 result)))
+    fig7_results E.Paper.table1_synth
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 6.1: semijoin consistency.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_semijoin ~full ~seed =
+  section_header
+    "Theorem 6.1 — CONS⋉ via the 3SAT reduction (agreement and scaling)";
+  let sizes =
+    if full then
+      [ (3, 8); (4, 12); (5, 16); (6, 20); (8, 28); (10, 40); (12, 48) ]
+    else [ (3, 8); (4, 12); (5, 16); (6, 20) ]
+  in
+  let per_point = if full then 20 else 5 in
+  let points = E.Semijoin_exp.run ~seed ~per_point sizes in
+  print_string (E.Semijoin_exp.render points);
+  if List.for_all (fun (p : E.Semijoin_exp.point) -> p.agree) points then
+    print_endline
+      "All reduced instances agree with the 3SAT answer, as Theorem 6.1 requires."
+  else print_endline "MISMATCH DETECTED — the reduction or a solver is wrong."
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: interactions stay lattice-bound as the instance grows.     *)
+(* ------------------------------------------------------------------ *)
+
+let run_scaling ~full ~seed =
+  section_header
+    "Scaling — quotient size and interactions vs instance size (§5 claim)";
+  let row_counts = if full then [ 25; 50; 100; 200; 400; 800 ] else [ 25; 50; 100; 200 ] in
+  let runs = if full then 10 else 3 in
+  let points = E.Scaling.run ~seed ~runs row_counts in
+  print_string (E.Scaling.render points);
+  print_endline
+    "(build time grows with |D| = l², but the class count and the question \
+     counts track the lattice, not the product — the quotient is what makes \
+     the interactive protocol scale)";
+  (* Sampled universes: the escape hatch when even one scan of |D| is too
+     much (§1 "instances may be too big to be skimmed").  Same instance,
+     full scan vs uniform draws. *)
+  let rows = List.fold_left max 0 row_counts in
+  let prng = Prng.create seed in
+  let r, p = Synth.generate prng (Synth.config 3 3 rows 100) in
+  let full_u = Universe.build r p in
+  let draws = (rows * rows) / 10 in
+  let sampled_u = Universe.build_sampled (Prng.create seed) ~pairs:draws r p in
+  let goal =
+    match Jqi_synth.Synth.goals_of_size full_u ~size:1 with
+    | g :: _ -> g
+    | [] -> Jqi_core.Omega.empty (Universe.omega full_u)
+  in
+  let infer u =
+    let result =
+      Jqi_core.Inference.run u Strategy.td (Jqi_core.Oracle.honest ~goal)
+    in
+    result.n_interactions
+  in
+  Printf.printf
+    "\nSampled universe on the %dx%d instance (10%% of |D| drawn): full scan \
+     sees %d classes and TD asks %d questions; the sample sees %d classes \
+     and TD asks %d.\n"
+    rows rows (Universe.n_classes full_u) (infer full_u)
+    (Universe.n_classes sampled_u) (infer sampled_u)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: heuristics vs the minimax optimum, and the extension      *)
+(* strategies (L3S, IGS) the paper's §7 points toward.                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation ~full ~seed =
+  section_header
+    "Ablation — strategies vs the minimax optimum (small instances, §4.1)";
+  let prng = Prng.create seed in
+  let instances = if full then 30 else 8 in
+  let config = Synth.config 2 2 6 3 in
+  Printf.printf
+    "%d random %s instances; goals = all distinct signatures + ∅ + Ω.\n\
+     OPT is the exponential minimax strategy — the lower bound the paper \
+     proves exists but cannot run at scale.\n"
+    instances
+    (Fmt.str "%a" Synth.pp_config config);
+  let strategies u =
+    [
+      ("BU", Strategy.bu);
+      ("TD", Strategy.td);
+      ("L1S", Strategy.l1s);
+      ("L2S", Strategy.l2s);
+      ("L3S", Strategy.lks 3);
+      ("IGS", Strategy.igs ~samples:128 (Prng.create seed));
+      ("TD+L2S", Strategy.hybrid);
+      ("RND", Strategy.rnd (Prng.create seed));
+      ("OPT", Jqi_core.Minimax.strategy u);
+    ]
+  in
+  let totals = Hashtbl.create 8 in
+  let n_runs = ref 0 in
+  for _ = 1 to instances do
+    let r, p = Synth.generate prng config in
+    let universe = Universe.build r p in
+    let omega = Universe.omega universe in
+    let goals =
+      Jqi_core.Omega.empty omega :: Jqi_core.Omega.full omega
+      :: Universe.signatures universe
+    in
+    List.iter
+      (fun goal ->
+        incr n_runs;
+        List.iter
+          (fun (name, strategy) ->
+            let result =
+              Jqi_core.Inference.run universe strategy
+                (Jqi_core.Oracle.honest ~goal)
+            in
+            let ints, time =
+              Option.value ~default:(0, 0.) (Hashtbl.find_opt totals name)
+            in
+            Hashtbl.replace totals name
+              (ints + result.n_interactions, time +. result.elapsed))
+          (strategies universe))
+      goals
+  done;
+  let rows =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun (ints, time) ->
+            ( name,
+              float_of_int ints /. float_of_int !n_runs,
+              time /. float_of_int !n_runs ))
+          (Hashtbl.find_opt totals name))
+      [ "OPT"; "L3S"; "L2S"; "TD+L2S"; "L1S"; "IGS"; "TD"; "BU"; "RND" ]
+  in
+  let opt_mean =
+    match rows with ("OPT", m, _) :: _ -> m | _ -> nan
+  in
+  print_string
+    (Jqi_util.Ascii_table.render
+       ~headers:[ "strategy"; "avg interactions"; "vs OPT"; "avg time (s)" ]
+       (List.map
+          (fun (name, ints, time) ->
+            [
+              name;
+              Printf.sprintf "%.2f" ints;
+              Printf.sprintf "%+.1f%%" ((ints /. opt_mean -. 1.) *. 100.);
+              Printf.sprintf "%.5f" time;
+            ])
+          rows));
+  Printf.printf
+    "(%d inference runs per strategy; OPT plays minimax against the \
+     worst-case answer sequence, so heuristics can tie or even beat it on \
+     specific goals while never beating its worst case)\n"
+    !n_runs
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests ~seed =
+  let open Bechamel in
+  let db = Tpch.generate ~seed ~scale:1 () in
+  let joins = Tpch.joins db in
+  let join4 = List.nth joins 3 in
+  let universe = Universe.build join4.r join4.p in
+  let omega = Universe.omega universe in
+  let goal = Tpch.goal_predicate omega join4 in
+  let mid_state () =
+    (* A state mid-inference: a couple of TD-chosen labels. *)
+    let st = State.create universe in
+    let oracle = Jqi_core.Oracle.honest ~goal in
+    (match Strategy.choose Strategy.td st with
+    | Some c -> State.label st c (Jqi_core.Oracle.label oracle universe c)
+    | None -> ());
+    (match Strategy.choose Strategy.td st with
+    | Some c -> State.label st c (Jqi_core.Oracle.label oracle universe c)
+    | None -> ());
+    st
+  in
+  let st = mid_state () in
+  let informative = State.informative_classes st in
+  let some_cls = List.hd informative in
+  let synth_prng = Prng.create seed in
+  let r_synth, p_synth = Synth.generate synth_prng (Synth.config 3 3 50 100) in
+  let phi = Jqi_sat.Threesat.random (Prng.create seed) ~nvars:8 ~nclauses:24 in
+  let cnf = Jqi_sat.Threesat.to_cnf phi in
+  let red = Jqi_semijoin.Reduction.build phi in
+  [
+    (* Fig 6 critical path: quotienting the Cartesian product. *)
+    Test.make ~name:"fig6:universe_build(J4,scale1)"
+      (Staged.stage (fun () -> Universe.build join4.r join4.p));
+    Test.make ~name:"fig6:universe_build_parallel(J4,4 domains)"
+      (Staged.stage (fun () -> Universe.build_parallel ~domains:4 join4.r join4.p));
+    (* §3.4 / Theorem 3.5: the PTIME informativeness test. *)
+    Test.make ~name:"fig6:informative_scan"
+      (Staged.stage (fun () -> State.informative_classes st));
+    (* Fig 6/7 lookahead inner loops. *)
+    Test.make ~name:"fig7:entropy1"
+      (Staged.stage (fun () -> Entropy.entropy1 st some_cls));
+    Test.make ~name:"fig7:entropy2"
+      (Staged.stage (fun () -> Entropy.entropy_k st 2 some_cls));
+    (* One full strategy step each. *)
+    Test.make ~name:"fig6:step_BU" (Staged.stage (fun () -> Strategy.choose Strategy.bu st));
+    Test.make ~name:"fig6:step_TD" (Staged.stage (fun () -> Strategy.choose Strategy.td st));
+    Test.make ~name:"fig6:step_L1S" (Staged.stage (fun () -> Strategy.choose Strategy.l1s st));
+    (* Table 1 synth column: one full inference run. *)
+    Test.make ~name:"fig7:full_run_TD(3,3,50,100)"
+      (Staged.stage (fun () ->
+           let u = Universe.build r_synth p_synth in
+           let g = List.hd (Universe.signatures u) in
+           E.Runner.run_goal u ~goal:g [ Strategy.td ]));
+    (* Substrates. *)
+    Test.make ~name:"substrate:hash_join(J4)"
+      (Staged.stage (fun () ->
+           Jqi_relational.Join.equijoin join4.r join4.p
+             (Jqi_relational.Join.predicate_of_names join4.r join4.p join4.pairs)));
+    Test.make ~name:"substrate:dpll(3sat n=8 m=24)"
+      (Staged.stage (fun () -> Jqi_sat.Dpll.solve cnf));
+    Test.make ~name:"thm6.1:cons_solve(n=8)"
+      (Staged.stage (fun () ->
+           Jqi_semijoin.Cons.consistent red.r red.p red.omega red.sample));
+    Test.make ~name:"substrate:sql_group_by(orders)"
+      (Staged.stage
+         (let catalog = [ ("orders", db.orders) ] in
+          fun () ->
+            Jqi_sql.Engine.query catalog
+              "SELECT o_orderstatus, COUNT(*) AS n, SUM(o_totalprice) AS s \
+               FROM orders GROUP BY o_orderstatus"));
+    Test.make ~name:"substrate:sql_parse"
+      (Staged.stage (fun () ->
+           Jqi_sql.Parser.parse
+             "SELECT a, COUNT(*) AS n FROM t JOIN u ON a = b WHERE c >= 3 \
+              GROUP BY a HAVING n > 1 ORDER BY n DESC LIMIT 10"));
+    Test.make ~name:"extension:joinpath_build(3x20)"
+      (Staged.stage
+         (let prng3 = Prng.create seed in
+          let mk name =
+            let r, _ = Synth.generate prng3 (Synth.config 2 2 20 5) in
+            Jqi_relational.Relation.with_name r name
+          in
+          let rels = [ mk "r1"; mk "r2"; mk "r3" ] in
+          fun () -> Jqi_joinpath.Path.build rels));
+  ]
+
+let run_micro ~seed =
+  section_header "Bechamel micro-benchmarks (per-figure critical operations)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"jqi" ~fmt:"%s %s" (micro_tests ~seed))
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_string
+    (Jqi_util.Ascii_table.render
+       ~headers:[ "benchmark"; "time/run" ]
+       (List.map
+          (fun (name, ns) ->
+            [
+              name;
+              (if Float.is_nan ns then "n/a"
+               else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+               else if ns < 1e6 then Printf.sprintf "%.2f µs" (ns /. 1e3)
+               else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+               else Printf.sprintf "%.2f s" (ns /. 1e9));
+            ])
+          rows))
+
+(* ------------------------------------------------------------------ *)
+(* Driver.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all_sections = [ "fig6"; "fig7"; "table1"; "semijoin"; "scaling"; "ablation"; "micro" ]
+
+let run sections full seed =
+  let sections = if sections = [] then all_sections else sections in
+  List.iter
+    (fun s ->
+      if not (List.mem s all_sections) then (
+        Printf.eprintf "unknown section %S (known: %s)\n" s
+          (String.concat ", " all_sections);
+        exit 2))
+    sections;
+  let t0 = Unix.gettimeofday () in
+  Printf.printf
+    "jqi bench — reproduction of 'Interactive Inference of Join Queries' \
+     (EDBT 2014)\nmode: %s, seed: %d, sections: %s\n"
+    (if full then "full" else "quick")
+    seed
+    (String.concat " " sections);
+  let want s = List.mem s sections in
+  (* table1 is derived from fig6 + fig7 results; run them if needed. *)
+  let need_fig6 = want "fig6" || want "table1" in
+  let need_fig7 = want "fig7" || want "table1" in
+  let fig6_results = if need_fig6 then Some (run_fig6 ~full ~seed) else None in
+  let fig7_results = if need_fig7 then Some (run_fig7 ~full ~seed) else None in
+  if want "table1" then
+    run_table1
+      ~fig6_results:(Option.get fig6_results)
+      ~fig7_results:(Option.get fig7_results);
+  if want "semijoin" then run_semijoin ~full ~seed;
+  if want "scaling" then run_scaling ~full ~seed;
+  if want "ablation" then run_ablation ~full ~seed;
+  if want "micro" then run_micro ~seed;
+  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+
+open Cmdliner
+
+let sections_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"SECTION"
+        ~doc:"Sections to run: fig6, fig7, table1, semijoin, micro. Default: all.")
+
+let full_arg =
+  Arg.(value & flag & info [ "full" ] ~doc:"Run at paper-scale parameters (slow).")
+
+let seed_arg = Arg.(value & opt int 2014 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "jqi-bench" ~doc:"Reproduce the paper's tables and figures")
+    Term.(const run $ sections_arg $ full_arg $ seed_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,480 @@
+(* jqinfer — command-line front end of the join-inference library.
+
+   Subcommands:
+     infer          interactively infer an equijoin over two CSV files
+                    (the human is the oracle; labels read from stdin)
+     simulate       replay the inference with a known goal predicate
+     gen-tpch       generate TPC-H-style CSV files
+     gen-synth      generate a synthetic instance (§5.2 configuration)
+     semijoin-cons  decide CONS⋉ for a labeled sample over two CSV files
+     lattice        export the Figure-4-style predicate lattice as Graphviz *)
+
+module Value = Jqi_relational.Value
+module Relation = Jqi_relational.Relation
+module Tuple = Jqi_relational.Tuple
+module Csv = Jqi_relational.Csv
+module Omega = Jqi_core.Omega
+module Universe = Jqi_core.Universe
+module State = Jqi_core.State
+module Sample = Jqi_core.Sample
+module Strategy = Jqi_core.Strategy
+module Oracle = Jqi_core.Oracle
+module Inference = Jqi_core.Inference
+module Lattice = Jqi_core.Lattice
+module Prng = Jqi_util.Prng
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  if verbose then Logs.Src.set_level Inference.log_src (Some Logs.Debug)
+
+let load_pair r_path p_path =
+  let r = Csv.load_relation ~name:(Filename.remove_extension (Filename.basename r_path)) r_path in
+  let p = Csv.load_relation ~name:(Filename.remove_extension (Filename.basename p_path)) p_path in
+  (r, p)
+
+let strategy_of_name ~seed = function
+  | "bu" -> Strategy.bu
+  | "td" -> Strategy.td
+  | "l1s" -> Strategy.l1s
+  | "l2s" -> Strategy.l2s
+  | "rnd" -> Strategy.rnd (Prng.create seed)
+  | "igs" -> Strategy.igs (Prng.create seed)
+  | "hybrid" -> Strategy.hybrid
+  | s ->
+      Printf.eprintf "unknown strategy %S (bu|td|l1s|l2s|rnd|igs|hybrid)\n" s;
+      exit 2
+
+(* "A1=B2,A3=B1" -> name pairs *)
+let parse_goal spec =
+  List.map
+    (fun part ->
+      match String.split_on_char '=' (String.trim part) with
+      | [ a; b ] -> (String.trim a, String.trim b)
+      | _ ->
+          Printf.eprintf "bad goal component %S (expected lhs=rhs)\n" part;
+          exit 2)
+    (if spec = "" then [] else String.split_on_char ',' spec)
+
+(* ----------------------------- infer ------------------------------ *)
+
+(* Render an inferred predicate as an executable SQL statement. *)
+let sql_of_predicate r p omega theta =
+  let pairs =
+    List.map
+      (fun (i, j) ->
+        ( Jqi_relational.Schema.name_at (Relation.schema r) i,
+          Jqi_relational.Schema.name_at (Relation.schema p) j ))
+      (Omega.to_pairs omega theta)
+  in
+  Jqi_sql.Ast.to_string
+    (Jqi_sql.Ast.of_equijoin ~r:(Relation.name r) ~p:(Relation.name p) pairs)
+
+let human_oracle r p =
+  Oracle.of_fun "human" (fun universe cls ->
+      (match Universe.representative universe cls with
+      | Some (tr, tp) ->
+          Printf.printf "\nWould you combine these two rows?\n  %s: %s\n  %s: %s\n"
+            (Relation.name r) (Tuple.to_string tr) (Relation.name p)
+            (Tuple.to_string tp)
+      | None -> ());
+      let rec ask () =
+        Printf.printf "  [y]es / [n]o > %!";
+        match input_line stdin |> String.lowercase_ascii |> String.trim with
+        | "y" | "yes" | "+" -> Sample.Positive
+        | "n" | "no" | "-" -> Sample.Negative
+        | _ -> ask ()
+      in
+      ask ())
+
+let cmd_infer r_path p_path strategy_name seed verbose resume save =
+  setup_logs verbose;
+  let r, p = load_pair r_path p_path in
+  let universe = Universe.build r p in
+  let omega = Universe.omega universe in
+  Printf.printf
+    "Loaded %s (%d rows) and %s (%d rows); %d tuple classes over |Ω| = %d.\n"
+    (Relation.name r) (Relation.cardinality r) (Relation.name p)
+    (Relation.cardinality p) (Universe.n_classes universe) (Omega.width omega);
+  let strategy = strategy_of_name ~seed strategy_name in
+  let state =
+    match resume with
+    | None -> None
+    | Some path ->
+        let st = Jqi_core.Session.load path universe in
+        Printf.printf "Resumed %d earlier answers from %s.\n"
+          (State.n_interactions st) path;
+        Some st
+  in
+  let result =
+    match state with
+    | Some st -> Inference.run ~state:st universe strategy (human_oracle r p)
+    | None -> Inference.run universe strategy (human_oracle r p)
+  in
+  (match save with
+  | Some path ->
+      Jqi_core.Session.save path universe result.state;
+      Printf.printf "Session saved to %s.\n" path
+  | None -> ());
+  if result.halted then begin
+    let cert = Jqi_core.Certificate.of_state result.state in
+    Printf.printf "Minimal evidence: %d of your %d answers pinned the query down.\n"
+      (Jqi_core.Certificate.size cert) result.n_interactions
+  end;
+  Printf.printf "\nInferred join predicate after %d answers:\n  %s\n"
+    result.n_interactions
+    (Omega.pred_to_string omega result.predicate);
+  Printf.printf "As SQL:\n  %s\n" (sql_of_predicate r p omega result.predicate);
+  let join =
+    Jqi_relational.Join.equijoin r p (Omega.to_pairs omega result.predicate)
+  in
+  Printf.printf "It selects %d of the %d pairs.\n"
+    (Relation.cardinality join)
+    (Universe.total_tuples universe)
+
+(* ---------------------------- simulate ---------------------------- *)
+
+let cmd_simulate r_path p_path goal_spec seed verbose =
+  setup_logs verbose;
+  let r, p = load_pair r_path p_path in
+  let universe = Universe.build r p in
+  let omega = Universe.omega universe in
+  let goal = Omega.of_names omega (parse_goal goal_spec) in
+  Printf.printf "Instance: |D| = %d, %d classes, join ratio %.3f; goal %s\n"
+    (Universe.total_tuples universe)
+    (Universe.n_classes universe)
+    (Universe.join_ratio universe)
+    (Omega.pred_to_string omega goal);
+  List.iter
+    (fun name ->
+      let strategy = strategy_of_name ~seed name in
+      let result = Inference.run universe strategy (Oracle.honest ~goal) in
+      Printf.printf "  %-4s %4d interactions  %8.4fs  inferred %s%s\n"
+        result.strategy result.n_interactions result.elapsed
+        (Omega.pred_to_string omega result.predicate)
+        (if Inference.verified universe ~goal result then ""
+         else "  [NOT instance-equivalent]"))
+    [ "bu"; "td"; "l1s"; "l2s"; "rnd"; "igs"; "hybrid" ];
+  let td_result = Inference.run universe Strategy.td (Oracle.honest ~goal) in
+  Printf.printf "inferred query as SQL:\n  %s\n"
+    (sql_of_predicate r p omega td_result.predicate)
+
+(* ---------------------------- gen-tpch ---------------------------- *)
+
+let cmd_gen_tpch scale seed out_dir =
+  let db = Jqi_tpch.Tpch.generate ~seed ~scale () in
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  List.iter
+    (fun rel ->
+      let path = Filename.concat out_dir (Relation.name rel ^ ".csv") in
+      Csv.save_relation path rel;
+      Printf.printf "wrote %s (%d rows)\n" path (Relation.cardinality rel))
+    [ db.part; db.supplier; db.partsupp; db.customer; db.orders; db.lineitem ]
+
+(* ---------------------------- gen-synth --------------------------- *)
+
+let cmd_gen_synth config_spec seed out_dir =
+  let config =
+    match
+      List.map int_of_string_opt (String.split_on_char ',' config_spec)
+    with
+    | [ Some n; Some m; Some l; Some v ] -> Jqi_synth.Synth.config n m l v
+    | _ ->
+        Printf.eprintf "bad --config %S (expected n,m,l,v)\n" config_spec;
+        exit 2
+  in
+  let prng = Prng.create seed in
+  let r, p = Jqi_synth.Synth.generate prng config in
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  List.iter
+    (fun rel ->
+      let path = Filename.concat out_dir (Relation.name rel ^ ".csv") in
+      Csv.save_relation path rel;
+      Printf.printf "wrote %s (%d rows)\n" path (Relation.cardinality rel))
+    [ r; p ]
+
+(* -------------------------- semijoin-cons ------------------------- *)
+
+let parse_indices spec =
+  if String.trim spec = "" then []
+  else
+    List.map
+      (fun s ->
+        match int_of_string_opt (String.trim s) with
+        | Some i -> i
+        | None ->
+            Printf.eprintf "bad row index %S\n" s;
+            exit 2)
+      (String.split_on_char ',' spec)
+
+let cmd_semijoin_cons r_path p_path pos_spec neg_spec =
+  let r, p = load_pair r_path p_path in
+  let omega = Omega.of_schemas (Relation.schema r) (Relation.schema p) in
+  let sample =
+    Jqi_semijoin.Semijoin.sample ~pos:(parse_indices pos_spec)
+      ~neg:(parse_indices neg_spec)
+  in
+  match Jqi_semijoin.Cons.solve r p omega sample with
+  | Some theta ->
+      Printf.printf "CONSISTENT — witness semijoin predicate:\n  %s\n"
+        (Omega.pred_to_string omega theta);
+      Printf.printf "R ⋉_θ P selects %d of %d rows of %s\n"
+        (Relation.cardinality (Jqi_semijoin.Semijoin.eval r p omega theta))
+        (Relation.cardinality r) (Relation.name r)
+  | None ->
+      print_endline
+        "INCONSISTENT — no semijoin predicate selects all positives and no negative."
+
+(* ----------------------------- lattice ---------------------------- *)
+
+let cmd_lattice r_path p_path out =
+  let r, p = load_pair r_path p_path in
+  let universe = Universe.build r p in
+  let omega = Universe.omega universe in
+  let dot = Lattice.to_dot omega universe in
+  (match out with
+  | None -> print_string dot
+  | Some path ->
+      let oc = open_out path in
+      output_string oc dot;
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+  Printf.printf "%% %d signature classes, %d non-nullable predicates\n"
+    (Universe.n_classes universe)
+    (Lattice.non_nullable_count (Universe.signatures universe))
+
+(* --------------------------- semijoin-infer ------------------------ *)
+
+(* Interactive semijoin inference (the §7 heuristic): the user labels rows
+   of R as kept / filtered out; certain rows are skipped via the SAT-backed
+   consistency oracle. *)
+let cmd_semijoin_infer r_path p_path max_queries =
+  let r, p = load_pair r_path p_path in
+  let omega = Omega.of_schemas (Relation.schema r) (Relation.schema p) in
+  Printf.printf
+    "Semijoin inference over %s (%d rows) against %s (%d rows).\n\
+     Answer whether each row of %s should be KEPT (it has a matching row \
+     in %s under the filter you have in mind).\n"
+    (Relation.name r) (Relation.cardinality r) (Relation.name p)
+    (Relation.cardinality p) (Relation.name r) (Relation.name p);
+  let oracle i =
+    Printf.printf "\nKeep this row of %s?\n  %s\n" (Relation.name r)
+      (Tuple.to_string (Relation.row r i));
+    let rec ask () =
+      Printf.printf "  [y]es / [n]o > %!";
+      match input_line stdin |> String.lowercase_ascii |> String.trim with
+      | "y" | "yes" | "+" -> true
+      | "n" | "no" | "-" -> false
+      | _ -> ask ()
+    in
+    ask ()
+  in
+  let result =
+    match max_queries with
+    | Some m -> Jqi_semijoin.Heuristic.run ~max_queries:m r p omega ~oracle
+    | None -> Jqi_semijoin.Heuristic.run r p omega ~oracle
+  in
+  Printf.printf
+    "\nInferred semijoin predicate after %d questions (%d rows implied):\n  %s\n"
+    result.n_queries
+    (List.length result.implied)
+    (Omega.pred_to_string omega result.predicate);
+  Printf.printf "It keeps %d of %d rows.\n"
+    (Relation.cardinality (Jqi_semijoin.Semijoin.eval r p omega result.predicate))
+    (Relation.cardinality r)
+
+(* ----------------------------- figure ----------------------------- *)
+
+(* Print the instance the way the paper's Figures 3 and 5 do: every tuple
+   of the Cartesian product with its most specific predicate T and its
+   entropy (u⁺, u⁻) under the empty sample.  Guarded to small products —
+   the table has one row per tuple. *)
+let cmd_figure r_path p_path =
+  let r, p = load_pair r_path p_path in
+  let universe = Universe.build r p in
+  let omega = Universe.omega universe in
+  if Universe.total_tuples universe > 500 then begin
+    Printf.eprintf
+      "error: %d tuples is too many to tabulate (limit 500); use 'analyze'\n"
+      (Universe.total_tuples universe);
+    exit 1
+  end;
+  let st = State.create universe in
+  let rows = ref [] in
+  for i = Relation.cardinality r - 1 downto 0 do
+    for j = Relation.cardinality p - 1 downto 0 do
+      let s =
+        Jqi_core.Tsig.of_tuples omega (Relation.row r i) (Relation.row p j)
+      in
+      let cls = Option.get (Universe.find_class universe s) in
+      let entropy = Jqi_core.Entropy.entropy1 st cls in
+      rows :=
+        [
+          Printf.sprintf "(%d,%d)" i j;
+          Tuple.to_string (Relation.row r i);
+          Tuple.to_string (Relation.row p j);
+          Omega.pred_to_string omega s;
+          Fmt.str "%a" Jqi_core.Entropy.pp entropy;
+        ]
+        :: !rows
+    done
+  done;
+  Jqi_util.Ascii_table.print
+    ~headers:[ "tuple"; Relation.name r; Relation.name p; "T (Fig. 3)"; "entropy (Fig. 5)" ]
+    !rows
+
+(* ----------------------------- analyze ---------------------------- *)
+
+let cmd_analyze r_path p_path =
+  let r, p = load_pair r_path p_path in
+  let universe = Universe.build r p in
+  Fmt.pr "%a@." Jqi_core.Analysis.pp (Jqi_core.Analysis.analyze universe)
+
+(* ------------------------------ query ----------------------------- *)
+
+(* Run a SQL query over CSV files registered as tables.  Table specs are
+   name=path pairs; the table name is what the query references. *)
+let cmd_query sql table_specs =
+  let catalog =
+    List.map
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | Some k ->
+            let name = String.sub spec 0 k in
+            let path = String.sub spec (k + 1) (String.length spec - k - 1) in
+            (name, Csv.load_relation ~name path)
+        | None ->
+            (Filename.remove_extension (Filename.basename spec),
+             Csv.load_relation
+               ~name:(Filename.remove_extension (Filename.basename spec))
+               spec))
+      table_specs
+  in
+  match Jqi_sql.Engine.query catalog sql with
+  | result -> Relation.print result
+  | exception Jqi_sql.Engine.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+(* ------------------------------ CLI ------------------------------- *)
+
+open Cmdliner
+
+let r_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"R.csv")
+let p_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"P.csv")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed for randomized strategies.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace every question (debug logs).")
+
+let strategy_arg =
+  Arg.(
+    value & opt string "td"
+    & info [ "s"; "strategy" ] ~doc:"Strategy: bu, td, l1s, l2s, rnd, igs, hybrid.")
+
+let resume_arg =
+  Arg.(value & opt (some file) None
+       & info [ "resume" ] ~docv:"SESSION.json" ~doc:"Resume a saved session.")
+
+let save_arg =
+  Arg.(value & opt (some string) None
+       & info [ "save" ] ~docv:"SESSION.json" ~doc:"Save the session when done.")
+
+let infer_cmd =
+  Cmd.v
+    (Cmd.info "infer" ~doc:"Interactively infer an equijoin over two CSV files")
+    Term.(const cmd_infer $ r_arg $ p_arg $ strategy_arg $ seed_arg $ verbose_arg
+          $ resume_arg $ save_arg)
+
+let goal_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "goal" ] ~docv:"A=B,C=D" ~doc:"Goal equijoin predicate (column name pairs).")
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Replay inference with a known goal, all strategies")
+    Term.(const cmd_simulate $ r_arg $ p_arg $ goal_arg $ seed_arg $ verbose_arg)
+
+let scale_arg = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Scale factor.")
+let out_arg = Arg.(value & opt string "data" & info [ "out" ] ~doc:"Output directory.")
+
+let gen_tpch_cmd =
+  Cmd.v
+    (Cmd.info "gen-tpch" ~doc:"Generate TPC-H-style CSV files")
+    Term.(const cmd_gen_tpch $ scale_arg $ seed_arg $ out_arg)
+
+let config_arg =
+  Arg.(
+    value & opt string "3,3,50,100"
+    & info [ "config" ] ~docv:"n,m,l,v" ~doc:"Synthetic configuration (§5.2).")
+
+let gen_synth_cmd =
+  Cmd.v
+    (Cmd.info "gen-synth" ~doc:"Generate a synthetic instance")
+    Term.(const cmd_gen_synth $ config_arg $ seed_arg $ out_arg)
+
+let pos_arg =
+  Arg.(value & opt string "" & info [ "pos" ] ~docv:"I,J,..." ~doc:"Positive row indexes (0-based) of R.")
+
+let neg_arg =
+  Arg.(value & opt string "" & info [ "neg" ] ~docv:"I,J,..." ~doc:"Negative row indexes (0-based) of R.")
+
+let semijoin_cmd =
+  Cmd.v
+    (Cmd.info "semijoin-cons" ~doc:"Decide semijoin consistency (CONS⋉, NP-complete)")
+    Term.(const cmd_semijoin_cons $ r_arg $ p_arg $ pos_arg $ neg_arg)
+
+let dot_arg =
+  Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE.dot" ~doc:"Output file (stdout if absent).")
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
+
+let tables_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "t"; "table" ] ~docv:"NAME=FILE.csv"
+        ~doc:"Register a CSV file as a table (repeatable).")
+
+let max_queries_arg =
+  Arg.(value & opt (some int) None & info [ "max-queries" ] ~doc:"Question budget.")
+
+let semijoin_infer_cmd =
+  Cmd.v
+    (Cmd.info "semijoin-infer"
+       ~doc:"Interactively infer a semijoin filter (NP-oracle heuristic)")
+    Term.(const cmd_semijoin_infer $ r_arg $ p_arg $ max_queries_arg)
+
+let figure_cmd =
+  Cmd.v
+    (Cmd.info "figure"
+       ~doc:"Tabulate T and entropy for every tuple (the paper's Figures 3/5)")
+    Term.(const cmd_figure $ r_arg $ p_arg)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Report instance structure and recommend a strategy (§5.3)")
+    Term.(const cmd_analyze $ r_arg $ p_arg)
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a SQL query over CSV tables")
+    Term.(const cmd_query $ sql_arg $ tables_arg)
+
+let lattice_cmd =
+  Cmd.v
+    (Cmd.info "lattice" ~doc:"Export the join-predicate lattice (Figure 4) as Graphviz")
+    Term.(const cmd_lattice $ r_arg $ p_arg $ dot_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "jqinfer" ~version:"1.0.0"
+       ~doc:"Interactive inference of join queries (EDBT 2014 reproduction)")
+    [ infer_cmd; simulate_cmd; gen_tpch_cmd; gen_synth_cmd; semijoin_cmd;
+      semijoin_infer_cmd; lattice_cmd; query_cmd; analyze_cmd; figure_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,81 @@
+(* Instance analysis: the pre-flight report for an inference session.
+
+   The paper's §5.3 explains how instance structure — the join ratio, the
+   signature-size distribution, the lattice shape — determines how many
+   questions each strategy needs.  This module computes that structure for
+   a concrete instance and turns §5.3's findings into a strategy
+   recommendation, so a user (or the CLI) can decide whether lookahead is
+   worth its compute before starting to label. *)
+
+module Bits = Jqi_util.Bits
+
+type t = {
+  product_size : int;
+  n_classes : int;
+  join_ratio : float;
+  max_signature_size : int;
+  size_histogram : (int * int) array;  (* (signature size, class count) *)
+  n_maximal : int;  (* ⊆-maximal signatures: TD's opening question pool *)
+  has_empty_signature : bool;  (* a ∅-signature tuple: BU's one-shot case *)
+  non_nullable_count : int option;  (* lattice nodes; None if too costly *)
+  recommendation : string;
+}
+
+(* §5.3, distilled: join ratio ≈ 1 means a thin lattice where local
+   strategies match lookahead; a bigger ratio means lookahead pays. *)
+let recommend ~join_ratio ~n_classes =
+  if join_ratio <= 1.05 then
+    "TD: the lattice is almost flat (join ratio ≈ 1), lookahead cannot prune \
+     more than the local order does (§5.3)"
+  else if n_classes > 400 then
+    "TD or L1S: the class count makes L2S's per-question cost significant; \
+     escalate to L2S only if labels are very expensive"
+  else if join_ratio >= 1.5 then
+    "L2S (or hybrid): a rich lattice (join ratio ≥ 1.5) is where lookahead \
+     saves the most questions (§5.3)"
+  else "L1S: moderate lattice; one-step lookahead captures most of the gain"
+
+let max_lattice_signature = 16
+
+let analyze universe =
+  let sigs = Universe.signatures universe in
+  let sizes = List.map Bits.cardinal sigs in
+  let max_size = List.fold_left max 0 sizes in
+  let histogram =
+    Array.init (max_size + 1) (fun k ->
+        (k, List.length (List.filter (( = ) k) sizes)))
+  in
+  let join_ratio = Universe.join_ratio universe in
+  let n_classes = Universe.n_classes universe in
+  {
+    product_size = Universe.total_tuples universe;
+    n_classes;
+    join_ratio;
+    max_signature_size = max_size;
+    size_histogram = histogram;
+    n_maximal = List.length (Lattice.maximal_signatures sigs);
+    has_empty_signature = List.exists Bits.is_empty sigs;
+    non_nullable_count =
+      (* The enumeration is exponential in the largest signature; skip it
+         when a signature is wide. *)
+      (if max_size <= max_lattice_signature then
+         Some (Lattice.non_nullable_count sigs)
+       else None);
+    recommendation = recommend ~join_ratio ~n_classes;
+  }
+
+let pp ppf a =
+  Fmt.pf ppf
+    "@[<v>|D| = %d tuples in %d signature classes@,\
+     join ratio %.3f, max signature size %d@,\
+     signature sizes: %a@,\
+     %d ⊆-maximal signatures%s%s@,\
+     recommended strategy: %s@]"
+    a.product_size a.n_classes a.join_ratio a.max_signature_size
+    (Fmt.array ~sep:(Fmt.any ", ") (fun ppf (k, n) -> Fmt.pf ppf "%d:%d" k n))
+    a.size_histogram a.n_maximal
+    (if a.has_empty_signature then ", ∅-signature tuple present" else "")
+    (match a.non_nullable_count with
+    | Some n -> Printf.sprintf ", %d non-nullable predicates" n
+    | None -> "")
+    a.recommendation

@@ -1,0 +1,50 @@
+(* Brute-force reference implementations of the §3 definitions.
+
+   These enumerate C(S) ⊆ PP(Ω) explicitly, so they are exponential in |Ω|
+   and only usable on small instances.  They exist to validate the
+   polynomial characterizations (Lemmas 3.2-3.4) in the test suite and to
+   ground the minimax strategy. *)
+
+module Bits = Jqi_util.Bits
+
+(* C(S): all predicates consistent with a sample given as signature lists. *)
+let consistent_predicates omega ~pos ~neg =
+  List.filter
+    (fun theta ->
+      List.for_all (fun s -> Tsig.selects theta s) pos
+      && List.for_all (fun s -> not (Tsig.selects theta s)) neg)
+    (Omega.all_predicates omega)
+
+let consistent_with_state state =
+  let u = State.universe state in
+  let pos =
+    (* The positive signatures are recoverable from history. *)
+    List.filter_map
+      (fun (i, lbl) ->
+        if lbl = Sample.Positive then Some (Universe.signature u i) else None)
+      (State.history state)
+  in
+  consistent_predicates (Universe.omega u) ~pos ~neg:(State.negatives state)
+
+(* Cert±(S) by definition: quantify over every θ ∈ C(S). *)
+let certain_pos_def cs s = cs <> [] && List.for_all (fun theta -> Tsig.selects theta s) cs
+let certain_neg_def cs s = cs <> [] && List.for_all (fun theta -> not (Tsig.selects theta s)) cs
+
+let certain_label_def cs s =
+  if certain_pos_def cs s then Some Sample.Positive
+  else if certain_neg_def cs s then Some Sample.Negative
+  else None
+
+(* Uninf(S) by its original, goal-dependent definition: (t, α) with α the
+   goal's label for t is uninformative iff C(S) = C(S ∪ {(t,α)}).  Returns
+   the labels, so tests can also check they agree with the goal. *)
+let uninformative_def omega ~pos ~neg ~goal s =
+  let cs = consistent_predicates omega ~pos ~neg in
+  let alpha = if Tsig.selects goal s then Sample.Positive else Sample.Negative in
+  let pos', neg' =
+    match alpha with
+    | Sample.Positive -> (s :: pos, neg)
+    | Sample.Negative -> (pos, s :: neg)
+  in
+  let cs' = consistent_predicates omega ~pos:pos' ~neg:neg' in
+  if List.length cs = List.length cs' then Some alpha else None

@@ -1,0 +1,122 @@
+(* Certificates: the minimal evidence behind an inference result.
+
+   After Algorithm 1 halts, the accumulated sample often contains examples
+   that later answers made redundant — e.g. a BU run's early negatives
+   that a subsequent positive would now imply.  A certificate is an
+   irredundant subsample that still pins the version space to the same
+   answer: dropping any certificate example would leave some tuple of D
+   undecided.  This is what an interactive system shows the user as "why
+   this query": a handful of labeled pairs instead of the whole
+   transcript.
+
+   Greedy minimization: walk the examples (latest first, since later
+   examples tend to be the sharper ones under every strategy here) and
+   drop each whose removal keeps every class of D certain with the same
+   label.  The result is inclusion-minimal, not guaranteed
+   cardinality-minimal — finding a smallest certificate would require
+   search; inclusion-minimality is the property users need (no shown
+   example is redundant). *)
+
+module Bits = Jqi_util.Bits
+
+type t = {
+  examples : (int * Sample.label) list;  (* chronological *)
+  predicate : Bits.t;  (* the certified T(S+) *)
+}
+
+let size t = List.length t.examples
+
+(* The decided classes (with labels) under a sample given as labeled
+   signatures; None if some class is informative. *)
+let full_labeling universe examples =
+  let tpos =
+    List.fold_left
+      (fun acc (s, lbl) ->
+        if lbl = Sample.Positive then Bits.inter acc s else acc)
+      (Omega.full (Universe.omega universe))
+      examples
+  in
+  let negs =
+    List.filter_map
+      (fun (s, lbl) -> if lbl = Sample.Negative then Some s else None)
+      examples
+  in
+  let n = Universe.n_classes universe in
+  let rec go i acc =
+    if i >= n then Some (List.rev acc)
+    else
+      match
+        State.certain_label_sig ~tpos ~negs (Universe.signature universe i)
+      with
+      | Some lbl -> go (i + 1) (lbl :: acc)
+      | None -> None
+  in
+  go 0 []
+
+(* Minimize the history of a *finished* state (no informative classes
+   left).  Raises [Invalid_argument] otherwise — a certificate of an
+   unfinished session would certify the wrong thing. *)
+let of_state state =
+  let universe = State.universe state in
+  if State.has_informative state then
+    invalid_arg "Certificate.of_state: inference has not halted";
+  let with_sigs =
+    List.map
+      (fun (cls, lbl) -> (cls, Universe.signature universe cls, lbl))
+      (State.history state)
+  in
+  let target =
+    match full_labeling universe (List.map (fun (_, s, l) -> (s, l)) with_sigs) with
+    | Some labeling -> labeling
+    | None -> invalid_arg "Certificate.of_state: sample does not decide D"
+  in
+  let keeps_target examples =
+    match full_labeling universe examples with
+    | Some labeling -> labeling = target
+    | None -> false
+  in
+  (* Latest-first greedy drop. *)
+  let kept =
+    List.fold_left
+      (fun kept candidate ->
+        let without = List.filter (fun x -> x != candidate) kept in
+        let as_sigs = List.map (fun (_, s, l) -> (s, l)) without in
+        if keeps_target as_sigs then without else kept)
+      with_sigs
+      (List.rev with_sigs)
+  in
+  {
+    examples = List.map (fun (c, _, l) -> (c, l)) kept;
+    predicate = State.inferred state;
+  }
+
+(* Every example of the certificate is necessary: dropping it leaves some
+   tuple undecided.  Exposed so tests (and distrustful callers) can verify
+   minimality. *)
+let is_irredundant universe t =
+  let with_sigs =
+    List.map
+      (fun (cls, lbl) -> (Universe.signature universe cls, lbl))
+      t.examples
+  in
+  match full_labeling universe with_sigs with
+  | None -> false
+  | Some target ->
+      List.for_all
+        (fun dropped ->
+          let without = List.filter (fun x -> x != dropped) with_sigs in
+          match full_labeling universe without with
+          | None -> true
+          | Some labeling -> labeling <> target)
+        with_sigs
+
+let pp universe ppf t =
+  let omega = Universe.omega universe in
+  Fmt.pf ppf "@[<v>certificate for %a (%d examples):" (Omega.pp_pred omega)
+    t.predicate (size t);
+  List.iter
+    (fun (cls, lbl) ->
+      Fmt.pf ppf "@,  %a %a" Sample.pp_label lbl (Omega.pp_pred omega)
+        (Universe.signature universe cls))
+    t.examples;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,20 @@
+(** Certificates: an inclusion-minimal subsample that still decides every
+    tuple of D the same way the full session did — the evidence an
+    interactive system shows the user as "why this query". *)
+
+type t = {
+  examples : (int * Sample.label) list;  (** chronological (class, label) *)
+  predicate : Jqi_util.Bits.t;  (** the certified T(S+) *)
+}
+
+val size : t -> int
+
+(** Minimize the history of a finished state.  Raises [Invalid_argument]
+    if informative tuples remain.  Greedy (latest-first), so the result is
+    inclusion-minimal but not necessarily cardinality-minimal. *)
+val of_state : State.t -> t
+
+(** Dropping any example leaves some tuple of D undecided. *)
+val is_irredundant : Universe.t -> t -> bool
+
+val pp : Universe.t -> Format.formatter -> t -> unit

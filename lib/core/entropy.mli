@@ -1,0 +1,41 @@
+(** Entropy of informative tuples (§4.4).
+
+    entropy_S(t) = (min(u⁺,u⁻), max(u⁺,u⁻)) where u^α is the number of
+    tuples of D that become uninformative when t is labeled α, net of the
+    queried tuple itself (the paper's counting in Figure 5 and the §4.4
+    walk-through).  [entropy_k] generalizes the paper's entropy²
+    (Algorithm 5) to arbitrary lookahead depth. *)
+
+type t = { lo : int; hi : int }
+
+(** (∞,∞): labeling this tuple can end the interaction (Algorithm 5,
+    lines 3-5). *)
+val infinity : t
+
+(** [make a b] orders the components: (min, max). *)
+val make : int -> int -> t
+
+val is_infinite : t -> bool
+val equal : t -> t -> bool
+
+(** [dominates e e'] iff both components of [e] are ≥ those of [e']. *)
+val dominates : t -> t -> bool
+
+(** Entropies not dominated by any other entropy of the set. *)
+val skyline : t list -> t list
+
+(** The selection rule of Algorithms 4/6: the skyline element whose min is
+    the maximal min (largest max as tie-break); [None] on empty input. *)
+val best : t list -> t option
+
+val pp : Format.formatter -> t -> unit
+
+(** entropy¹ of a class. *)
+val entropy1 : State.t -> int -> t
+
+(** entropy^k of a class; k = 1 coincides with [entropy1], k = 2 is the
+    paper's entropy² (Algorithm 5).  Cost grows as (informative classes)^k. *)
+val entropy_k : State.t -> int -> int -> t
+
+(** [entropy2 st cls] = [entropy_k st 2 cls]. *)
+val entropy2 : State.t -> int -> t

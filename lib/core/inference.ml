@@ -1,0 +1,90 @@
+(* The general inference algorithm (Algorithm 1).
+
+   Repeatedly asks the strategy for an informative tuple, queries the
+   oracle, and updates the sample, until the halt condition Γ holds (no
+   informative tuple left) or an optional interaction budget is exhausted.
+   The returned predicate is T(S+), the most specific predicate consistent
+   with the user's labels (§3.3). *)
+
+module Bits = Jqi_util.Bits
+module Timer = Jqi_util.Timer
+
+(* Debug tracing: `Logs.Src.set_level Inference.log_src (Some Debug)` turns
+   on one line per question. *)
+let log_src = Logs.Src.create "jqi.inference" ~doc:"interactive inference loop"
+
+module Log = (val Logs.src_log log_src)
+
+type result = {
+  strategy : string;
+  predicate : Bits.t;       (* the inferred T(S+) *)
+  steps : (int * Sample.label) list;  (* chronological (class, label) *)
+  n_interactions : int;
+  elapsed : float;          (* wall-clock seconds of the whole loop *)
+  halted : bool;            (* Γ reached (vs. budget exhausted) *)
+  state : State.t;
+}
+
+let run ?max_interactions ?state universe strategy oracle =
+  let state =
+    match state with Some st -> st | None -> State.create universe
+  in
+  let budget_left n =
+    match max_interactions with None -> true | Some b -> n < b
+  in
+  let t0 = Timer.now () in
+  let rec loop n =
+    if not (budget_left n) then false
+    else
+      match Strategy.choose strategy state with
+      | None -> true
+      | Some cls ->
+          let lbl = Oracle.label oracle universe cls in
+          Log.debug (fun m ->
+              m "%s asks class %d %a -> %a" (Strategy.name strategy) cls
+                (Omega.pp_pred (Universe.omega universe))
+                (Universe.signature universe cls)
+                Sample.pp_label lbl);
+          State.label state cls lbl;
+          loop (n + 1)
+  in
+  let halted = loop 0 in
+  let elapsed = Timer.now () -. t0 in
+  {
+    strategy = Strategy.name strategy;
+    predicate = State.inferred state;
+    steps = State.history state;
+    n_interactions = State.n_interactions state;
+    elapsed;
+    halted;
+    state;
+  }
+
+(* Success criterion of §3.3: the inferred predicate must be equivalent to
+   the goal over the instance (indistinguishable by the user). *)
+let verified universe ~goal result = Universe.equivalent universe goal result.predicate
+
+let pp omega ppf r =
+  Fmt.pf ppf "%s: %d interactions in %a, inferred %a%s" r.strategy
+    r.n_interactions Timer.pp_seconds r.elapsed (Omega.pp_pred omega) r.predicate
+    (if r.halted then "" else " (budget exhausted)")
+
+(* Human-readable replay of the session: one line per question, with the
+   representative tuple pair when the universe has backing relations, the
+   signature otherwise. *)
+let pp_transcript universe ppf r =
+  let omega = Universe.omega universe in
+  Fmt.pf ppf "@[<v>";
+  List.iteri
+    (fun k (cls, lbl) ->
+      let mark = match lbl with Sample.Positive -> "+" | Sample.Negative -> "-" in
+      match Universe.representative universe cls with
+      | Some (tr, tp) ->
+          Fmt.pf ppf "%2d. %s %a ⊕ %a@," (k + 1) mark
+            Jqi_relational.Tuple.pp tr Jqi_relational.Tuple.pp tp
+      | None ->
+          Fmt.pf ppf "%2d. %s signature %a@," (k + 1) mark (Omega.pp_pred omega)
+            (Universe.signature universe cls))
+    r.steps;
+  Fmt.pf ppf " => %a after %d questions@]" (Omega.pp_pred omega) r.predicate
+    r.n_interactions

@@ -1,0 +1,100 @@
+(* The lattice of join predicates (§4.2).
+
+   The full lattice is (PP(Ω), ⊆); the strategies only ever need the nodes
+   that have corresponding tuples — the distinct T-signatures of the
+   universe — plus the set of non-nullable predicates (subsets of some
+   signature).  This module provides both views and a Graphviz export that
+   reproduces Figure 4. *)
+
+module Bits = Jqi_util.Bits
+
+(* Signatures with no strict superset among [sigs]: the ⊆-maximal nodes the
+   TD strategy visits first. *)
+let maximal_signatures sigs =
+  List.filter
+    (fun s ->
+      not
+        (List.exists
+           (fun s' -> (not (Bits.equal s s')) && Bits.subset s s')
+           sigs))
+    sigs
+
+let minimal_signatures sigs =
+  List.filter
+    (fun s ->
+      not
+        (List.exists
+           (fun s' -> (not (Bits.equal s s')) && Bits.subset s' s)
+           sigs))
+    sigs
+
+(* A predicate is non-nullable iff it selects at least one tuple, i.e. iff
+   it is a subset of some signature. *)
+let non_nullable sigs theta = List.exists (fun s -> Bits.subset theta s) sigs
+
+(* All non-nullable predicates: ∪_{s ∈ sigs} PP(s).  Exponential in the
+   largest signature; usable for the small instances where one wants to see
+   the whole lattice (Figure 4) or count its nodes. *)
+let non_nullable_predicates sigs =
+  let module H = Hashtbl.Make (struct
+    type t = Bits.t
+
+    let equal = Bits.equal
+    let hash = Bits.hash
+  end) in
+  let seen = H.create 256 in
+  List.iter
+    (fun s -> List.iter (fun sub -> H.replace seen sub ()) (Bits.subsets s))
+    sigs;
+  H.fold (fun k () acc -> k :: acc) seen []
+
+let non_nullable_count sigs = List.length (non_nullable_predicates sigs)
+
+(* Hasse diagram edges between the given nodes: a covers b iff b ⊂ a with
+   nothing in between. *)
+let covers nodes =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if
+            (not (Bits.equal a b))
+            && Bits.subset b a
+            && not
+                 (List.exists
+                    (fun c ->
+                      (not (Bits.equal c a)) && (not (Bits.equal c b))
+                      && Bits.subset b c && Bits.subset c a)
+                    nodes)
+          then Some (b, a)
+          else None)
+        nodes)
+    nodes
+
+(* Graphviz rendering of the non-nullable lattice plus Ω, with the nodes
+   that have corresponding tuples boxed — the exact shape of Figure 4. *)
+let to_dot omega universe =
+  let sigs = Universe.signatures universe in
+  let nodes = non_nullable_predicates sigs in
+  let omega_node = Omega.full omega in
+  let nodes =
+    if List.exists (Bits.equal omega_node) nodes then nodes
+    else omega_node :: nodes
+  in
+  let has_tuple theta = List.exists (Bits.equal theta) sigs in
+  let name theta = Omega.pred_to_string omega theta in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph lattice {\n  rankdir=BT;\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [shape=%s];\n" (name n)
+           (if has_tuple n then "box" else "ellipse")))
+    nodes;
+  List.iter
+    (fun (lo, hi) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\";\n" (name lo) (name hi)))
+    (covers nodes);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,101 @@
+(* The optimal strategy (§4.1) as a memoized minimax over the quotient.
+
+   value(S) is the number of interactions an optimal questioner needs in
+   the worst case over user answers:
+
+     value(S) = 0                            if no informative tuple
+     value(S) = min_t max_α 1 + value(S+tα)  over informative t
+
+   States are canonicalized to (T(S+), antichain of maximal negative
+   signatures restricted to T(S+)): two samples with equal canonical form
+   have the same certain sets, hence the same game value.  The state space
+   is exponential — the paper leaves the exact complexity open and notes a
+   straightforward implementation is in PSPACE — so a node budget guards
+   against blowup; exceeding it raises [Too_large]. *)
+
+module Bits = Jqi_util.Bits
+
+exception Too_large
+
+type key = { tpos : Bits.t; negs : Bits.t list }
+
+let canonical ~tpos ~negs =
+  let restricted = List.map (Bits.inter tpos) negs in
+  let maximal =
+    List.filter
+      (fun s ->
+        not
+          (List.exists
+             (fun s' -> (not (Bits.equal s s')) && Bits.subset s s')
+             restricted))
+      restricted
+  in
+  let distinct =
+    List.fold_left
+      (fun acc s -> if List.exists (Bits.equal s) acc then acc else s :: acc)
+      [] maximal
+  in
+  { tpos; negs = List.sort Bits.compare distinct }
+
+module Tbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal a b = Bits.equal a.tpos b.tpos && List.equal Bits.equal a.negs b.negs
+
+  let hash k =
+    List.fold_left (fun acc s -> (acc * 31) + Bits.hash s) (Bits.hash k.tpos) k.negs
+end)
+
+type solver = {
+  universe : Universe.t;
+  memo : (int * int option) Tbl.t;  (* value, best class *)
+  max_nodes : int;
+  mutable nodes : int;
+}
+
+let create ?(max_nodes = 2_000_000) universe =
+  { universe; memo = Tbl.create 4096; max_nodes; nodes = 0 }
+
+let informatives u ~tpos ~negs =
+  let out = ref [] in
+  for i = Universe.n_classes u - 1 downto 0 do
+    if State.certain_label_sig ~tpos ~negs (Universe.signature u i) = None then
+      out := i :: !out
+  done;
+  !out
+
+let rec value solver ~tpos ~negs =
+  let key = canonical ~tpos ~negs in
+  match Tbl.find_opt solver.memo key with
+  | Some v -> v
+  | None ->
+      solver.nodes <- solver.nodes + 1;
+      if solver.nodes > solver.max_nodes then raise Too_large;
+      let u = solver.universe in
+      let result =
+        match informatives u ~tpos ~negs:key.negs with
+        | [] -> (0, None)
+        | is ->
+            List.fold_left
+              (fun (best_v, best_i) i ->
+                let s = Universe.signature u i in
+                let v_pos, _ = value solver ~tpos:(Bits.inter tpos s) ~negs:key.negs in
+                let v_neg, _ = value solver ~tpos ~negs:(s :: key.negs) in
+                let v = 1 + max v_pos v_neg in
+                if v < best_v then (v, Some i) else (best_v, best_i))
+              (max_int, None) is
+      in
+      Tbl.replace solver.memo key result;
+      result
+
+(* Worst-case optimal number of interactions from the empty sample. *)
+let optimal_interactions ?max_nodes universe =
+  let solver = create ?max_nodes universe in
+  fst (value solver ~tpos:(Omega.full (Universe.omega universe)) ~negs:[])
+
+(* The optimal strategy: replay minimax from the current state each time.
+   The memo table is shared across the whole inference run. *)
+let strategy ?max_nodes universe =
+  let solver = create ?max_nodes universe in
+  Strategy.make "OPT" (fun state ->
+      snd (value solver ~tpos:(State.tpos state) ~negs:(State.negatives state)))

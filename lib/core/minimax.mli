@@ -1,0 +1,15 @@
+(** The optimal strategy (§4.1) as memoized minimax.
+
+    value(S) = 0 when no informative tuple remains, otherwise
+    min over informative t of max over labels of 1 + value(S + (t,α)).
+    Exponential (a straightforward implementation is in PSPACE, the paper
+    notes); usable on small universes only and guarded by a node budget. *)
+
+exception Too_large
+
+(** Worst-case optimal number of interactions from the empty sample.
+    Raises [Too_large] past [max_nodes] distinct states (default 2e6). *)
+val optimal_interactions : ?max_nodes:int -> Universe.t -> int
+
+(** The optimal strategy; shares one memo table across the run. *)
+val strategy : ?max_nodes:int -> Universe.t -> Strategy.t

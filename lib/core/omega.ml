@@ -1,0 +1,74 @@
+(* The attribute-pair universe Ω = attrs(R) × attrs(P).
+
+   A join predicate θ ⊆ Ω is represented as a bitset ([Jqi_util.Bits.t]) of
+   width |Ω|; this module owns the bijection between bit positions and
+   attribute pairs (A_i, B_j). *)
+
+module Bits = Jqi_util.Bits
+
+type t = { n : int; m : int; r_names : string array; p_names : string array }
+
+let create ?r_names ?p_names ~n ~m () =
+  if n <= 0 || m <= 0 then invalid_arg "Omega: need at least one attribute";
+  let default prefix k = Array.init k (fun i -> Printf.sprintf "%s%d" prefix (i + 1)) in
+  let r_names = Option.value ~default:(default "A" n) r_names in
+  let p_names = Option.value ~default:(default "B" m) p_names in
+  if Array.length r_names <> n || Array.length p_names <> m then
+    invalid_arg "Omega: name arrays must match arities";
+  { n; m; r_names; p_names }
+
+let of_schemas sr sp =
+  let module S = Jqi_relational.Schema in
+  create
+    ~r_names:(Array.of_list (S.names sr))
+    ~p_names:(Array.of_list (S.names sp))
+    ~n:(S.arity sr) ~m:(S.arity sp) ()
+
+let width t = t.n * t.m
+let left_arity t = t.n
+let right_arity t = t.m
+
+let index t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.m then
+    invalid_arg (Printf.sprintf "Omega.index: (%d,%d) outside %dx%d" i j t.n t.m);
+  (i * t.m) + j
+
+let pair t k =
+  if k < 0 || k >= width t then invalid_arg "Omega.pair: out of range";
+  (k / t.m, k mod t.m)
+
+let r_name t i = t.r_names.(i)
+let p_name t j = t.p_names.(j)
+
+let empty t = Bits.empty (width t)
+let full t = Bits.full (width t)
+
+let of_pairs t pairs =
+  List.fold_left (fun b (i, j) -> Bits.add b (index t i j)) (empty t) pairs
+
+let to_pairs t b = List.map (pair t) (Bits.elements b)
+
+let of_names t pairs =
+  let find arr name =
+    let rec go i =
+      if i >= Array.length arr then
+        invalid_arg (Printf.sprintf "Omega.of_names: no attribute %S" name)
+      else if String.equal arr.(i) name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  of_pairs t (List.map (fun (a, b) -> (find t.r_names a, find t.p_names b)) pairs)
+
+let pp_pred t ppf b =
+  let pp_pair ppf (i, j) = Fmt.pf ppf "(%s,%s)" t.r_names.(i) t.p_names.(j) in
+  if Bits.is_empty b then Fmt.string ppf "{}"
+  else
+    Fmt.pf ppf "{%a}"
+      (Fmt.list ~sep:(Fmt.any ", ") pp_pair)
+      (to_pairs t b)
+
+let pred_to_string t b = Fmt.str "%a" (pp_pred t) b
+
+(* All of PP(Ω) — exponential, only for brute-force reference oracles. *)
+let all_predicates t = Bits.subsets (full t)

@@ -1,0 +1,55 @@
+(** The attribute-pair universe Ω = attrs(R) × attrs(P) (§2).
+
+    Join predicates θ ⊆ Ω are bitsets of width |Ω|; this module owns the
+    bijection between bit positions and attribute pairs (A_i, B_j), plus
+    naming and pretty-printing. *)
+
+type t
+
+(** [create ~n ~m ()] builds Ω for relations with [n] and [m] attributes.
+    Default attribute names are A1..An and B1..Bm, as in the paper.
+    Raises [Invalid_argument] if an arity is non-positive or a name array
+    has the wrong length. *)
+val create :
+  ?r_names:string array -> ?p_names:string array -> n:int -> m:int -> unit -> t
+
+(** Ω for two concrete schemas, using their column names. *)
+val of_schemas : Jqi_relational.Schema.t -> Jqi_relational.Schema.t -> t
+
+(** |Ω| = n·m, the bitset width. *)
+val width : t -> int
+
+val left_arity : t -> int
+val right_arity : t -> int
+
+(** [index t i j] is the bit position of the pair (A_i, B_j); 0-based. *)
+val index : t -> int -> int -> int
+
+(** Inverse of [index]. *)
+val pair : t -> int -> int * int
+
+val r_name : t -> int -> string
+val p_name : t -> int -> string
+
+(** The most general predicate ∅. *)
+val empty : t -> Jqi_util.Bits.t
+
+(** The most specific predicate Ω. *)
+val full : t -> Jqi_util.Bits.t
+
+(** Predicate from 0-based (left attr, right attr) index pairs. *)
+val of_pairs : t -> (int * int) list -> Jqi_util.Bits.t
+
+(** Index pairs of a predicate, in bit order. *)
+val to_pairs : t -> Jqi_util.Bits.t -> (int * int) list
+
+(** Predicate from attribute-name pairs; raises on unknown names. *)
+val of_names : t -> (string * string) list -> Jqi_util.Bits.t
+
+(** Print a predicate as {(A1,B3), …} using the attribute names. *)
+val pp_pred : t -> Format.formatter -> Jqi_util.Bits.t -> unit
+
+val pred_to_string : t -> Jqi_util.Bits.t -> string
+
+(** All 2^|Ω| predicates — exponential; brute-force oracles only. *)
+val all_predicates : t -> Jqi_util.Bits.t list

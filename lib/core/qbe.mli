@@ -1,0 +1,22 @@
+(** Query-by-output in the paper's setting: from example output pairs
+    (and optional rejected pairs), compute the most specific consistent
+    predicate in one shot and report what else it selects — the bridge
+    between the related work's given-output model and the interactive
+    loop. *)
+
+type result = {
+  predicate : Jqi_util.Bits.t;  (** T(S+), most specific consistent *)
+  consistent : bool;  (** false iff some negative is selected *)
+  selected_classes : int list;
+  surprise_classes : int list;
+      (** selected classes with no positive example — rows to review *)
+}
+
+(** Requires a universe built from actual relations; positions are row
+    index pairs into them. *)
+val infer :
+  Universe.t -> positives:(int * int) list -> negatives:(int * int) list ->
+  result
+
+(** Tuple-weighted size of [surprise_classes]. *)
+val surprise_tuples : Universe.t -> result -> int

@@ -1,0 +1,47 @@
+(** Samples: labeled examples over the Cartesian product (§3).
+
+    This is the tuple-level view matching the paper's definitions; the
+    engine itself runs on the signature quotient ([State]). *)
+
+type label = Positive | Negative
+
+val label_of_bool : bool -> label
+val bool_of_label : label -> bool
+val pp_label : Format.formatter -> label -> unit
+
+type example = { tuple : int * int;  (** row indexes into R and P *) label : label }
+
+type t
+
+val empty : t
+
+(** Add an example; idempotent on repeats, raises [Invalid_argument] when
+    the tuple already carries the opposite label. *)
+val add : t -> tuple:int * int -> label:label -> t
+
+val of_list : ((int * int) * label) list -> t
+val examples : t -> example list
+val size : t -> int
+val positives : t -> (int * int) list
+val negatives : t -> (int * int) list
+
+(** T of one tuple of D, by row indexes. *)
+val signature_of_tuple :
+  Omega.t -> Jqi_relational.Relation.t -> Jqi_relational.Relation.t ->
+  int * int -> Jqi_util.Bits.t
+
+(** T(S+) — Ω when there are no positives (§3.3). *)
+val most_specific :
+  Omega.t -> Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> t ->
+  Jqi_util.Bits.t
+
+(** Consistency checking (§3.1): T(S+) selects no negative example.  This
+    is sound and complete, and PTIME. *)
+val consistent :
+  Omega.t -> Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> t -> bool
+
+(** Definition-level check that a specific θ is consistent with the
+    sample; reference implementation for tests. *)
+val predicate_consistent :
+  Omega.t -> Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> t ->
+  Jqi_util.Bits.t -> bool

@@ -1,0 +1,107 @@
+(* Session persistence: save a labeling session to JSON and resume it
+   later against the same pair of relations.
+
+   Examples are stored by representative *tuple* (row-index pair), not by
+   class id, so a session survives any change in class numbering — it only
+   assumes the underlying relations (and hence each row's signature) are
+   unchanged.  Loading replays the labels through [State.label], so a file
+   inconsistent with the instance is rejected exactly like a lying user
+   (Algorithm 1 lines 6-7). *)
+
+module Json = Jqi_util.Json
+
+exception Corrupt of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let version = 1
+
+let label_to_string = function
+  | Sample.Positive -> "+"
+  | Sample.Negative -> "-"
+
+let label_of_string = function
+  | "+" -> Sample.Positive
+  | "-" -> Sample.Negative
+  | s -> fail "bad label %S" s
+
+let to_json universe state =
+  let example (cls, label) =
+    let r, p =
+      match Universe.relations universe with
+      | Some _ -> (Universe.cls universe cls).Universe.rep
+      | None -> fail "session requires a universe built from relations"
+    in
+    Json.Obj
+      [
+        ("r", Json.int r);
+        ("p", Json.int p);
+        ("label", Json.Str (label_to_string label));
+      ]
+  in
+  Json.Obj
+    [
+      ("version", Json.int version);
+      ("examples", Json.List (List.map example (State.history state)));
+    ]
+
+let of_json universe json =
+  (match Option.bind (Json.member "version" json) Json.to_int with
+  | Some v when v = version -> ()
+  | Some v -> fail "unsupported session version %d" v
+  | None -> fail "missing version");
+  let examples =
+    match Json.member "examples" json with
+    | Some (Json.List l) -> l
+    | _ -> fail "missing examples array"
+  in
+  let state = State.create universe in
+  let omega = Universe.omega universe in
+  let r, p =
+    match Universe.relations universe with
+    | Some pair -> pair
+    | None -> fail "session requires a universe built from relations"
+  in
+  List.iter
+    (fun ex ->
+      let field name =
+        match Option.bind (Json.member name ex) Json.to_int with
+        | Some i -> i
+        | None -> fail "example missing %s" name
+      in
+      let label =
+        match Json.member "label" ex with
+        | Some (Json.Str s) -> label_of_string s
+        | _ -> fail "example missing label"
+      in
+      let ri = field "r" and pj = field "p" in
+      if ri < 0 || ri >= Jqi_relational.Relation.cardinality r then
+        fail "row %d out of range for %s" ri (Jqi_relational.Relation.name r);
+      if pj < 0 || pj >= Jqi_relational.Relation.cardinality p then
+        fail "row %d out of range for %s" pj (Jqi_relational.Relation.name p);
+      let signature =
+        Tsig.of_tuples omega
+          (Jqi_relational.Relation.row r ri)
+          (Jqi_relational.Relation.row p pj)
+      in
+      match Universe.find_class universe signature with
+      | None -> fail "tuple (%d,%d) has no class in this universe" ri pj
+      | Some cls -> (
+          match State.certain_label state cls with
+          | Some certain when certain = label ->
+              (* Implied by earlier examples; idempotent. *)
+              ()
+          | _ -> (
+              try State.label state cls label
+              with State.Inconsistent _ ->
+                fail "example (%d,%d) contradicts earlier labels" ri pj)))
+    examples;
+  state
+
+let save path universe state = Json.save_file path (to_json universe state)
+
+let load path universe =
+  match Json.load_file path with
+  | json -> of_json universe json
+  | exception Json.Parse_error { position; message } ->
+      fail "malformed JSON at offset %d: %s" position message

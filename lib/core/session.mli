@@ -1,0 +1,20 @@
+(** Session persistence: save a labeling session as JSON, resume it later
+    against the same relations.  Examples are stored as row-index pairs,
+    so sessions are independent of class numbering; loading replays labels
+    through [State.label] and rejects files inconsistent with the
+    instance. *)
+
+exception Corrupt of string
+
+val version : int
+
+(** Requires a universe built from relations.  Raises [Corrupt]
+    otherwise. *)
+val to_json : Universe.t -> State.t -> Jqi_util.Json.t
+
+(** Raises [Corrupt] on version mismatch, malformed structure, dangling
+    row references, or labels inconsistent with the instance. *)
+val of_json : Universe.t -> Jqi_util.Json.t -> State.t
+
+val save : string -> Universe.t -> State.t -> unit
+val load : string -> Universe.t -> State.t

@@ -1,0 +1,127 @@
+(* Mutable inference state over the signature quotient.
+
+   Tracks the current sample in the compact form that Lemmas 3.3/3.4 need:
+   T(S+) and the signatures of negative examples.  All the certain /
+   informative tests of §3.4 run against this state in
+   O(classes × negatives) bitset operations. *)
+
+module Bits = Jqi_util.Bits
+
+exception Inconsistent of { class_id : int; label : Sample.label }
+
+type t = {
+  universe : Universe.t;
+  mutable tpos : Bits.t;       (* T(S+); Ω while S+ is empty *)
+  mutable negs : Bits.t list;  (* distinct signatures of negative examples *)
+  labels : Sample.label option array;
+  mutable history : (int * Sample.label) list;  (* newest first *)
+}
+
+let create universe =
+  {
+    universe;
+    tpos = Omega.full (Universe.omega universe);
+    negs = [];
+    labels = Array.make (Universe.n_classes universe) None;
+    history = [];
+  }
+
+let copy t =
+  {
+    universe = t.universe;
+    tpos = t.tpos;
+    negs = t.negs;
+    labels = Array.copy t.labels;
+    history = t.history;
+  }
+
+let universe t = t.universe
+let tpos t = t.tpos
+let negatives t = t.negs
+let history t = List.rev t.history
+let n_interactions t = List.length t.history
+let label_of t i = t.labels.(i)
+
+(* Lemma 3.3: t ∈ Cert+(S) iff T(S+) ⊆ T(t). *)
+let certain_pos_sig ~tpos s = Bits.subset tpos s
+
+(* Lemma 3.4: t ∈ Cert−(S) iff ∃ t' ∈ S−. T(S+) ∩ T(t) ⊆ T(t'). *)
+let certain_neg_sig ~tpos ~negs s =
+  let restricted = Bits.inter tpos s in
+  List.exists (fun neg -> Bits.subset restricted neg) negs
+
+let certain_label_sig ~tpos ~negs s =
+  if certain_pos_sig ~tpos s then Some Sample.Positive
+  else if certain_neg_sig ~tpos ~negs s then Some Sample.Negative
+  else None
+
+let certain_label t i =
+  certain_label_sig ~tpos:t.tpos ~negs:t.negs (Universe.signature t.universe i)
+
+let informative t i = certain_label t i = None
+
+let informative_classes t =
+  let out = ref [] in
+  for i = Universe.n_classes t.universe - 1 downto 0 do
+    if informative t i then out := i :: !out
+  done;
+  !out
+
+let has_informative t =
+  let n = Universe.n_classes t.universe in
+  let rec go i = i < n && (informative t i || go (i + 1)) in
+  go 0
+
+let has_positive t = List.exists (fun (_, l) -> l = Sample.Positive) t.history
+
+(* Algorithm 1 lines 6-7: labeling against a certain label would make the
+   sample inconsistent. *)
+let label t i lbl =
+  (match certain_label t i with
+  | Some certain when certain <> lbl -> raise (Inconsistent { class_id = i; label = lbl })
+  | _ -> ());
+  let s = Universe.signature t.universe i in
+  (match lbl with
+  | Sample.Positive -> t.tpos <- Bits.inter t.tpos s
+  | Sample.Negative ->
+      if not (List.exists (Bits.equal s) t.negs) then t.negs <- s :: t.negs);
+  t.labels.(i) <- Some lbl;
+  t.history <- (i, lbl) :: t.history
+
+(* Number of tuples of D that are uninformative (= certain, Lemma 3.2)
+   under a hypothetical sample (T(S+), negatives).  Tuple-weighted: a class
+   counts with its multiplicity, matching the paper's u± over D. *)
+let uninf_tuples_with u ~tpos ~negs =
+  let acc = ref 0 in
+  Array.iter
+    (fun (c : Universe.cls) ->
+      if certain_label_sig ~tpos ~negs c.signature <> None then
+        acc := !acc + c.count)
+    (Universe.classes u);
+  !acc
+
+let uninf_tuples t = uninf_tuples_with t.universe ~tpos:t.tpos ~negs:t.negs
+
+(* Hypothetical sample obtained by adding labeled signatures to [t],
+   without mutating it.  Used by the lookahead strategies. *)
+let extend_virtual t extras =
+  List.fold_left
+    (fun (tpos, negs) (s, lbl) ->
+      match lbl with
+      | Sample.Positive -> (Bits.inter tpos s, negs)
+      | Sample.Negative -> (tpos, s :: negs))
+    (t.tpos, t.negs) extras
+
+(* The inferred predicate at any point is T(S+) (§3.3). *)
+let inferred t = t.tpos
+
+(* The sample is consistent iff T(S+) selects no negative example. *)
+let consistent t =
+  List.for_all (fun neg -> not (Bits.subset t.tpos neg)) t.negs
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>state: %d interactions, T(S+)=%a, %d negatives, %d informative left@]"
+    (n_interactions t)
+    (Omega.pp_pred (Universe.omega t.universe))
+    t.tpos (List.length t.negs)
+    (List.length (informative_classes t))

@@ -1,0 +1,33 @@
+(* The most specific join predicate selecting a tuple:
+
+     T(t) = { (A_i, B_j) | tR[A_i] = tP[B_j] }
+
+   extended to sets by intersection: T(U) = ∩_{t∈U} T(t).  T is the
+   elementary tool of the whole inference machinery (§3): θ selects t iff
+   θ ⊆ T(t), so every question about C(S) reduces to subset tests between
+   T-signatures. *)
+
+module Bits = Jqi_util.Bits
+module Value = Jqi_relational.Value
+module Tuple = Jqi_relational.Tuple
+
+let of_tuples omega tr tp =
+  Bits.build (Omega.width omega) (fun set ->
+      for i = 0 to Omega.left_arity omega - 1 do
+        let vr = Tuple.get tr i in
+        if not (Value.is_null vr) then
+          for j = 0 to Omega.right_arity omega - 1 do
+            if Value.eq vr (Tuple.get tp j) then set (Omega.index omega i j)
+          done
+      done)
+
+(* T(U) for a set of signatures; T(∅) = Ω, the identity of intersection,
+   which is exactly what §3.3 needs when the user labels no positive
+   example. *)
+let of_signatures omega sigs =
+  List.fold_left Bits.inter (Omega.full omega) sigs
+
+(* [selects theta sig]: does the predicate θ select a tuple with signature
+   [sig]?  This single subset test is the semantics of R ⋈_θ P restricted to
+   one tuple of the Cartesian product. *)
+let selects theta sig_ = Bits.subset theta sig_

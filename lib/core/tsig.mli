@@ -1,0 +1,17 @@
+(** The most specific join predicate T (§3).
+
+    T(t) = {(A_i, B_j) | tR[A_i] = tP[B_j]} is the paper's elementary tool:
+    a predicate θ selects t iff θ ⊆ T(t), so all version-space reasoning
+    reduces to subset tests between T-signatures. *)
+
+(** [of_tuples omega tR tP] is T((tR, tP)).  NULL cells never match. *)
+val of_tuples :
+  Omega.t -> Jqi_relational.Tuple.t -> Jqi_relational.Tuple.t -> Jqi_util.Bits.t
+
+(** [of_signatures omega sigs] is T(U) = ∩ sigs, and Ω when [sigs] is empty
+    (the convention §3.3 needs for samples without positive examples). *)
+val of_signatures : Omega.t -> Jqi_util.Bits.t list -> Jqi_util.Bits.t
+
+(** [selects theta sig] iff θ ⊆ T(t) — whether θ selects a tuple with the
+    given signature. *)
+val selects : Jqi_util.Bits.t -> Jqi_util.Bits.t -> bool

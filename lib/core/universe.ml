@@ -1,0 +1,214 @@
+(* The quotient of the Cartesian product D = R × P by the T-signature.
+
+   Whether a tuple is informative, certain, or selected by any predicate
+   depends only on T(t) (Lemmas 3.3/3.4), so two tuples with equal
+   signatures are interchangeable for inference.  The engine therefore
+   groups D into equivalence classes, each carrying its signature, its
+   multiplicity in D and one representative pair of row indexes.  This is
+   also the paper's own observation in §5.3 ("if two tuples are selected by
+   the same most specific join predicate, then they are basically
+   equivalent w.r.t. the inference process") and is what makes TPC-H-sized
+   products tractable. *)
+
+module Bits = Jqi_util.Bits
+module Relation = Jqi_relational.Relation
+module Tuple = Jqi_relational.Tuple
+
+type cls = { signature : Bits.t; count : int; rep : int * int }
+
+type t = {
+  omega : Omega.t;
+  classes : cls array;
+  total : int;  (* |D|; the sum of class multiplicities *)
+  relations : (Relation.t * Relation.t) option;
+}
+
+module H = Hashtbl.Make (struct
+  type t = Bits.t
+
+  let equal = Bits.equal
+  let hash = Bits.hash
+end)
+
+let of_signature_list ?relations omega sigs =
+  let acc = H.create 64 in
+  List.iter
+    (fun (signature, count, rep) ->
+      if count <= 0 then invalid_arg "Universe: class multiplicity must be positive";
+      match H.find_opt acc signature with
+      | Some (c, r) -> H.replace acc signature (c + count, r)
+      | None -> H.replace acc signature (count, rep))
+    sigs;
+  let classes =
+    H.fold (fun signature (count, rep) l -> { signature; count; rep } :: l) acc []
+    |> List.sort (fun a b -> Bits.compare a.signature b.signature)
+    |> Array.of_list
+  in
+  let total = Array.fold_left (fun s c -> s + c.count) 0 classes in
+  { omega; classes; total; relations }
+
+let build r p =
+  let omega = Omega.of_schemas (Relation.schema r) (Relation.schema p) in
+  let acc = H.create 256 in
+  let nr = Relation.cardinality r and np = Relation.cardinality p in
+  for i = 0 to nr - 1 do
+    let tr = Relation.row r i in
+    for j = 0 to np - 1 do
+      let s = Tsig.of_tuples omega tr (Relation.row p j) in
+      match H.find_opt acc s with
+      | Some (c, rep) -> H.replace acc s (c + 1, rep)
+      | None -> H.replace acc s (1, (i, j))
+    done
+  done;
+  let sigs = H.fold (fun s (c, rep) l -> (s, c, rep) :: l) acc [] in
+  if sigs = [] then invalid_arg "Universe.build: empty Cartesian product";
+  of_signature_list ~relations:(r, p) omega sigs
+
+(* Multicore scan: partition R's rows across domains, build per-domain
+   signature tables, merge.  Deterministic regardless of scheduling — the
+   representative of a class is the lexicographically smallest row pair,
+   which is also what the sequential scan (ascending loops) picks, so
+   [build_parallel] and [build] produce identical universes.
+
+   The scan allocates one bitset per pair, so domains contend on the minor
+   GC; with few cores the sequential scan wins (measure with
+   `bench/main.exe micro` before relying on this — on the 2-core reference
+   container it is a net loss, which is why [build] is the default
+   everywhere). *)
+let build_parallel ?domains r p =
+  let nr = Relation.cardinality r and np = Relation.cardinality p in
+  if nr = 0 || np = 0 then invalid_arg "Universe.build_parallel: empty relation";
+  let domains =
+    match domains with
+    | Some d -> max 1 (min d nr)
+    | None -> max 1 (min (Domain.recommended_domain_count ()) nr)
+  in
+  let omega = Omega.of_schemas (Relation.schema r) (Relation.schema p) in
+  let chunk = (nr + domains - 1) / domains in
+  let scan lo hi () =
+    let acc = H.create 256 in
+    for i = lo to hi - 1 do
+      let tr = Relation.row r i in
+      for j = 0 to np - 1 do
+        let s = Tsig.of_tuples omega tr (Relation.row p j) in
+        match H.find_opt acc s with
+        | Some (c, rep) -> H.replace acc s (c + 1, rep)
+        | None -> H.replace acc s (1, (i, j))
+      done
+    done;
+    acc
+  in
+  let handles =
+    List.init domains (fun d ->
+        let lo = d * chunk in
+        let hi = min nr ((d + 1) * chunk) in
+        Domain.spawn (scan lo hi))
+  in
+  let merged = H.create 256 in
+  List.iter
+    (fun handle ->
+      let table = Domain.join handle in
+      H.iter
+        (fun s (c, rep) ->
+          match H.find_opt merged s with
+          | Some (c', rep') -> H.replace merged s (c + c', min rep rep')
+          | None -> H.replace merged s (c, rep))
+        table)
+    handles;
+  let sigs = H.fold (fun s (c, rep) l -> (s, c, rep) :: l) merged [] in
+  of_signature_list ~relations:(r, p) omega sigs
+
+(* Approximate universe for products too large to scan (the paper's §1:
+   "the database instances may be too big to be skimmed"): draw [pairs]
+   uniform random tuple pairs instead of enumerating R × P.  Signatures
+   that never come up in the sample are invisible, so the inference result
+   is only guaranteed instance-equivalent on the sampled sub-product; rare
+   signatures (small join ratio contributions) are the ones at risk. *)
+let build_sampled prng ~pairs r p =
+  if pairs <= 0 then invalid_arg "Universe.build_sampled: need a positive sample size";
+  let nr = Relation.cardinality r and np = Relation.cardinality p in
+  if nr = 0 || np = 0 then invalid_arg "Universe.build_sampled: empty relation";
+  let omega = Omega.of_schemas (Relation.schema r) (Relation.schema p) in
+  let acc = H.create 256 in
+  for _ = 1 to pairs do
+    let i = Jqi_util.Prng.int prng nr and j = Jqi_util.Prng.int prng np in
+    let s = Tsig.of_tuples omega (Relation.row r i) (Relation.row p j) in
+    match H.find_opt acc s with
+    | Some (c, rep) -> H.replace acc s (c + 1, rep)
+    | None -> H.replace acc s (1, (i, j))
+  done;
+  let sigs = H.fold (fun s (c, rep) l -> (s, c, rep) :: l) acc [] in
+  of_signature_list ~relations:(r, p) omega sigs
+
+let omega t = t.omega
+let classes t = t.classes
+let n_classes t = Array.length t.classes
+let cls t i = t.classes.(i)
+let total_tuples t = t.total
+let relations t = t.relations
+
+let signature t i = t.classes.(i).signature
+let count t i = t.classes.(i).count
+
+(* The representative tuple of a class, when the universe was built from
+   actual relations (interactive CLI display). *)
+let representative t i =
+  match t.relations with
+  | None -> None
+  | Some (r, p) ->
+      let ri, pj = t.classes.(i).rep in
+      Some (Relation.row r ri, Relation.row p pj)
+
+let find_class t signature =
+  let n = Array.length t.classes in
+  let rec go i =
+    if i >= n then None
+    else if Bits.equal t.classes.(i).signature signature then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Classes selected by θ: exactly those whose signature contains θ. *)
+let selected_classes t theta =
+  let out = ref [] in
+  for i = Array.length t.classes - 1 downto 0 do
+    if Tsig.selects theta t.classes.(i).signature then out := i :: !out
+  done;
+  !out
+
+(* Two predicates are instance-equivalent (§3.3) iff they select the same
+   classes of D. *)
+let equivalent t theta1 theta2 =
+  let n = Array.length t.classes in
+  let rec go i =
+    i >= n
+    || Bool.equal
+         (Tsig.selects theta1 t.classes.(i).signature)
+         (Tsig.selects theta2 t.classes.(i).signature)
+       && go (i + 1)
+  in
+  go 0
+
+(* Join ratio (§5.3): the average size of the distinct (unique) most
+   specific join predicates occurring in D. *)
+let join_ratio t =
+  let n = Array.length t.classes in
+  if n = 0 then 0.
+  else
+    let sum =
+      Array.fold_left (fun s c -> s + Bits.cardinal c.signature) 0 t.classes
+    in
+    float_of_int sum /. float_of_int n
+
+(* Distinct signatures, i.e. the lattice nodes that have corresponding
+   tuples (boxed nodes of Figure 4). *)
+let signatures t = Array.to_list (Array.map (fun c -> c.signature) t.classes)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>universe: |D|=%d, %d signature classes, join ratio %.3f"
+    t.total (n_classes t) (join_ratio t);
+  Array.iteri
+    (fun i c ->
+      Fmt.pf ppf "@,  #%d %a ×%d" i (Omega.pp_pred t.omega) c.signature c.count)
+    t.classes;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,79 @@
+(** The quotient of the Cartesian product D = R × P by the T-signature.
+
+    Informativeness, certainty and selection depend only on T(t)
+    (Lemmas 3.3/3.4), so tuples with equal signatures are interchangeable;
+    the engine works on equivalence classes carrying multiplicities.  This
+    matches the paper's "unique join predicates" discussion (§5.3) and is
+    what makes TPC-H-sized products tractable. *)
+
+type cls = {
+  signature : Jqi_util.Bits.t;  (** T(t) for every tuple of the class *)
+  count : int;  (** multiplicity in D *)
+  rep : int * int;  (** row indexes of one representative pair *)
+}
+
+type t
+
+(** Build the quotient by scanning R × P.  Raises [Invalid_argument] on an
+    empty product.  O(|R|·|P|·|Ω|). *)
+val build : Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> t
+
+(** Multicore [build]: R's rows are partitioned across [domains] (default
+    [Domain.recommended_domain_count ()]); produces a universe identical
+    to the sequential scan.  The scan is allocation-heavy, so domains
+    contend on the minor GC — benchmark before preferring this over
+    [build]; on few-core machines the sequential scan wins. *)
+val build_parallel :
+  ?domains:int -> Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> t
+
+(** Approximate universe for products too large to scan: [pairs] uniform
+    random tuple pairs instead of the full R × P.  Signatures absent from
+    the sample are invisible, so inference is only guaranteed
+    instance-equivalent on the sampled sub-product. *)
+val build_sampled :
+  Jqi_util.Prng.t -> pairs:int ->
+  Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> t
+
+(** Assemble a universe directly from (signature, multiplicity,
+    representative) triples; duplicate signatures are merged.  Meant for
+    tests and the minimax examples. *)
+val of_signature_list :
+  ?relations:Jqi_relational.Relation.t * Jqi_relational.Relation.t ->
+  Omega.t ->
+  (Jqi_util.Bits.t * int * (int * int)) list ->
+  t
+
+val omega : t -> Omega.t
+val classes : t -> cls array
+val n_classes : t -> int
+val cls : t -> int -> cls
+
+(** |D|, the sum of class multiplicities. *)
+val total_tuples : t -> int
+
+val relations :
+  t -> (Jqi_relational.Relation.t * Jqi_relational.Relation.t) option
+
+val signature : t -> int -> Jqi_util.Bits.t
+val count : t -> int -> int
+
+(** Representative tuple pair of a class, when the universe was built from
+    actual relations. *)
+val representative :
+  t -> int -> (Jqi_relational.Tuple.t * Jqi_relational.Tuple.t) option
+
+val find_class : t -> Jqi_util.Bits.t -> int option
+
+(** Classes whose signature contains θ — the classes θ selects. *)
+val selected_classes : t -> Jqi_util.Bits.t -> int list
+
+(** Instance equivalence (§3.3): θ1 and θ2 select the same classes of D. *)
+val equivalent : t -> Jqi_util.Bits.t -> Jqi_util.Bits.t -> bool
+
+(** Join ratio (§5.3): mean size of the distinct T-signatures in D. *)
+val join_ratio : t -> float
+
+(** The distinct signatures — the boxed lattice nodes of Figure 4. *)
+val signatures : t -> Jqi_util.Bits.t list
+
+val pp : Format.formatter -> t -> unit

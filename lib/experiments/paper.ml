@@ -1,0 +1,166 @@
+(* The paper's published numbers, used to print paper-vs-measured rows.
+
+   Strategy order everywhere: BU, TD, L1S, L2S, RND (the column order of
+   Figures 6c/6d and 7). *)
+
+let strategy_order = [ "BU"; "TD"; "L1S"; "L2S"; "RND" ]
+
+(* One Table 1 line. *)
+type table1_row = {
+  dataset : string;
+  goal : string;
+  product_size : float;
+  join_ratio : float;
+  best : string list;  (* strategies tied for fewest interactions *)
+  best_interactions : int;
+  best_seconds : float list;  (* one entry per strategy in [best] *)
+}
+
+let table1_tpch_sf1 =
+  [
+    { dataset = "TPC-H SF=1"; goal = "Join 1 (size 1)"; product_size = 2.5e5;
+      join_ratio = 1.; best = [ "BU"; "TD"; "L2S" ]; best_interactions = 2;
+      best_seconds = [ 0.001; 0.001; 0.072 ] };
+    { dataset = "TPC-H SF=1"; goal = "Join 2 (size 1)"; product_size = 2.5e5;
+      join_ratio = 1.; best = [ "TD" ]; best_interactions = 2;
+      best_seconds = [ 0.001 ] };
+    { dataset = "TPC-H SF=1"; goal = "Join 3 (size 1)"; product_size = 2.5e6;
+      join_ratio = 1.142; best = [ "TD"; "L2S" ]; best_interactions = 2;
+      best_seconds = [ 0.001; 0.042 ] };
+    { dataset = "TPC-H SF=1"; goal = "Join 4 (size 1)"; product_size = 9.1e7;
+      join_ratio = 2.109; best = [ "L2S" ]; best_interactions = 4;
+      best_seconds = [ 56.167 ] };
+    { dataset = "TPC-H SF=1"; goal = "Join 5 (size 2)"; product_size = 9.1e6;
+      join_ratio = 1.681; best = [ "TD" ]; best_interactions = 25;
+      best_seconds = [ 0.014 ] };
+  ]
+
+let table1_tpch_sf100000 =
+  [
+    { dataset = "TPC-H SF=100000"; goal = "Join 1 (size 1)"; product_size = 2.5e5;
+      join_ratio = 1.; best = [ "BU"; "TD"; "L2S" ]; best_interactions = 2;
+      best_seconds = [ 0.001; 0.001; 0.072 ] };
+    { dataset = "TPC-H SF=100000"; goal = "Join 2 (size 1)"; product_size = 2.5e5;
+      join_ratio = 1.; best = [ "TD" ]; best_interactions = 2;
+      best_seconds = [ 0.001 ] };
+    { dataset = "TPC-H SF=100000"; goal = "Join 3 (size 1)"; product_size = 1.5e7;
+      join_ratio = 1.166; best = [ "TD" ]; best_interactions = 2;
+      best_seconds = [ 0.001 ] };
+    { dataset = "TPC-H SF=100000"; goal = "Join 4 (size 1)"; product_size = 9.6e8;
+      join_ratio = 2.03; best = [ "L2S" ]; best_interactions = 3;
+      best_seconds = [ 9.694 ] };
+    { dataset = "TPC-H SF=100000"; goal = "Join 5 (size 2)"; product_size = 1.5e7;
+      join_ratio = 1.523; best = [ "TD" ]; best_interactions = 12;
+      best_seconds = [ 0.003 ] };
+  ]
+
+(* Synthetic Table 1 lines: (config label, |D|, join ratio,
+   per-goal-size best strategy / interactions / seconds for sizes 0..4). *)
+type synth_block = {
+  config : string;
+  product_size : float;
+  join_ratio : float;
+  by_size : (string * int * float) array;  (* best strategy, interactions, seconds *)
+}
+
+let table1_synth =
+  [
+    { config = "(3,3,100,100)"; product_size = 1e4; join_ratio = 1.647;
+      by_size =
+        [| ("BU", 1, 0.002); ("L2S", 4, 8.95); ("TD", 15, 0.006);
+           ("L2S", 14, 10.241); ("L2S", 13, 9.924) |] };
+    { config = "(3,3,50,100)"; product_size = 2.5e3; join_ratio = 1.341;
+      by_size =
+        [| ("BU", 1, 0.001); ("L2S", 4, 1.373); ("TD", 9, 0.002);
+           ("L2S", 7, 1.28); ("L2S", 8, 1.332) |] };
+    { config = "(3,4,50,100)"; product_size = 2.5e3; join_ratio = 1.458;
+      by_size =
+        [| ("BU", 1, 0.001); ("L2S", 5, 6.698); ("TD", 13, 0.004);
+           ("L2S", 10, 7.1); ("L2S", 9, 7.344) |] };
+    { config = "(2,5,50,100)"; product_size = 2.5e3; join_ratio = 1.377;
+      by_size =
+        [| ("BU", 1, 0.001); ("L2S", 5, 2.502); ("TD", 10, 0.003);
+           ("L2S", 9, 2.859); ("L2S", 10, 3.719) |] };
+    { config = "(2,4,50,50)"; product_size = 2.5e3; join_ratio = 1.596;
+      by_size =
+        [| ("BU", 1, 0.004); ("L2S", 4, 10.71); ("TD", 13, 0.011);
+           ("L2S", 13, 14.058); ("L2S", 13, 14.177) |] };
+    { config = "(2,4,50,100)"; product_size = 2.5e3; join_ratio = 1.633;
+      by_size =
+        [| ("BU", 1, 0.001); ("L2S", 4, 0.666); ("TD", 8, 0.001);
+           ("L2S", 7, 0.954); ("L2S", 9, 1.072) |] };
+  ]
+
+(* Figures 6c/6d: inference times in seconds, rows Join 1..5, columns in
+   [strategy_order]. *)
+let fig6c_times_sf1 =
+  [|
+    [| 0.001; 0.001; 0.015; 0.072; 0.001 |];
+    [| 0.001; 0.001; 0.008; 0.046; 0.001 |];
+    [| 0.001; 0.001; 0.010; 0.042; 0.001 |];
+    [| 0.012; 0.010; 3.452; 56.167; 0.013 |];
+    [| 0.019; 0.014; 2.530; 73.570; 0.013 |];
+  |]
+
+let fig6d_times_sf100000 =
+  [|
+    [| 0.001; 0.001; 0.017; 0.072; 0.001 |];
+    [| 0.001; 0.001; 0.013; 0.074; 0.001 |];
+    [| 0.001; 0.001; 0.006; 0.033; 0.001 |];
+    [| 0.007; 0.004; 0.627; 9.694; 0.006 |];
+    [| 0.004; 0.003; 0.312; 4.423; 0.004 |];
+  |]
+
+(* Figure 7 time tables: per config, rows goal size 0..4, columns in
+   [strategy_order]. *)
+let fig7_times =
+  [
+    ( "(3,3,100,100)",
+      [|
+        [| 0.002; 0.002; 0.127; 6.147; 0.002 |];
+        [| 0.004; 0.004; 0.335; 8.950; 0.004 |];
+        [| 0.008; 0.006; 0.916; 17.648; 0.006 |];
+        [| 0.010; 0.008; 1.085; 10.241; 0.008 |];
+        [| 0.010; 0.008; 1.132; 9.924; 0.008 |];
+      |] );
+    ( "(3,3,50,100)",
+      [|
+        [| 0.001; 0.001; 0.040; 0.999; 0.001 |];
+        [| 0.002; 0.002; 0.097; 1.373; 0.002 |];
+        [| 0.003; 0.002; 0.189; 2.190; 0.002 |];
+        [| 0.003; 0.002; 0.185; 1.280; 0.002 |];
+        [| 0.003; 0.002; 0.185; 1.332; 0.003 |];
+      |] );
+    ( "(3,4,50,100)",
+      [|
+        [| 0.001; 0.001; 0.100; 3.949; 0.001 |];
+        [| 0.004; 0.003; 0.320; 6.698; 0.003 |];
+        [| 0.007; 0.004; 0.693; 11.260; 0.005 |];
+        [| 0.008; 0.006; 0.856; 7.100; 0.006 |];
+        [| 0.010; 0.007; 1.049; 7.344; 0.006 |];
+      |] );
+    ( "(2,5,50,100)",
+      [|
+        [| 0.001; 0.001; 0.057; 1.718; 0.001 |];
+        [| 0.002; 0.002; 0.155; 2.502; 0.002 |];
+        [| 0.004; 0.003; 0.316; 4.074; 0.003 |];
+        [| 0.005; 0.004; 0.385; 2.859; 0.004 |];
+        [| 0.006; 0.004; 0.516; 3.719; 0.005 |];
+      |] );
+    ( "(2,4,50,50)",
+      [|
+        [| 0.004; 0.005; 0.216; 8.739; 0.005 |];
+        [| 0.008; 0.008; 0.505; 10.710; 0.008 |];
+        [| 0.016; 0.011; 1.306; 18.713; 0.012 |];
+        [| 0.019; 0.015; 1.492; 14.058; 0.014 |];
+        [| 0.019; 0.015; 1.576; 14.177; 0.014 |];
+      |] );
+    ( "(2,4,50,100)",
+      [|
+        [| 0.001; 0.001; 0.027; 0.544; 0.001 |];
+        [| 0.001; 0.001; 0.059; 0.666; 0.001 |];
+        [| 0.002; 0.001; 0.112; 1.046; 0.002 |];
+        [| 0.003; 0.002; 0.138; 0.954; 0.002 |];
+        [| 0.003; 0.002; 0.141; 1.072; 0.002 |];
+      |] );
+  ]

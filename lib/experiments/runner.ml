@@ -1,0 +1,70 @@
+(* Shared experiment driver: run every strategy against a goal predicate on
+   an instance and collect the two measures of §5 — number of interactions
+   and inference time. *)
+
+module Bits = Jqi_util.Bits
+module Prng = Jqi_util.Prng
+module Relation = Jqi_relational.Relation
+module Omega = Jqi_core.Omega
+module Universe = Jqi_core.Universe
+module Strategy = Jqi_core.Strategy
+module Oracle = Jqi_core.Oracle
+module Inference = Jqi_core.Inference
+
+type measurement = {
+  strategy : string;
+  interactions : float;
+  seconds : float;
+  verified : bool;  (* inferred predicate instance-equivalent to the goal *)
+}
+
+(* The five strategies of the paper's evaluation, in its order. *)
+let paper_strategies ~seed () =
+  [
+    Strategy.bu;
+    Strategy.td;
+    Strategy.l1s;
+    Strategy.l2s;
+    Strategy.rnd (Prng.create seed);
+  ]
+
+let strategy_names = [ "BU"; "TD"; "L1S"; "L2S"; "RND" ]
+
+let run_goal universe ~goal strategies =
+  let oracle = Oracle.honest ~goal in
+  List.map
+    (fun strat ->
+      let result = Inference.run universe strat oracle in
+      {
+        strategy = Strategy.name strat;
+        interactions = float_of_int result.Inference.n_interactions;
+        seconds = result.Inference.elapsed;
+        verified = Inference.verified universe ~goal result;
+      })
+    strategies
+
+(* Average a list of per-strategy measurement lists (all runs must use the
+   same strategies in the same order). *)
+let average runs =
+  match runs with
+  | [] -> []
+  | first :: _ ->
+      List.mapi
+        (fun i (m : measurement) ->
+          let col f = List.map (fun run -> f (List.nth run i)) runs in
+          {
+            strategy = m.strategy;
+            interactions =
+              Jqi_util.Stats.mean (Array.of_list (col (fun m -> m.interactions)));
+            seconds = Jqi_util.Stats.mean (Array.of_list (col (fun m -> m.seconds)));
+            verified = List.for_all (fun run -> (List.nth run i).verified) runs;
+          })
+        first
+
+let best_by_interactions measurements =
+  List.fold_left
+    (fun acc m ->
+      match acc with
+      | None -> Some m
+      | Some b -> if m.interactions < b.interactions then Some m else Some b)
+    None measurements

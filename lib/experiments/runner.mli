@@ -1,0 +1,25 @@
+(** Shared experiment driver: run strategies against goal predicates and
+    collect the §5 measures (interactions, time). *)
+
+type measurement = {
+  strategy : string;
+  interactions : float;
+  seconds : float;
+  verified : bool;  (** inferred predicate instance-equivalent to the goal *)
+}
+
+(** The paper's five strategies, in its column order BU, TD, L1S, L2S, RND. *)
+val paper_strategies : seed:int -> unit -> Jqi_core.Strategy.t list
+
+val strategy_names : string list
+
+(** One inference run per strategy against the honest oracle. *)
+val run_goal :
+  Jqi_core.Universe.t -> goal:Jqi_util.Bits.t -> Jqi_core.Strategy.t list ->
+  measurement list
+
+(** Pointwise mean over runs that used the same strategies in the same
+    order; [verified] is the conjunction. *)
+val average : measurement list list -> measurement list
+
+val best_by_interactions : measurement list -> measurement option

@@ -1,0 +1,21 @@
+(** Scalability sweep (beyond the paper, supporting its §5 claim): quotient
+    build time, class count and interaction counts as the instance grows. *)
+
+type point = {
+  rows : int;
+  product : int;
+  build_seconds : float;
+  classes : float;
+  join_ratio : float;
+  td_interactions : float;
+  l2s_interactions : float;
+  l2s_seconds : float;
+}
+
+(** One point per row count, averaged over [runs] fresh instances of the
+    (r_arity, p_arity, rows, values) configuration. *)
+val run :
+  ?seed:int -> ?runs:int -> ?r_arity:int -> ?p_arity:int -> ?values:int ->
+  int list -> point list
+
+val render : point list -> string

@@ -1,0 +1,68 @@
+(* Theorem 6.1, empirically: random 3SAT instances are reduced to CONS⋉;
+   the SAT answer on φ and the CONS⋉ answer on the reduction must agree,
+   and the solving time is reported as the instance grows — the observable
+   face of NP-completeness in this reproduction. *)
+
+module Prng = Jqi_util.Prng
+module Timer = Jqi_util.Timer
+module Table = Jqi_util.Ascii_table
+module Threesat = Jqi_sat.Threesat
+module Dpll = Jqi_sat.Dpll
+module Cons = Jqi_semijoin.Cons
+module Reduction = Jqi_semijoin.Reduction
+
+type point = {
+  nvars : int;
+  nclauses : int;
+  omega_width : int;
+  agree : bool;
+  sat_fraction : float;
+  cons_seconds : float;  (* mean *)
+}
+
+let run ?(seed = 5) ?(per_point = 5) sizes =
+  let prng = Prng.create seed in
+  List.map
+    (fun (nvars, nclauses) ->
+      let seconds = ref [] in
+      let sats = ref 0 in
+      let all_agree = ref true in
+      let width = ref 0 in
+      for _ = 1 to per_point do
+        let phi = Threesat.random prng ~nvars ~nclauses in
+        let phi_sat = Dpll.is_sat (Threesat.to_cnf phi) in
+        let red = Reduction.build phi in
+        width := Jqi_core.Omega.width red.omega;
+        let cons, dt =
+          Timer.time (fun () ->
+              Cons.consistent red.r red.p red.omega red.sample)
+        in
+        seconds := dt :: !seconds;
+        if cons then incr sats;
+        if cons <> phi_sat then all_agree := false
+      done;
+      {
+        nvars;
+        nclauses;
+        omega_width = !width;
+        agree = !all_agree;
+        sat_fraction = float_of_int !sats /. float_of_int per_point;
+        cons_seconds = Jqi_util.Stats.mean (Array.of_list !seconds);
+      })
+    sizes
+
+let render points =
+  Table.render
+    ~headers:
+      [ "n vars"; "n clauses"; "|Ω|"; "3SAT = CONS⋉"; "sat fraction"; "CONS⋉ time (s)" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.nvars;
+           string_of_int p.nclauses;
+           string_of_int p.omega_width;
+           (if p.agree then "agree" else "MISMATCH");
+           Printf.sprintf "%.2f" p.sat_fraction;
+           Printf.sprintf "%.4f" p.cons_seconds;
+         ])
+       points)

@@ -1,0 +1,17 @@
+(** Theorem 6.1 made empirical: random 3SAT instances reduced to CONS⋉;
+    the SAT answer on φ and the CONS⋉ answer on the reduction must agree,
+    and the decision time shows the NP-completeness scaling. *)
+
+type point = {
+  nvars : int;
+  nclauses : int;
+  omega_width : int;
+  agree : bool;  (** all instances at this size agreed *)
+  sat_fraction : float;
+  cons_seconds : float;  (** mean CONS⋉ decision time *)
+}
+
+(** One point per (nvars, nclauses), [per_point] random formulas each. *)
+val run : ?seed:int -> ?per_point:int -> (int * int) list -> point list
+
+val render : point list -> string

@@ -1,0 +1,84 @@
+(* Table 1: the summary of all experiments — Cartesian-product size, join
+   ratio, best strategy w.r.t. interactions and its time — printed next to
+   the paper's values. *)
+
+module Table = Jqi_util.Ascii_table
+
+type row = {
+  dataset : string;
+  goal : string;
+  product_size : float;
+  join_ratio : float;
+  best : string;
+  best_interactions : float;
+  best_seconds : float;
+}
+
+let of_measurements ~dataset ~goal ~product_size ~join_ratio measurements =
+  (* All strategies tied for the minimum are reported, as in the paper's
+     "BU/TD/L2S" entries. *)
+  let min_int_ =
+    List.fold_left
+      (fun acc (m : Runner.measurement) -> Float.min acc m.interactions)
+      infinity measurements
+  in
+  let winners =
+    List.filter
+      (fun (m : Runner.measurement) -> m.interactions = min_int_)
+      measurements
+  in
+  {
+    dataset;
+    goal;
+    product_size;
+    join_ratio;
+    best = String.concat "/" (List.map (fun (m : Runner.measurement) -> m.strategy) winners);
+    best_interactions = min_int_;
+    best_seconds =
+      (match winners with [] -> nan | w :: _ -> w.seconds);
+  }
+
+let of_fig6 ~dataset (results : Fig6.join_result list) =
+  List.map
+    (fun (r : Fig6.join_result) ->
+      of_measurements ~dataset
+        ~goal:(Printf.sprintf "%s (size %d)" r.label r.goal_size)
+        ~product_size:r.product_size ~join_ratio:r.join_ratio r.measurements)
+    results
+
+let of_fig7 (result : Fig7.config_result) =
+  List.map
+    (fun (s : Fig7.size_result) ->
+      of_measurements
+        ~dataset:(Fmt.str "%a" Jqi_synth.Synth.pp_config result.config)
+        ~goal:(Printf.sprintf "joins of size %d" s.goal_size)
+        ~product_size:result.product_size ~join_ratio:result.join_ratio
+        s.measurements)
+    result.by_size
+
+let render ?(paper_hint = []) rows =
+  let headers =
+    [ "dataset"; "goal"; "|D|"; "join ratio"; "best"; "int."; "time (s)"; "paper: best (int.)" ]
+  in
+  let paper_for i =
+    match List.nth_opt paper_hint i with
+    | Some (best, ints) -> Printf.sprintf "%s (%d)" best ints
+    | None -> ""
+  in
+  Table.render ~headers
+    (List.mapi
+       (fun i r ->
+         [
+           r.dataset;
+           r.goal;
+           Printf.sprintf "%.3g" r.product_size;
+           Printf.sprintf "%.3f" r.join_ratio;
+           (if r.best = "" then "n/a" else r.best);
+           (if Float.is_finite r.best_interactions then
+              Printf.sprintf "%.1f" r.best_interactions
+            else "n/a");
+           (if Float.is_nan r.best_seconds then "n/a"
+            else Printf.sprintf "%.3f" r.best_seconds);
+           paper_for i;
+         ])
+       rows)

@@ -1,0 +1,22 @@
+(** Table 1 rows: best strategy per experiment with instance statistics,
+    rendered next to the paper's published best. *)
+
+type row = {
+  dataset : string;
+  goal : string;
+  product_size : float;
+  join_ratio : float;
+  best : string;  (** ties joined with "/" as in the paper *)
+  best_interactions : float;
+  best_seconds : float;
+}
+
+val of_measurements :
+  dataset:string -> goal:string -> product_size:float -> join_ratio:float ->
+  Runner.measurement list -> row
+
+val of_fig6 : dataset:string -> Fig6.join_result list -> row list
+val of_fig7 : Fig7.config_result -> row list
+
+(** [paper_hint] pairs (best, interactions) line up with the rows. *)
+val render : ?paper_hint:(string * int) list -> row list -> string

@@ -1,0 +1,90 @@
+(** Interactive inference of join paths (the paper's §7 future-work item).
+
+    A chain R_1, …, R_k with one equijoin predicate per adjacent pair; the
+    user labels path tuples (positive iff every edge predicate selects its
+    pair).  The §3 machinery generalizes with polynomial certainty tests:
+    Cert⁺ is the per-edge Lemma 3.3 conjunction, Cert⁻ a vector form of
+    Lemma 3.4 checked against the maximal selecting vector. *)
+
+module Bits = Jqi_util.Bits
+
+(** A class of path tuples sharing the same signature vector. *)
+type combo = {
+  signatures : Bits.t array;  (** T of each adjacent pair *)
+  count : int;
+  rep : int array;  (** one row index per relation *)
+}
+
+type t = {
+  relations : Jqi_relational.Relation.t array;
+  omegas : Jqi_core.Omega.t array;  (** omegas.(i) spans R_i × R_{i+1} *)
+  combos : combo array;
+}
+
+val max_path_tuples : int
+
+(** Quotient the full path product by the signature vector.  Raises
+    [Invalid_argument] on fewer than two relations, an empty relation, or
+    a product beyond [max_path_tuples]. *)
+val build : Jqi_relational.Relation.t list -> t
+
+val n_edges : t -> int
+val n_combos : t -> int
+val combo : t -> int -> combo
+
+(** Does a predicate vector select a signature vector (every edge ⊆)? *)
+val selects : Bits.t array -> Bits.t array -> bool
+
+exception Inconsistent of { combo_id : int; label : Jqi_core.Sample.label }
+
+type state = {
+  path : t;
+  mutable tpos : Bits.t array;
+  mutable negs : Bits.t array list;
+  labels : Jqi_core.Sample.label option array;
+  mutable history : (int * Jqi_core.Sample.label) list;
+}
+
+val create : t -> state
+
+val certain_label_vec :
+  tpos:Bits.t array -> negs:Bits.t array list -> Bits.t array ->
+  Jqi_core.Sample.label option
+
+val certain_label : state -> int -> Jqi_core.Sample.label option
+val informative : state -> int -> bool
+val informative_combos : state -> int list
+
+(** Raises [Inconsistent] when contradicting a certain label. *)
+val label : state -> int -> Jqi_core.Sample.label -> unit
+
+val n_interactions : state -> int
+
+(** The per-edge most specific predicates T(S+). *)
+val inferred : state -> Bits.t array
+
+(** Two vectors select the same combos of this path instance. *)
+val equivalent : t -> Bits.t array -> Bits.t array -> bool
+
+type strategy = { name : string; choose : state -> int option }
+
+val bu : strategy
+val td : strategy
+val rnd : Jqi_util.Prng.t -> strategy
+val l1s : strategy
+
+type oracle = state -> int -> Jqi_core.Sample.label
+
+val honest_oracle : goal:Bits.t array -> oracle
+
+type result = {
+  strategy : string;
+  predicates : Bits.t array;
+  n_interactions : int;
+  steps : (int * Jqi_core.Sample.label) list;
+  elapsed : float;
+}
+
+val run : ?max_interactions:int -> t -> strategy -> oracle -> result
+val verified : t -> goal:Bits.t array -> result -> bool
+val pp_predicates : t -> Format.formatter -> Bits.t array -> unit

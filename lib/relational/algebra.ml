@@ -1,0 +1,106 @@
+(* Relational algebra over in-memory relations.
+
+   Only what the paper's setting needs, but implemented with set semantics
+   where the algebra requires it.  All operators return fresh relations and
+   never mutate their inputs. *)
+
+let select rel p =
+  Relation.with_rows rel
+    (Array.of_list (List.filter p (Relation.to_list rel)))
+
+(* Projection onto columns given by name, Π_cols(rel).  Duplicates are kept;
+   compose with [distinct] for set semantics. *)
+let project rel cols =
+  let schema = Relation.schema rel in
+  let idxs = List.map (Schema.index_of_exn schema) cols in
+  Relation.create
+    ~name:(Relation.name rel)
+    ~schema:(Schema.project schema idxs)
+    (Array.map (fun r -> Tuple.project r idxs) (Relation.rows rel))
+
+let rename rel old_name new_name =
+  Relation.create ~name:(Relation.name rel)
+    ~schema:(Schema.rename (Relation.schema rel) old_name new_name)
+    (Relation.rows rel)
+
+let distinct rel =
+  let seen = Hashtbl.create (Relation.cardinality rel) in
+  let keep = ref [] in
+  Relation.iter
+    (fun row ->
+      let h = Tuple.hash row in
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt seen h) in
+      if not (List.exists (Tuple.equal row) bucket) then begin
+        Hashtbl.replace seen h (row :: bucket);
+        keep := row :: !keep
+      end)
+    rel;
+  Relation.with_rows rel (Array.of_list (List.rev !keep))
+
+let check_union_compatible a b =
+  if not (Schema.equal (Relation.schema a) (Relation.schema b)) then
+    invalid_arg "Algebra: union-incompatible schemas"
+
+let union a b =
+  check_union_compatible a b;
+  distinct
+    (Relation.create
+       ~name:(Relation.name a)
+       ~schema:(Relation.schema a)
+       (Array.append (Relation.rows a) (Relation.rows b)))
+
+let inter a b =
+  check_union_compatible a b;
+  let sb = Relation.tuple_set b in
+  distinct
+    (select a (fun r -> Relation.Tuple_set.mem r sb))
+
+let difference a b =
+  check_union_compatible a b;
+  let sb = Relation.tuple_set b in
+  distinct
+    (select a (fun r -> not (Relation.Tuple_set.mem r sb)))
+
+(* Cartesian product R × P.  The result schema qualifies clashing column
+   names with the relation names. *)
+let product a b =
+  let schema =
+    Schema.product
+      ~left_prefix:(Relation.name a)
+      ~right_prefix:(Relation.name b)
+      (Relation.schema a) (Relation.schema b)
+  in
+  let rows_a = Relation.rows a and rows_b = Relation.rows b in
+  let out = ref [] in
+  for i = Array.length rows_a - 1 downto 0 do
+    for j = Array.length rows_b - 1 downto 0 do
+      out := Tuple.concat rows_a.(i) rows_b.(j) :: !out
+    done
+  done;
+  Relation.create
+    ~name:(Relation.name a ^ "x" ^ Relation.name b)
+    ~schema
+    (Array.of_list !out)
+
+let sort ?(compare = Tuple.compare) rel =
+  let rows = Array.copy (Relation.rows rel) in
+  Array.sort compare rows;
+  Relation.with_rows rel rows
+
+let sort_by rel cols =
+  let schema = Relation.schema rel in
+  let idxs = List.map (Schema.index_of_exn schema) cols in
+  sort
+    ~compare:(fun a b ->
+      let rec go = function
+        | [] -> Tuple.compare a b
+        | i :: rest ->
+            let c = Value.compare (Tuple.get a i) (Tuple.get b i) in
+            if c <> 0 then c else go rest
+      in
+      go idxs)
+    rel
+
+let limit rel n =
+  let n = min n (Relation.cardinality rel) in
+  Relation.with_rows rel (Array.sub (Relation.rows rel) 0 n)

@@ -1,0 +1,28 @@
+(** Relational algebra over in-memory relations.  All operators return
+    fresh relations. *)
+
+(** σ_p. *)
+val select : Relation.t -> (Tuple.t -> bool) -> Relation.t
+
+(** Π by column names; duplicates kept (compose with [distinct]). *)
+val project : Relation.t -> string list -> Relation.t
+
+val rename : Relation.t -> string -> string -> Relation.t
+
+(** Duplicate elimination, keeping first occurrences in order. *)
+val distinct : Relation.t -> Relation.t
+
+(** Set union/intersection/difference; raise [Invalid_argument] on
+    union-incompatible schemas. *)
+val union : Relation.t -> Relation.t -> Relation.t
+
+val inter : Relation.t -> Relation.t -> Relation.t
+val difference : Relation.t -> Relation.t -> Relation.t
+
+(** R × P, left-major row order; clashing column names are qualified with
+    the relation names. *)
+val product : Relation.t -> Relation.t -> Relation.t
+
+val sort : ?compare:(Tuple.t -> Tuple.t -> int) -> Relation.t -> Relation.t
+val sort_by : Relation.t -> string list -> Relation.t
+val limit : Relation.t -> int -> Relation.t

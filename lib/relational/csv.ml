@@ -1,0 +1,172 @@
+(* Minimal RFC-4180-style CSV reader/writer.
+
+   Supports quoted fields with embedded separators, quotes ("" escape) and
+   newlines.  Used by the CLI to load the two input relations and by the
+   generators to persist datasets. *)
+
+let split_record ~sep line_stream =
+  (* Parses one logical record (which may span physical lines when a quoted
+     field contains a newline) from a function producing physical lines. *)
+  match line_stream () with
+  | None -> None
+  | Some first ->
+      let fields = ref [] in
+      let buf = Buffer.create 32 in
+      let flush_field () =
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf
+      in
+      let rec scan line i in_quotes =
+        if i >= String.length line then
+          if in_quotes then (
+            (* Quoted newline: pull the next physical line. *)
+            match line_stream () with
+            | None -> failwith "Csv: unterminated quoted field"
+            | Some next ->
+                Buffer.add_char buf '\n';
+                scan next 0 true)
+          else flush_field ()
+        else
+          let c = line.[i] in
+          if in_quotes then
+            if c = '"' then
+              if i + 1 < String.length line && line.[i + 1] = '"' then begin
+                Buffer.add_char buf '"';
+                scan line (i + 2) true
+              end
+              else scan line (i + 1) false
+            else begin
+              Buffer.add_char buf c;
+              scan line (i + 1) true
+            end
+          else if c = '"' && Buffer.length buf = 0 then scan line (i + 1) true
+          else if c = sep then begin
+            flush_field ();
+            scan line (i + 1) false
+          end
+          else begin
+            Buffer.add_char buf c;
+            scan line (i + 1) false
+          end
+      in
+      scan first 0 false;
+      Some (List.rev !fields)
+
+let parse_string ?(sep = ',') text =
+  let lines = String.split_on_char '\n' text in
+  (* Drop a trailing empty line from a final newline. *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let lines = List.map (fun l ->
+      (* Tolerate CRLF input. *)
+      let n = String.length l in
+      if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+      lines
+  in
+  let remaining = ref lines in
+  let next_line () =
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+        remaining := rest;
+        Some l
+  in
+  let rec collect acc =
+    match split_record ~sep next_line with
+    | None -> List.rev acc
+    | Some r -> collect (r :: acc)
+  in
+  collect []
+
+let quote_field ~sep s =
+  let needs =
+    String.exists (fun c -> c = sep || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_string ?(sep = ',') records =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun record ->
+      Buffer.add_string buf
+        (String.concat (String.make 1 sep) (List.map (quote_field ~sep) record));
+      Buffer.add_char buf '\n')
+    records;
+  Buffer.contents buf
+
+let read_file ?sep path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      parse_string ?sep text)
+
+let write_file ?sep path records =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?sep records))
+
+(* Loading a relation: first record is the header; column types are inferred
+   from the data unless a schema is supplied. *)
+let relation_of_records ~name ?schema records =
+  match records with
+  | [] -> invalid_arg "Csv: empty input (no header)"
+  | header :: data ->
+      let ncols = List.length header in
+      List.iteri
+        (fun i r ->
+          if List.length r <> ncols then
+            invalid_arg
+              (Printf.sprintf "Csv: record %d has %d fields, header has %d"
+                 (i + 1) (List.length r) ncols))
+        data;
+      let schema =
+        match schema with
+        | Some s -> s
+        | None ->
+            let col_cells i = List.map (fun r -> List.nth r i) data in
+            Schema.of_columns
+              (List.mapi
+                 (fun i h -> Schema.column h (Value.infer_ty (col_cells i)))
+                 header)
+      in
+      let parse_row r =
+        Tuple.of_list
+          (List.mapi
+             (fun i cell ->
+               let ty = Schema.ty_at schema i in
+               match Value.parse ty cell with
+               | Some v -> v
+               | None ->
+                   invalid_arg
+                     (Printf.sprintf "Csv: cannot parse %S as %s" cell
+                        (Value.ty_name ty)))
+             r)
+      in
+      Relation.of_list ~name ~schema (List.map parse_row data)
+
+let load_relation ?sep ~name ?schema path =
+  relation_of_records ~name ?schema (read_file ?sep path)
+
+let records_of_relation rel =
+  Schema.names (Relation.schema rel)
+  :: List.map
+       (fun row -> List.map Value.to_string (Tuple.to_list row))
+       (Relation.to_list rel)
+
+let save_relation ?sep path rel = write_file ?sep path (records_of_relation rel)

@@ -1,0 +1,23 @@
+(** RFC-4180-style CSV: quoted fields (with embedded separators, escaped
+    quotes and newlines), relation loading with type inference, and
+    persistence for the generators. *)
+
+(** Parse raw records.  Tolerates CRLF; a trailing newline does not create
+    an empty record. *)
+val parse_string : ?sep:char -> string -> string list list
+
+val to_string : ?sep:char -> string list list -> string
+val read_file : ?sep:char -> string -> string list list
+val write_file : ?sep:char -> string -> string list list -> unit
+
+(** First record is the header.  Without [schema], column types are
+    inferred from the data ([Value.infer_ty]).  Raises [Invalid_argument]
+    on empty input, ragged records, or unparseable cells. *)
+val relation_of_records :
+  name:string -> ?schema:Schema.t -> string list list -> Relation.t
+
+val load_relation :
+  ?sep:char -> name:string -> ?schema:Schema.t -> string -> Relation.t
+
+val records_of_relation : Relation.t -> string list list
+val save_relation : ?sep:char -> string -> Relation.t -> unit

@@ -1,0 +1,39 @@
+(* Hash indexes on one or more columns.
+
+   The equijoin evaluator builds an index on the join columns of the smaller
+   relation; NULL keys are excluded because NULL never joins under
+   [Value.eq]. *)
+
+module Key = struct
+  type t = Value.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 Value.eq a b
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+end
+
+module H = Hashtbl.Make (Key)
+
+type t = { columns : int list; table : int list H.t }
+
+let key_of_row columns row = List.map (fun c -> Tuple.get row c) columns
+
+let build rel ~columns =
+  let table = H.create (max 16 (Relation.cardinality rel)) in
+  Array.iteri
+    (fun i row ->
+      let key = key_of_row columns row in
+      if not (List.exists Value.is_null key) then
+        let prev = Option.value ~default:[] (H.find_opt table key) in
+        H.replace table key (i :: prev))
+    (Relation.rows rel);
+  { columns; table }
+
+(* Row indexes whose key columns match [row]'s [probe_columns] values. *)
+let probe t ~probe_columns row =
+  let key = key_of_row probe_columns row in
+  if List.exists Value.is_null key then []
+  else Option.value ~default:[] (H.find_opt t.table key)
+
+let lookup t key = Option.value ~default:[] (H.find_opt t.table key)
+
+let distinct_keys t = H.length t.table

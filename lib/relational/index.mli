@@ -1,0 +1,13 @@
+(** Hash indexes on one or more columns, used by the join evaluators.
+    Rows whose key contains NULL are not indexed (NULL never joins). *)
+
+type t
+
+val build : Relation.t -> columns:int list -> t
+
+(** Row indexes matching the probe row's [probe_columns] values; empty for
+    NULL-containing probes. *)
+val probe : t -> probe_columns:int list -> Tuple.t -> int list
+
+val lookup : t -> Value.t list -> int list
+val distinct_keys : t -> int

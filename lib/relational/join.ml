@@ -1,0 +1,116 @@
+(* Equijoin and semijoin evaluation.
+
+   A join predicate at this level is a list of column-index pairs
+   [(i, j)] meaning R.col_i = P.col_j (the θ of the paper, resolved to
+   positions).  Two evaluators are provided: a nested-loop reference
+   implementation and a hash join; the test suite checks they agree.
+
+   The empty predicate θ = ∅ denotes the Cartesian product (every pair
+   vacuously satisfies it), matching the paper's "most general join
+   predicate H". *)
+
+type predicate = (int * int) list
+
+let check_predicate r p (theta : predicate) =
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= Relation.arity r then
+        invalid_arg (Printf.sprintf "Join: bad left column %d" i);
+      if j < 0 || j >= Relation.arity p then
+        invalid_arg (Printf.sprintf "Join: bad right column %d" j))
+    theta
+
+let matches (theta : predicate) tr tp =
+  List.for_all (fun (i, j) -> Value.eq (Tuple.get tr i) (Tuple.get tp j)) theta
+
+let product_schema r p =
+  Schema.product
+    ~left_prefix:(Relation.name r)
+    ~right_prefix:(Relation.name p)
+    (Relation.schema r) (Relation.schema p)
+
+(* R ⋈_θ P by nested loops — the executable definition. *)
+let equijoin_nested r p (theta : predicate) =
+  check_predicate r p theta;
+  let out = ref [] in
+  Relation.iter
+    (fun tr ->
+      Relation.iter
+        (fun tp -> if matches theta tr tp then out := Tuple.concat tr tp :: !out)
+        p)
+    r;
+  Relation.create
+    ~name:(Relation.name r ^ "_join_" ^ Relation.name p)
+    ~schema:(product_schema r p)
+    (Array.of_list (List.rev !out))
+
+(* R ⋈_θ P with a hash index on P's join columns. *)
+let equijoin r p (theta : predicate) =
+  check_predicate r p theta;
+  if theta = [] then equijoin_nested r p theta
+  else begin
+    let right_cols = List.map snd theta in
+    let left_cols = List.map fst theta in
+    let idx = Index.build p ~columns:right_cols in
+    let out = ref [] in
+    Relation.iter
+      (fun tr ->
+        List.iter
+          (fun j -> out := Tuple.concat tr (Relation.row p j) :: !out)
+          (Index.probe idx ~probe_columns:left_cols tr))
+      r;
+    Relation.create
+      ~name:(Relation.name r ^ "_join_" ^ Relation.name p)
+      ~schema:(product_schema r p)
+      (Array.of_list (List.rev !out))
+  end
+
+(* R ⋉_θ P = Π_attrs(R)(R ⋈_θ P), duplicate-free over R's rows. *)
+let semijoin r p (theta : predicate) =
+  check_predicate r p theta;
+  let keep =
+    if theta = [] then fun _ -> not (Relation.is_empty p)
+    else begin
+      let right_cols = List.map snd theta in
+      let left_cols = List.map fst theta in
+      let idx = Index.build p ~columns:right_cols in
+      fun tr -> Index.probe idx ~probe_columns:left_cols tr <> []
+    end
+  in
+  Relation.with_rows r
+    (Array.of_list (List.filter keep (Relation.to_list r)))
+
+let semijoin_nested r p (theta : predicate) =
+  check_predicate r p theta;
+  Relation.with_rows r
+    (Array.of_list
+       (List.filter
+          (fun tr -> Relation.fold (fun acc tp -> acc || matches theta tr tp) false p)
+          (Relation.to_list r)))
+
+(* Anti-join: rows of R with no θ-partner in P. *)
+let antijoin r p (theta : predicate) =
+  let selected = Relation.tuple_set (semijoin r p theta) in
+  Relation.with_rows r
+    (Array.of_list
+       (List.filter
+          (fun tr -> not (Relation.Tuple_set.mem tr selected))
+          (Relation.to_list r)))
+
+(* Resolve a predicate given by column names. *)
+let predicate_of_names r p pairs : predicate =
+  List.map
+    (fun (a, b) ->
+      ( Schema.index_of_exn (Relation.schema r) a,
+        Schema.index_of_exn (Relation.schema p) b ))
+    pairs
+
+let pp_predicate r p ppf (theta : predicate) =
+  let pp_pair ppf (i, j) =
+    Fmt.pf ppf "%s.%s=%s.%s" (Relation.name r)
+      (Schema.name_at (Relation.schema r) i)
+      (Relation.name p)
+      (Schema.name_at (Relation.schema p) j)
+  in
+  if theta = [] then Fmt.string ppf "∅"
+  else Fmt.pf ppf "%a" (Fmt.list ~sep:(Fmt.any " ∧ ") pp_pair) theta

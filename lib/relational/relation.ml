@@ -1,0 +1,69 @@
+(* A relation instance: a name, a schema and an array of rows.
+
+   Rows are stored in insertion order; set semantics, when an operator needs
+   them, are applied explicitly ([distinct]).  The inference engine treats
+   R and P as arrays so that a tuple of the Cartesian product is addressed
+   by a pair of row indexes. *)
+
+type t = { name : string; schema : Schema.t; rows : Tuple.t array }
+
+let create ~name ~schema rows =
+  let arity = Schema.arity schema in
+  Array.iter
+    (fun r ->
+      if Tuple.arity r <> arity then
+        invalid_arg
+          (Printf.sprintf "Relation %s: row arity %d, schema arity %d" name
+             (Tuple.arity r) arity))
+    rows;
+  { name; schema; rows }
+
+let of_list ~name ~schema rows = create ~name ~schema (Array.of_list rows)
+
+let name t = t.name
+let schema t = t.schema
+let rows t = t.rows
+let cardinality t = Array.length t.rows
+let row t i = t.rows.(i)
+let arity t = Schema.arity t.schema
+let is_empty t = cardinality t = 0
+
+let with_name t name = { t with name }
+let with_rows t rows = create ~name:t.name ~schema:t.schema rows
+
+let fold f acc t = Array.fold_left f acc t.rows
+let iter f t = Array.iter f t.rows
+
+let mem t tup = Array.exists (fun r -> Tuple.equal r tup) t.rows
+
+let to_list t = Array.to_list t.rows
+
+module Tuple_set = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+let tuple_set t = Tuple_set.of_seq (Array.to_seq t.rows)
+
+(* Multiset-insensitive equality: same schema and same set of rows. *)
+let equal_contents a b =
+  Schema.equal a.schema b.schema
+  && Tuple_set.equal (tuple_set a) (tuple_set b)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s%a (%d rows)" t.name Schema.pp t.schema (cardinality t);
+  let shown = min 20 (cardinality t) in
+  for i = 0 to shown - 1 do
+    Fmt.pf ppf "@,  %a" Tuple.pp t.rows.(i)
+  done;
+  if shown < cardinality t then Fmt.pf ppf "@,  ... (%d more)" (cardinality t - shown);
+  Fmt.pf ppf "@]"
+
+let print t =
+  let headers = Schema.names t.schema in
+  let rows =
+    Array.to_list
+      (Array.map (fun r -> List.map Value.to_string (Tuple.to_list r)) t.rows)
+  in
+  print_string (Jqi_util.Ascii_table.render ~headers rows)

@@ -1,0 +1,36 @@
+(** Relation instances: a name, a schema, and rows in insertion order.
+    Set semantics are applied explicitly by [Algebra.distinct]. *)
+
+type t
+
+(** Raises [Invalid_argument] when a row's arity differs from the
+    schema's. *)
+val create : name:string -> schema:Schema.t -> Tuple.t array -> t
+
+val of_list : name:string -> schema:Schema.t -> Tuple.t list -> t
+val name : t -> string
+val schema : t -> Schema.t
+val rows : t -> Tuple.t array
+val cardinality : t -> int
+val row : t -> int -> Tuple.t
+val arity : t -> int
+val is_empty : t -> bool
+val with_name : t -> string -> t
+val with_rows : t -> Tuple.t array -> t
+val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val mem : t -> Tuple.t -> bool
+val to_list : t -> Tuple.t list
+
+module Tuple_set : Set.S with type elt = Tuple.t
+
+val tuple_set : t -> Tuple_set.t
+
+(** Same schema and same *set* of rows (order- and duplicate-
+    insensitive). *)
+val equal_contents : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Print as an ASCII table on stdout. *)
+val print : t -> unit

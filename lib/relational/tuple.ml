@@ -1,0 +1,49 @@
+(* Tuples are immutable-by-convention value arrays, positionally matched to a
+   schema.  They deliberately do not carry their schema: the Cartesian
+   product of the inference engine manipulates millions of tuples and the
+   schema is shared context. *)
+
+type t = Value.t array
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let arity = Array.length
+let get (t : t) i = t.(i)
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  &&
+  let rec go i =
+    i >= Array.length a
+    || (Value.compare a.(i) b.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let c = Stdlib.compare la lb in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let hash (t : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let concat (a : t) (b : t) : t = Array.append a b
+
+let project (t : t) idxs : t = Array.of_list (List.map (fun i -> t.(i)) idxs)
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ", ") Value.pp) t
+
+let to_string t = Fmt.str "%a" pp t
+
+(* Convenience constructors for tests and generators. *)
+let ints l : t = of_list (List.map (fun i -> Value.Int i) l)
+let strs l : t = of_list (List.map (fun s -> Value.Str s) l)

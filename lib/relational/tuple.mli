@@ -1,0 +1,25 @@
+(** Tuples: immutable-by-convention value arrays, positionally matched to
+    a schema (not carried, for compactness at Cartesian-product scale). *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val arity : t -> int
+val get : t -> int -> Value.t
+
+(** Structural equality via [Value.compare] (NULL cells are equal as
+    cells, though they never join). *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+val hash : t -> int
+val concat : t -> t -> t
+val project : t -> int list -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** All-int and all-string constructors for tests and generators. *)
+val ints : int list -> t
+
+val strs : string list -> t

@@ -1,0 +1,103 @@
+(* Typed cell values.
+
+   Equality is SQL-like: NULL compares unequal to everything including
+   itself.  This is the equality used to build the most specific join
+   predicate T(t) = {(Ai,Bj) | tR[Ai] = tP[Bj]}, and it is what the ⊥ values
+   of the Appendix A.1 reduction rely on (⊥ must never produce a match).
+   Numeric values of different types never compare equal either: the paper's
+   setting is untyped value equality within a column type, and keeping Int
+   and Float apart avoids float-rounding artifacts in T. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty = TBool | TInt | TFloat | TString
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some TBool
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Str _ -> Some TString
+
+let ty_name = function
+  | TBool -> "bool"
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TString -> "string"
+
+(* Join equality: NULL never matches. *)
+let eq a b =
+  match (a, b) with
+  | Null, _ | _, Null -> false
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Str x, Str y -> String.equal x y
+  | _ -> false
+
+(* Total order for sorting and map keys; NULLs sort first and are equal to
+   each other *in this order only* (not under [eq]). *)
+let compare a b =
+  let rank = function
+    | Null -> 0
+    | Bool _ -> 1
+    | Int _ -> 2
+    | Float _ -> 3
+    | Str _ -> 4
+  in
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Str x, Str y -> String.compare x y
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let hash = function
+  | Null -> 0
+  | Bool b -> if b then 3 else 5
+  | Int i -> i * 2654435761
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+let is_null = function Null -> true | _ -> false
+
+let to_string = function
+  | Null -> ""
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let pp ppf v =
+  match v with
+  | Null -> Fmt.string ppf "NULL"
+  | Str s -> Fmt.pf ppf "%S" s
+  | v -> Fmt.string ppf (to_string v)
+
+(* Parse a raw CSV cell under a target type; empty cells are NULL. *)
+let parse ty s =
+  if String.length s = 0 then Some Null
+  else
+    match ty with
+    | TBool -> (
+        match String.lowercase_ascii s with
+        | "true" | "t" | "1" | "yes" -> Some (Bool true)
+        | "false" | "f" | "0" | "no" -> Some (Bool false)
+        | _ -> None)
+    | TInt -> int_of_string_opt s |> Option.map (fun i -> Int i)
+    | TFloat -> float_of_string_opt s |> Option.map (fun f -> Float f)
+    | TString -> Some (Str s)
+
+(* Guess the narrowest type able to represent every sample cell. *)
+let infer_ty cells =
+  let can ty = List.for_all (fun c -> parse ty c <> None) cells in
+  if can TInt then TInt
+  else if can TFloat then TFloat
+  else if can TBool then TBool
+  else TString

@@ -1,0 +1,42 @@
+(** Typed cell values with SQL-style NULL.
+
+    Join equality ([eq]) is what builds T-signatures: NULL never matches
+    anything (including NULL), and values of different types never match.
+    Sorting and map keys use the separate total order [compare], under
+    which NULLs are equal and sort first. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty = TBool | TInt | TFloat | TString
+
+(** [None] for NULL. *)
+val type_of : t -> ty option
+
+val ty_name : ty -> string
+
+(** Join equality: NULL ≠ everything; no cross-type coercion. *)
+val eq : t -> t -> bool
+
+(** Total order for sorting and keys (distinct from [eq] on NULLs). *)
+val compare : t -> t -> int
+
+val hash : t -> int
+val is_null : t -> bool
+
+(** CSV cell rendering; NULL prints as the empty string. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Parse a raw cell under a target type; the empty string is NULL;
+    [None] on malformed input. *)
+val parse : ty -> string -> t option
+
+(** Narrowest type able to represent all sample cells
+    (int ⊏ float ⊏ bool ⊏ string, in trial order). *)
+val infer_ty : string list -> ty

@@ -1,0 +1,22 @@
+(* Exhaustive SAT checking — the reference oracle for the DPLL solver in
+   tests.  Exponential in the variable count; refuses more than 22
+   variables. *)
+
+let max_vars = 22
+
+let all_models cnf =
+  let n = Cnf.nvars cnf in
+  if n > max_vars then invalid_arg "Sat.Brute: too many variables";
+  let models = ref [] in
+  let assignment = Array.make (n + 1) false in
+  for mask = 0 to (1 lsl n) - 1 do
+    for v = 1 to n do
+      assignment.(v) <- (mask lsr (v - 1)) land 1 = 1
+    done;
+    if Cnf.satisfied cnf assignment then models := Array.copy assignment :: !models
+  done;
+  List.rev !models
+
+let is_sat cnf = all_models cnf <> []
+
+let count_models cnf = List.length (all_models cnf)

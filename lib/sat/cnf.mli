@@ -1,0 +1,24 @@
+(** CNF formulas in DIMACS-style integer encoding: a literal is a non-zero
+    int ([v] positive, [-v] negated); variables are numbered from 1. *)
+
+type clause = int array
+type t
+
+(** Raises [Invalid_argument] on literals out of [1..nvars]. *)
+val create : nvars:int -> clause list -> t
+
+val nvars : t -> int
+val clauses : t -> clause list
+val n_clauses : t -> int
+val var_of_lit : int -> int
+val is_pos : int -> bool
+
+(** Deduplicate literals; drop tautological clauses (x ∨ ¬x). *)
+val simplify : t -> t
+
+(** [lit_true a l] under total assignment [a] (index 0 unused). *)
+val lit_true : bool array -> int -> bool
+
+val clause_satisfied : bool array -> clause -> bool
+val satisfied : t -> bool array -> bool
+val pp : Format.formatter -> t -> unit

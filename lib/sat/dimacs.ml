@@ -1,0 +1,60 @@
+(* DIMACS CNF reading and writing, for interoperability with external SAT
+   tooling and for persisting the instances the semijoin reduction
+   produces. *)
+
+let to_string cnf =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" (Cnf.nvars cnf) (Cnf.n_clauses cnf));
+  List.iter
+    (fun c ->
+      Array.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    (Cnf.clauses cnf);
+  Buffer.contents buf
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let nvars = ref (-1) in
+  let clauses = ref [] in
+  let pending = ref [] in
+  let feed_token tok =
+    match int_of_string_opt tok with
+    | None -> invalid_arg (Printf.sprintf "Dimacs: bad token %S" tok)
+    | Some 0 ->
+        clauses := Array.of_list (List.rev !pending) :: !clauses;
+        pending := []
+    | Some l -> pending := l :: !pending
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; _nc ] -> nvars := int_of_string nv
+        | _ -> invalid_arg "Dimacs: malformed problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter feed_token)
+    lines;
+  if !pending <> [] then
+    clauses := Array.of_list (List.rev !pending) :: !clauses;
+  if !nvars < 0 then invalid_arg "Dimacs: missing problem line";
+  Cnf.create ~nvars:!nvars (List.rev !clauses)
+
+let write_file path cnf =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string cnf))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse_string (really_input_string ic n))

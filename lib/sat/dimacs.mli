@@ -1,0 +1,9 @@
+(** DIMACS CNF reading and writing. *)
+
+val to_string : Cnf.t -> string
+
+(** Raises [Invalid_argument] on malformed input. *)
+val parse_string : string -> Cnf.t
+
+val write_file : string -> Cnf.t -> unit
+val read_file : string -> Cnf.t

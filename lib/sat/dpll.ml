@@ -1,0 +1,203 @@
+(* A DPLL SAT solver with two-watched-literal unit propagation.
+
+   Semijoin consistency checking (§6) is NP-complete; the library decides
+   it by encoding into SAT and solving here.  The solver is a classic
+   iterative DPLL: watched literals make propagation cheap, decisions pick
+   the most frequent unassigned variable, and backtracking is chronological
+   with polarity flipping.  That is ample for the instance sizes the
+   reduction produces, while staying small enough to audit. *)
+
+type result = Sat of bool array  (* index 0 unused *) | Unsat
+
+type solver = {
+  nvars : int;
+  clauses : int array array;
+  (* watches.(lit_idx) = clauses currently watching that literal. *)
+  watches : int list array;
+  (* 0 unassigned / 1 true / 2 false *)
+  assign : int array;
+  trail : int Stack.t;         (* literals in assignment order *)
+  mutable trail_lim : int list;  (* trail sizes at decision points *)
+  occurrences : int array;     (* static decision heuristic *)
+  mutable propagation_queue : int list;
+}
+
+let lit_idx l = if l > 0 then 2 * l else (2 * -l) + 1
+
+let lit_value s l =
+  let v = s.assign.(abs l) in
+  if v = 0 then 0
+  else
+    let truth = if l > 0 then v = 1 else v = 2 in
+    if truth then 1 else 2
+
+let init cnf =
+  let cnf = Cnf.simplify cnf in
+  let nvars = Cnf.nvars cnf in
+  let clauses = Array.of_list (Cnf.clauses cnf) in
+  let s =
+    {
+      nvars;
+      clauses;
+      watches = Array.make ((2 * nvars) + 2) [];
+      assign = Array.make (nvars + 1) 0;
+      trail = Stack.create ();
+      trail_lim = [];
+      occurrences = Array.make (nvars + 1) 0;
+      propagation_queue = [];
+    }
+  in
+  Array.iter
+    (fun c ->
+      Array.iter (fun l -> s.occurrences.(abs l) <- s.occurrences.(abs l) + 1) c)
+    clauses;
+  s
+
+exception Empty_clause
+
+(* Watch the first two literals of every clause; collect unit clauses for
+   the caller to enqueue (they must go through [enqueue] so the assignment
+   is recorded). *)
+let attach_watches s =
+  let units = ref [] in
+  Array.iteri
+    (fun ci c ->
+      match Array.length c with
+      | 0 -> raise Empty_clause
+      | 1 -> units := c.(0) :: !units
+      | _ ->
+          s.watches.(lit_idx c.(0)) <- ci :: s.watches.(lit_idx c.(0));
+          s.watches.(lit_idx c.(1)) <- ci :: s.watches.(lit_idx c.(1)))
+    s.clauses;
+  !units
+
+let enqueue s l =
+  match lit_value s l with
+  | 1 -> true (* already satisfied *)
+  | 2 -> false (* conflict *)
+  | _ ->
+      s.assign.(abs l) <- (if l > 0 then 1 else 2);
+      Stack.push l s.trail;
+      s.propagation_queue <- l :: s.propagation_queue;
+      true
+
+(* Propagate all queued assignments; false on conflict. *)
+let rec propagate s =
+  match s.propagation_queue with
+  | [] -> true
+  | l :: rest ->
+      s.propagation_queue <- rest;
+      (* Clauses watching ¬l may have lost their watched literal. *)
+      let falsified = -l in
+      let watching = s.watches.(lit_idx falsified) in
+      s.watches.(lit_idx falsified) <- [];
+      let conflict = ref false in
+      let keep = ref [] in
+      List.iter
+        (fun ci ->
+          if !conflict then keep := ci :: !keep
+          else begin
+            let c = s.clauses.(ci) in
+            (* Ensure the falsified literal sits at position 1. *)
+            if c.(0) = falsified then begin
+              c.(0) <- c.(1);
+              c.(1) <- falsified
+            end;
+            if lit_value s c.(0) = 1 then
+              (* Clause satisfied; keep watching. *)
+              keep := ci :: !keep
+            else begin
+              (* Find a new literal to watch. *)
+              let n = Array.length c in
+              let rec find i = if i >= n then None
+                else if lit_value s c.(i) <> 2 then Some i
+                else find (i + 1)
+              in
+              match find 2 with
+              | Some i ->
+                  c.(1) <- c.(i);
+                  c.(i) <- falsified;
+                  s.watches.(lit_idx c.(1)) <- ci :: s.watches.(lit_idx c.(1))
+              | None ->
+                  (* Unit or conflicting. *)
+                  keep := ci :: !keep;
+                  if not (enqueue s c.(0)) then conflict := true
+            end
+          end)
+        watching;
+      s.watches.(lit_idx falsified) <-
+        List.rev_append !keep s.watches.(lit_idx falsified);
+      if !conflict then begin
+        s.propagation_queue <- [];
+        false
+      end
+      else propagate s
+
+let decide_var s =
+  let best = ref 0 and best_occ = ref (-1) in
+  for v = 1 to s.nvars do
+    if s.assign.(v) = 0 && s.occurrences.(v) > !best_occ then begin
+      best := v;
+      best_occ := s.occurrences.(v)
+    end
+  done;
+  !best
+
+(* Undo the trail back to the last decision; return that decision literal. *)
+let backtrack s =
+  match s.trail_lim with
+  | [] -> None
+  | lim :: rest ->
+      s.trail_lim <- rest;
+      let decision = ref 0 in
+      while Stack.length s.trail > lim do
+        let l = Stack.pop s.trail in
+        s.assign.(abs l) <- 0;
+        decision := l
+      done;
+      s.propagation_queue <- [];
+      Some !decision
+
+let solve cnf =
+  let s = init cnf in
+  match attach_watches s with
+  | exception Empty_clause -> Unsat
+  | units when not (List.for_all (enqueue s) units) -> Unsat
+  | _ ->
+      (* second_branch.(v) = true once both polarities of the decision on v
+         have been explored at its current position in the search tree. *)
+      let second = Array.make (s.nvars + 1) false in
+      let rec search () =
+        if propagate s then begin
+          let v = decide_var s in
+          if v = 0 then begin
+            let model = Array.make (s.nvars + 1) false in
+            for i = 1 to s.nvars do
+              model.(i) <- s.assign.(i) = 1
+            done;
+            Sat model
+          end
+          else begin
+            s.trail_lim <- Stack.length s.trail :: s.trail_lim;
+            second.(v) <- false;
+            ignore (enqueue s v);
+            search ()
+          end
+        end
+        else resolve_conflict ()
+      and resolve_conflict () =
+        match backtrack s with
+        | None -> Unsat
+        | Some decision ->
+            let v = abs decision in
+            if second.(v) then resolve_conflict ()
+            else begin
+              second.(v) <- true;
+              s.trail_lim <- Stack.length s.trail :: s.trail_lim;
+              ignore (enqueue s (-decision));
+              search ()
+            end
+      in
+      search ()
+
+let is_sat cnf = match solve cnf with Sat _ -> true | Unsat -> false

@@ -1,0 +1,10 @@
+(** DPLL SAT solver with two-watched-literal unit propagation,
+    most-occurrences decision heuristic, and chronological backtracking.
+    Decides the NP-complete CONS⋉ instances of §6. *)
+
+type result =
+  | Sat of bool array  (** model; index 0 unused *)
+  | Unsat
+
+val solve : Cnf.t -> result
+val is_sat : Cnf.t -> bool

@@ -1,0 +1,82 @@
+(* Propositional formulas and the Tseitin transform to CNF.
+
+   The semijoin consistency encoder produces And/Or trees ("some tuple of P
+   witnesses this positive example"); Tseitin turns them into equisatisfiable
+   CNF with one auxiliary variable per internal node. *)
+
+type t =
+  | True
+  | False
+  | Var of int  (* >= 1 *)
+  | Not of t
+  | And of t list
+  | Or of t list
+
+let var v =
+  if v < 1 then invalid_arg "Formula.var: variables start at 1";
+  Var v
+
+let neg f = Not f
+let conj fs = And fs
+let disj fs = Or fs
+
+let rec eval assignment = function
+  | True -> true
+  | False -> false
+  | Var v -> assignment.(v)
+  | Not f -> not (eval assignment f)
+  | And fs -> List.for_all (eval assignment) fs
+  | Or fs -> List.exists (eval assignment) fs
+
+let rec max_var = function
+  | True | False -> 0
+  | Var v -> v
+  | Not f -> max_var f
+  | And fs | Or fs -> List.fold_left (fun m f -> max m (max_var f)) 0 fs
+
+(* Tseitin transform.  Returns a CNF equisatisfiable with [f]; models of
+   the CNF restricted to the original variables are models of [f].
+   [min_vars] forces at least that many variables to exist in the CNF even
+   if [f] never mentions them (callers that decode fixed-width models rely
+   on it). *)
+let to_cnf ?(min_vars = 0) f =
+  let next = ref (max (max_var f) min_vars + 1) in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let clauses = ref [] in
+  let emit c = clauses := Array.of_list c :: !clauses in
+  (* Returns a literal equivalent to the subformula (in the implication
+     direction needed for satisfiability: aux → subformula and
+     subformula → aux). *)
+  let rec lit = function
+    | True ->
+        let v = fresh () in
+        emit [ v ];
+        v
+    | False ->
+        let v = fresh () in
+        emit [ -v ];
+        v
+    | Var v -> v
+    | Not f -> -(lit f)
+    | And fs ->
+        let ls = List.map lit fs in
+        let v = fresh () in
+        (* v → each l;  all l → v *)
+        List.iter (fun l -> emit [ -v; l ]) ls;
+        emit (v :: List.map (fun l -> -l) ls);
+        v
+    | Or fs ->
+        let ls = List.map lit fs in
+        let v = fresh () in
+        (* v → some l;  each l → v *)
+        emit (-v :: ls);
+        List.iter (fun l -> emit [ -l; v ]) ls;
+        v
+  in
+  let root = lit f in
+  emit [ root ];
+  Cnf.create ~nvars:(!next - 1) (List.rev !clauses)

@@ -1,0 +1,73 @@
+(* 3SAT instances: the source language of the Appendix A.1 reduction.
+
+   A literal is (variable, polarity); a clause has exactly three literals
+   over distinct variables.  [random] draws uniform instances (the classic
+   fixed-clause-length model), used to exercise the reduction and to
+   cross-validate the DPLL solver. *)
+
+module Prng = Jqi_util.Prng
+
+type literal = { var : int; pos : bool }  (* var in 1..n *)
+type clause = literal * literal * literal
+type t = { nvars : int; clauses : clause list }
+
+let create ~nvars clauses =
+  List.iter
+    (fun (a, b, c) ->
+      List.iter
+        (fun l ->
+          if l.var < 1 || l.var > nvars then
+            invalid_arg "Threesat: variable out of range")
+        [ a; b; c ];
+      if a.var = b.var || a.var = c.var || b.var = c.var then
+        invalid_arg "Threesat: clause variables must be distinct")
+    clauses;
+  { nvars; clauses }
+
+let nvars t = t.nvars
+let clauses t = t.clauses
+
+let to_cnf t =
+  let lit l = if l.pos then l.var else -l.var in
+  Cnf.create ~nvars:t.nvars
+    (List.map (fun (a, b, c) -> [| lit a; lit b; lit c |]) t.clauses)
+
+let eval assignment t =
+  let lit l = if l.pos then assignment.(l.var) else not assignment.(l.var) in
+  List.for_all (fun (a, b, c) -> lit a || lit b || lit c) t.clauses
+
+(* Uniform random instance with [nclauses] clauses over [nvars] >= 3
+   variables. *)
+let random prng ~nvars ~nclauses =
+  if nvars < 3 then invalid_arg "Threesat.random: need at least 3 variables";
+  let clause () =
+    let v1 = 1 + Prng.int prng nvars in
+    let rec draw_distinct excluded =
+      let v = 1 + Prng.int prng nvars in
+      if List.mem v excluded then draw_distinct excluded else v
+    in
+    let v2 = draw_distinct [ v1 ] in
+    let v3 = draw_distinct [ v1; v2 ] in
+    let lit v = { var = v; pos = Prng.bool prng } in
+    (lit v1, lit v2, lit v3)
+  in
+  create ~nvars (List.init nclauses (fun _ -> clause ()))
+
+(* The paper's example formula
+   φ0 = (x1 ∨ x2 ∨ ¬x3) ∧ (¬x1 ∨ x3 ∨ x4)
+   — the literal signs are chosen to match the Pϕ0 instance printed in
+   Appendix A.1 (B^f_3 = ⊥ in tP,13 means x3 appears negatively in c1;
+   B^t_1 = ⊥ in tP,21 means x1 appears negatively in c2, etc.). *)
+let phi0 =
+  create ~nvars:4
+    [
+      ( { var = 1; pos = true }, { var = 2; pos = true }, { var = 3; pos = false } );
+      ( { var = 1; pos = false }, { var = 3; pos = true }, { var = 4; pos = true } );
+    ]
+
+let pp ppf t =
+  let pp_lit ppf l = Fmt.pf ppf "%sx%d" (if l.pos then "" else "¬") l.var in
+  Fmt.pf ppf "%a"
+    (Fmt.list ~sep:(Fmt.any " ∧ ") (fun ppf (a, b, c) ->
+         Fmt.pf ppf "(%a ∨ %a ∨ %a)" pp_lit a pp_lit b pp_lit c))
+    t.clauses

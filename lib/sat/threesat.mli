@@ -1,0 +1,23 @@
+(** 3SAT instances — the source language of the Appendix A.1 reduction. *)
+
+type literal = { var : int;  (** 1-based *) pos : bool }
+type clause = literal * literal * literal
+type t
+
+(** Raises [Invalid_argument] on out-of-range or repeated clause
+    variables. *)
+val create : nvars:int -> clause list -> t
+
+val nvars : t -> int
+val clauses : t -> clause list
+val to_cnf : t -> Cnf.t
+val eval : bool array -> t -> bool
+
+(** Uniform fixed-clause-length random instance; needs [nvars >= 3]. *)
+val random : Jqi_util.Prng.t -> nvars:int -> nclauses:int -> t
+
+(** The paper's running example
+    φ0 = (x1 ∨ x2 ∨ ¬x3) ∧ (¬x1 ∨ x3 ∨ x4). *)
+val phi0 : t
+
+val pp : Format.formatter -> t -> unit

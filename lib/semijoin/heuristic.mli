@@ -1,0 +1,23 @@
+(** Interactive semijoin inference (§7 future work), using the SAT-backed
+    consistency checker as an NP oracle: a row of R is certain when one of
+    its labels would make the sample inconsistent; only informative rows
+    are asked, in decreasing witness ambiguity. *)
+
+type result = {
+  predicate : Jqi_util.Bits.t;  (** a predicate consistent with the answers *)
+  n_queries : int;
+  asked : (int * bool) list;  (** (row of R, label), chronological *)
+  implied : int list;  (** rows skipped because certain *)
+}
+
+(** Raises [Invalid_argument] if the oracle labels inconsistently (cannot
+    happen for an oracle consistent with some goal predicate). *)
+val run :
+  ?max_queries:int ->
+  Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> Jqi_core.Omega.t ->
+  oracle:(int -> bool) -> result
+
+(** Labels row i positive iff i ∈ R ⋉_goal P. *)
+val honest_oracle :
+  Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> Jqi_core.Omega.t ->
+  goal:Jqi_util.Bits.t -> int -> bool

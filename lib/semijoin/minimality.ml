@@ -1,0 +1,69 @@
+(* Minimality of semijoin predicates under positive-only samples — the
+   paper's §7 "early attempt": deciding it is coNP-complete, and whether
+   the minimal predicate is unique was open.
+
+   Here minimality is of the *selected set*: θ is minimal for a
+   positive-only sample S+ iff θ selects all of S+ and no predicate
+   selects all of S+ while selecting a strictly smaller subset of R.
+   The decision procedure enumerates PP(Ω) (exponential, matching the
+   coNP-hardness; guarded by a width limit), which also lets the library
+   answer the open uniqueness question *per instance*: [minimal_results]
+   returns all minimal selected sets, so callers can observe instances
+   with several incomparable minima. *)
+
+module Bits = Jqi_util.Bits
+module Relation = Jqi_relational.Relation
+module Omega = Jqi_core.Omega
+
+module Int_set = Set.Make (Int)
+
+let max_width = 20
+
+let selected_set r p omega theta =
+  Int_set.of_list
+    (List.filter
+       (Semijoin.selects r p omega theta)
+       (List.init (Relation.cardinality r) Fun.id))
+
+(* All predicates selecting every positive row, as (θ, selected set). *)
+let consistent_with_positives r p omega ~pos =
+  if Omega.width omega > max_width then
+    invalid_arg "Minimality: Ω too large for enumeration";
+  let pos_set = Int_set.of_list pos in
+  List.filter_map
+    (fun theta ->
+      let sel = selected_set r p omega theta in
+      if Int_set.subset pos_set sel then Some (theta, sel) else None)
+    (Omega.all_predicates omega)
+
+(* Is θ's selected set minimal among predicates selecting all of [pos]? *)
+let is_minimal r p omega ~pos theta =
+  let pos_set = Int_set.of_list pos in
+  let sel = selected_set r p omega theta in
+  Int_set.subset pos_set sel
+  && not
+       (List.exists
+          (fun (_, sel') -> Int_set.subset sel' sel && not (Int_set.equal sel' sel))
+          (consistent_with_positives r p omega ~pos))
+
+(* The distinct minimal selected sets (each with one witness predicate).
+   A singleton answer means the minimal semijoin result is unique on this
+   instance; several elements exhibit non-uniqueness. *)
+let minimal_results r p omega ~pos =
+  let candidates = consistent_with_positives r p omega ~pos in
+  let minimal =
+    List.filter
+      (fun (_, sel) ->
+        not
+          (List.exists
+             (fun (_, sel') ->
+               Int_set.subset sel' sel && not (Int_set.equal sel' sel))
+             candidates))
+      candidates
+  in
+  (* Group by selected set, keep one witness each. *)
+  List.fold_left
+    (fun acc (theta, sel) ->
+      if List.exists (fun (_, s) -> Int_set.equal s sel) acc then acc
+      else (theta, sel) :: acc)
+    [] minimal

@@ -1,0 +1,127 @@
+(* The 3SAT → CONS⋉ reduction of Appendix A.1.
+
+   Given φ = c_1 ∧ … ∧ c_k over variables x_1 … x_n, builds (Rφ, Pφ, Sφ)
+   such that φ is satisfiable iff there is a semijoin predicate consistent
+   with Sφ.  The ⊥ values of the construction are represented by NULL,
+   which never matches under [Value.eq].  Used to validate Theorem 6.1
+   empirically: a SAT solver on φ and the CONS⋉ decision procedure on the
+   reduction must always agree. *)
+
+module Value = Jqi_relational.Value
+module Schema = Jqi_relational.Schema
+module Tuple = Jqi_relational.Tuple
+module Relation = Jqi_relational.Relation
+module Omega = Jqi_core.Omega
+module Threesat = Jqi_sat.Threesat
+module Bits = Jqi_util.Bits
+
+type t = {
+  r : Relation.t;
+  p : Relation.t;
+  omega : Omega.t;
+  sample : Semijoin.sample;
+  nvars : int;
+}
+
+let clause_marker i = Value.Str (Printf.sprintf "c%d+" i)
+let var_marker i = Value.Str (Printf.sprintf "x%d*" i)
+
+let build phi =
+  let n = Threesat.nvars phi in
+  let clauses = Threesat.clauses phi in
+  let k = List.length clauses in
+  (* Rφ: idR, A1 … An. *)
+  let r_schema =
+    Schema.of_columns
+      (Schema.column "idR" Value.TString
+      :: List.init n (fun j ->
+             Schema.column (Printf.sprintf "A%d" (j + 1)) Value.TInt))
+  in
+  let body = List.init n (fun j -> Value.Int (j + 1)) in
+  let r_rows =
+    List.init k (fun i -> Tuple.of_list (clause_marker (i + 1) :: body))
+    @ [ Tuple.of_list (Value.Str "X" :: body) ]
+    @ List.init n (fun i -> Tuple.of_list (var_marker (i + 1) :: body))
+  in
+  let r = Relation.of_list ~name:"Rphi" ~schema:r_schema r_rows in
+  (* Pφ: idP, B^t_1, B^f_1, …, B^t_n, B^f_n. *)
+  let p_schema =
+    Schema.of_columns
+      (Schema.column "idP" Value.TString
+      :: List.concat_map
+           (fun j ->
+             [
+               Schema.column (Printf.sprintf "Bt%d" (j + 1)) Value.TInt;
+               Schema.column (Printf.sprintf "Bf%d" (j + 1)) Value.TInt;
+             ])
+           (List.init n Fun.id))
+  in
+  (* One row per (clause, literal): the valuation "literal true" must not
+     falsify the clause; the literal's own column pair encodes its
+     polarity, all other variables keep both polarities. *)
+  let clause_rows =
+    List.concat
+      (List.mapi
+         (fun i (a, b, c) ->
+           List.map
+             (fun (l : Threesat.literal) ->
+               let cells =
+                 List.concat_map
+                   (fun j ->
+                     let j = j + 1 in
+                     if j <> l.var then [ Value.Int j; Value.Int j ]
+                     else if l.pos then [ Value.Int j; Value.Null ]
+                     else [ Value.Null; Value.Int j ])
+                   (List.init n Fun.id)
+               in
+               Tuple.of_list (clause_marker (i + 1) :: cells))
+             [ a; b; c ])
+         clauses)
+  in
+  let y_row =
+    Tuple.of_list
+      (Value.Str "Y"
+      :: List.concat_map
+           (fun j -> [ Value.Int (j + 1); Value.Int (j + 1) ])
+           (List.init n Fun.id))
+  in
+  let var_rows =
+    List.init n (fun i ->
+        let cells =
+          List.concat_map
+            (fun j ->
+              let j = j + 1 in
+              if j = i + 1 then [ Value.Null; Value.Null ]
+              else [ Value.Int j; Value.Int j ])
+            (List.init n Fun.id)
+        in
+        Tuple.of_list (var_marker (i + 1) :: cells))
+  in
+  let p =
+    Relation.of_list ~name:"Pphi" ~schema:p_schema
+      (clause_rows @ [ y_row ] @ var_rows)
+  in
+  let sample =
+    Semijoin.sample
+      ~pos:(List.init k Fun.id)
+      ~neg:(List.init (n + 1) (fun i -> k + i))
+  in
+  {
+    r;
+    p;
+    omega = Omega.of_schemas r_schema p_schema;
+    sample;
+    nvars = n;
+  }
+
+(* Decode a consistent predicate back into a valuation of φ: x_i is true
+   iff (A_i, B^t_i) ∈ θ.  (The proof shows θ contains at least one of
+   (A_i, B^t_i) / (A_i, B^f_i) for each i; when both occur the positive
+   choice is as good as any: both polarities not falsifying any clause
+   means x_i's value is irrelevant.) *)
+let valuation_of_predicate t theta =
+  Array.init (t.nvars + 1) (fun i ->
+      if i = 0 then false
+      else
+        let col_bt = 1 + (2 * (i - 1)) in
+        Bits.mem theta (Omega.index t.omega i col_bt))

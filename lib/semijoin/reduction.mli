@@ -1,0 +1,18 @@
+(** The 3SAT → CONS⋉ reduction of Appendix A.1: φ is satisfiable iff the
+    constructed (Rφ, Pφ, Sφ) admits a consistent semijoin predicate.  The
+    construction's ⊥ values are NULLs (never matching). *)
+
+type t = {
+  r : Jqi_relational.Relation.t;
+  p : Jqi_relational.Relation.t;
+  omega : Jqi_core.Omega.t;
+  sample : Semijoin.sample;
+  nvars : int;
+}
+
+val build : Jqi_sat.Threesat.t -> t
+
+(** Decode a consistent predicate into a valuation (x_i is true iff
+    (A_i, B^t_i) ∈ θ); index 0 unused.  Satisfies φ whenever θ is
+    consistent with the reduction's sample. *)
+val valuation_of_predicate : t -> Jqi_util.Bits.t -> bool array

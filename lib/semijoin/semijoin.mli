@@ -1,0 +1,22 @@
+(** Semijoin queries R ⋉_θ P and their samples (§6).  Examples label rows
+    of R: t is positive iff some row of P joins with it under θ. *)
+
+type sample = { pos : int list; neg : int list }  (** row indexes into R *)
+
+(** Raises [Invalid_argument] when a row appears on both sides. *)
+val sample : pos:int list -> neg:int list -> sample
+
+(** R ⋉_θ P. *)
+val eval :
+  Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> Jqi_core.Omega.t ->
+  Jqi_util.Bits.t -> Jqi_relational.Relation.t
+
+(** Does θ select row [i] of R?  t ∈ R ⋉_θ P iff ∃t' ∈ P. θ ⊆ T(t,t'). *)
+val selects :
+  Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> Jqi_core.Omega.t ->
+  Jqi_util.Bits.t -> int -> bool
+
+(** θ selects every positive row and no negative row. *)
+val predicate_consistent :
+  Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> Jqi_core.Omega.t ->
+  Jqi_util.Bits.t -> sample -> bool

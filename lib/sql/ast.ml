@@ -1,0 +1,201 @@
+(* Abstract syntax for the SQL subset the engine executes.
+
+   The subset is deliberately the paper's world: SELECT-FROM-WHERE over two
+   or more relations with INNER/SEMI/ANTI/CROSS joins on conjunctions of
+   predicates, plus projection, DISTINCT, ORDER BY and LIMIT.  The
+   inference machinery emits queries in this AST ([of_equijoin]) so that an
+   inferred predicate is immediately executable and printable. *)
+
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Col of string option * string  (* optional qualifier: r.a or a *)
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Null
+  | Binop of binop * expr * expr
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type cond =
+  | Cmp of cmp * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+  | Is_null of expr
+  | Is_not_null of expr
+
+type join_kind = Inner | Semi | Anti | Cross
+
+type source = { table : string; alias : string option }
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type select_item =
+  | Star
+  | Expr of expr * string option  (* AS alias *)
+  | Agg of agg_fn * expr option * string option
+      (* a None argument means the star form of COUNT; others need one *)
+
+type order = Asc | Desc
+
+type query = {
+  distinct : bool;
+  select : select_item list;
+  from : source;
+  joins : (join_kind * source * cond option) list;
+  where : cond option;
+  group_by : expr list;
+  having : cond option;  (* evaluated over the grouped output columns *)
+  order_by : (expr * order) list;
+  limit : int option;
+}
+
+let source ?alias table = { table; alias }
+
+let simple_query ?(distinct = false) ?(joins = []) ?where ?(group_by = [])
+    ?having ?(order_by = []) ?limit ~select ~from () =
+  { distinct; select; from; joins; where; group_by; having; order_by; limit }
+
+(* SELECT * FROM r JOIN p ON pairs — the query shape the paper infers.  An
+   empty pair list degenerates to CROSS JOIN, matching θ = ∅. *)
+let of_equijoin ~r ~p pairs =
+  let on_cond =
+    List.fold_left
+      (fun acc (a, b) ->
+        let eq = Cmp (Eq, Col (Some r, a), Col (Some p, b)) in
+        match acc with None -> Some eq | Some c -> Some (And (c, eq)))
+      None pairs
+  in
+  let kind = if pairs = [] then Cross else Inner in
+  simple_query ~select:[ Star ] ~from:(source r)
+    ~joins:[ (kind, source p, on_cond) ]
+    ()
+
+(* SELECT * FROM r SEMI JOIN p ON pairs — the §6 query shape. *)
+let of_semijoin ~r ~p pairs =
+  let q = of_equijoin ~r ~p pairs in
+  match q.joins with
+  | [ (_, src, cond) ] -> { q with joins = [ (Semi, src, cond) ] }
+  | _ -> assert false
+
+(* ------------------------------ printing --------------------------- *)
+
+(* Keywords must be kept in sync with the lexer (which Ast cannot depend
+   on without a cycle through the printer tests; the list is small and
+   fixed by the grammar). *)
+let keywords =
+  [
+    "select"; "distinct"; "from"; "where"; "join"; "semi"; "anti"; "cross";
+    "inner"; "on"; "and"; "or"; "not"; "as"; "is"; "null"; "order"; "by";
+    "asc"; "desc"; "limit"; "true"; "false"; "group"; "having"; "count";
+    "sum"; "avg"; "min"; "max";
+  ]
+
+let needs_quoting name =
+  name = ""
+  || not
+       (String.for_all
+          (fun c ->
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9')
+            || c = '_')
+          name)
+  || (name.[0] >= '0' && name.[0] <= '9')
+  || List.mem (String.lowercase_ascii name) keywords
+
+let pp_name ppf name =
+  if needs_quoting name then Fmt.pf ppf "\"%s\"" name else Fmt.string ppf name
+
+let binop_symbol = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+(* Binops are always parenthesized, keeping the printed form unambiguous
+   (and the print -> parse -> print cycle a fixpoint). *)
+let rec pp_expr ppf = function
+  | Col (None, c) -> pp_name ppf c
+  | Col (Some q, c) -> Fmt.pf ppf "%a.%a" pp_name q pp_name c
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%g" f
+  | Str s ->
+      Fmt.pf ppf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | Bool b -> Fmt.string ppf (if b then "TRUE" else "FALSE")
+  | Null -> Fmt.string ppf "NULL"
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+
+let cmp_symbol = function
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec pp_cond ppf = function
+  | Cmp (op, a, b) -> Fmt.pf ppf "%a %s %a" pp_expr a (cmp_symbol op) pp_expr b
+  | And (a, b) -> Fmt.pf ppf "%a AND %a" pp_cond_atom a pp_cond_atom b
+  | Or (a, b) -> Fmt.pf ppf "%a OR %a" pp_cond_atom a pp_cond_atom b
+  | Not c -> Fmt.pf ppf "NOT %a" pp_cond_atom c
+  | Is_null e -> Fmt.pf ppf "%a IS NULL" pp_expr e
+  | Is_not_null e -> Fmt.pf ppf "%a IS NOT NULL" pp_expr e
+
+and pp_cond_atom ppf c =
+  match c with
+  | Cmp _ | Is_null _ | Is_not_null _ -> pp_cond ppf c
+  | _ -> Fmt.pf ppf "(%a)" pp_cond c
+
+let pp_source ppf s =
+  match s.alias with
+  | None -> pp_name ppf s.table
+  | Some a -> Fmt.pf ppf "%a AS %a" pp_name s.table pp_name a
+
+let join_keyword = function
+  | Inner -> "JOIN"
+  | Semi -> "SEMI JOIN"
+  | Anti -> "ANTI JOIN"
+  | Cross -> "CROSS JOIN"
+
+let agg_name = function
+  | Count -> "COUNT" | Sum -> "SUM" | Avg -> "AVG" | Min -> "MIN" | Max -> "MAX"
+
+let pp_select_item ppf = function
+  | Star -> Fmt.string ppf "*"
+  | Expr (e, None) -> pp_expr ppf e
+  | Expr (e, Some a) -> Fmt.pf ppf "%a AS %a" pp_expr e pp_name a
+  | Agg (fn, arg, alias) ->
+      Fmt.pf ppf "%s(%a)%a" (agg_name fn)
+        (fun ppf -> function
+          | None -> Fmt.string ppf "*"
+          | Some e -> pp_expr ppf e)
+        arg
+        (fun ppf -> function
+          | None -> ()
+          | Some a -> Fmt.pf ppf " AS %a" pp_name a)
+        alias
+
+let pp_query ppf q =
+  Fmt.pf ppf "SELECT %s%a FROM %a"
+    (if q.distinct then "DISTINCT " else "")
+    (Fmt.list ~sep:(Fmt.any ", ") pp_select_item)
+    q.select pp_source q.from;
+  List.iter
+    (fun (kind, src, cond) ->
+      Fmt.pf ppf " %s %a" (join_keyword kind) pp_source src;
+      match cond with
+      | Some c -> Fmt.pf ppf " ON %a" pp_cond c
+      | None -> ())
+    q.joins;
+  Option.iter (fun c -> Fmt.pf ppf " WHERE %a" pp_cond c) q.where;
+  (match q.group_by with
+  | [] -> ()
+  | gbs ->
+      Fmt.pf ppf " GROUP BY %a" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) gbs);
+  Option.iter (fun c -> Fmt.pf ppf " HAVING %a" pp_cond c) q.having;
+  (match q.order_by with
+  | [] -> ()
+  | obs ->
+      Fmt.pf ppf " ORDER BY %a"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (e, o) ->
+             Fmt.pf ppf "%a%s" pp_expr e
+               (match o with Asc -> "" | Desc -> " DESC")))
+        obs);
+  Option.iter (fun n -> Fmt.pf ppf " LIMIT %d" n) q.limit
+
+let to_string q = Fmt.str "%a" pp_query q

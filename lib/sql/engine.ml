@@ -1,0 +1,595 @@
+(* Query execution against a catalog of in-memory relations.
+
+   The planner is small but honest: INNER joins whose ON condition is a
+   conjunction of column equalities run as hash joins with the residual
+   applied as a filter; everything else falls back to filtered products.
+   NULL comparisons follow [Value.eq] — a NULL never compares equal (or
+   ordered) to anything, matching the inference layer's semantics. *)
+
+module Value = Jqi_relational.Value
+module Schema = Jqi_relational.Schema
+module Tuple = Jqi_relational.Tuple
+module Relation = Jqi_relational.Relation
+module Index = Jqi_relational.Index
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type catalog = (string * Relation.t) list
+
+(* A working table whose columns remember their qualifier (table alias). *)
+type env = {
+  cols : (string * string) array;  (* (qualifier, column name) *)
+  tys : Value.ty array;
+  rows : Tuple.t array;
+}
+
+let lookup_table catalog name =
+  match List.assoc_opt name catalog with
+  | Some rel -> rel
+  | None -> err "unknown table %S" name
+
+let env_of_source catalog (src : Ast.source) =
+  let rel = lookup_table catalog src.table in
+  let qualifier = Option.value ~default:src.table src.alias in
+  let schema = Relation.schema rel in
+  {
+    cols =
+      Array.init (Schema.arity schema) (fun i -> (qualifier, Schema.name_at schema i));
+    tys = Array.init (Schema.arity schema) (fun i -> Schema.ty_at schema i);
+    rows = Relation.rows rel;
+  }
+
+(* Resolve a column reference to its position. *)
+let resolve env (q : string option) name =
+  let matches =
+    List.filter
+      (fun i ->
+        let cq, cn = env.cols.(i) in
+        String.equal cn name
+        && match q with None -> true | Some q -> String.equal cq q)
+      (List.init (Array.length env.cols) Fun.id)
+  in
+  match matches with
+  | [ i ] -> i
+  | [] ->
+      err "unknown column %s%s"
+        (match q with Some q -> q ^ "." | None -> "")
+        name
+  | _ ->
+      err "ambiguous column %s%s (qualify it)"
+        (match q with Some q -> q ^ "." | None -> "")
+        name
+
+(* Arithmetic: NULL propagates; ints stay ints (truncating division, NULL
+   on division by zero); any float operand promotes to float. *)
+let eval_binop op a b =
+  let float_op op a b =
+    match (op : Ast.binop) with
+    | Ast.Add -> a +. b
+    | Ast.Sub -> a -. b
+    | Ast.Mul -> a *. b
+    | Ast.Div -> a /. b
+  in
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> (
+      match op with
+      | Ast.Add -> Value.Int (x + y)
+      | Ast.Sub -> Value.Int (x - y)
+      | Ast.Mul -> Value.Int (x * y)
+      | Ast.Div -> if y = 0 then Value.Null else Value.Int (x / y))
+  | Value.Int x, Value.Float y -> Value.Float (float_op op (float_of_int x) y)
+  | Value.Float x, Value.Int y -> Value.Float (float_op op x (float_of_int y))
+  | Value.Float x, Value.Float y -> Value.Float (float_op op x y)
+  | _ -> err "arithmetic on non-numeric values"
+
+let rec eval_expr env row : Ast.expr -> Value.t = function
+  | Ast.Col (q, name) -> Tuple.get row (resolve env q name)
+  | Ast.Int i -> Value.Int i
+  | Ast.Float f -> Value.Float f
+  | Ast.Str s -> Value.Str s
+  | Ast.Bool b -> Value.Bool b
+  | Ast.Null -> Value.Null
+  | Ast.Binop (op, a, b) ->
+      eval_binop op (eval_expr env row a) (eval_expr env row b)
+
+(* Three-valued logic collapsed to two: comparisons involving NULL are
+   false, as are cross-type comparisons (mirroring Value.eq). *)
+let eval_cmp op a b =
+  match (op : Ast.cmp) with
+  | Ast.Eq -> Value.eq a b
+  | Ast.Ne -> (not (Value.is_null a)) && (not (Value.is_null b)) && not (Value.eq a b)
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      if Value.is_null a || Value.is_null b then false
+      else if Value.type_of a <> Value.type_of b then false
+      else
+        let c = Value.compare a b in
+        (match op with
+        | Ast.Lt -> c < 0
+        | Ast.Le -> c <= 0
+        | Ast.Gt -> c > 0
+        | Ast.Ge -> c >= 0
+        | _ -> assert false)
+
+let rec eval_cond env row : Ast.cond -> bool = function
+  | Ast.Cmp (op, a, b) -> eval_cmp op (eval_expr env row a) (eval_expr env row b)
+  | Ast.And (a, b) -> eval_cond env row a && eval_cond env row b
+  | Ast.Or (a, b) -> eval_cond env row a || eval_cond env row b
+  | Ast.Not c -> not (eval_cond env row c)
+  | Ast.Is_null e -> Value.is_null (eval_expr env row e)
+  | Ast.Is_not_null e -> not (Value.is_null (eval_expr env row e))
+
+(* Split an ON condition into hashable equi pairs (left column = right
+   column, one side per env) and a residual.  Returns pairs as
+   (left position, right position). *)
+let split_equi left right cond =
+  let try_pair a b =
+    match (a, b) with
+    | Ast.Col (ql, nl), Ast.Col (qr, nr) -> (
+        let on_left q n =
+          match resolve left q n with i -> Some i | exception Error _ -> None
+        in
+        let on_right q n =
+          match resolve right q n with i -> Some i | exception Error _ -> None
+        in
+        match (on_left ql nl, on_right qr nr) with
+        | Some i, Some j when on_right ql nl = None && on_left qr nr = None ->
+            Some (i, j)
+        | _ -> (
+            match (on_left qr nr, on_right ql nl) with
+            | Some i, Some j when on_right qr nr = None && on_left ql nl = None ->
+                Some (i, j)
+            | _ -> None))
+    | _ -> None
+  in
+  let rec go cond =
+    match cond with
+    | Ast.Cmp (Ast.Eq, a, b) -> (
+        match try_pair a b with
+        | Some pair -> ([ pair ], [])
+        | None -> ([], [ cond ]))
+    | Ast.And (a, b) ->
+        let pa, ra = go a and pb, rb = go b in
+        (pa @ pb, ra @ rb)
+    | c -> ([], [ c ])
+  in
+  go cond
+
+let joined_env left right rows =
+  {
+    cols = Array.append left.cols right.cols;
+    tys = Array.append left.tys right.tys;
+    rows;
+  }
+
+(* The env seen by an ON condition: both sides concatenated. *)
+let pair_env left right = joined_env left right [||]
+
+let inner_join left right cond =
+  match cond with
+  | None -> (* CROSS *)
+      let out = ref [] in
+      Array.iter
+        (fun lr ->
+          Array.iter (fun rr -> out := Tuple.concat lr rr :: !out) right.rows)
+        left.rows;
+      joined_env left right (Array.of_list (List.rev !out))
+  | Some cond ->
+      let equi, residual = split_equi left right cond in
+      let both = pair_env left right in
+      let keep row =
+        List.for_all (fun c -> eval_cond both row c) residual
+      in
+      let out = ref [] in
+      if equi = [] then
+        Array.iter
+          (fun lr ->
+            Array.iter
+              (fun rr ->
+                let row = Tuple.concat lr rr in
+                if keep row then out := row :: !out)
+              right.rows)
+          left.rows
+      else begin
+        (* Hash join on the equi columns. *)
+        let right_rel =
+          Relation.create ~name:"right"
+            ~schema:
+              (Schema.of_columns
+                 (Array.to_list
+                    (Array.mapi
+                       (fun i (_, _) -> Schema.column (string_of_int i) right.tys.(i))
+                       right.cols)))
+            right.rows
+        in
+        let idx = Index.build right_rel ~columns:(List.map snd equi) in
+        Array.iter
+          (fun lr ->
+            let key = List.map (fun (i, _) -> Tuple.get lr i) equi in
+            List.iter
+              (fun j ->
+                let row = Tuple.concat lr right.rows.(j) in
+                if keep row then out := row :: !out)
+              (Index.lookup idx key))
+          left.rows
+      end;
+      joined_env left right (Array.of_list (List.rev !out))
+
+let semi_or_anti ~anti left right cond =
+  let both = pair_env left right in
+  let has_partner lr =
+    Array.exists
+      (fun rr ->
+        match cond with
+        | None -> true
+        | Some c -> eval_cond both (Tuple.concat lr rr) c)
+      right.rows
+  in
+  {
+    left with
+    rows =
+      Array.of_list
+        (List.filter
+           (fun lr -> if anti then not (has_partner lr) else has_partner lr)
+           (Array.to_list left.rows));
+  }
+
+let apply_join catalog env (kind, src, cond) =
+  let right = env_of_source catalog src in
+  match (kind : Ast.join_kind) with
+  | Ast.Inner -> inner_join env right cond
+  | Ast.Cross -> inner_join env right None
+  | Ast.Semi -> semi_or_anti ~anti:false env right cond
+  | Ast.Anti -> semi_or_anti ~anti:true env right cond
+
+(* Output column naming: unqualified when unambiguous, qualified
+   otherwise. *)
+let output_name env i =
+  let q, n = env.cols.(i) in
+  let dup =
+    Array.exists
+      (fun (q', n') -> String.equal n n' && not (String.equal q q'))
+      (Array.mapi (fun j c -> if j = i then (q, "") else c) env.cols)
+  in
+  if dup then q ^ "." ^ n else n
+
+let rec ty_of_expr env = function
+  | Ast.Col (q, name) -> env.tys.(resolve env q name)
+  | Ast.Int _ -> Value.TInt
+  | Ast.Float _ -> Value.TFloat
+  | Ast.Str _ -> Value.TString
+  | Ast.Bool _ -> Value.TBool
+  | Ast.Null -> Value.TString
+  | Ast.Binop (_, a, b) ->
+      if ty_of_expr env a = Value.TFloat || ty_of_expr env b = Value.TFloat
+      then Value.TFloat
+      else Value.TInt
+
+let project env (items : Ast.select_item list) =
+  let columns, extract =
+    if items = [ Ast.Star ] then
+      ( Array.to_list
+          (Array.mapi (fun i _ -> Schema.column (output_name env i) env.tys.(i)) env.cols),
+        fun row -> row )
+    else begin
+      let specs =
+        List.concat_map
+          (function
+            | Ast.Star ->
+                Array.to_list
+                  (Array.mapi
+                     (fun i _ ->
+                       (Schema.column (output_name env i) env.tys.(i),
+                        fun row -> Tuple.get row i))
+                     env.cols)
+            | Ast.Expr (e, alias) ->
+                let name =
+                  match (alias, e) with
+                  | Some a, _ -> a
+                  | None, Ast.Col (q, n) ->
+                      let i = resolve env q n in
+                      ignore i;
+                      n
+                  | None, _ -> "expr"
+                in
+                [ (Schema.column name (ty_of_expr env e), fun row -> eval_expr env row e) ]
+            | Ast.Agg _ ->
+                (* Aggregates are routed to [execute_grouped]. *)
+                assert false)
+          items
+      in
+      (List.map fst specs, fun row -> Array.of_list (List.map (fun (_, f) -> f row) specs))
+    end
+  in
+  (columns, extract)
+
+(* Columns may collide after projection (e.g. SELECT * over a self-join of
+   aliases with equal column names): disambiguate with suffixes. *)
+let dedupe_columns columns =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun (c : Schema.column) ->
+      match Hashtbl.find_opt seen c.name with
+      | None ->
+          Hashtbl.add seen c.name 0;
+          c
+      | Some k ->
+          Hashtbl.replace seen c.name (k + 1);
+          { c with name = Printf.sprintf "%s_%d" c.name (k + 1) })
+    columns
+
+(* ---------------------------- aggregation -------------------------- *)
+
+let agg_default_name = function
+  | Ast.Count -> "count"
+  | Ast.Sum -> "sum"
+  | Ast.Avg -> "avg"
+  | Ast.Min -> "min"
+  | Ast.Max -> "max"
+
+let agg_ty env fn arg =
+  match (fn : Ast.agg_fn) with
+  | Ast.Count -> Value.TInt
+  | Ast.Avg -> Value.TFloat
+  | Ast.Sum | Ast.Min | Ast.Max -> (
+      match arg with
+      | Some e -> ty_of_expr env e
+      | None -> err "%s requires an argument" (agg_default_name fn))
+
+(* Compute one aggregate over the rows of a group; NULLs are skipped, and
+   the star form of COUNT counts rows regardless. *)
+let eval_agg env rows fn arg =
+  match ((fn : Ast.agg_fn), arg) with
+  | Ast.Count, None -> Value.Int (List.length rows)
+  | _, None -> err "%s requires an argument" (agg_default_name fn)
+  | fn, Some e -> (
+      let values =
+        List.filter_map
+          (fun row ->
+            let v = eval_expr env row e in
+            if Value.is_null v then None else Some v)
+          rows
+      in
+      match fn with
+      | Ast.Count -> Value.Int (List.length values)
+      | Ast.Sum -> (
+          match values with
+          | [] -> Value.Null
+          | Value.Int _ :: _ ->
+              Value.Int
+                (List.fold_left
+                   (fun acc -> function Value.Int i -> acc + i | _ -> err "SUM over mixed types")
+                   0 values)
+          | Value.Float _ :: _ ->
+              Value.Float
+                (List.fold_left
+                   (fun acc -> function Value.Float f -> acc +. f | _ -> err "SUM over mixed types")
+                   0. values)
+          | _ -> err "SUM over non-numeric values")
+      | Ast.Avg -> (
+          let as_float = function
+            | Value.Int i -> float_of_int i
+            | Value.Float f -> f
+            | _ -> err "AVG over non-numeric values"
+          in
+          match values with
+          | [] -> Value.Null
+          | vs ->
+              Value.Float
+                (List.fold_left (fun acc v -> acc +. as_float v) 0. vs
+                /. float_of_int (List.length vs)))
+      | Ast.Min | Ast.Max -> (
+          let pick a b =
+            let c = Value.compare a b in
+            if (fn = Ast.Min && c <= 0) || (fn = Ast.Max && c >= 0) then a else b
+          in
+          match values with
+          | [] -> Value.Null
+          | v :: vs -> List.fold_left pick v vs))
+
+module Key_map = Map.Make (struct
+  type t = Value.t list
+
+  let compare a b = List.compare Value.compare a b
+end)
+
+(* Structural expression equality, for the "every selected column must be
+   grouped" rule. *)
+let expr_equal (a : Ast.expr) (b : Ast.expr) = a = b
+
+let execute_grouped env rows (q : Ast.query) =
+  List.iter
+    (function
+      | Ast.Star -> err "SELECT * cannot be combined with GROUP BY/aggregates"
+      | Ast.Expr (e, _) when q.group_by = [] ->
+          err "column %s selected without GROUP BY alongside aggregates"
+            (Fmt.str "%a" Ast.pp_expr e)
+      | Ast.Expr (e, _) when not (List.exists (expr_equal e) q.group_by) ->
+          err "selected column %s is not in GROUP BY" (Fmt.str "%a" Ast.pp_expr e)
+      | _ -> ())
+    q.select;
+  (* Validate column references early (even for empty inputs). *)
+  List.iter (fun e -> ignore (ty_of_expr env e)) q.group_by;
+  List.iter
+    (function
+      | Ast.Agg (_, Some e, _) -> ignore (ty_of_expr env e)
+      | _ -> ())
+    q.select;
+  let groups =
+    Array.fold_left
+      (fun acc row ->
+        let key = List.map (fun e -> eval_expr env row e) q.group_by in
+        Key_map.update key
+          (function Some rs -> Some (row :: rs) | None -> Some [ row ])
+          acc)
+      Key_map.empty rows
+  in
+  let groups =
+    (* With no GROUP BY, aggregates run over all rows — including none. *)
+    if q.group_by = [] && Key_map.is_empty groups then
+      Key_map.singleton [] []
+    else groups
+  in
+  let columns =
+    List.map
+      (function
+        | Ast.Expr (e, alias) ->
+            let name =
+              match (alias, e) with
+              | Some a, _ -> a
+              | None, Ast.Col (_, n) -> n
+              | None, _ -> "expr"
+            in
+            Schema.column name (ty_of_expr env e)
+        | Ast.Agg (fn, arg, alias) ->
+            Schema.column
+              (Option.value ~default:(agg_default_name fn) alias)
+              (agg_ty env fn arg)
+        | Ast.Star -> assert false)
+      q.select
+  in
+  let out_rows =
+    Key_map.fold
+      (fun _key group acc ->
+        let group = List.rev group in
+        let representative = List.nth_opt group 0 in
+        let cells =
+          List.map
+            (function
+              | Ast.Expr (e, _) -> (
+                  match representative with
+                  | Some row -> eval_expr env row e
+                  | None -> Value.Null)
+              | Ast.Agg (fn, arg, _) -> eval_agg env group fn arg
+              | Ast.Star -> assert false)
+            q.select
+        in
+        Array.of_list cells :: acc)
+      groups []
+    |> List.rev
+  in
+  let rel =
+    Relation.create ~name:"result"
+      ~schema:(Schema.of_columns (dedupe_columns columns))
+      (Array.of_list out_rows)
+  in
+  (* HAVING filters groups via their output row (aggregates included, by
+     their output column names). *)
+  let rel =
+    match q.having with
+    | None -> rel
+    | Some cond ->
+        let schema = Relation.schema rel in
+        let out_env =
+          {
+            cols =
+              Array.init (Schema.arity schema) (fun i ->
+                  ("", Schema.name_at schema i));
+            tys = Array.init (Schema.arity schema) (fun i -> Schema.ty_at schema i);
+            rows = [||];
+          }
+        in
+        Relation.with_rows rel
+          (Array.of_list
+             (List.filter
+                (fun row -> eval_cond out_env row cond)
+                (Array.to_list (Relation.rows rel))))
+  in
+  (* ORDER BY on the output columns (by name). *)
+  let rel =
+    match q.order_by with
+    | [] -> rel
+    | obs ->
+        let schema = Relation.schema rel in
+        let keys =
+          List.map
+            (fun (e, dir) ->
+              match e with
+              | Ast.Col (_, name) -> (
+                  match Schema.index_of schema name with
+                  | Some i -> (i, dir)
+                  | None -> err "ORDER BY column %s not in grouped output" name)
+              | _ -> err "ORDER BY after GROUP BY must reference output columns")
+            obs
+        in
+        let cmp a b =
+          let rec go = function
+            | [] -> 0
+            | (i, dir) :: rest ->
+                let c = Value.compare (Tuple.get a i) (Tuple.get b i) in
+                let c = match (dir : Ast.order) with Ast.Asc -> c | Ast.Desc -> -c in
+                if c <> 0 then c else go rest
+          in
+          go keys
+        in
+        let copy = Array.copy (Relation.rows rel) in
+        Array.stable_sort cmp copy;
+        Relation.with_rows rel copy
+  in
+  let rel = if q.distinct then Jqi_relational.Algebra.distinct rel else rel in
+  match q.limit with
+  | None -> rel
+  | Some n -> Jqi_relational.Algebra.limit rel n
+
+let execute_flat env rows (q : Ast.query) =
+  (* ORDER BY runs on the pre-projection env so it can sort by any column. *)
+  let rows =
+    match q.order_by with
+    | [] -> rows
+    | obs ->
+        let keys =
+          List.map
+            (fun (e, dir) -> ((fun row -> eval_expr env row e), dir))
+            obs
+        in
+        let cmp a b =
+          let rec go = function
+            | [] -> 0
+            | (key, dir) :: rest ->
+                let c = Value.compare (key a) (key b) in
+                let c = match (dir : Ast.order) with Ast.Asc -> c | Ast.Desc -> -c in
+                if c <> 0 then c else go rest
+          in
+          go keys
+        in
+        let copy = Array.copy rows in
+        Array.stable_sort cmp copy;
+        copy
+  in
+  let columns, extract = project { env with rows } q.select in
+  let out_rows = Array.map extract rows in
+  let rel =
+    Relation.create ~name:"result"
+      ~schema:(Schema.of_columns (dedupe_columns columns))
+      out_rows
+  in
+  let rel = if q.distinct then Jqi_relational.Algebra.distinct rel else rel in
+  match q.limit with
+  | None -> rel
+  | Some n -> Jqi_relational.Algebra.limit rel n
+
+let execute catalog (q : Ast.query) =
+  let env = env_of_source catalog q.from in
+  let env = List.fold_left (apply_join catalog) env q.joins in
+  let rows =
+    match q.where with
+    | None -> env.rows
+    | Some cond ->
+        Array.of_list
+          (List.filter (fun r -> eval_cond env r cond) (Array.to_list env.rows))
+  in
+  let has_agg =
+    List.exists (function Ast.Agg _ -> true | _ -> false) q.select
+  in
+  if has_agg || q.group_by <> [] then execute_grouped env rows q
+  else if q.having <> None then err "HAVING requires GROUP BY or aggregates"
+  else execute_flat env rows q
+
+(* Parse and run in one step. *)
+let query catalog sql =
+  match Parser.parse_result sql with
+  | Ok ast -> execute catalog ast
+  | Result.Error msg -> raise (Error msg)
+

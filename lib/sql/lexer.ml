@@ -1,0 +1,172 @@
+(* Hand-written lexer for the SQL subset.
+
+   Keywords are case-insensitive; identifiers keep their case (and may be
+   double-quoted to escape keywords or odd characters); strings are
+   single-quoted with '' as the escape. *)
+
+type token =
+  | SELECT | DISTINCT | FROM | WHERE | JOIN | SEMI | ANTI | CROSS | INNER
+  | ON | AND | OR | NOT | AS | IS | NULL | ORDER | BY | ASC | DESC | LIMIT
+  | TRUE | FALSE | GROUP | HAVING | COUNT | SUM | AVG | MIN | MAX
+  | IDENT of string
+  | STRING of string
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | STAR | COMMA | DOT | LPAREN | RPAREN | PLUS | MINUS | SLASH
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+exception Error of { position : int; message : string }
+
+let error position message = raise (Error { position; message })
+
+let keyword_of_string s =
+  match String.uppercase_ascii s with
+  | "SELECT" -> Some SELECT
+  | "DISTINCT" -> Some DISTINCT
+  | "FROM" -> Some FROM
+  | "WHERE" -> Some WHERE
+  | "JOIN" -> Some JOIN
+  | "SEMI" -> Some SEMI
+  | "ANTI" -> Some ANTI
+  | "CROSS" -> Some CROSS
+  | "INNER" -> Some INNER
+  | "ON" -> Some ON
+  | "AND" -> Some AND
+  | "OR" -> Some OR
+  | "NOT" -> Some NOT
+  | "AS" -> Some AS
+  | "IS" -> Some IS
+  | "NULL" -> Some NULL
+  | "ORDER" -> Some ORDER
+  | "BY" -> Some BY
+  | "ASC" -> Some ASC
+  | "DESC" -> Some DESC
+  | "LIMIT" -> Some LIMIT
+  | "TRUE" -> Some TRUE
+  | "FALSE" -> Some FALSE
+  | "GROUP" -> Some GROUP
+  | "HAVING" -> Some HAVING
+  | "COUNT" -> Some COUNT
+  | "SUM" -> Some SUM
+  | "AVG" -> Some AVG
+  | "MIN" -> Some MIN
+  | "MAX" -> Some MAX
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokens paired with their start offset, for error reporting. *)
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit pos tok = tokens := (tok, pos) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      let word = String.sub input start (!i - start) in
+      emit start
+        (match keyword_of_string word with Some k -> k | None -> IDENT word)
+    end
+    else if is_digit c then begin
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      let is_float =
+        !i < n && input.[!i] = '.' && !i + 1 < n && is_digit input.[!i + 1]
+      in
+      if is_float then begin
+        incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done;
+        emit start (FLOAT_LIT (float_of_string (String.sub input start (!i - start))))
+      end
+      else emit start (INT_LIT (int_of_string (String.sub input start (!i - start))))
+    end
+    else if c = '\'' then begin
+      (* String literal with '' escaping. *)
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = '\'' then
+          if !i + 1 < n && input.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      if not !closed then error start "unterminated string literal";
+      emit start (STRING (Buffer.contents buf))
+    end
+    else if c = '"' then begin
+      (* Quoted identifier. *)
+      let close =
+        try String.index_from input (start + 1) '"'
+        with Not_found -> error start "unterminated quoted identifier"
+      in
+      emit start (IDENT (String.sub input (start + 1) (close - start - 1)));
+      i := close + 1
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      match two with
+      | "<=" -> emit start LE; i := !i + 2
+      | ">=" -> emit start GE; i := !i + 2
+      | "<>" -> emit start NE; i := !i + 2
+      | "!=" -> emit start NE; i := !i + 2
+      | _ -> (
+          incr i;
+          match c with
+          | '*' -> emit start STAR
+          | '+' -> emit start PLUS
+          | '-' -> emit start MINUS
+          | '/' -> emit start SLASH
+          | ',' -> emit start COMMA
+          | '.' -> emit start DOT
+          | '(' -> emit start LPAREN
+          | ')' -> emit start RPAREN
+          | '=' -> emit start EQ
+          | '<' -> emit start LT
+          | '>' -> emit start GT
+          | _ -> error start (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  emit n EOF;
+  List.rev !tokens
+
+let token_name = function
+  | SELECT -> "SELECT" | DISTINCT -> "DISTINCT" | FROM -> "FROM"
+  | WHERE -> "WHERE" | JOIN -> "JOIN" | SEMI -> "SEMI" | ANTI -> "ANTI"
+  | CROSS -> "CROSS" | INNER -> "INNER" | ON -> "ON" | AND -> "AND"
+  | OR -> "OR" | NOT -> "NOT" | AS -> "AS" | IS -> "IS" | NULL -> "NULL"
+  | ORDER -> "ORDER" | BY -> "BY" | ASC -> "ASC" | DESC -> "DESC"
+  | LIMIT -> "LIMIT" | TRUE -> "TRUE" | FALSE -> "FALSE"
+  | GROUP -> "GROUP" | HAVING -> "HAVING" | COUNT -> "COUNT" | SUM -> "SUM" | AVG -> "AVG"
+  | MIN -> "MIN" | MAX -> "MAX"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | STRING _ -> "string literal"
+  | INT_LIT _ -> "integer literal"
+  | FLOAT_LIT _ -> "float literal"
+  | STAR -> "*" | COMMA -> "," | DOT -> "." | LPAREN -> "(" | RPAREN -> ")"
+  | PLUS -> "+" | MINUS -> "-" | SLASH -> "/"
+  | EQ -> "=" | NE -> "<>" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | EOF -> "end of input"

@@ -1,0 +1,23 @@
+(** Lexer for the SQL subset.  Keywords are case-insensitive; identifiers
+    may be double-quoted; strings are single-quoted with [''] escaping. *)
+
+type token =
+  | SELECT | DISTINCT | FROM | WHERE | JOIN | SEMI | ANTI | CROSS | INNER
+  | ON | AND | OR | NOT | AS | IS | NULL | ORDER | BY | ASC | DESC | LIMIT
+  | TRUE | FALSE | GROUP | HAVING | COUNT | SUM | AVG | MIN | MAX
+  | IDENT of string
+  | STRING of string
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | STAR | COMMA | DOT | LPAREN | RPAREN | PLUS | MINUS | SLASH
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+exception Error of { position : int; message : string }
+
+(** Tokens with their byte offsets; ends with [EOF].  Raises [Error] on
+    malformed input. *)
+val tokenize : string -> (token * int) list
+
+(** Human-readable token description for error messages. *)
+val token_name : token -> string

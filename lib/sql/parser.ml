@@ -1,0 +1,320 @@
+(* Recursive-descent parser for the SQL subset.
+
+   Grammar (informally):
+
+     query      ::= SELECT [DISTINCT] items FROM source join* [WHERE cond]
+                    [GROUP BY expr (',' expr)*] [HAVING cond]
+                    [ORDER BY order_items]
+                    [LIMIT int]
+     items      ::= '*' | item (',' item)*
+     item       ::= expr [AS ident]
+                  | (COUNT|SUM|AVG|MIN|MAX) '(' ('*' | expr) ')' [AS ident]
+     source     ::= ident [AS ident | ident]
+     join       ::= (JOIN | INNER JOIN | SEMI JOIN | ANTI JOIN) source ON cond
+                  | CROSS JOIN source
+     cond       ::= or_cond
+     or_cond    ::= and_cond (OR and_cond)*
+     and_cond   ::= not_cond (AND not_cond)*
+     not_cond   ::= NOT not_cond | atom
+     atom       ::= '(' cond ')' | expr IS [NOT] NULL | expr cmp expr
+     expr       ::= term (('+'|'-') term)*
+     term       ::= atom_expr (('*'|'/') atom_expr)*
+     atom_expr  ::= literal | ident ['.' ident] | '(' expr ')'
+     (negative literals are written 0 - x; there is no unary minus)      *)
+
+type state = { mutable tokens : (Lexer.token * int) list }
+
+exception Error of { position : int; message : string }
+
+let error position message = raise (Error { position; message })
+
+let peek st = match st.tokens with (t, p) :: _ -> (t, p) | [] -> (Lexer.EOF, 0)
+
+let advance st =
+  match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
+
+let expect st tok =
+  let t, p = peek st in
+  if t = tok then advance st
+  else
+    error p
+      (Printf.sprintf "expected %s, found %s" (Lexer.token_name tok)
+         (Lexer.token_name t))
+
+let accept st tok =
+  let t, _ = peek st in
+  if t = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT name, _ ->
+      advance st;
+      name
+  | t, p ->
+      error p (Printf.sprintf "expected identifier, found %s" (Lexer.token_name t))
+
+let rec parse_expr st : Ast.expr =
+  let left = parse_term st in
+  match peek st with
+  | Lexer.PLUS, _ ->
+      advance st;
+      Ast.Binop (Ast.Add, left, parse_expr st)
+  | Lexer.MINUS, _ ->
+      advance st;
+      Ast.Binop (Ast.Sub, left, parse_expr st)
+  | _ -> left
+
+and parse_term st : Ast.expr =
+  let left = parse_atom_expr st in
+  match peek st with
+  | Lexer.STAR, _ ->
+      advance st;
+      Ast.Binop (Ast.Mul, left, parse_term st)
+  | Lexer.SLASH, _ ->
+      advance st;
+      Ast.Binop (Ast.Div, left, parse_term st)
+  | _ -> left
+
+and parse_atom_expr st : Ast.expr =
+  match peek st with
+  | Lexer.INT_LIT i, _ -> advance st; Ast.Int i
+  | Lexer.FLOAT_LIT f, _ -> advance st; Ast.Float f
+  | Lexer.STRING s, _ -> advance st; Ast.Str s
+  | Lexer.TRUE, _ -> advance st; Ast.Bool true
+  | Lexer.FALSE, _ -> advance st; Ast.Bool false
+  | Lexer.NULL, _ -> advance st; Ast.Null
+  | Lexer.LPAREN, _ ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.IDENT first, _ ->
+      advance st;
+      if accept st Lexer.DOT then Ast.Col (Some first, ident st)
+      else Ast.Col (None, first)
+  | t, p ->
+      error p (Printf.sprintf "expected expression, found %s" (Lexer.token_name t))
+
+let cmp_of_token = function
+  | Lexer.EQ -> Some Ast.Eq
+  | Lexer.NE -> Some Ast.Ne
+  | Lexer.LT -> Some Ast.Lt
+  | Lexer.LE -> Some Ast.Le
+  | Lexer.GT -> Some Ast.Gt
+  | Lexer.GE -> Some Ast.Ge
+  | _ -> None
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if accept st Lexer.OR then Ast.Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if accept st Lexer.AND then Ast.And (left, parse_and st) else left
+
+and parse_not st =
+  if accept st Lexer.NOT then Ast.Not (parse_not st) else parse_atom st
+
+and parse_atom st =
+  let comparison_of left =
+    if accept st Lexer.IS then
+      if accept st Lexer.NOT then begin
+        expect st Lexer.NULL;
+        Ast.Is_not_null left
+      end
+      else begin
+        expect st Lexer.NULL;
+        Ast.Is_null left
+      end
+    else
+      let t, p = peek st in
+      match cmp_of_token t with
+      | Some op ->
+          advance st;
+          Ast.Cmp (op, left, parse_expr st)
+      | None ->
+          error p
+            (Printf.sprintf "expected comparison operator, found %s"
+               (Lexer.token_name t))
+  in
+  match peek st with
+  | Lexer.LPAREN, _ -> (
+      (* '(' opens either a nested condition or a parenthesized arithmetic
+         expression; try the condition first and backtrack. *)
+      let snapshot = st.tokens in
+      match
+        advance st;
+        let c = parse_cond st in
+        expect st Lexer.RPAREN;
+        c
+      with
+      | c -> c
+      | exception Error _ ->
+          st.tokens <- snapshot;
+          comparison_of (parse_expr st))
+  | _ -> comparison_of (parse_expr st)
+
+let parse_source st : Ast.source =
+  let table = ident st in
+  if accept st Lexer.AS then { table; alias = Some (ident st) }
+  else
+    match peek st with
+    | Lexer.IDENT alias, _ ->
+        advance st;
+        { table; alias = Some alias }
+    | _ -> { table; alias = None }
+
+let agg_of_token = function
+  | Lexer.COUNT -> Some Ast.Count
+  | Lexer.SUM -> Some Ast.Sum
+  | Lexer.AVG -> Some Ast.Avg
+  | Lexer.MIN -> Some Ast.Min
+  | Lexer.MAX -> Some Ast.Max
+  | _ -> None
+
+let parse_select_items st =
+  if accept st Lexer.STAR then [ Ast.Star ]
+  else begin
+    let alias () = if accept st Lexer.AS then Some (ident st) else None in
+    let item () =
+      match agg_of_token (fst (peek st)) with
+      | Some fn ->
+          advance st;
+          expect st Lexer.LPAREN;
+          let arg =
+            if fn = Ast.Count && accept st Lexer.STAR then None
+            else Some (parse_expr st)
+          in
+          expect st Lexer.RPAREN;
+          Ast.Agg (fn, arg, alias ())
+      | None ->
+          let e = parse_expr st in
+          Ast.Expr (e, alias ())
+    in
+    let first = item () in
+    let rec more acc =
+      if accept st Lexer.COMMA then more (item () :: acc) else List.rev acc
+    in
+    more [ first ]
+  end
+
+let parse_joins st =
+  let rec go acc =
+    let kind =
+      if accept st Lexer.CROSS then begin
+        expect st Lexer.JOIN;
+        Some Ast.Cross
+      end
+      else if accept st Lexer.SEMI then begin
+        expect st Lexer.JOIN;
+        Some Ast.Semi
+      end
+      else if accept st Lexer.ANTI then begin
+        expect st Lexer.JOIN;
+        Some Ast.Anti
+      end
+      else if accept st Lexer.INNER then begin
+        expect st Lexer.JOIN;
+        Some Ast.Inner
+      end
+      else if accept st Lexer.JOIN then Some Ast.Inner
+      else None
+    in
+    match kind with
+    | None -> List.rev acc
+    | Some kind ->
+        let src = parse_source st in
+        let cond =
+          if kind = Ast.Cross then
+            (* CROSS JOIN takes no ON clause. *)
+            None
+          else begin
+            expect st Lexer.ON;
+            Some (parse_cond st)
+          end
+        in
+        go ((kind, src, cond) :: acc)
+  in
+  go []
+
+let parse_group_by st =
+  if accept st Lexer.GROUP then begin
+    expect st Lexer.BY;
+    let first = parse_expr st in
+    let rec more acc =
+      if accept st Lexer.COMMA then more (parse_expr st :: acc)
+      else List.rev acc
+    in
+    more [ first ]
+  end
+  else []
+
+let parse_order_by st =
+  if accept st Lexer.ORDER then begin
+    expect st Lexer.BY;
+    let item () =
+      let e = parse_expr st in
+      let dir =
+        if accept st Lexer.DESC then Ast.Desc
+        else begin
+          ignore (accept st Lexer.ASC);
+          Ast.Asc
+        end
+      in
+      (e, dir)
+    in
+    let first = item () in
+    let rec more acc =
+      if accept st Lexer.COMMA then more (item () :: acc) else List.rev acc
+    in
+    more [ first ]
+  end
+  else []
+
+let parse_limit st =
+  if accept st Lexer.LIMIT then
+    match peek st with
+    | Lexer.INT_LIT n, _ ->
+        advance st;
+        Some n
+    | t, p ->
+        error p (Printf.sprintf "expected integer, found %s" (Lexer.token_name t))
+  else None
+
+let parse_query st =
+  expect st Lexer.SELECT;
+  let distinct = accept st Lexer.DISTINCT in
+  let select = parse_select_items st in
+  expect st Lexer.FROM;
+  let from = parse_source st in
+  let joins = parse_joins st in
+  let where = if accept st Lexer.WHERE then Some (parse_cond st) else None in
+  let group_by = parse_group_by st in
+  let having = if accept st Lexer.HAVING then Some (parse_cond st) else None in
+  let order_by = parse_order_by st in
+  let limit = parse_limit st in
+  { Ast.distinct; select; from; joins; where; group_by; having; order_by; limit }
+
+(* Entry point.  Raises [Error] (or [Lexer.Error]) on malformed input. *)
+let parse input =
+  let st = { tokens = Lexer.tokenize input } in
+  let q = parse_query st in
+  (match peek st with
+  | Lexer.EOF, _ -> ()
+  | t, p ->
+      error p (Printf.sprintf "trailing input: %s" (Lexer.token_name t)));
+  q
+
+let parse_result input =
+  match parse input with
+  | q -> Ok q
+  | exception Error { position; message } ->
+      Result.Error (Printf.sprintf "parse error at offset %d: %s" position message)
+  | exception Lexer.Error { position; message } ->
+      Result.Error (Printf.sprintf "lexical error at offset %d: %s" position message)

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the SQL subset:
+    SELECT [DISTINCT] items FROM source (JOIN | SEMI/ANTI/CROSS JOIN …)*
+    [WHERE cond] [GROUP BY …] [ORDER BY …] [LIMIT n], with
+    COUNT/SUM/AVG/MIN/MAX select items and +,-,*,/ arithmetic in
+    expressions. *)
+
+exception Error of { position : int; message : string }
+
+(** Raises [Error] or [Lexer.Error]. *)
+val parse : string -> Ast.query
+
+(** Error-message variant. *)
+val parse_result : string -> (Ast.query, string) result

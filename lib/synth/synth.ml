@@ -1,0 +1,78 @@
+(* The paper's synthetic dataset generator (§5.2).
+
+   A configuration is (|attrs(R)|, |attrs(P)|, l, v): two relations with
+   the given arities, [l] tuples each, and attribute values drawn uniformly
+   from {0, …, v-1}.  The six configurations evaluated in Figure 7 and
+   Table 1 are provided as constants. *)
+
+module Prng = Jqi_util.Prng
+module Value = Jqi_relational.Value
+module Schema = Jqi_relational.Schema
+module Tuple = Jqi_relational.Tuple
+module Relation = Jqi_relational.Relation
+module Omega = Jqi_core.Omega
+module Universe = Jqi_core.Universe
+module Bits = Jqi_util.Bits
+
+type config = { r_arity : int; p_arity : int; rows : int; values : int }
+
+let config r_arity p_arity rows values =
+  if r_arity < 1 || p_arity < 1 || rows < 1 || values < 1 then
+    invalid_arg "Synth.config: all parameters must be positive";
+  { r_arity; p_arity; rows; values }
+
+let pp_config ppf c =
+  Fmt.pf ppf "(%d,%d,%d,%d)" c.r_arity c.p_arity c.rows c.values
+
+(* The configurations of Figure 7 / Table 1, in the paper's order. *)
+let paper_configs =
+  [
+    config 3 3 100 100;
+    config 3 3 50 100;
+    config 3 4 50 100;
+    config 2 5 50 100;
+    config 2 4 50 50;
+    config 2 4 50 100;
+  ]
+
+let relation prng ~name ~prefix ~arity ~rows ~values =
+  let schema =
+    Schema.of_names ~ty:Value.TInt
+      (List.init arity (fun i -> Printf.sprintf "%s%d" prefix (i + 1)))
+  in
+  Relation.create ~name ~schema
+    (Array.init rows (fun _ ->
+         Tuple.of_list
+           (List.init arity (fun _ -> Value.Int (Prng.int prng values)))))
+
+let generate prng c =
+  let r =
+    relation prng ~name:"R" ~prefix:"A" ~arity:c.r_arity ~rows:c.rows
+      ~values:c.values
+  in
+  let p =
+    relation prng ~name:"P" ~prefix:"B" ~arity:c.p_arity ~rows:c.rows
+      ~values:c.values
+  in
+  (r, p)
+
+(* All non-nullable goal predicates of a given size on an instance: the
+   distinct subsets of the universe's signatures with that cardinality
+   (§4.2; the paper uses "all non-nullable join predicates as goal
+   predicates" grouped by size).  Size 0 yields the single predicate ∅. *)
+let goals_of_size universe ~size =
+  let module H = Hashtbl.Make (struct
+    type t = Bits.t
+
+    let equal = Bits.equal
+    let hash = Bits.hash
+  end) in
+  let acc = H.create 64 in
+  List.iter
+    (fun s ->
+      if Bits.cardinal s >= size then
+        List.iter
+          (fun sub -> if Bits.cardinal sub = size then H.replace acc sub ())
+          (Bits.subsets s))
+    (Universe.signatures universe);
+  H.fold (fun k () l -> k :: l) acc []

@@ -1,0 +1,21 @@
+(** The paper's synthetic dataset generator (§5.2): configurations
+    (|attrs R|, |attrs P|, l, v) with values uniform in 0..v-1. *)
+
+type config = { r_arity : int; p_arity : int; rows : int; values : int }
+
+(** Raises [Invalid_argument] on non-positive parameters. *)
+val config : int -> int -> int -> int -> config
+
+val pp_config : Format.formatter -> config -> unit
+
+(** The six configurations of Figure 7 / Table 1, in the paper's order. *)
+val paper_configs : config list
+
+(** Fresh instance pair (R, P); deterministic in the generator state. *)
+val generate :
+  Jqi_util.Prng.t -> config ->
+  Jqi_relational.Relation.t * Jqi_relational.Relation.t
+
+(** All non-nullable goal predicates of a given size on an instance — the
+    goal pool of the paper's synthetic runs.  Size 0 yields [∅]. *)
+val goals_of_size : Jqi_core.Universe.t -> size:int -> Jqi_util.Bits.t list

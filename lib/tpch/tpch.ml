@@ -1,0 +1,299 @@
+(* A TPC-H-style data generator (dbgen replacement).
+
+   Generates the six tables the paper's §5.1 experiments join — PART,
+   SUPPLIER, PARTSUPP, CUSTOMER, ORDERS, LINEITEM — with the benchmark's
+   schemas (standard column prefixes, so attribute sets of any table pair
+   are disjoint), its key/foreign-key structure, and value distributions
+   that preserve the property the paper leans on: small integers reoccur
+   across key and non-key columns ("a value 15 may as well represent a
+   key, a size, a price, or a quantity"), so the inference strategies must
+   genuinely disambiguate the goal joins from accidental matches.
+
+   The scale knob multiplies row counts, not bytes; the paper's reported
+   Cartesian-product sizes are matched by the bench harness choosing
+   scales that bracket them (see DESIGN.md, substitution 2). *)
+
+module Prng = Jqi_util.Prng
+module Value = Jqi_relational.Value
+module Schema = Jqi_relational.Schema
+module Tuple = Jqi_relational.Tuple
+module Relation = Jqi_relational.Relation
+module Omega = Jqi_core.Omega
+
+type db = {
+  part : Relation.t;
+  supplier : Relation.t;
+  partsupp : Relation.t;
+  customer : Relation.t;
+  orders : Relation.t;
+  lineitem : Relation.t;
+}
+
+(* Row counts at a given scale; ratios follow TPC-H (4 partsupp per part,
+   ~1.5 orders per customer, ~4 lineitems per order), compressed so that
+   products stay laptop-sized. *)
+let counts ~scale =
+  let s = max 1 scale in
+  ( 25 * s (* part *),
+    5 * s (* supplier *),
+    100 * s (* partsupp: 4 per part *),
+    15 * s (* customer *),
+    22 * s (* orders *),
+    88 * s (* lineitem: 4 per order *) )
+
+let mfgrs = [| "Manufacturer#1"; "Manufacturer#2"; "Manufacturer#3"; "Manufacturer#4"; "Manufacturer#5" |]
+let brands = [| "Brand#11"; "Brand#12"; "Brand#23"; "Brand#34"; "Brand#45"; "Brand#55" |]
+let types_ = [| "STANDARD ANODIZED"; "SMALL PLATED"; "MEDIUM POLISHED"; "LARGE BRUSHED"; "ECONOMY BURNISHED"; "PROMO TIN" |]
+let containers = [| "SM CASE"; "LG BOX"; "MED BAG"; "JUMBO JAR"; "WRAP PACK" |]
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+let shipmodes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+let instructs = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+let statuses = [| "F"; "O"; "P" |]
+let flags = [| "A"; "N"; "R" |]
+let nouns = [| "deposits"; "packages"; "theodolites"; "requests"; "accounts"; "pinto beans"; "foxes"; "ideas"; "platelets"; "instructions" |]
+let verbs = [| "sleep"; "haggle"; "nag"; "wake"; "cajole"; "detect"; "integrate"; "boost"; "engage"; "doze" |]
+let adverbs = [| "carefully"; "quickly"; "furiously"; "slyly"; "blithely"; "ruthlessly"; "finally"; "express" |]
+
+let comment prng =
+  Printf.sprintf "%s %s %s" (Prng.pick prng adverbs) (Prng.pick prng nouns)
+    (Prng.pick prng verbs)
+
+let str s = Value.Str s
+let int_ i = Value.Int i
+let money prng lo hi = Value.Float (float_of_int (lo + Prng.int prng (hi - lo)) +. float_of_int (Prng.int prng 100) /. 100.)
+
+(* Dates as integer day offsets from 1992-01-01, spanning seven years like
+   the benchmark. *)
+let date prng = Value.Int (Prng.int prng 2557)
+
+let schema cols = Schema.of_columns (List.map (fun (n, t) -> Schema.column n t) cols)
+
+let part_schema =
+  schema
+    [
+      ("p_partkey", Value.TInt); ("p_name", Value.TString); ("p_mfgr", Value.TString);
+      ("p_brand", Value.TString); ("p_type", Value.TString); ("p_size", Value.TInt);
+      ("p_container", Value.TString); ("p_retailprice", Value.TFloat);
+      ("p_comment", Value.TString);
+    ]
+
+let supplier_schema =
+  schema
+    [
+      ("s_suppkey", Value.TInt); ("s_name", Value.TString); ("s_address", Value.TString);
+      ("s_nationkey", Value.TInt); ("s_phone", Value.TString); ("s_acctbal", Value.TFloat);
+      ("s_comment", Value.TString);
+    ]
+
+let partsupp_schema =
+  schema
+    [
+      ("ps_partkey", Value.TInt); ("ps_suppkey", Value.TInt); ("ps_availqty", Value.TInt);
+      ("ps_supplycost", Value.TFloat); ("ps_comment", Value.TString);
+    ]
+
+let customer_schema =
+  schema
+    [
+      ("c_custkey", Value.TInt); ("c_name", Value.TString); ("c_address", Value.TString);
+      ("c_nationkey", Value.TInt); ("c_phone", Value.TString); ("c_acctbal", Value.TFloat);
+      ("c_mktsegment", Value.TString); ("c_comment", Value.TString);
+    ]
+
+let orders_schema =
+  schema
+    [
+      ("o_orderkey", Value.TInt); ("o_custkey", Value.TInt); ("o_orderstatus", Value.TString);
+      ("o_totalprice", Value.TFloat); ("o_orderdate", Value.TInt);
+      ("o_orderpriority", Value.TString); ("o_clerk", Value.TString);
+      ("o_shippriority", Value.TInt); ("o_comment", Value.TString);
+    ]
+
+let lineitem_schema =
+  schema
+    [
+      ("l_orderkey", Value.TInt); ("l_partkey", Value.TInt); ("l_suppkey", Value.TInt);
+      ("l_linenumber", Value.TInt); ("l_quantity", Value.TInt);
+      ("l_extendedprice", Value.TFloat); ("l_discount", Value.TFloat);
+      ("l_tax", Value.TFloat); ("l_returnflag", Value.TString);
+      ("l_linestatus", Value.TString); ("l_shipdate", Value.TInt);
+      ("l_commitdate", Value.TInt); ("l_receiptdate", Value.TInt);
+      ("l_shipinstruct", Value.TString); ("l_shipmode", Value.TString);
+      ("l_comment", Value.TString);
+    ]
+
+let generate ?(seed = 2014) ~scale () =
+  let prng = Prng.create seed in
+  let n_part, n_supp, n_ps, n_cust, n_ord, n_li = counts ~scale in
+  let part =
+    Relation.create ~name:"part" ~schema:part_schema
+      (Array.init n_part (fun i ->
+           Tuple.of_list
+             [
+               int_ (i + 1);
+               str (Printf.sprintf "%s %s" (Prng.pick prng adverbs) (Prng.pick prng nouns));
+               str (Prng.pick prng mfgrs);
+               str (Prng.pick prng brands);
+               str (Prng.pick prng types_);
+               int_ (1 + Prng.int prng 50);
+               str (Prng.pick prng containers);
+               money prng 900 2000;
+               str (comment prng);
+             ]))
+  in
+  let supplier =
+    Relation.create ~name:"supplier" ~schema:supplier_schema
+      (Array.init n_supp (fun i ->
+           Tuple.of_list
+             [
+               int_ (i + 1);
+               str (Printf.sprintf "Supplier#%09d" (i + 1));
+               str (Printf.sprintf "addr-%d" (Prng.int prng 10000));
+               int_ (Prng.int prng 25);
+               str (Printf.sprintf "%02d-%03d-%03d-%04d" (10 + Prng.int prng 25)
+                      (Prng.int prng 1000) (Prng.int prng 1000) (Prng.int prng 10000));
+               money prng (-999) 9999;
+               str (comment prng);
+             ]))
+  in
+  (* PARTSUPP: each part paired with distinct suppliers. *)
+  let ps_rows = ref [] in
+  let per_part = max 1 (n_ps / max 1 n_part) in
+  for pk = 1 to n_part do
+    let supps =
+      Prng.sample prng per_part (Array.init n_supp (fun i -> i + 1))
+    in
+    Array.iter
+      (fun sk ->
+        ps_rows :=
+          Tuple.of_list
+            [
+              int_ pk; int_ sk;
+              int_ (1 + Prng.int prng 9999);
+              money prng 1 1000;
+              str (comment prng);
+            ]
+          :: !ps_rows)
+      supps
+  done;
+  let partsupp =
+    Relation.create ~name:"partsupp" ~schema:partsupp_schema
+      (Array.of_list (List.rev !ps_rows))
+  in
+  let customer =
+    Relation.create ~name:"customer" ~schema:customer_schema
+      (Array.init n_cust (fun i ->
+           Tuple.of_list
+             [
+               int_ (i + 1);
+               str (Printf.sprintf "Customer#%09d" (i + 1));
+               str (Printf.sprintf "addr-%d" (Prng.int prng 10000));
+               int_ (Prng.int prng 25);
+               str (Printf.sprintf "%02d-%03d-%03d-%04d" (10 + Prng.int prng 25)
+                      (Prng.int prng 1000) (Prng.int prng 1000) (Prng.int prng 10000));
+               money prng (-999) 9999;
+               str (Prng.pick prng segments);
+               str (comment prng);
+             ]))
+  in
+  let orders =
+    Relation.create ~name:"orders" ~schema:orders_schema
+      (Array.init n_ord (fun i ->
+           Tuple.of_list
+             [
+               int_ (i + 1);
+               int_ (1 + Prng.int prng n_cust);
+               str (Prng.pick prng statuses);
+               money prng 1000 400000;
+               date prng;
+               str (Prng.pick prng priorities);
+               str (Printf.sprintf "Clerk#%09d" (1 + Prng.int prng 1000));
+               int_ 0;
+               str (comment prng);
+             ]))
+  in
+  (* LINEITEM: orderkey FK into ORDERS; (partkey, suppkey) drawn from
+     PARTSUPP rows so the two-column FK of Join 5 holds. *)
+  let ps_pairs =
+    Array.map
+      (fun row -> (Tuple.get row 0, Tuple.get row 1))
+      (Relation.rows partsupp)
+  in
+  let li_rows = ref [] in
+  let per_order = max 1 (n_li / max 1 n_ord) in
+  for ok = 1 to n_ord do
+    for ln = 1 to per_order do
+      let pk, sk = Prng.pick prng ps_pairs in
+      let ship = date prng in
+      li_rows :=
+        Tuple.of_list
+          [
+            int_ ok; pk; sk; int_ ln;
+            int_ (1 + Prng.int prng 50);
+            money prng 900 100000;
+            Value.Float (float_of_int (Prng.int prng 11) /. 100.);
+            Value.Float (float_of_int (Prng.int prng 9) /. 100.);
+            str (Prng.pick prng flags);
+            str (Prng.pick prng statuses);
+            ship;
+            date prng;
+            date prng;
+            str (Prng.pick prng instructs);
+            str (Prng.pick prng shipmodes);
+            str (comment prng);
+          ]
+        :: !li_rows
+    done
+  done;
+  let lineitem =
+    Relation.create ~name:"lineitem" ~schema:lineitem_schema
+      (Array.of_list (List.rev !li_rows))
+  in
+  { part; supplier; partsupp; customer; orders; lineitem }
+
+(* The five goal joins of §5.1: (R, P, goal predicate by column names).
+   They are exactly the key/foreign-key joins of the benchmark; the
+   strategies are never told this. *)
+type goal_join = {
+  label : string;
+  r : Relation.t;
+  p : Relation.t;
+  pairs : (string * string) list;
+}
+
+let joins db =
+  [
+    {
+      label = "Join 1";
+      r = db.part;
+      p = db.partsupp;
+      pairs = [ ("p_partkey", "ps_partkey") ];
+    };
+    {
+      label = "Join 2";
+      r = db.supplier;
+      p = db.partsupp;
+      pairs = [ ("s_suppkey", "ps_suppkey") ];
+    };
+    {
+      label = "Join 3";
+      r = db.customer;
+      p = db.orders;
+      pairs = [ ("c_custkey", "o_custkey") ];
+    };
+    {
+      label = "Join 4";
+      r = db.orders;
+      p = db.lineitem;
+      pairs = [ ("o_orderkey", "l_orderkey") ];
+    };
+    {
+      label = "Join 5";
+      r = db.partsupp;
+      p = db.lineitem;
+      pairs = [ ("ps_partkey", "l_partkey"); ("ps_suppkey", "l_suppkey") ];
+    };
+  ]
+
+let goal_predicate omega join = Omega.of_names omega join.pairs

@@ -1,0 +1,35 @@
+(** TPC-H-style data generator (dbgen replacement) for the six tables of
+    the paper's §5.1 experiments, with the benchmark's schemas, key and
+    foreign-key structure, and value pools that make small integers recur
+    across key and non-key columns (the ambiguity the paper's strategies
+    must resolve). *)
+
+type db = {
+  part : Jqi_relational.Relation.t;
+  supplier : Jqi_relational.Relation.t;
+  partsupp : Jqi_relational.Relation.t;
+  customer : Jqi_relational.Relation.t;
+  orders : Jqi_relational.Relation.t;
+  lineitem : Jqi_relational.Relation.t;
+}
+
+(** Row counts per table at a scale:
+    (part, supplier, partsupp, customer, orders, lineitem). *)
+val counts : scale:int -> int * int * int * int * int * int
+
+(** Deterministic in [seed]; row counts grow linearly with [scale]. *)
+val generate : ?seed:int -> scale:int -> unit -> db
+
+(** One of the five goal joins of §5.1: a table pair plus the
+    key/foreign-key predicate (by column names) the user "has in mind". *)
+type goal_join = {
+  label : string;
+  r : Jqi_relational.Relation.t;
+  p : Jqi_relational.Relation.t;
+  pairs : (string * string) list;
+}
+
+(** Joins 1-5, in the paper's order. *)
+val joins : db -> goal_join list
+
+val goal_predicate : Jqi_core.Omega.t -> goal_join -> Jqi_util.Bits.t

@@ -1,0 +1,72 @@
+(* Plain-text table rendering used by the bench harness to print the paper's
+   tables (Figure 6c/6d sub-tables, Figure 7 time tables, Table 1) in a form
+   directly comparable with the publication. *)
+
+type align = Left | Right | Center
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let l = fill / 2 in
+        String.make l ' ' ^ s ^ String.make (fill - l) ' '
+
+let widths headers rows =
+  let ncols = List.length headers in
+  let w = Array.make ncols 0 in
+  let feed row =
+    List.iteri
+      (fun i cell -> if i < ncols then w.(i) <- max w.(i) (String.length cell))
+      row
+  in
+  feed headers;
+  List.iter feed rows;
+  w
+
+let hline w =
+  "+"
+  ^ String.concat "+" (Array.to_list (Array.map (fun n -> String.make (n + 2) '-') w))
+  ^ "+"
+
+let render_row ?(aligns = [||]) w row =
+  let cells =
+    List.mapi
+      (fun i cell ->
+        let a = if i < Array.length aligns then aligns.(i) else Left in
+        " " ^ pad a w.(i) cell ^ " ")
+      row
+  in
+  (* Rows shorter than the header are padded with empty cells. *)
+  let missing = Array.length w - List.length row in
+  let cells =
+    if missing > 0 then
+      cells
+      @ List.init missing (fun j ->
+            " " ^ pad Left w.(List.length row + j) "" ^ " ")
+    else cells
+  in
+  "|" ^ String.concat "|" cells ^ "|"
+
+let render ?(aligns = [||]) ~headers rows =
+  let w = widths headers rows in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (hline w);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row ~aligns:[||] w headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (hline w);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row ~aligns w row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (hline w);
+  Buffer.contents buf
+
+let print ?aligns ~headers rows = print_string (render ?aligns ~headers rows)

@@ -1,0 +1,9 @@
+(** Plain-text table rendering for the paper-vs-measured outputs. *)
+
+type align = Left | Right | Center
+
+(** Render with box-drawing ASCII; rows shorter than the header are padded
+    with empty cells; [aligns] applies per column (default left). *)
+val render : ?aligns:align array -> headers:string list -> string list list -> string
+
+val print : ?aligns:align array -> headers:string list -> string list list -> unit

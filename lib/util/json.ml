@@ -1,0 +1,247 @@
+(* Minimal JSON reading and writing.
+
+   Used to persist interactive sessions (and anything else that wants a
+   structured on-disk format) without an external dependency.  Numbers are
+   floats, as in JSON itself; [int] and [to_int] paper over the common
+   integer case. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { position : int; message : string }
+
+let int i = Num (float_of_int i)
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* ------------------------------ writing ---------------------------- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.0f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape_into buf s;
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape_into buf k;
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  write buf json;
+  Buffer.contents buf
+
+(* ------------------------------ parsing ---------------------------- *)
+
+type parser_state = { input : string; mutable pos : int }
+
+let fail st message = raise (Parse_error { position = st.pos; message })
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.input
+    && (match st.input.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect_char st c =
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let parse_literal st word value =
+  if
+    st.pos + String.length word <= String.length st.input
+    && String.sub st.input st.pos (String.length word) = word
+  then begin
+    st.pos <- st.pos + String.length word;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string_body st =
+  expect_char st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+        st.pos <- st.pos + 1;
+        match peek st with
+        | Some '"' -> Buffer.add_char buf '"'; st.pos <- st.pos + 1; go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; st.pos <- st.pos + 1; go ()
+        | Some '/' -> Buffer.add_char buf '/'; st.pos <- st.pos + 1; go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1; go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; st.pos <- st.pos + 1; go ()
+        | Some 'u' ->
+            if st.pos + 5 > String.length st.input then fail st "bad \\u escape";
+            let hex = String.sub st.input (st.pos + 1) 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | None -> fail st "bad \\u escape"
+            | Some code ->
+                (* Encode the code point as UTF-8 (BMP only, no surrogate
+                   pairing — sufficient for the session files we write). *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end;
+                st.pos <- st.pos + 5;
+                go ())
+        | _ -> fail st "bad escape")
+    | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  while st.pos < String.length st.input && is_num_char st.input.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  match float_of_string_opt (String.sub st.input start (st.pos - start)) with
+  | Some f -> Num f
+  | None -> fail st "malformed number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws st;
+          let key = parse_string_body st in
+          skip_ws st;
+          expect_char st ':';
+          let value = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              fields ((key, value) :: acc)
+          | Some '}' ->
+              st.pos <- st.pos + 1;
+              List.rev ((key, value) :: acc)
+          | _ -> fail st "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let value = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              items (value :: acc)
+          | Some ']' ->
+              st.pos <- st.pos + 1;
+              List.rev (value :: acc)
+          | _ -> fail st "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some '"' -> Str (parse_string_body st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some _ -> parse_number st
+
+let of_string input =
+  let st = { input; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length input then fail st "trailing input";
+  v
+
+let save_file path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string json))
+
+let load_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,30 @@
+(** Minimal JSON reading and writing (session persistence). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { position : int; message : string }
+
+(** Integer convenience constructors over [Num]. *)
+val int : int -> t
+
+(** [Some i] when the number is integral. *)
+val to_int : t -> int option
+
+(** Field lookup on objects; [None] otherwise. *)
+val member : string -> t -> t option
+
+(** Compact rendering with string escaping. *)
+val to_string : t -> string
+
+(** Raises [Parse_error] on malformed input.  BMP \u escapes are decoded
+    to UTF-8. *)
+val of_string : string -> t
+
+val save_file : string -> t -> unit
+val load_file : string -> t

@@ -1,0 +1,79 @@
+(* Splittable deterministic PRNG (splitmix64).
+
+   Every randomized component of the reproduction — the RND strategy, the
+   synthetic and TPC-H generators, the random 3SAT generator — takes an
+   explicit generator so that experiments are reproducible run to run, and so
+   that averaging over N runs uses N independent, re-derivable streams. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+(* Non-negative int in [0, 2^62). *)
+let next_int t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let max_int62 = (1 lsl 62) - 1 in
+  let limit = max_int62 - (max_int62 mod bound) in
+  let rec go () =
+    let v = next_int t in
+    if v < limit then v mod bound else go ()
+  in
+  go ()
+
+let float t bound =
+  let v = next_int t in
+  bound *. (float_of_int v /. float_of_int ((1 lsl 62) - 1))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Derive an independent stream; forking then drawing from both the parent
+   and the child yields decorrelated sequences. *)
+let split t =
+  let seed = next_int64 t in
+  { state = mix seed }
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  let a = Array.copy arr in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+(* [sample t k arr] draws [k] distinct elements (reservoir sampling). *)
+let sample t k arr =
+  let n = Array.length arr in
+  if k >= n then Array.copy arr
+  else begin
+    let res = Array.sub arr 0 k in
+    for i = k to n - 1 do
+      let j = int t (i + 1) in
+      if j < k then res.(j) <- arr.(i)
+    done;
+    res
+  end

@@ -1,0 +1,38 @@
+(** Splittable deterministic PRNG (splitmix64).
+
+    All randomness in the library flows through values of this type so that
+    experiments and tests are reproducible from a single integer seed. *)
+
+type t
+
+(** [create seed] starts a stream determined entirely by [seed]. *)
+val create : int -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** Uniform non-negative int in [0, 2^62). *)
+val next_int : t -> int
+
+(** [int t b] is uniform in [0, b), bias-free. Raises on [b <= 0]. *)
+val int : t -> int -> int
+
+(** [float t b] is uniform in [0, b]. *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** Derive an independent stream (advances the parent). *)
+val split : t -> t
+
+(** Uniform element of a non-empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** Uniform element of a non-empty list. *)
+val pick_list : t -> 'a list -> 'a
+
+(** Fisher-Yates shuffle of a copy; the input is not mutated. *)
+val shuffle : t -> 'a array -> 'a array
+
+(** [sample t k arr] draws [min k |arr|] distinct elements. *)
+val sample : t -> int -> 'a array -> 'a array

@@ -1,0 +1,26 @@
+(** Summary statistics for experiment results (Figure 7 / Table 1 averages). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val mean : float array -> float
+
+(** Sample variance (n-1 denominator); 0 for fewer than two points. *)
+val variance : float array -> float
+
+val stddev : float array -> float
+
+(** [percentile xs p] with linear interpolation; [p] in [0,100]. *)
+val percentile : float array -> float -> float
+
+val median : float array -> float
+val min_max : float array -> float * float
+val summarize : float array -> summary
+val of_ints : int array -> float array
+val pp_summary : Format.formatter -> summary -> unit

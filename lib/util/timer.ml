@@ -1,0 +1,42 @@
+(* Wall-clock timing helpers for the inference-time measurements (Figures
+   6c/6d, 7c/7d/7g/7h/7k/7l and the "Time of best strategy" column of
+   Table 1). *)
+
+let now () = Unix.gettimeofday ()
+
+(* [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+let time f =
+  let t0 = now () in
+  let r = f () in
+  let t1 = now () in
+  (r, t1 -. t0)
+
+let time_only f = snd (time f)
+
+type t = { mutable started : float; mutable accumulated : float; mutable running : bool }
+
+let create () = { started = 0.; accumulated = 0.; running = false }
+
+let start t =
+  if not t.running then begin
+    t.started <- now ();
+    t.running <- true
+  end
+
+let stop t =
+  if t.running then begin
+    t.accumulated <- t.accumulated +. (now () -. t.started);
+    t.running <- false
+  end
+
+let elapsed t =
+  if t.running then t.accumulated +. (now () -. t.started) else t.accumulated
+
+let reset t =
+  t.accumulated <- 0.;
+  t.running <- false
+
+let pp_seconds ppf s =
+  if s < 1e-3 then Fmt.pf ppf "%.0fµs" (s *. 1e6)
+  else if s < 1. then Fmt.pf ppf "%.1fms" (s *. 1e3)
+  else Fmt.pf ppf "%.2fs" s

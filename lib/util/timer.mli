@@ -1,0 +1,24 @@
+(** Wall-clock timing for the inference-time measurements (Figures 6c/6d,
+    7, Table 1). *)
+
+val now : unit -> float
+
+(** [time f] runs [f ()]; returns its result and the elapsed seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+val time_only : (unit -> 'a) -> float
+
+(** A stopwatch accumulating across start/stop pairs. *)
+type t
+
+val create : unit -> t
+val start : t -> unit
+val stop : t -> unit
+
+(** Accumulated seconds (including the running segment, if any). *)
+val elapsed : t -> float
+
+val reset : t -> unit
+
+(** Human-readable duration (µs/ms/s). *)
+val pp_seconds : Format.formatter -> float -> unit

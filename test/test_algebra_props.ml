@@ -1,0 +1,91 @@
+(* qcheck properties for the algebra operators: set-semantics operators
+   mirror a reference implementation over tuple sets. *)
+
+module Value = Jqi_relational.Value
+module Schema = Jqi_relational.Schema
+module Tuple = Jqi_relational.Tuple
+module Relation = Jqi_relational.Relation
+module Algebra = Jqi_relational.Algebra
+module TS = Relation.Tuple_set
+
+let gen_rel =
+  QCheck.Gen.(
+    let cell =
+      frequency [ (5, map (fun i -> Value.Int i) (int_bound 3)); (1, return Value.Null) ]
+    in
+    let* arity = int_range 1 3 in
+    let* rows = list_size (int_bound 8) (map Tuple.of_list (list_repeat arity cell)) in
+    return (arity, rows))
+
+let mk ?(name = "t") arity rows =
+  Relation.of_list ~name
+    ~schema:(Schema.of_names ~ty:Value.TInt (List.init arity (fun i -> Printf.sprintf "c%d" i)))
+    rows
+
+let gen_pair =
+  QCheck.Gen.(
+    let* arity, rows1 = gen_rel in
+    let* rows2 =
+      list_size (int_bound 8)
+        (map Tuple.of_list
+           (list_repeat arity
+              (frequency
+                 [ (5, map (fun i -> Value.Int i) (int_bound 3)); (1, return Value.Null) ])))
+    in
+    return (arity, rows1, rows2))
+
+let arb_pair = QCheck.make gen_pair
+
+let set_of rel = Relation.tuple_set rel
+
+let props =
+  [
+    QCheck.Test.make ~name:"distinct = set of rows" ~count:300
+      (QCheck.make gen_rel) (fun (arity, rows) ->
+        let r = mk arity rows in
+        let d = Algebra.distinct r in
+        TS.equal (set_of r) (set_of d)
+        && Relation.cardinality d = TS.cardinal (set_of r));
+    QCheck.Test.make ~name:"union mirrors set union" ~count:300 arb_pair
+      (fun (arity, r1, r2) ->
+        let a = mk arity r1 and b = mk arity r2 in
+        TS.equal (set_of (Algebra.union a b)) (TS.union (set_of a) (set_of b)));
+    QCheck.Test.make ~name:"inter mirrors set inter" ~count:300 arb_pair
+      (fun (arity, r1, r2) ->
+        let a = mk arity r1 and b = mk arity r2 in
+        TS.equal (set_of (Algebra.inter a b)) (TS.inter (set_of a) (set_of b)));
+    QCheck.Test.make ~name:"difference mirrors set diff" ~count:300 arb_pair
+      (fun (arity, r1, r2) ->
+        let a = mk arity r1 and b = mk arity r2 in
+        TS.equal (set_of (Algebra.difference a b)) (TS.diff (set_of a) (set_of b)));
+    QCheck.Test.make ~name:"product cardinality" ~count:300 arb_pair
+      (fun (arity, r1, r2) ->
+        (* Distinct relation names so the product can qualify the clashing
+           column names. *)
+        let a = mk arity r1 and b = mk ~name:"u" arity r2 in
+        Relation.cardinality (Algebra.product a b)
+        = Relation.cardinality a * Relation.cardinality b);
+    QCheck.Test.make ~name:"sort preserves multiset" ~count:300
+      (QCheck.make gen_rel) (fun (arity, rows) ->
+        let r = mk arity rows in
+        let sorted = Algebra.sort r in
+        List.sort Tuple.compare (Relation.to_list r)
+        = List.sort Tuple.compare (Relation.to_list sorted)
+        &&
+        (* ... and is actually sorted. *)
+        let rec is_sorted = function
+          | a :: (b :: _ as rest) -> Tuple.compare a b <= 0 && is_sorted rest
+          | _ -> true
+        in
+        is_sorted (Relation.to_list sorted));
+    QCheck.Test.make ~name:"select then select = select of conjunction" ~count:300
+      (QCheck.make gen_rel) (fun (arity, rows) ->
+        let r = mk arity rows in
+        let p1 t = Tuple.hash t mod 2 = 0 in
+        let p2 t = Tuple.hash t mod 3 <> 0 in
+        Relation.equal_contents
+          (Algebra.select (Algebra.select r p1) p2)
+          (Algebra.select r (fun t -> p1 t && p2 t)));
+  ]
+
+let suite = List.map QCheck_alcotest.to_alcotest props

@@ -1,0 +1,112 @@
+(* CSV: quoting, multi-line fields, type inference, relation round-trips. *)
+
+module Value = Jqi_relational.Value
+module Schema = Jqi_relational.Schema
+module Tuple = Jqi_relational.Tuple
+module Relation = Jqi_relational.Relation
+module Csv = Jqi_relational.Csv
+
+let records = Alcotest.(list (list string))
+
+let test_parse_simple () =
+  Alcotest.check records "basic"
+    [ [ "a"; "b" ]; [ "1"; "2" ] ]
+    (Csv.parse_string "a,b\n1,2\n")
+
+let test_parse_no_trailing_newline () =
+  Alcotest.check records "no trailing" [ [ "a" ]; [ "1" ] ] (Csv.parse_string "a\n1")
+
+let test_parse_crlf () =
+  Alcotest.check records "crlf" [ [ "a"; "b" ]; [ "1"; "2" ] ]
+    (Csv.parse_string "a,b\r\n1,2\r\n")
+
+let test_quoted_fields () =
+  Alcotest.check records "comma in quotes" [ [ "a,b"; "c" ] ]
+    (Csv.parse_string "\"a,b\",c\n");
+  Alcotest.check records "escaped quote" [ [ "say \"hi\"" ] ]
+    (Csv.parse_string "\"say \"\"hi\"\"\"\n");
+  Alcotest.check records "newline in quotes" [ [ "two\nlines"; "x" ] ]
+    (Csv.parse_string "\"two\nlines\",x\n")
+
+let test_empty_fields () =
+  Alcotest.check records "empties" [ [ ""; ""; "" ] ] (Csv.parse_string ",,\n")
+
+let test_to_string_quotes () =
+  let out = Csv.to_string [ [ "a,b"; "plain"; "q\"uote"; "nl\nin" ] ] in
+  Alcotest.check records "roundtrip" [ [ "a,b"; "plain"; "q\"uote"; "nl\nin" ] ]
+    (Csv.parse_string out)
+
+let test_custom_separator () =
+  Alcotest.check records "semicolon" [ [ "a"; "b" ] ]
+    (Csv.parse_string ~sep:';' "a;b\n")
+
+let test_relation_roundtrip () =
+  let r =
+    Relation.of_list ~name:"t"
+      ~schema:
+        (Schema.of_columns
+           [ Schema.column "k" Value.TInt; Schema.column "s" Value.TString ])
+      [
+        Tuple.of_list [ Value.Int 1; Value.Str "x,y" ];
+        Tuple.of_list [ Value.Null; Value.Str "plain" ];
+      ]
+  in
+  let path = Filename.temp_file "jqi" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save_relation path r;
+      let r' = Csv.load_relation ~name:"t" ~schema:(Relation.schema r) path in
+      Alcotest.(check bool) "contents equal" true (Relation.equal_contents r r'))
+
+(* CSV cannot distinguish NULL from the empty string: both serialize to an
+   empty cell and load back as NULL.  This documents the (standard) lossy
+   corner. *)
+let test_empty_string_loads_as_null () =
+  let r =
+    Csv.relation_of_records ~name:"t"
+      ~schema:(Schema.of_columns [ Schema.column "s" Value.TString ])
+      [ [ "s" ]; [ "" ] ]
+  in
+  Alcotest.check Fixtures.value_testable "null" Value.Null
+    (Tuple.get (Relation.row r 0) 0)
+
+let test_type_inference_on_load () =
+  let r =
+    Csv.relation_of_records ~name:"t"
+      [ [ "n"; "f"; "s" ]; [ "1"; "1.5"; "a" ]; [ "2"; "2"; "b" ] ]
+  in
+  let sch = Relation.schema r in
+  Alcotest.(check bool) "int col" true (Schema.ty_at sch 0 = Value.TInt);
+  Alcotest.(check bool) "float col" true (Schema.ty_at sch 1 = Value.TFloat);
+  Alcotest.(check bool) "str col" true (Schema.ty_at sch 2 = Value.TString)
+
+let test_ragged_rejected () =
+  Alcotest.(check bool) "ragged raises" true
+    (try
+       ignore (Csv.relation_of_records ~name:"t" [ [ "a"; "b" ]; [ "1" ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_empty_input_rejected () =
+  Alcotest.(check bool) "no header raises" true
+    (try
+       ignore (Csv.relation_of_records ~name:"t" []);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "parse simple" `Quick test_parse_simple;
+    Alcotest.test_case "no trailing newline" `Quick test_parse_no_trailing_newline;
+    Alcotest.test_case "crlf" `Quick test_parse_crlf;
+    Alcotest.test_case "quoted fields" `Quick test_quoted_fields;
+    Alcotest.test_case "empty fields" `Quick test_empty_fields;
+    Alcotest.test_case "writer quotes" `Quick test_to_string_quotes;
+    Alcotest.test_case "custom separator" `Quick test_custom_separator;
+    Alcotest.test_case "relation roundtrip" `Quick test_relation_roundtrip;
+    Alcotest.test_case "empty string loads as null" `Quick test_empty_string_loads_as_null;
+    Alcotest.test_case "type inference" `Quick test_type_inference_on_load;
+    Alcotest.test_case "ragged rejected" `Quick test_ragged_rejected;
+    Alcotest.test_case "empty input rejected" `Quick test_empty_input_rejected;
+  ]

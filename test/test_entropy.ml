@@ -1,0 +1,146 @@
+(* Entropy, skyline and entropy² — the golden values of Figure 5 and the
+   §4.4 walk-through.
+
+   One deliberate deviation: the paper's Figure 5 lists u⁺ = 2 for
+   (t2,t'1), but T(t2,t'1) = {(A1,B3)} has four strict supersets among the
+   signatures of D0 ((t1,t'1), (t3,t'2), (t1,t'3), (t2,t'3)), all of which
+   become certain-positive when (t2,t'1) is labeled positively, so by the
+   paper's own Lemma 3.3 u⁺ = 4.  Every other cell of Figure 5 matches our
+   implementation exactly, so we treat that cell as an erratum and assert
+   the corrected value (see EXPERIMENTS.md). *)
+
+open Fixtures
+module Entropy = Jqi_core.Entropy
+module State = Jqi_core.State
+module Sample = Jqi_core.Sample
+module Universe = Jqi_core.Universe
+
+let e = Entropy.make
+
+let figure5 =
+  [
+    ((1, 1), e 0 2);
+    ((1, 2), e 0 1);
+    ((1, 3), e 1 2);
+    ((2, 1), e 1 4) (* paper prints (1,2); see erratum note above *);
+    ((2, 2), e 1 1);
+    ((2, 3), e 0 4);
+    ((3, 1), e 0 11);
+    ((3, 2), e 0 2);
+    ((3, 3), e 0 1);
+    ((4, 1), e 0 2);
+    ((4, 2), e 1 1);
+    ((4, 3), e 0 1);
+  ]
+
+let test_figure5 () =
+  let st = State.create universe0 in
+  List.iter
+    (fun (ij, expected) ->
+      Alcotest.check entropy_testable
+        (Printf.sprintf "entropy(t%d,t'%d)" (fst ij) (snd ij))
+        expected
+        (Entropy.entropy1 st (class0 ij)))
+    figure5
+
+let test_dominates () =
+  (* §4.4: (1,2) dominates (1,1) and (0,2), but not (2,2) nor (0,3). *)
+  Alcotest.(check bool) "(1,2) dom (1,1)" true (Entropy.dominates (e 1 2) (e 1 1));
+  Alcotest.(check bool) "(1,2) dom (0,2)" true (Entropy.dominates (e 1 2) (e 0 2));
+  Alcotest.(check bool) "(1,2) !dom (2,2)" false (Entropy.dominates (e 1 2) (e 2 2));
+  Alcotest.(check bool) "(1,2) !dom (0,3)" false (Entropy.dominates (e 1 2) (e 0 3))
+
+let test_skyline () =
+  let es = List.map snd figure5 in
+  let sky = Entropy.skyline es in
+  (* With the corrected (1,4) the skyline is {(1,4),(0,11)}; the paper's
+     print (with (1,2)) gives {(1,2),(0,11)}. *)
+  Alcotest.(check int) "skyline size" 2 (List.length sky);
+  Alcotest.(check bool) "has (1,4)" true (List.exists (Entropy.equal (e 1 4)) sky);
+  Alcotest.(check bool) "has (0,11)" true (List.exists (Entropy.equal (e 0 11)) sky)
+
+let test_skyline_keeps_duplicates_representative () =
+  let sky = Entropy.skyline [ e 1 2; e 1 2 ] in
+  Alcotest.(check int) "duplicate entropies survive as one" 1 (List.length sky)
+
+let test_best () =
+  (* max of mins is 1; among skyline entries with lo = 1 the best is (1,4). *)
+  match Entropy.best (List.map snd figure5) with
+  | None -> Alcotest.fail "expected a best entropy"
+  | Some b -> Alcotest.check entropy_testable "best" (e 1 4) b
+
+(* §4.4 walk-through: S = {(t1,t'3)+, (t3,t'1)−};
+   entropy²((t2,t'1)) = (3,3) because labeling it + ends the game (e⁺ =
+   (∞,∞)) and labeling it − leaves E = {(3,3)}. *)
+let walkthrough_state () =
+  let st = State.create universe0 in
+  State.label st (class0 (1, 3)) Sample.Positive;
+  State.label st (class0 (3, 1)) Sample.Negative;
+  st
+
+let test_entropy2_walkthrough () =
+  let st = walkthrough_state () in
+  Alcotest.check entropy_testable "entropy2 (t2,t'1)" (e 3 3)
+    (Entropy.entropy_k st 2 (class0 (2, 1)))
+
+let test_entropy2_infinite_branch_detected () =
+  let st = walkthrough_state () in
+  (* Labeling (t2,t'1) positively leaves no informative tuple: every other
+     informative class must see that as a possible end too.  (t4,t'1)
+     labeled + gives tpos = {(A1,B2)}: some tuples stay informative, so its
+     entropy² is finite. *)
+  let e2 = Entropy.entropy_k st 2 (class0 (4, 1)) in
+  Alcotest.(check bool) "finite" false (Entropy.is_infinite e2)
+
+let test_entropy_k1_equals_entropy1 () =
+  let st = walkthrough_state () in
+  List.iter
+    (fun i ->
+      Alcotest.check entropy_testable
+        (Printf.sprintf "k=1 class %d" i)
+        (Entropy.entropy1 st i)
+        (Entropy.entropy_k st 1 i))
+    (State.informative_classes st)
+
+let test_best_empty () =
+  Alcotest.(check bool) "best of empty is None" true (Entropy.best [] = None)
+
+let test_entropy3_sane () =
+  (* Deeper lookahead never crashes and stays finite while informative
+     tuples remain after any single label. *)
+  let st = State.create universe0 in
+  List.iter
+    (fun i ->
+      let e = Entropy.entropy_k st 3 i in
+      Alcotest.(check bool) "finite at depth 3 on empty sample" true
+        (not (Entropy.is_infinite e)))
+    (State.informative_classes st)
+
+let test_u_counts_nonnegative () =
+  let st = walkthrough_state () in
+  List.iter
+    (fun i ->
+      let e = Entropy.entropy1 st i in
+      Alcotest.(check bool) "lo >= 0" true (e.Entropy.lo >= 0);
+      Alcotest.(check bool) "hi bounded by informative tuples" true
+        (e.Entropy.hi
+        <= List.fold_left
+             (fun acc c -> acc + Universe.count universe0 c)
+             0
+             (State.informative_classes st)))
+    (State.informative_classes st)
+
+let suite =
+  [
+    Alcotest.test_case "figure 5 entropies" `Quick test_figure5;
+    Alcotest.test_case "dominance examples" `Quick test_dominates;
+    Alcotest.test_case "figure 5 skyline" `Quick test_skyline;
+    Alcotest.test_case "skyline dedups" `Quick test_skyline_keeps_duplicates_representative;
+    Alcotest.test_case "best entropy" `Quick test_best;
+    Alcotest.test_case "entropy2 walkthrough" `Quick test_entropy2_walkthrough;
+    Alcotest.test_case "entropy2 finite branch" `Quick test_entropy2_infinite_branch_detected;
+    Alcotest.test_case "entropy_k(1) = entropy1" `Quick test_entropy_k1_equals_entropy1;
+    Alcotest.test_case "best of empty" `Quick test_best_empty;
+    Alcotest.test_case "entropy depth 3" `Quick test_entropy3_sane;
+    Alcotest.test_case "u counts sane" `Quick test_u_counts_nonnegative;
+  ]

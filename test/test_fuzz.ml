@@ -1,0 +1,193 @@
+(* Property-based fuzzing of the two textual formats: random CSV records
+   must survive write→parse exactly, and random SQL ASTs must reach a
+   print→parse fixpoint. *)
+
+module Csv = Jqi_relational.Csv
+module Ast = Jqi_sql.Ast
+module Parser = Jqi_sql.Parser
+
+(* -------------------------------- CSV ------------------------------ *)
+
+(* Cells exercise every quoting path: separators, quotes, newlines, CRs,
+   unicode bytes.  Records must be non-empty (a record of zero fields is
+   not representable in CSV). *)
+let gen_cell =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, string_size ~gen:printable (int_bound 10));
+        (1, return "");
+        (1, return "a,b");
+        (1, return "say \"hi\"");
+        (1, return "two\nlines");
+        (1, return "trailing\r");
+        (1, return "'quoted'");
+        (1, map (String.make 1) (oneofl [ ','; '"'; '\n'; ';' ]));
+      ])
+
+let gen_records =
+  QCheck.Gen.(list_size (int_range 1 8) (list_size (int_range 1 5) gen_cell))
+
+(* parse_string cannot represent a record whose rendering is empty-line
+   ambiguous: a single-field record containing only "" renders as an empty
+   line.  Filter those. *)
+let representable records =
+  List.for_all (fun r -> r <> [ "" ]) records
+
+let csv_roundtrip =
+  QCheck.Test.make ~name:"csv write/parse roundtrip" ~count:500
+    (QCheck.make gen_records ~print:(fun rs ->
+         String.concat "|" (List.map (String.concat ",") rs)))
+    (fun records ->
+      QCheck.assume (representable records);
+      Csv.parse_string (Csv.to_string records) = records)
+
+let csv_separator_roundtrip =
+  QCheck.Test.make ~name:"csv roundtrip with ';' separator" ~count:200
+    (QCheck.make gen_records)
+    (fun records ->
+      QCheck.assume (representable records);
+      Csv.parse_string ~sep:';' (Csv.to_string ~sep:';' records) = records)
+
+(* -------------------------------- SQL ------------------------------ *)
+
+let gen_name =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl [ "users"; "orders"; "t"; "a_b"; "x1" ];
+        (* Names needing quoting: keywords and odd characters. *)
+        oneofl [ "select"; "from"; "weird name"; "1starts_digit" ];
+      ])
+
+let rec gen_expr_sized depth =
+  QCheck.Gen.(
+    if depth = 0 then
+      frequency
+        [
+          (4, map (fun c -> Ast.Col (None, c)) gen_name);
+          (2, map2 (fun q c -> Ast.Col (Some q, c)) gen_name gen_name);
+          (2, map (fun i -> Ast.Int i) (int_bound 1000));
+          (1, return (Ast.Float 2.5));
+          (2, map (fun s -> Ast.Str s) (oneofl [ "x"; "it's"; "" ]));
+          (1, return (Ast.Bool true));
+          (1, return Ast.Null);
+        ]
+    else
+      frequency
+        [
+          (4, gen_expr_sized 0);
+          ( 1,
+            let* op = oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div ] in
+            let* a = gen_expr_sized (depth - 1) in
+            let* b = gen_expr_sized (depth - 1) in
+            return (Ast.Binop (op, a, b)) );
+        ])
+
+let gen_expr = gen_expr_sized 2
+
+let gen_cmp = QCheck.Gen.oneofl [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ]
+
+let rec gen_cond depth =
+  QCheck.Gen.(
+    if depth = 0 then
+      oneof
+        [
+          map3 (fun op a b -> Ast.Cmp (op, a, b)) gen_cmp gen_expr gen_expr;
+          map (fun e -> Ast.Is_null e) gen_expr;
+          map (fun e -> Ast.Is_not_null e) gen_expr;
+        ]
+    else
+      frequency
+        [
+          (3, gen_cond 0);
+          (1, map2 (fun a b -> Ast.And (a, b)) (gen_cond (depth - 1)) (gen_cond (depth - 1)));
+          (1, map2 (fun a b -> Ast.Or (a, b)) (gen_cond (depth - 1)) (gen_cond (depth - 1)));
+          (1, map (fun c -> Ast.Not c) (gen_cond (depth - 1)));
+        ])
+
+let gen_source =
+  QCheck.Gen.(
+    map2
+      (fun table alias -> { Ast.table; alias })
+      gen_name
+      (opt gen_name))
+
+let gen_join =
+  QCheck.Gen.(
+    let* kind = oneofl [ Ast.Inner; Ast.Semi; Ast.Anti; Ast.Cross ] in
+    let* src = gen_source in
+    let* cond = gen_cond 1 in
+    return
+      (match kind with
+      | Ast.Cross -> (kind, src, None)
+      | _ -> (kind, src, Some cond)))
+
+let gen_query =
+  QCheck.Gen.(
+    let* distinct = bool in
+    let* select =
+      oneof
+        [
+          return [ Ast.Star ];
+          list_size (int_range 1 3)
+            (map2 (fun e a -> Ast.Expr (e, a)) gen_expr (opt gen_name));
+        ]
+    in
+    let* from = gen_source in
+    let* joins = list_size (int_bound 2) gen_join in
+    let* where = opt (gen_cond 2) in
+    let* group_by = list_size (int_bound 2) gen_expr in
+    (* Aggregate select items only when grouping makes them executable;
+       the printer/parser roundtrip does not care about executability, so
+       mix them in freely. *)
+    let* select =
+      if group_by = [] then return select
+      else
+        let* aggs =
+          list_size (int_bound 2)
+            (let* fn = oneofl [ Ast.Count; Ast.Sum; Ast.Avg; Ast.Min; Ast.Max ] in
+             let* arg = if fn = Ast.Count then opt gen_expr else map Option.some gen_expr in
+             let* alias = opt gen_name in
+             return (Ast.Agg (fn, arg, alias)))
+        in
+        return
+          (match select with
+          | [ Ast.Star ] when aggs <> [] -> aggs
+          | items -> items @ aggs)
+    in
+    let* having = if group_by = [] then return None else opt (gen_cond 1) in
+    let* order_by =
+      list_size (int_bound 2)
+        (map2 (fun e d -> (e, d)) gen_expr (oneofl [ Ast.Asc; Ast.Desc ]))
+    in
+    let* limit = opt (int_bound 100) in
+    return
+      { Ast.distinct; select; from; joins; where; group_by; having; order_by; limit })
+
+let sql_print_parse_fixpoint =
+  QCheck.Test.make ~name:"sql print/parse fixpoint" ~count:500
+    (QCheck.make gen_query ~print:Ast.to_string)
+    (fun q ->
+      let printed = Ast.to_string q in
+      match Parser.parse_result printed with
+      | Result.Error e -> QCheck.Test.fail_reportf "unparseable: %s (%s)" printed e
+      | Ok q' ->
+          let printed' = Ast.to_string q' in
+          if printed = printed' then true
+          else
+            QCheck.Test.fail_reportf "not a fixpoint:\n  %s\n  %s" printed printed')
+
+(* The lexer never loops or crashes on arbitrary printable input; it either
+   tokenizes or raises its typed error. *)
+let lexer_total =
+  QCheck.Test.make ~name:"lexer total on printable strings" ~count:500
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 60) QCheck.Gen.printable)
+    (fun s ->
+      match Jqi_sql.Lexer.tokenize s with
+      | _ -> true
+      | exception Jqi_sql.Lexer.Error _ -> true)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ csv_roundtrip; csv_separator_roundtrip; sql_print_parse_fixpoint; lexer_total ]

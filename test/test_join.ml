@@ -1,0 +1,156 @@
+(* Join evaluation: hash join vs nested loops (qcheck), semijoin/antijoin
+   laws, NULL behaviour, anti-monotonicity w.r.t. the predicate. *)
+
+module Value = Jqi_relational.Value
+module Schema = Jqi_relational.Schema
+module Tuple = Jqi_relational.Tuple
+module Relation = Jqi_relational.Relation
+module Join = Jqi_relational.Join
+module Index = Jqi_relational.Index
+
+let rel name cols rows =
+  Relation.of_list ~name ~schema:(Schema.of_names ~ty:Value.TInt cols)
+    (List.map Tuple.ints rows)
+
+let r = rel "r" [ "a"; "b" ] [ [ 1; 10 ]; [ 2; 20 ]; [ 3; 10 ] ]
+let p = rel "p" [ "c"; "d" ] [ [ 1; 10 ]; [ 2; 99 ]; [ 9; 10 ] ]
+
+let test_equijoin_basic () =
+  let j = Join.equijoin r p [ (0, 0) ] in
+  Alcotest.(check int) "matches on keys" 2 (Relation.cardinality j);
+  let j2 = Join.equijoin r p [ (1, 1) ] in
+  (* b=d: 10 appears twice in r and twice in p -> 4 pairs; 20/99 none. *)
+  Alcotest.(check int) "value join" 4 (Relation.cardinality j2);
+  let j3 = Join.equijoin r p [ (0, 0); (1, 1) ] in
+  Alcotest.(check int) "conjunction" 1 (Relation.cardinality j3)
+
+let test_empty_predicate_is_product () =
+  let j = Join.equijoin r p [] in
+  Alcotest.(check int) "cartesian" 9 (Relation.cardinality j)
+
+let test_semijoin () =
+  let s = Join.semijoin r p [ (0, 0) ] in
+  Alcotest.(check int) "rows of r with partner" 2 (Relation.cardinality s);
+  let a = Join.antijoin r p [ (0, 0) ] in
+  Alcotest.(check int) "antijoin complement" 1 (Relation.cardinality a);
+  Alcotest.(check int) "semi + anti = r" (Relation.cardinality r)
+    (Relation.cardinality s + Relation.cardinality a)
+
+let test_semijoin_empty_p () =
+  let empty_p = rel "p" [ "c"; "d" ] [] in
+  Alcotest.(check int) "semijoin with empty P is empty" 0
+    (Relation.cardinality (Join.semijoin r empty_p []));
+  Alcotest.(check int) "even with empty predicate" 0
+    (Relation.cardinality (Join.semijoin r empty_p [ (0, 0) ]))
+
+let test_null_never_joins () =
+  let rn =
+    Relation.of_list ~name:"rn" ~schema:(Schema.of_names ~ty:Value.TInt [ "a" ])
+      [ Tuple.of_list [ Value.Null ]; Tuple.of_list [ Value.Int 1 ] ]
+  in
+  let pn =
+    Relation.of_list ~name:"pn" ~schema:(Schema.of_names ~ty:Value.TInt [ "b" ])
+      [ Tuple.of_list [ Value.Null ]; Tuple.of_list [ Value.Int 1 ] ]
+  in
+  Alcotest.(check int) "only 1=1 joins" 1
+    (Relation.cardinality (Join.equijoin rn pn [ (0, 0) ]));
+  Alcotest.(check int) "nested loop agrees" 1
+    (Relation.cardinality (Join.equijoin_nested rn pn [ (0, 0) ]))
+
+let test_predicate_of_names () =
+  let theta = Join.predicate_of_names r p [ ("a", "d"); ("b", "c") ] in
+  Alcotest.(check (list (pair int int))) "resolved" [ (0, 1); (1, 0) ] theta
+
+let test_bad_predicate_rejected () =
+  Alcotest.check_raises "bad column" (Invalid_argument "Join: bad left column 5")
+    (fun () -> ignore (Join.equijoin r p [ (5, 0) ]))
+
+let test_index () =
+  let idx = Index.build p ~columns:[ 1 ] in
+  Alcotest.(check int) "distinct keys" 2 (Index.distinct_keys idx);
+  Alcotest.(check (list int)) "probe 10" [ 2; 0 ]
+    (Index.probe idx ~probe_columns:[ 1 ] (Tuple.ints [ 0; 10 ]));
+  Alcotest.(check (list int)) "probe miss" []
+    (Index.probe idx ~probe_columns:[ 1 ] (Tuple.ints [ 0; 55 ]))
+
+(* qcheck: hash join = nested-loop join on random instances, including
+   NULLs and repeated values. *)
+let gen_instance =
+  QCheck.Gen.(
+    let cell = frequency [ (5, map (fun i -> Value.Int i) (int_bound 4)); (1, return Value.Null) ] in
+    let row arity = map Tuple.of_list (list_repeat arity cell) in
+    let* ra = int_range 1 3 and* pa = int_range 1 3 in
+    let* rrows = list_size (int_bound 8) (row ra)
+    and* prows = list_size (int_bound 8) (row pa) in
+    let* npairs = int_bound 3 in
+    let* pairs =
+      list_repeat npairs (pair (int_bound (ra - 1)) (int_bound (pa - 1)))
+    in
+    return (ra, pa, rrows, prows, pairs))
+
+let relation_of name prefix arity rows =
+  Relation.of_list ~name
+    ~schema:
+      (Schema.of_names ~ty:Value.TInt
+         (List.init arity (fun i -> Printf.sprintf "%s%d" prefix i)))
+    rows
+
+let qcheck_hash_vs_nested =
+  QCheck.Test.make ~name:"hash join = nested-loop join" ~count:300
+    (QCheck.make gen_instance)
+    (fun (ra, pa, rrows, prows, pairs) ->
+      let r = relation_of "r" "a" ra rrows and p = relation_of "p" "b" pa prows in
+      Relation.equal_contents (Join.equijoin r p pairs) (Join.equijoin_nested r p pairs))
+
+let qcheck_semijoin_agrees =
+  QCheck.Test.make ~name:"hash semijoin = nested semijoin" ~count:300
+    (QCheck.make gen_instance)
+    (fun (ra, pa, rrows, prows, pairs) ->
+      let r = relation_of "r" "a" ra rrows and p = relation_of "p" "b" pa prows in
+      Relation.equal_contents (Join.semijoin r p pairs) (Join.semijoin_nested r p pairs))
+
+let qcheck_semijoin_is_projected_join =
+  QCheck.Test.make ~name:"semijoin = project(equijoin)" ~count:300
+    (QCheck.make gen_instance)
+    (fun (ra, pa, rrows, prows, pairs) ->
+      let r = relation_of "r" "a" ra rrows and p = relation_of "p" "b" pa prows in
+      let semi = Jqi_relational.Algebra.distinct (Join.semijoin r p pairs) in
+      let proj =
+        Jqi_relational.Algebra.distinct
+          (Jqi_relational.Algebra.project (Join.equijoin r p pairs)
+             (Schema.names (Relation.schema r)))
+      in
+      (* Projection of the join renames nothing here because the generated
+         column names are disjoint. *)
+      Relation.equal_contents semi proj)
+
+let qcheck_anti_monotone =
+  QCheck.Test.make ~name:"join anti-monotone in the predicate" ~count:300
+    (QCheck.make gen_instance)
+    (fun (ra, pa, rrows, prows, pairs) ->
+      let r = relation_of "r" "a" ra rrows and p = relation_of "p" "b" pa prows in
+      let bigger = Join.equijoin r p [] in
+      let smaller = Join.equijoin r p pairs in
+      Relation.fold
+        (fun acc t -> acc && Relation.mem bigger t)
+        true smaller
+      && Relation.cardinality smaller <= Relation.cardinality bigger)
+
+let suite =
+  [
+    Alcotest.test_case "equijoin basics" `Quick test_equijoin_basic;
+    Alcotest.test_case "empty predicate = product" `Quick test_empty_predicate_is_product;
+    Alcotest.test_case "semijoin/antijoin" `Quick test_semijoin;
+    Alcotest.test_case "semijoin with empty P" `Quick test_semijoin_empty_p;
+    Alcotest.test_case "null never joins" `Quick test_null_never_joins;
+    Alcotest.test_case "predicate_of_names" `Quick test_predicate_of_names;
+    Alcotest.test_case "bad predicate rejected" `Quick test_bad_predicate_rejected;
+    Alcotest.test_case "hash index" `Quick test_index;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        qcheck_hash_vs_nested;
+        qcheck_semijoin_agrees;
+        qcheck_semijoin_is_projected_join;
+        qcheck_anti_monotone;
+      ]

@@ -1,0 +1,223 @@
+(* Join paths (§7 extension): the generalized certainty characterizations
+   cross-checked against brute force over predicate vectors, and
+   end-to-end inference on chains of three relations. *)
+
+module Bits = Jqi_util.Bits
+module Prng = Jqi_util.Prng
+module Value = Jqi_relational.Value
+module Schema = Jqi_relational.Schema
+module Tuple = Jqi_relational.Tuple
+module Relation = Jqi_relational.Relation
+module Omega = Jqi_core.Omega
+module Sample = Jqi_core.Sample
+module Path = Jqi_joinpath.Path
+
+let rel name cols rows =
+  Relation.of_list ~name ~schema:(Schema.of_names ~ty:Value.TInt cols)
+    (List.map Tuple.ints rows)
+
+(* A three-relation chain: customers → orders → items, small enough to
+   brute-force the predicate-vector version space. *)
+let r1 = rel "c" [ "cid" ] [ [ 1 ]; [ 2 ]; [ 3 ] ]
+let r2 = rel "o" [ "ocid"; "oid" ] [ [ 1; 10 ]; [ 2; 20 ]; [ 3; 10 ] ]
+let r3 = rel "i" [ "ioid" ] [ [ 10 ]; [ 20 ] ]
+
+let path = Path.build [ r1; r2; r3 ]
+
+let goal =
+  [|
+    Omega.of_pairs (Omega.create ~n:1 ~m:2 ()) [ (0, 0) ] (* cid = ocid *);
+    Omega.of_pairs (Omega.create ~n:2 ~m:1 ()) [ (1, 0) ] (* oid = ioid *);
+  |]
+
+let test_build_shape () =
+  (* 3·3·2 = 18 path tuples, quotiented into signature-vector combos. *)
+  let total = Array.fold_left (fun a c -> a + c.Path.count) 0 path.combos in
+  Alcotest.(check int) "18 path tuples" 18 total;
+  Alcotest.(check int) "two edges" 2 (Path.n_edges path);
+  Alcotest.(check bool) "fewer combos than tuples" true
+    (Path.n_combos path <= 18)
+
+let test_build_validation () =
+  Alcotest.(check bool) "single relation rejected" true
+    (try ignore (Path.build [ r1 ]); false with Invalid_argument _ -> true);
+  let empty = rel "e" [ "x" ] [] in
+  Alcotest.(check bool) "empty relation rejected" true
+    (try ignore (Path.build [ r1; empty ]); false with Invalid_argument _ -> true)
+
+let test_selects () =
+  (* The goal selects exactly the FK-consistent path tuples:
+     (1,(1,10),10), (2,(2,20),20), (3,(3,10),10). *)
+  let selected =
+    Array.to_list path.combos
+    |> List.filter (fun c -> Path.selects goal c.Path.signatures)
+    |> List.fold_left (fun acc c -> acc + c.Path.count) 0
+  in
+  Alcotest.(check int) "three selected path tuples" 3 selected
+
+(* Brute force: enumerate all consistent predicate vectors and compare
+   Cert± with the implementation's polynomial tests. *)
+let all_vectors path =
+  let per_edge =
+    Array.to_list (Array.map Omega.all_predicates path.Path.omegas)
+  in
+  List.fold_left
+    (fun acc preds ->
+      List.concat_map (fun v -> List.map (fun p -> v @ [ p ]) preds) acc)
+    [ [] ] per_edge
+  |> List.map Array.of_list
+
+let test_certainty_vs_brute () =
+  let prng = Prng.create 3 in
+  let vectors = all_vectors path in
+  for _ = 1 to 60 do
+    (* Random consistent sample, built by labeling random combos with a
+       random goal's labels. *)
+    let goal = Prng.pick_list prng vectors in
+    let st = Path.create path in
+    for _ = 1 to 1 + Prng.int prng 3 do
+      let i = Prng.int prng (Path.n_combos path) in
+      let lbl =
+        if Path.selects goal (Path.combo path i).Path.signatures then
+          Sample.Positive
+        else Sample.Negative
+      in
+      match Path.certain_label st i with
+      | Some _ -> ()  (* already decided; skip to keep the sample consistent *)
+      | None -> Path.label st i lbl
+    done;
+    (* Version space by brute force. *)
+    let consistent =
+      List.filter
+        (fun v ->
+          List.for_all
+            (fun (i, lbl) ->
+              let sel = Path.selects v (Path.combo path i).Path.signatures in
+              match lbl with
+              | Sample.Positive -> sel
+              | Sample.Negative -> not sel)
+            st.Path.history)
+        vectors
+    in
+    Alcotest.(check bool) "version space nonempty" true (consistent <> []);
+    for i = 0 to Path.n_combos path - 1 do
+      let sigs = (Path.combo path i).Path.signatures in
+      let by_def =
+        if List.for_all (fun v -> Path.selects v sigs) consistent then
+          Some Sample.Positive
+        else if List.for_all (fun v -> not (Path.selects v sigs)) consistent
+        then Some Sample.Negative
+        else None
+      in
+      Alcotest.(check (option Fixtures.label_testable))
+        (Printf.sprintf "combo %d" i)
+        by_def (Path.certain_label st i)
+    done
+  done
+
+let strategies () = [ Path.bu; Path.td; Path.l1s; Path.rnd (Prng.create 5) ]
+
+let test_only_informative_proposed () =
+  List.iter
+    (fun strategy ->
+      let st = Path.create path in
+      let rec go n =
+        if n > 30 then Alcotest.fail "no convergence"
+        else
+          match strategy.Path.choose st with
+          | None -> ()
+          | Some i ->
+              Alcotest.(check bool)
+                (strategy.Path.name ^ " proposes informative")
+                true (Path.informative st i);
+              Path.label st i
+                (if Path.selects goal (Path.combo path i).Path.signatures then
+                   Sample.Positive
+                 else Sample.Negative);
+              go (n + 1)
+      in
+      go 0)
+    (strategies ())
+
+let test_inference_recovers_goal () =
+  List.iter
+    (fun strategy ->
+      let result = Path.run path strategy (Path.honest_oracle ~goal) in
+      Alcotest.(check bool)
+        (strategy.Path.name ^ " equivalent")
+        true
+        (Path.verified path ~goal result);
+      Alcotest.(check bool) "positive interactions" true (result.n_interactions > 0))
+    (strategies ())
+
+let test_inference_random_goals () =
+  let prng = Prng.create 11 in
+  let vectors = all_vectors path in
+  for _ = 1 to 40 do
+    let goal = Prng.pick_list prng vectors in
+    List.iter
+      (fun strategy ->
+        let result = Path.run path strategy (Path.honest_oracle ~goal) in
+        Alcotest.(check bool)
+          (strategy.Path.name ^ " equivalent on random goal")
+          true
+          (Path.verified path ~goal result))
+      (strategies ())
+  done
+
+let test_inconsistent_labeling_raises () =
+  let st = Path.create path in
+  (* Find a combo, label it positive; any combo that becomes certain
+     negative must reject a positive label. *)
+  Path.label st 0 Sample.Positive;
+  match
+    List.find_opt
+      (fun i -> Path.certain_label st i = Some Sample.Negative)
+      (List.init (Path.n_combos path) Fun.id)
+  with
+  | None -> ()  (* nothing certain-negative on this instance; fine *)
+  | Some i ->
+      Alcotest.check_raises "contradiction raises"
+        (Path.Inconsistent { combo_id = i; label = Sample.Positive })
+        (fun () -> Path.label st i Sample.Positive)
+
+let test_budget () =
+  let result =
+    Path.run ~max_interactions:1 path Path.bu (Path.honest_oracle ~goal)
+  in
+  Alcotest.(check int) "budget respected" 1 result.n_interactions
+
+let test_longer_chain () =
+  (* Four relations. *)
+  let r4 = rel "w" [ "wid" ] [ [ 10 ]; [ 99 ] ] in
+  let path4 = Path.build [ r1; r2; r3; r4 ] in
+  Alcotest.(check int) "three edges" 3 (Path.n_edges path4);
+  let goal4 =
+    [|
+      Omega.of_pairs path4.omegas.(0) [ (0, 0) ];
+      Omega.of_pairs path4.omegas.(1) [ (1, 0) ];
+      Omega.of_pairs path4.omegas.(2) [ (0, 0) ];
+    |]
+  in
+  List.iter
+    (fun strategy ->
+      let result = Path.run path4 strategy (Path.honest_oracle ~goal:goal4) in
+      Alcotest.(check bool)
+        (strategy.Path.name ^ " four-relation chain")
+        true
+        (Path.verified path4 ~goal:goal4 result))
+    (strategies ())
+
+let suite =
+  [
+    Alcotest.test_case "build shape" `Quick test_build_shape;
+    Alcotest.test_case "build validation" `Quick test_build_validation;
+    Alcotest.test_case "path selection" `Quick test_selects;
+    Alcotest.test_case "certainty vs brute force" `Quick test_certainty_vs_brute;
+    Alcotest.test_case "only informative proposed" `Quick test_only_informative_proposed;
+    Alcotest.test_case "inference recovers FK chain" `Quick test_inference_recovers_goal;
+    Alcotest.test_case "inference on random goals" `Quick test_inference_random_goals;
+    Alcotest.test_case "inconsistent labeling raises" `Quick test_inconsistent_labeling_raises;
+    Alcotest.test_case "interaction budget" `Quick test_budget;
+    Alcotest.test_case "four-relation chain" `Quick test_longer_chain;
+  ]

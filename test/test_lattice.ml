@@ -1,0 +1,90 @@
+(* The lattice of join predicates (§4.2, Figure 4). *)
+
+open Fixtures
+module Bits = Jqi_util.Bits
+module Lattice = Jqi_core.Lattice
+module Universe = Jqi_core.Universe
+module Omega = Jqi_core.Omega
+
+let sigs0 = Universe.signatures universe0
+
+let test_figure4_node_count () =
+  (* The non-nullable lattice of Example 2.1: ∅, the 6 singletons, all
+     pairs under some signature, and the 3 triples.  (Figure 4 draws a
+     subset of the pair nodes for space; the true count, derivable by
+     closing the 12 signatures of Figure 3 under subsets, is
+     1 + 6 + 12 + 3 = 22.)  Cross-check against a direct enumeration of
+     PP(Ω). *)
+  let by_enumeration =
+    List.length
+      (List.filter (Lattice.non_nullable sigs0) (Omega.all_predicates omega0))
+  in
+  Alcotest.(check int) "22 non-nullable nodes" 22 by_enumeration;
+  Alcotest.(check int) "non_nullable_count agrees" by_enumeration
+    (Lattice.non_nullable_count sigs0)
+
+let test_maximal_signatures () =
+  (* The ⊆-maximal signatures are the three size-3 ones (the examples §4.3
+     names for TD) plus the four size-2 signatures with no size-3
+     superset: {(A1,B1),(A2,B2)}, {(A1,B3),(A2,B3)}, {(A1,B1),(A2,B1)},
+     {(A2,B2),(A2,B3)}. *)
+  let maximal = Lattice.maximal_signatures sigs0 in
+  Alcotest.(check int) "seven maximal" 7 (List.length maximal);
+  List.iter
+    (fun pairs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "maximal %s" (Omega.pred_to_string omega0 (pred0 pairs)))
+        true
+        (List.exists (Bits.equal (pred0 pairs)) maximal))
+    [
+      [ (0, 2); (1, 0); (1, 1) ] (* T(t1,t'1) *);
+      [ (0, 1); (0, 2); (1, 0) ] (* T(t2,t'3) *);
+      [ (0, 0); (0, 1); (1, 2) ] (* T(t4,t'1) *);
+    ]
+
+let test_minimal_signatures () =
+  (* The unique minimal signature is ∅ (tuple (t3,t'1)). *)
+  match Lattice.minimal_signatures sigs0 with
+  | [ s ] -> Alcotest.(check bool) "empty" true (Bits.is_empty s)
+  | l -> Alcotest.failf "expected one minimal, got %d" (List.length l)
+
+let test_non_nullable () =
+  Alcotest.(check bool) "∅ non-nullable" true
+    (Lattice.non_nullable sigs0 (pred0 []));
+  Alcotest.(check bool) "θ0 non-nullable" true
+    (Lattice.non_nullable sigs0 (pred0 [ (0, 0); (1, 2) ]));
+  Alcotest.(check bool) "Ω nullable here" false
+    (Lattice.non_nullable sigs0 (Omega.full omega0))
+
+let test_covers () =
+  let nodes = [ pred0 []; pred0 [ (0, 0) ]; pred0 [ (0, 0); (1, 2) ] ] in
+  let covers = Lattice.covers nodes in
+  (* A chain of three: two cover edges, no transitive edge. *)
+  Alcotest.(check int) "two edges" 2 (List.length covers);
+  Alcotest.(check bool) "no skip edge" false
+    (List.exists
+       (fun (lo, hi) ->
+         Bits.equal lo (pred0 []) && Bits.equal hi (pred0 [ (0, 0); (1, 2) ]))
+       covers)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_to_dot () =
+  let dot = Lattice.to_dot omega0 universe0 in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph lattice");
+  (* Signature nodes are boxed, Ω (nullable here) appears as ellipse. *)
+  Alcotest.(check bool) "boxes" true (contains dot "shape=box");
+  Alcotest.(check bool) "ellipses" true (contains dot "shape=ellipse")
+
+let suite =
+  [
+    Alcotest.test_case "figure 4 node count" `Quick test_figure4_node_count;
+    Alcotest.test_case "maximal signatures" `Quick test_maximal_signatures;
+    Alcotest.test_case "minimal signatures" `Quick test_minimal_signatures;
+    Alcotest.test_case "non-nullable test" `Quick test_non_nullable;
+    Alcotest.test_case "cover edges" `Quick test_covers;
+    Alcotest.test_case "dot export" `Quick test_to_dot;
+  ]

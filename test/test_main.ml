@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "jqi"
+    [
+      ("bits", Test_bits.suite);
+      ("prng", Test_prng.suite);
+      ("util", Test_util.suite);
+      ("value", Test_value.suite);
+      ("schema", Test_schema.suite);
+      ("relation", Test_relation.suite);
+      ("algebra-props", Test_algebra_props.suite);
+      ("csv", Test_csv.suite);
+      ("join", Test_join.suite);
+      ("tsig", Test_tsig.suite);
+      ("sample", Test_sample.suite);
+      ("state", Test_state.suite);
+      ("entropy", Test_entropy.suite);
+      ("sat", Test_sat.suite);
+      ("semijoin", Test_semijoin.suite);
+      ("semijoin-ext", Test_semijoin_ext.suite);
+      ("omega", Test_omega.suite);
+      ("universe", Test_universe.suite);
+      ("lattice", Test_lattice.suite);
+      ("strategy", Test_strategy.suite);
+      ("inference", Test_inference.suite);
+      ("minimax", Test_minimax.suite);
+      ("tpch", Test_tpch.suite);
+      ("synth", Test_synth.suite);
+      ("experiments", Test_experiments.suite);
+      ("sql", Test_sql.suite);
+      ("joinpath", Test_joinpath.suite);
+      ("extensions", Test_extensions.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("json", Test_json.suite);
+      ("certificate", Test_certificate.suite);
+      ("misc", Test_misc.suite);
+      ("analysis", Test_analysis.suite);
+    ]

@@ -1,0 +1,88 @@
+(* Coverage for smaller public items: DIMACS file I/O, model counting,
+   oracle metadata, result pretty-printers, relation renaming. *)
+
+module Cnf = Jqi_sat.Cnf
+module Dimacs = Jqi_sat.Dimacs
+module Sat_brute = Jqi_sat.Brute
+module Relation = Jqi_relational.Relation
+module Oracle = Jqi_core.Oracle
+module Strategy = Jqi_core.Strategy
+module Inference = Jqi_core.Inference
+module Universe = Jqi_core.Universe
+open Fixtures
+
+let test_dimacs_file_io () =
+  let f = Cnf.create ~nvars:3 [ [| 1; -2 |]; [| 2; 3 |]; [| -3 |] ] in
+  let path = Filename.temp_file "jqi" ".cnf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dimacs.write_file path f;
+      let f' = Dimacs.read_file path in
+      Alcotest.(check int) "nvars" (Cnf.nvars f) (Cnf.nvars f');
+      Alcotest.(check (list (array int))) "clauses" (Cnf.clauses f) (Cnf.clauses f'))
+
+let test_count_models () =
+  (* x1 ∨ x2 over 2 variables: 3 models. *)
+  let f = Cnf.create ~nvars:2 [ [| 1; 2 |] ] in
+  Alcotest.(check int) "models" 3 (Sat_brute.count_models f);
+  (* Every model satisfies. *)
+  List.iter
+    (fun m -> Alcotest.(check bool) "model valid" true (Cnf.satisfied f m))
+    (Sat_brute.all_models f);
+  Alcotest.(check bool) "width guard" true
+    (try ignore (Sat_brute.is_sat (Cnf.create ~nvars:30 [ [| 1 |] ])); false
+     with Invalid_argument _ -> true)
+
+let test_oracle_metadata () =
+  let goal = pred0 [ (0, 2) ] in
+  Alcotest.(check string) "honest name" "honest" (Oracle.name (Oracle.honest ~goal));
+  let noisy =
+    Oracle.noisy (Jqi_util.Prng.create 1) ~error_rate:0.25 (Oracle.honest ~goal)
+  in
+  Alcotest.(check bool) "noisy name mentions rate" true
+    (let n = Oracle.name noisy in
+     String.length n > 5 && String.sub n 0 5 = "noisy")
+
+let test_inference_pp () =
+  let goal = pred0 [ (0, 2) ] in
+  let result = Inference.run universe0 Strategy.td (Oracle.honest ~goal) in
+  let text = Fmt.str "%a" (Inference.pp omega0) result in
+  Alcotest.(check bool) "mentions strategy" true
+    (let needle = "TD" in
+     let n = String.length text and nl = String.length needle in
+     let rec go i = i + nl <= n && (String.sub text i nl = needle || go (i + 1)) in
+     go 0)
+
+let test_with_name () =
+  let renamed = Relation.with_name r0 "renamed" in
+  Alcotest.(check string) "name" "renamed" (Relation.name renamed);
+  Alcotest.(check int) "rows preserved" (Relation.cardinality r0)
+    (Relation.cardinality renamed)
+
+let test_timer_time_only () =
+  Alcotest.(check bool) "non-negative" true
+    (Jqi_util.Timer.time_only (fun () -> ()) >= 0.)
+
+let test_universe_find_class_missing () =
+  Alcotest.(check bool) "absent signature" true
+    (Universe.find_class universe0 (Jqi_core.Omega.full omega0) = None)
+
+let test_tpch_counts_accessor () =
+  let p, s, ps, c, o, l = Jqi_tpch.Tpch.counts ~scale:2 in
+  List.iter
+    (fun n -> Alcotest.(check bool) "positive" true (n > 0))
+    [ p; s; ps; c; o; l ];
+  Alcotest.(check bool) "lineitem is the big one" true (l >= p && l >= o)
+
+let suite =
+  [
+    Alcotest.test_case "dimacs file io" `Quick test_dimacs_file_io;
+    Alcotest.test_case "model counting" `Quick test_count_models;
+    Alcotest.test_case "oracle metadata" `Quick test_oracle_metadata;
+    Alcotest.test_case "inference pp" `Quick test_inference_pp;
+    Alcotest.test_case "relation with_name" `Quick test_with_name;
+    Alcotest.test_case "timer time_only" `Quick test_timer_time_only;
+    Alcotest.test_case "find_class missing" `Quick test_universe_find_class_missing;
+    Alcotest.test_case "tpch counts" `Quick test_tpch_counts_accessor;
+  ]

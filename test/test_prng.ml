@@ -1,0 +1,106 @@
+(* PRNG: determinism, bounds, independence of split streams, permutation
+   and sampling laws. *)
+
+module Prng = Jqi_util.Prng
+
+let test_deterministic () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_different_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let test_int_bounds () =
+  let t = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let bound = 1 + Prng.int t 100 in
+    let v = Prng.int t bound in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < bound)
+  done;
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int t 0))
+
+let test_int_covers_range () =
+  let t = Prng.create 11 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int t 10) <- true
+  done;
+  Alcotest.(check bool) "all 10 values hit in 1000 draws" true
+    (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let t = Prng.create 13 in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 2.5 in
+    Alcotest.(check bool) "in [0, 2.5]" true (v >= 0. && v <= 2.5)
+  done
+
+let test_split_independent () =
+  let parent = Prng.create 99 in
+  let child = Prng.split parent in
+  let xs = List.init 50 (fun _ -> Prng.next_int64 parent) in
+  let ys = List.init 50 (fun _ -> Prng.next_int64 child) in
+  Alcotest.(check bool) "no common prefix" true (List.hd xs <> List.hd ys);
+  (* Crude decorrelation check: no element collisions in 50+50 draws. *)
+  Alcotest.(check bool) "no collisions" true
+    (List.for_all (fun x -> not (List.mem x ys)) xs)
+
+let test_shuffle_is_permutation () =
+  let t = Prng.create 5 in
+  let arr = Array.init 30 Fun.id in
+  let shuffled = Prng.shuffle t arr in
+  Alcotest.(check (list int)) "same multiset" (Array.to_list arr)
+    (List.sort compare (Array.to_list shuffled));
+  Alcotest.(check (list int)) "input untouched" (List.init 30 Fun.id)
+    (Array.to_list arr)
+
+let test_sample_distinct () =
+  let t = Prng.create 3 in
+  let arr = Array.init 20 Fun.id in
+  for k = 0 to 25 do
+    let s = Prng.sample t k arr in
+    Alcotest.(check int) "size" (min k 20) (Array.length s);
+    let sorted = List.sort_uniq compare (Array.to_list s) in
+    Alcotest.(check int) "distinct" (Array.length s) (List.length sorted)
+  done
+
+let test_pick () =
+  let t = Prng.create 17 in
+  for _ = 1 to 100 do
+    let v = Prng.pick t [| 1; 2; 3 |] in
+    Alcotest.(check bool) "picked member" true (List.mem v [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty array"
+    (Invalid_argument "Prng.pick: empty array") (fun () ->
+      ignore (Prng.pick t [||]))
+
+let test_bool_both_values () =
+  let t = Prng.create 23 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Prng.bool t then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 400 && !trues < 600)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic by seed" `Quick test_deterministic;
+    Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "sample distinct" `Quick test_sample_distinct;
+    Alcotest.test_case "pick membership" `Quick test_pick;
+    Alcotest.test_case "bool balanced" `Quick test_bool_both_values;
+  ]

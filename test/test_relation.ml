@@ -1,0 +1,115 @@
+(* Relations and the algebra operators. *)
+
+module Value = Jqi_relational.Value
+module Schema = Jqi_relational.Schema
+module Tuple = Jqi_relational.Tuple
+module Relation = Jqi_relational.Relation
+module Algebra = Jqi_relational.Algebra
+
+let rel name cols rows =
+  Relation.of_list ~name ~schema:(Schema.of_names ~ty:Value.TInt cols)
+    (List.map Tuple.ints rows)
+
+let r = rel "r" [ "a"; "b" ] [ [ 1; 2 ]; [ 3; 4 ]; [ 1; 2 ]; [ 5; 6 ] ]
+
+let rows_as_lists relation =
+  List.map
+    (fun t -> List.map (function Value.Int i -> i | _ -> min_int) (Tuple.to_list t))
+    (Relation.to_list relation)
+
+let test_create_checks_arity () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Relation bad: row arity 1, schema arity 2") (fun () ->
+      ignore (rel "bad" [ "a"; "b" ] [ [ 1 ] ]))
+
+let test_select () =
+  let sel = Algebra.select r (fun t -> Tuple.get t 0 = Value.Int 1) in
+  Alcotest.(check int) "selected" 2 (Relation.cardinality sel);
+  Alcotest.(check (list (list int))) "rows" [ [ 1; 2 ]; [ 1; 2 ] ] (rows_as_lists sel)
+
+let test_project () =
+  let p = Algebra.project r [ "b" ] in
+  Alcotest.(check (list string)) "schema" [ "b" ] (Schema.names (Relation.schema p));
+  Alcotest.(check (list (list int))) "rows (duplicates kept)"
+    [ [ 2 ]; [ 4 ]; [ 2 ]; [ 6 ] ] (rows_as_lists p)
+
+let test_distinct () =
+  let d = Algebra.distinct r in
+  Alcotest.(check (list (list int))) "dedup keeps first occurrence order"
+    [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ] (rows_as_lists d)
+
+let test_union_inter_diff () =
+  let s = rel "s" [ "a"; "b" ] [ [ 1; 2 ]; [ 7; 8 ] ] in
+  Alcotest.(check (list (list int))) "union"
+    [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ]; [ 7; 8 ] ]
+    (rows_as_lists (Algebra.union r s));
+  Alcotest.(check (list (list int))) "inter" [ [ 1; 2 ] ]
+    (rows_as_lists (Algebra.inter r s));
+  Alcotest.(check (list (list int))) "diff" [ [ 3; 4 ]; [ 5; 6 ] ]
+    (rows_as_lists (Algebra.difference r s));
+  let bad = rel "t" [ "x" ] [ [ 1 ] ] in
+  Alcotest.check_raises "incompatible"
+    (Invalid_argument "Algebra: union-incompatible schemas") (fun () ->
+      ignore (Algebra.union r bad))
+
+let test_product () =
+  let s = rel "s" [ "c" ] [ [ 10 ]; [ 20 ] ] in
+  let p = Algebra.product (Algebra.distinct r) s in
+  Alcotest.(check int) "cardinality" 6 (Relation.cardinality p);
+  Alcotest.(check (list string)) "schema" [ "a"; "b"; "c" ]
+    (Schema.names (Relation.schema p));
+  Alcotest.(check (list (list int))) "row order (left-major)"
+    [ [ 1; 2; 10 ]; [ 1; 2; 20 ]; [ 3; 4; 10 ]; [ 3; 4; 20 ]; [ 5; 6; 10 ]; [ 5; 6; 20 ] ]
+    (rows_as_lists p)
+
+let test_product_qualifies () =
+  let s = rel "s" [ "a" ] [ [ 1 ] ] in
+  let p = Algebra.product r s in
+  Alcotest.(check (list string)) "qualified" [ "r.a"; "b"; "s.a" ]
+    (Schema.names (Relation.schema p))
+
+let test_sort_limit () =
+  let sorted = Algebra.sort_by r [ "b" ] in
+  Alcotest.(check (list (list int))) "sorted"
+    [ [ 1; 2 ]; [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ] (rows_as_lists sorted);
+  Alcotest.(check (list (list int))) "limit" [ [ 1; 2 ]; [ 3; 4 ] ]
+    (rows_as_lists (Algebra.limit r 2));
+  Alcotest.(check int) "limit beyond size" 4
+    (Relation.cardinality (Algebra.limit r 100))
+
+let test_rename () =
+  let rn = Algebra.rename r "a" "z" in
+  Alcotest.(check (list string)) "renamed" [ "z"; "b" ]
+    (Schema.names (Relation.schema rn));
+  Alcotest.(check int) "rows preserved" 4 (Relation.cardinality rn)
+
+let test_equal_contents () =
+  let a = rel "a" [ "x" ] [ [ 1 ]; [ 2 ] ] in
+  let b = rel "b" [ "x" ] [ [ 2 ]; [ 1 ]; [ 1 ] ] in
+  Alcotest.(check bool) "set equality ignores order and dups" true
+    (Relation.equal_contents a b)
+
+let test_mem_fold () =
+  Alcotest.(check bool) "mem" true (Relation.mem r (Tuple.ints [ 3; 4 ]));
+  Alcotest.(check bool) "not mem" false (Relation.mem r (Tuple.ints [ 9; 9 ]));
+  let sum =
+    Relation.fold
+      (fun acc t -> match Tuple.get t 0 with Value.Int i -> acc + i | _ -> acc)
+      0 r
+  in
+  Alcotest.(check int) "fold" 10 sum
+
+let suite =
+  [
+    Alcotest.test_case "create checks arity" `Quick test_create_checks_arity;
+    Alcotest.test_case "select" `Quick test_select;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "distinct" `Quick test_distinct;
+    Alcotest.test_case "union/inter/diff" `Quick test_union_inter_diff;
+    Alcotest.test_case "product" `Quick test_product;
+    Alcotest.test_case "product qualifies names" `Quick test_product_qualifies;
+    Alcotest.test_case "sort/limit" `Quick test_sort_limit;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "equal_contents" `Quick test_equal_contents;
+    Alcotest.test_case "mem/fold" `Quick test_mem_fold;
+  ]

@@ -1,0 +1,103 @@
+(* Tuple-level samples and consistency checking (§3.1). *)
+
+open Fixtures
+module Bits = Jqi_util.Bits
+module Sample = Jqi_core.Sample
+module Omega = Jqi_core.Omega
+module Brute = Jqi_core.Brute
+
+let s0 =
+  (* Example 3.1's consistent sample S0. *)
+  Sample.of_list
+    [
+      (d0 (2, 2), Sample.Positive);
+      (d0 (4, 1), Sample.Positive);
+      (d0 (3, 2), Sample.Negative);
+    ]
+
+let test_accessors () =
+  Alcotest.(check int) "size" 3 (Sample.size s0);
+  Alcotest.(check int) "positives" 2 (List.length (Sample.positives s0));
+  Alcotest.(check int) "negatives" 1 (List.length (Sample.negatives s0));
+  Alcotest.(check int) "examples in order" 3 (List.length (Sample.examples s0))
+
+let test_add_rules () =
+  let s = Sample.add Sample.empty ~tuple:(d0 (1, 1)) ~label:Sample.Positive in
+  (* Re-adding with the same label is idempotent. *)
+  let s' = Sample.add s ~tuple:(d0 (1, 1)) ~label:Sample.Positive in
+  Alcotest.(check int) "idempotent" 1 (Sample.size s');
+  Alcotest.(check bool) "conflict raises" true
+    (try
+       ignore (Sample.add s ~tuple:(d0 (1, 1)) ~label:Sample.Negative);
+       false
+     with Invalid_argument _ -> true)
+
+let test_most_specific () =
+  (* T(S0+) = θ0 = {(A1,B1),(A2,B3)} (Example 3.1). *)
+  Alcotest.check bits_testable "θ0"
+    (pred0 [ (0, 0); (1, 2) ])
+    (Sample.most_specific omega0 r0 p0 s0);
+  (* Empty sample: T(∅) = Ω. *)
+  Alcotest.check bits_testable "Ω for empty"
+    (Omega.full omega0)
+    (Sample.most_specific omega0 r0 p0 Sample.empty)
+
+let test_consistency () =
+  Alcotest.(check bool) "S0 consistent" true (Sample.consistent omega0 r0 p0 s0);
+  (* Example 3.1's inconsistent S0'. *)
+  let s0' =
+    Sample.of_list
+      [
+        (d0 (1, 2), Sample.Positive);
+        (d0 (1, 3), Sample.Positive);
+        (d0 (3, 1), Sample.Negative);
+      ]
+  in
+  Alcotest.(check bool) "S0' inconsistent" false
+    (Sample.consistent omega0 r0 p0 s0')
+
+let test_predicate_consistent () =
+  (* Example 3.1 also names {(A1,B1)} as consistent-but-not-minimal. *)
+  Alcotest.(check bool) "θ0 consistent" true
+    (Sample.predicate_consistent omega0 r0 p0 s0 (pred0 [ (0, 0); (1, 2) ]));
+  Alcotest.(check bool) "θ0' consistent" true
+    (Sample.predicate_consistent omega0 r0 p0 s0 (pred0 [ (0, 0) ]));
+  Alcotest.(check bool) "∅ selects the negative" false
+    (Sample.predicate_consistent omega0 r0 p0 s0 (pred0 []))
+
+(* §3.1's soundness/completeness argument, brute-forced: the PTIME check
+   agrees with "∃θ consistent" over all of PP(Ω), for random samples. *)
+let test_check_vs_brute () =
+  let prng = Jqi_util.Prng.create 41 in
+  for _ = 1 to 100 do
+    let sample =
+      List.fold_left
+        (fun s ij ->
+          match Jqi_util.Prng.int prng 3 with
+          | 0 -> Sample.add s ~tuple:(d0 ij) ~label:Sample.Positive
+          | 1 -> Sample.add s ~tuple:(d0 ij) ~label:Sample.Negative
+          | _ -> s)
+        Sample.empty
+        [ (1, 1); (2, 2); (3, 3); (4, 1); (2, 3) ]
+    in
+    let brute =
+      Brute.consistent_predicates omega0
+        ~pos:
+          (List.map (Sample.signature_of_tuple omega0 r0 p0) (Sample.positives sample))
+        ~neg:
+          (List.map (Sample.signature_of_tuple omega0 r0 p0) (Sample.negatives sample))
+      <> []
+    in
+    Alcotest.(check bool) "agrees with brute force" brute
+      (Sample.consistent omega0 r0 p0 sample)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "add rules" `Quick test_add_rules;
+    Alcotest.test_case "most specific (example 3.1)" `Quick test_most_specific;
+    Alcotest.test_case "consistency (example 3.1)" `Quick test_consistency;
+    Alcotest.test_case "predicate consistency" `Quick test_predicate_consistent;
+    Alcotest.test_case "PTIME check vs brute force" `Quick test_check_vs_brute;
+  ]

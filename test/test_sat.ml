@@ -1,0 +1,160 @@
+(* SAT substrate: DPLL vs brute force, Tseitin equisatisfiability, DIMACS
+   round-trips, 3SAT plumbing. *)
+
+module Cnf = Jqi_sat.Cnf
+module Dpll = Jqi_sat.Dpll
+module Formula = Jqi_sat.Formula
+module Dimacs = Jqi_sat.Dimacs
+module Threesat = Jqi_sat.Threesat
+module Sat_brute = Jqi_sat.Brute
+module Prng = Jqi_util.Prng
+
+let cnf nvars clauses = Cnf.create ~nvars (List.map Array.of_list clauses)
+
+let model_of = function
+  | Dpll.Sat m -> m
+  | Dpll.Unsat -> Alcotest.fail "expected SAT"
+
+let test_trivial () =
+  Alcotest.(check bool) "empty cnf is sat" true (Dpll.is_sat (cnf 0 []));
+  Alcotest.(check bool) "unit sat" true (Dpll.is_sat (cnf 1 [ [ 1 ] ]));
+  Alcotest.(check bool) "x and not x" false
+    (Dpll.is_sat (cnf 1 [ [ 1 ]; [ -1 ] ]));
+  Alcotest.(check bool) "empty clause" false (Dpll.is_sat (cnf 1 [ [] ]))
+
+let test_model_satisfies () =
+  let f = cnf 3 [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ]; [ 2; 3 ] ] in
+  let m = model_of (Dpll.solve f) in
+  Alcotest.(check bool) "model satisfies" true (Cnf.satisfied f m)
+
+let test_chain_implications () =
+  (* x1 → x2 → ... → x20, x1 forced: propagation must solve it without
+     search. *)
+  let n = 20 in
+  let clauses = [ 1 ] :: List.init (n - 1) (fun i -> [ -(i + 1); i + 2 ]) in
+  let m = model_of (Dpll.solve (cnf n clauses)) in
+  for v = 1 to n do
+    Alcotest.(check bool) (Printf.sprintf "x%d true" v) true m.(v)
+  done
+
+let test_pigeonhole_unsat () =
+  (* 4 pigeons, 3 holes: var p*3+h+1 means pigeon p in hole h. *)
+  let v p h = (p * 3) + h + 1 in
+  let each_pigeon = List.init 4 (fun p -> List.init 3 (fun h -> v p h)) in
+  let no_two =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 -> if p1 < p2 then Some [ -(v p1 h); -(v p2 h) ] else None)
+              [ 0; 1; 2; 3 ])
+          [ 0; 1; 2; 3 ])
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check bool) "php(4,3) unsat" false
+    (Dpll.is_sat (cnf 12 (each_pigeon @ no_two)))
+
+let test_dpll_vs_brute_random () =
+  let prng = Prng.create 7 in
+  for _ = 1 to 200 do
+    let nvars = 3 + Prng.int prng 8 in
+    let nclauses = 1 + Prng.int prng (4 * nvars) in
+    let inst = Threesat.random prng ~nvars ~nclauses in
+    let f = Threesat.to_cnf inst in
+    Alcotest.(check bool)
+      (Fmt.str "dpll=brute on %a" Threesat.pp inst)
+      (Sat_brute.is_sat f) (Dpll.is_sat f)
+  done
+
+let test_dpll_model_valid_random () =
+  let prng = Prng.create 11 in
+  for _ = 1 to 200 do
+    let nvars = 3 + Prng.int prng 10 in
+    let nclauses = 1 + Prng.int prng (3 * nvars) in
+    let f = Threesat.to_cnf (Threesat.random prng ~nvars ~nclauses) in
+    match Dpll.solve f with
+    | Dpll.Unsat -> ()
+    | Dpll.Sat m ->
+        Alcotest.(check bool) "returned model satisfies" true (Cnf.satisfied f m)
+  done
+
+let test_tseitin_equisat () =
+  let prng = Prng.create 13 in
+  (* Random formula trees over 4 variables, compared against direct
+     evaluation over all assignments. *)
+  let rec random_formula depth =
+    if depth = 0 then Formula.var (1 + Prng.int prng 4)
+    else
+      match Prng.int prng 4 with
+      | 0 -> Formula.neg (random_formula (depth - 1))
+      | 1 -> Formula.conj (List.init (1 + Prng.int prng 3) (fun _ -> random_formula (depth - 1)))
+      | 2 -> Formula.disj (List.init (1 + Prng.int prng 3) (fun _ -> random_formula (depth - 1)))
+      | _ -> Formula.var (1 + Prng.int prng 4)
+  in
+  for _ = 1 to 100 do
+    let f = random_formula 3 in
+    let directly_sat =
+      let found = ref false in
+      for mask = 0 to 15 do
+        let a = Array.make 5 false in
+        for v = 1 to 4 do
+          a.(v) <- (mask lsr (v - 1)) land 1 = 1
+        done;
+        if Formula.eval a f then found := true
+      done;
+      !found
+    in
+    Alcotest.(check bool) "tseitin equisatisfiable" directly_sat
+      (Dpll.is_sat (Formula.to_cnf f))
+  done
+
+let test_tseitin_constants () =
+  Alcotest.(check bool) "true sat" true (Dpll.is_sat (Formula.to_cnf Formula.True));
+  Alcotest.(check bool) "false unsat" false (Dpll.is_sat (Formula.to_cnf Formula.False));
+  Alcotest.(check bool) "and [] sat" true (Dpll.is_sat (Formula.to_cnf (Formula.conj [])));
+  Alcotest.(check bool) "or [] unsat" false (Dpll.is_sat (Formula.to_cnf (Formula.disj [])))
+
+let test_dimacs_roundtrip () =
+  let f = cnf 4 [ [ 1; -2; 3 ]; [ -1; 4 ]; [ 2 ] ] in
+  let f' = Dimacs.parse_string (Dimacs.to_string f) in
+  Alcotest.(check int) "nvars" (Cnf.nvars f) (Cnf.nvars f');
+  Alcotest.(check (list (array int)))
+    "clauses"
+    (Cnf.clauses f)
+    (Cnf.clauses f')
+
+let test_dimacs_comments () =
+  let f = Dimacs.parse_string "c a comment\np cnf 2 2\n1 -2 0\n2 0\n" in
+  Alcotest.(check int) "clauses" 2 (Cnf.n_clauses f);
+  Alcotest.(check bool) "sat" true (Dpll.is_sat f)
+
+let test_simplify_tautology () =
+  let f = Cnf.simplify (cnf 2 [ [ 1; -1 ]; [ 2 ] ]) in
+  Alcotest.(check int) "tautology dropped" 1 (Cnf.n_clauses f)
+
+let test_phi0_satisfiable () =
+  Alcotest.(check bool) "phi0 sat" true
+    (Dpll.is_sat (Threesat.to_cnf Threesat.phi0))
+
+let test_threesat_eval () =
+  let a = Array.make 5 false in
+  a.(2) <- true;
+  Alcotest.(check bool) "x2 satisfies phi0" true (Threesat.eval a Threesat.phi0)
+
+let suite =
+  [
+    Alcotest.test_case "trivial formulas" `Quick test_trivial;
+    Alcotest.test_case "model satisfies" `Quick test_model_satisfies;
+    Alcotest.test_case "implication chain" `Quick test_chain_implications;
+    Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+    Alcotest.test_case "dpll vs brute (random 3sat)" `Quick test_dpll_vs_brute_random;
+    Alcotest.test_case "dpll models valid (random)" `Quick test_dpll_model_valid_random;
+    Alcotest.test_case "tseitin equisatisfiable" `Quick test_tseitin_equisat;
+    Alcotest.test_case "tseitin constants" `Quick test_tseitin_constants;
+    Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+    Alcotest.test_case "dimacs comments" `Quick test_dimacs_comments;
+    Alcotest.test_case "simplify drops tautologies" `Quick test_simplify_tautology;
+    Alcotest.test_case "phi0 satisfiable" `Quick test_phi0_satisfiable;
+    Alcotest.test_case "threesat eval" `Quick test_threesat_eval;
+  ]

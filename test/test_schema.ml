@@ -1,0 +1,82 @@
+(* Schemas and tuples. *)
+
+module Value = Jqi_relational.Value
+module Schema = Jqi_relational.Schema
+module Tuple = Jqi_relational.Tuple
+
+let test_schema_lookup () =
+  let s = Schema.of_names [ "a"; "b"; "c" ] in
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  Alcotest.(check (option int)) "index of b" (Some 1) (Schema.index_of s "b");
+  Alcotest.(check (option int)) "missing" None (Schema.index_of s "z");
+  Alcotest.(check string) "name_at" "c" (Schema.name_at s 2);
+  Alcotest.(check bool) "mem" true (Schema.mem s "a")
+
+let test_duplicate_rejected () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Schema: duplicate column \"a\"")
+    (fun () -> ignore (Schema.of_names [ "a"; "a" ]))
+
+let test_product_qualifies_clashes () =
+  let a = Schema.of_names [ "id"; "x" ] in
+  let b = Schema.of_names [ "id"; "y" ] in
+  let p = Schema.product ~left_prefix:"L" ~right_prefix:"R" a b in
+  Alcotest.(check (list string)) "qualified" [ "L.id"; "x"; "R.id"; "y" ]
+    (Schema.names p)
+
+let test_product_disjoint_untouched () =
+  let a = Schema.of_names [ "x" ] and b = Schema.of_names [ "y" ] in
+  Alcotest.(check (list string)) "kept" [ "x"; "y" ]
+    (Schema.names (Schema.product a b))
+
+let test_rename_project () =
+  let s = Schema.of_names [ "a"; "b"; "c" ] in
+  Alcotest.(check (list string)) "rename" [ "a"; "z"; "c" ]
+    (Schema.names (Schema.rename s "b" "z"));
+  Alcotest.(check (list string)) "project" [ "c"; "a" ]
+    (Schema.names (Schema.project s [ 2; 0 ]));
+  Alcotest.check_raises "rename missing" (Invalid_argument "Schema: no column \"q\"")
+    (fun () -> ignore (Schema.rename s "q" "r"))
+
+let test_schema_equal () =
+  let a = Schema.of_names ~ty:Value.TInt [ "x" ] in
+  let b = Schema.of_names ~ty:Value.TInt [ "x" ] in
+  let c = Schema.of_names ~ty:Value.TString [ "x" ] in
+  Alcotest.(check bool) "equal" true (Schema.equal a b);
+  Alcotest.(check bool) "type matters" false (Schema.equal a c)
+
+let test_tuple_ops () =
+  let t = Tuple.ints [ 1; 2; 3 ] in
+  Alcotest.(check int) "arity" 3 (Tuple.arity t);
+  Alcotest.check Fixtures.value_testable "get" (Value.Int 2) (Tuple.get t 1);
+  Alcotest.check Fixtures.tuple_testable "project"
+    (Tuple.ints [ 3; 1 ])
+    (Tuple.project t [ 2; 0 ]);
+  Alcotest.check Fixtures.tuple_testable "concat"
+    (Tuple.ints [ 1; 2; 3; 4 ])
+    (Tuple.concat t (Tuple.ints [ 4 ]))
+
+let test_tuple_equal_compare () =
+  let a = Tuple.of_list [ Value.Null; Value.Int 1 ] in
+  let b = Tuple.of_list [ Value.Null; Value.Int 1 ] in
+  (* Tuple equality is structural (uses the total order), so NULLs are equal
+     as *cells* even though they never *join*. *)
+  Alcotest.(check bool) "structural equality" true (Tuple.equal a b);
+  Alcotest.(check int) "compare 0" 0 (Tuple.compare a b);
+  Alcotest.(check int) "hash equal" (Tuple.hash a) (Tuple.hash b);
+  let c = Tuple.of_list [ Value.Null; Value.Int 2 ] in
+  Alcotest.(check bool) "differs" false (Tuple.equal a c);
+  (* Arity participates in the order. *)
+  Alcotest.(check bool) "shorter sorts first" true
+    (Tuple.compare (Tuple.ints [ 9 ]) (Tuple.ints [ 0; 0 ]) < 0)
+
+let suite =
+  [
+    Alcotest.test_case "lookup" `Quick test_schema_lookup;
+    Alcotest.test_case "duplicates rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "product qualifies clashes" `Quick test_product_qualifies_clashes;
+    Alcotest.test_case "product keeps disjoint names" `Quick test_product_disjoint_untouched;
+    Alcotest.test_case "rename/project" `Quick test_rename_project;
+    Alcotest.test_case "schema equality" `Quick test_schema_equal;
+    Alcotest.test_case "tuple ops" `Quick test_tuple_ops;
+    Alcotest.test_case "tuple equal/compare/hash" `Quick test_tuple_equal_compare;
+  ]

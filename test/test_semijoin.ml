@@ -1,0 +1,159 @@
+(* Semijoins (§6): semantics on Example 2.1, CONS⋉ via SAT vs brute force,
+   and the Appendix A.1 reduction (Theorem 6.1, both directions, on φ0 and
+   on random 3SAT instances). *)
+
+open Fixtures
+module Bits = Jqi_util.Bits
+module Prng = Jqi_util.Prng
+module Relation = Jqi_relational.Relation
+module Omega = Jqi_core.Omega
+module Semijoin = Jqi_semijoin.Semijoin
+module Cons = Jqi_semijoin.Cons
+module Reduction = Jqi_semijoin.Reduction
+module Threesat = Jqi_sat.Threesat
+module Dpll = Jqi_sat.Dpll
+
+(* Example 2.1 semijoin results. *)
+let test_example_2_1_semijoins () =
+  let check_rows name theta expected =
+    let result = Semijoin.eval r0 p0 omega0 (pred0 theta) in
+    Alcotest.(check (list int))
+      name expected
+      (List.filter_map
+         (fun i ->
+           if Relation.mem result (Relation.row r0 i) then Some i else None)
+         [ 0; 1; 2; 3 ])
+  in
+  check_rows "θ1 selects {t2,t4}" [ (0, 0); (1, 2) ] [ 1; 3 ];
+  check_rows "θ2 selects {t1,t4}" [ (1, 1) ] [ 0; 3 ];
+  check_rows "θ3 selects {}" [ (1, 0); (1, 1); (1, 2) ] [];
+  check_rows "∅ selects all" [] [ 0; 1; 2; 3 ]
+
+(* §6's worked sample: S+ = {t1,t2}, S− = {t3}; θ = {(A1,B2)} is
+   consistent. *)
+let test_section6_sample () =
+  let s = Semijoin.sample ~pos:[ 0; 1 ] ~neg:[ 2 ] in
+  Alcotest.(check bool) "θ={(A1,B2)} consistent" true
+    (Semijoin.predicate_consistent r0 p0 omega0 (pred0 [ (0, 1) ]) s);
+  Alcotest.(check bool) "CONS holds" true (Cons.consistent r0 p0 omega0 s);
+  match Cons.solve r0 p0 omega0 s with
+  | None -> Alcotest.fail "expected a witness"
+  | Some theta ->
+      Alcotest.(check bool) "witness checks out" true
+        (Semijoin.predicate_consistent r0 p0 omega0 theta s)
+
+let test_sample_validation () =
+  Alcotest.check_raises "conflicting labels rejected"
+    (Invalid_argument "Semijoin.sample: tuple 1 labeled both ways")
+    (fun () -> ignore (Semijoin.sample ~pos:[ 0; 1 ] ~neg:[ 1 ]))
+
+(* SAT-based decision vs brute force over random samples on Example 2.1's
+   instance (|Ω| = 6, bruteable). *)
+let test_cons_sat_vs_brute () =
+  let prng = Prng.create 3 in
+  for _ = 1 to 200 do
+    let labels = Array.init 4 (fun _ -> Prng.int prng 3) in
+    let collect v =
+      List.filter (fun i -> labels.(i) = v) [ 0; 1; 2; 3 ]
+    in
+    let s = Semijoin.sample ~pos:(collect 1) ~neg:(collect 2) in
+    Alcotest.(check bool)
+      (Printf.sprintf "sat=brute pos=%s neg=%s"
+         (String.concat "," (List.map string_of_int s.pos))
+         (String.concat "," (List.map string_of_int s.neg)))
+      (Cons.consistent_brute r0 p0 omega0 s)
+      (Cons.consistent r0 p0 omega0 s)
+  done
+
+(* Appendix A.1 structure on φ0 = (x1∨x2∨¬x3) ∧ (¬x1∨x3∨x4). *)
+let test_reduction_phi0_shape () =
+  let red = Reduction.build Threesat.phi0 in
+  Alcotest.(check int) "R rows = k + 1 + n" 7 (Relation.cardinality red.r);
+  Alcotest.(check int) "P rows = 3k + 1 + n" 11 (Relation.cardinality red.p);
+  Alcotest.(check int) "R arity" 5 (Relation.arity red.r);
+  Alcotest.(check int) "P arity" 9 (Relation.arity red.p);
+  Alcotest.(check int) "positives" 2 (List.length red.sample.pos);
+  Alcotest.(check int) "negatives" 5 (List.length red.sample.neg)
+
+let test_reduction_phi0_consistent () =
+  let red = Reduction.build Threesat.phi0 in
+  match Cons.solve red.r red.p red.omega red.sample with
+  | None -> Alcotest.fail "φ0 is satisfiable, reduction must be consistent"
+  | Some theta ->
+      let v = Reduction.valuation_of_predicate red theta in
+      Alcotest.(check bool) "decoded valuation satisfies φ0" true
+        (Threesat.eval v Threesat.phi0)
+
+(* An unsatisfiable formula: (x∨x…) forms requiring x1 in all polarities.
+   Use (x1∨x2∨x3) ∧ all-negative clauses forcing contradiction via pigeon
+   structure is overkill: encode x1 ∧ ¬x1 with padding variables. *)
+let unsat_phi =
+  (* (x1∨x2∨x3) ∧ (x1∨x2∨¬x3) ∧ (x1∨¬x2∨x3) ∧ (x1∨¬x2∨¬x3) ∧
+     (¬x1∨x2∨x3) ∧ (¬x1∨x2∨¬x3) ∧ (¬x1∨¬x2∨x3) ∧ (¬x1∨¬x2∨¬x3):
+     all eight sign patterns over three variables — unsatisfiable. *)
+  let lit var pos = { Threesat.var; pos } in
+  Threesat.create ~nvars:3
+    (List.concat_map
+       (fun p1 ->
+         List.concat_map
+           (fun p2 ->
+             List.map (fun p3 -> (lit 1 p1, lit 2 p2, lit 3 p3)) [ true; false ])
+           [ true; false ])
+       [ true; false ])
+
+let test_reduction_unsat () =
+  Alcotest.(check bool) "unsat_phi really unsat" false
+    (Dpll.is_sat (Threesat.to_cnf unsat_phi));
+  let red = Reduction.build unsat_phi in
+  Alcotest.(check bool) "reduction inconsistent" false
+    (Cons.consistent red.r red.p red.omega red.sample)
+
+(* Theorem 6.1 both ways on random formulas: φ sat ⟺ reduction ∈ CONS⋉. *)
+let test_reduction_equivalence_random () =
+  let prng = Prng.create 17 in
+  for _ = 1 to 25 do
+    let nvars = 3 + Prng.int prng 3 in
+    let nclauses = 2 + Prng.int prng (3 * nvars) in
+    let phi = Threesat.random prng ~nvars ~nclauses in
+    let phi_sat = Dpll.is_sat (Threesat.to_cnf phi) in
+    let red = Reduction.build phi in
+    match Cons.solve red.r red.p red.omega red.sample with
+    | None ->
+        Alcotest.(check bool)
+          (Fmt.str "unsat side: %a" Threesat.pp phi)
+          phi_sat false
+    | Some theta ->
+        Alcotest.(check bool)
+          (Fmt.str "sat side: %a" Threesat.pp phi)
+          phi_sat true;
+        let v = Reduction.valuation_of_predicate red theta in
+        Alcotest.(check bool)
+          (Fmt.str "decoded valuation works: %a" Threesat.pp phi)
+          true (Threesat.eval v phi)
+  done
+
+(* The empty predicate: with a non-empty P it selects everything, so any
+   sample with a negative example rules it out but pos-only samples are
+   always consistent. *)
+let test_empty_predicate_cases () =
+  let all_pos = Semijoin.sample ~pos:[ 0; 1; 2; 3 ] ~neg:[] in
+  Alcotest.(check bool) "positive-only always consistent" true
+    (Cons.consistent r0 p0 omega0 all_pos);
+  let all_neg = Semijoin.sample ~pos:[] ~neg:[ 0; 1; 2; 3 ] in
+  (* Ω itself selects nothing on this instance (no tuple of the product has
+     a full signature), so all-negative is consistent too. *)
+  Alcotest.(check bool) "all-negative consistent via Ω" true
+    (Cons.consistent r0 p0 omega0 all_neg)
+
+let suite =
+  [
+    Alcotest.test_case "example 2.1 semijoins" `Quick test_example_2_1_semijoins;
+    Alcotest.test_case "section 6 sample" `Quick test_section6_sample;
+    Alcotest.test_case "sample validation" `Quick test_sample_validation;
+    Alcotest.test_case "CONS sat vs brute (random)" `Quick test_cons_sat_vs_brute;
+    Alcotest.test_case "reduction shape (φ0)" `Quick test_reduction_phi0_shape;
+    Alcotest.test_case "reduction consistent (φ0)" `Quick test_reduction_phi0_consistent;
+    Alcotest.test_case "reduction inconsistent (unsat φ)" `Quick test_reduction_unsat;
+    Alcotest.test_case "theorem 6.1 equivalence (random)" `Quick test_reduction_equivalence_random;
+    Alcotest.test_case "empty predicate cases" `Quick test_empty_predicate_cases;
+  ]

@@ -1,0 +1,158 @@
+(* Extensions around §6: the interactive semijoin heuristic and
+   positive-only minimality. *)
+
+open Fixtures
+module Bits = Jqi_util.Bits
+module Prng = Jqi_util.Prng
+module Relation = Jqi_relational.Relation
+module Omega = Jqi_core.Omega
+module Semijoin = Jqi_semijoin.Semijoin
+module Heuristic = Jqi_semijoin.Heuristic
+module Minimality = Jqi_semijoin.Minimality
+
+module Int_set = Minimality.Int_set
+
+let selected r p omega theta =
+  Int_set.of_list
+    (List.filter (Semijoin.selects r p omega theta)
+       (List.init (Relation.cardinality r) Fun.id))
+
+let test_heuristic_recovers_goal_semantics () =
+  (* For several goals, the heuristic's inferred predicate selects exactly
+     the same rows of R0 as the goal (instance equivalence for ⋉). *)
+  List.iter
+    (fun goal_pairs ->
+      let goal = pred0 goal_pairs in
+      let result =
+        Heuristic.run r0 p0 omega0
+          ~oracle:(Heuristic.honest_oracle r0 p0 omega0 ~goal)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "same selection for %s"
+           (Omega.pred_to_string omega0 goal))
+        true
+        (Int_set.equal
+           (selected r0 p0 omega0 goal)
+           (selected r0 p0 omega0 result.predicate)))
+    [ []; [ (0, 1) ]; [ (0, 0); (1, 2) ]; [ (1, 1) ]; [ (1, 0); (1, 1); (1, 2) ] ]
+
+let test_heuristic_skips_certain () =
+  (* All rows of R0 share the witness structure only partially, but at
+     least the query count never exceeds |R|, and asked + implied covers
+     all rows. *)
+  let goal = pred0 [ (0, 1) ] in
+  let result =
+    Heuristic.run r0 p0 omega0
+      ~oracle:(Heuristic.honest_oracle r0 p0 omega0 ~goal)
+  in
+  Alcotest.(check bool) "queries <= |R|" true
+    (result.n_queries <= Relation.cardinality r0);
+  Alcotest.(check int) "asked + implied = |R|" (Relation.cardinality r0)
+    (List.length result.asked + List.length result.implied)
+
+let test_heuristic_implied_rows_correct () =
+  (* Every row the heuristic skipped as "implied" must get the same label
+     from the goal oracle — skipping never loses information. *)
+  List.iter
+    (fun goal_pairs ->
+      let goal = pred0 goal_pairs in
+      let oracle = Heuristic.honest_oracle r0 p0 omega0 ~goal in
+      let result = Heuristic.run r0 p0 omega0 ~oracle in
+      List.iter
+        (fun i ->
+          Alcotest.(check bool)
+            (Printf.sprintf "row %d implied consistently" i)
+            (oracle i)
+            (Semijoin.selects r0 p0 omega0 result.predicate i))
+        result.implied)
+    [ [ (0, 1) ]; [ (0, 0); (1, 2) ]; [] ]
+
+let test_heuristic_respects_budget () =
+  let goal = pred0 [ (0, 0); (1, 2) ] in
+  let result =
+    Heuristic.run ~max_queries:1 r0 p0 omega0
+      ~oracle:(Heuristic.honest_oracle r0 p0 omega0 ~goal)
+  in
+  Alcotest.(check int) "one query" 1 result.n_queries
+
+let test_heuristic_random_instances () =
+  (* Random small instances: the heuristic always halts with a predicate
+     semijoin-equivalent to the goal. *)
+  let prng = Prng.create 77 in
+  for _ = 1 to 25 do
+    let r, p =
+      Jqi_synth.Synth.generate prng (Jqi_synth.Synth.config 2 2 4 3)
+    in
+    let omega = Omega.of_schemas (Relation.schema r) (Relation.schema p) in
+    let goal =
+      (* A random predicate over Ω. *)
+      List.fold_left
+        (fun acc k -> if Prng.bool prng then Bits.add acc k else acc)
+        (Omega.empty omega)
+        (List.init (Omega.width omega) Fun.id)
+    in
+    let result =
+      Heuristic.run r p omega ~oracle:(Heuristic.honest_oracle r p omega ~goal)
+    in
+    Alcotest.(check bool) "semijoin-equivalent" true
+      (Int_set.equal (selected r p omega goal) (selected r p omega result.predicate))
+  done
+
+let test_minimality_basic () =
+  (* Positive-only sample {t2, t4} on Example 2.1: the most specific
+     consistent equijoin θ0 = {(A1,B1),(A2,B3)} selects exactly {t2,t4},
+     which is minimal (it equals the positives). *)
+  let pos = [ 1; 3 ] in
+  Alcotest.(check bool) "θ0 minimal" true
+    (Minimality.is_minimal r0 p0 omega0 ~pos (pred0 [ (0, 0); (1, 2) ]));
+  (* ∅ selects everything, never minimal when a smaller consistent
+     selection exists. *)
+  Alcotest.(check bool) "∅ not minimal" false
+    (Minimality.is_minimal r0 p0 omega0 ~pos (pred0 []))
+
+let test_minimality_requires_selecting_positives () =
+  (* A predicate that misses a positive is not minimal by definition. *)
+  Alcotest.(check bool) "rejecting positive fails" false
+    (Minimality.is_minimal r0 p0 omega0 ~pos:[ 0 ] (Omega.full omega0))
+
+let test_minimal_results_structure () =
+  let results = Minimality.minimal_results r0 p0 omega0 ~pos:[ 1 ] in
+  Alcotest.(check bool) "at least one minimum" true (results <> []);
+  (* Every reported minimum contains the positives and is ⊆-incomparable
+     with the others. *)
+  List.iter
+    (fun (theta, sel) ->
+      Alcotest.(check bool) "contains positive" true (Int_set.mem 1 sel);
+      Alcotest.(check bool) "witness matches set" true
+        (Int_set.equal sel (selected r0 p0 omega0 theta));
+      List.iter
+        (fun (_, sel') ->
+          if not (Int_set.equal sel sel') then
+            Alcotest.(check bool) "incomparable" false (Int_set.subset sel' sel))
+        results)
+    results
+
+let test_minimality_width_guard () =
+  let db = Jqi_tpch.Tpch.generate ~scale:1 () in
+  let omega =
+    Omega.of_schemas (Relation.schema db.orders) (Relation.schema db.lineitem)
+  in
+  Alcotest.(check bool) "guard raises" true
+    (try
+       ignore (Minimality.is_minimal db.orders db.lineitem omega ~pos:[ 0 ]
+                 (Omega.empty omega));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "heuristic recovers goal semantics" `Quick test_heuristic_recovers_goal_semantics;
+    Alcotest.test_case "heuristic accounting" `Quick test_heuristic_skips_certain;
+    Alcotest.test_case "heuristic implied rows correct" `Quick test_heuristic_implied_rows_correct;
+    Alcotest.test_case "heuristic budget" `Quick test_heuristic_respects_budget;
+    Alcotest.test_case "heuristic on random instances" `Quick test_heuristic_random_instances;
+    Alcotest.test_case "minimality basics" `Quick test_minimality_basic;
+    Alcotest.test_case "minimality needs positives" `Quick test_minimality_requires_selecting_positives;
+    Alcotest.test_case "minimal results structure" `Quick test_minimal_results_structure;
+    Alcotest.test_case "minimality width guard" `Quick test_minimality_width_guard;
+  ]

@@ -1,0 +1,481 @@
+(* SQL layer: lexer, parser, printer round-trips, execution semantics, and
+   agreement with the relational algebra and join evaluators. *)
+
+module Value = Jqi_relational.Value
+module Schema = Jqi_relational.Schema
+module Tuple = Jqi_relational.Tuple
+module Relation = Jqi_relational.Relation
+module Join = Jqi_relational.Join
+module Ast = Jqi_sql.Ast
+module Lexer = Jqi_sql.Lexer
+module Parser = Jqi_sql.Parser
+module Engine = Jqi_sql.Engine
+
+let rel name cols rows =
+  Relation.of_list ~name ~schema:(Schema.of_names ~ty:Value.TInt cols)
+    (List.map Tuple.ints rows)
+
+let users =
+  Relation.of_list ~name:"users"
+    ~schema:
+      (Schema.of_columns
+         [ Schema.column "id" Value.TInt; Schema.column "name" Value.TString ])
+    [
+      Tuple.of_list [ Value.Int 1; Value.Str "ada" ];
+      Tuple.of_list [ Value.Int 2; Value.Str "bob" ];
+      Tuple.of_list [ Value.Int 3; Value.Str "eve" ];
+    ]
+
+let orders =
+  Relation.of_list ~name:"orders"
+    ~schema:
+      (Schema.of_columns
+         [
+           Schema.column "oid" Value.TInt; Schema.column "uid" Value.TInt;
+           Schema.column "total" Value.TInt;
+         ])
+    [
+      Tuple.ints [ 10; 1; 100 ];
+      Tuple.ints [ 11; 1; 50 ];
+      Tuple.ints [ 12; 2; 70 ];
+      Tuple.ints [ 13; 9; 10 ];
+    ]
+
+let catalog = [ ("users", users); ("orders", orders) ]
+
+let run sql = Engine.query catalog sql
+
+let ints_of rel col =
+  List.map
+    (fun row ->
+      match Tuple.get row (Schema.index_of_exn (Relation.schema rel) col) with
+      | Value.Int i -> i
+      | _ -> min_int)
+    (Relation.to_list rel)
+
+(* ----------------------------- lexer ------------------------------ *)
+
+let test_lexer_basics () =
+  let toks = List.map fst (Lexer.tokenize "SELECT a, b FROM t WHERE x <= 3.5") in
+  Alcotest.(check bool) "shape" true
+    (toks
+    = [
+        Lexer.SELECT; Lexer.IDENT "a"; Lexer.COMMA; Lexer.IDENT "b"; Lexer.FROM;
+        Lexer.IDENT "t"; Lexer.WHERE; Lexer.IDENT "x"; Lexer.LE;
+        Lexer.FLOAT_LIT 3.5; Lexer.EOF;
+      ])
+
+let test_lexer_case_insensitive_keywords () =
+  let toks = List.map fst (Lexer.tokenize "select From WHERE") in
+  Alcotest.(check bool) "keywords" true
+    (toks = [ Lexer.SELECT; Lexer.FROM; Lexer.WHERE; Lexer.EOF ])
+
+let test_lexer_strings_and_quotes () =
+  let toks = List.map fst (Lexer.tokenize "'it''s' \"SELECT\"") in
+  Alcotest.(check bool) "escapes" true
+    (toks = [ Lexer.STRING "it's"; Lexer.IDENT "SELECT"; Lexer.EOF ]);
+  Alcotest.(check bool) "unterminated string raises" true
+    (try ignore (Lexer.tokenize "'oops"); false with Lexer.Error _ -> true)
+
+let test_lexer_operators () =
+  let toks = List.map fst (Lexer.tokenize "= <> != < <= > >=") in
+  Alcotest.(check bool) "ops" true
+    (toks
+    = [ Lexer.EQ; Lexer.NE; Lexer.NE; Lexer.LT; Lexer.LE; Lexer.GT; Lexer.GE; Lexer.EOF ])
+
+(* ----------------------------- parser ----------------------------- *)
+
+let parse_ok sql =
+  match Parser.parse_result sql with
+  | Ok q -> q
+  | Result.Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_parse_simple () =
+  let q = parse_ok "SELECT * FROM users" in
+  Alcotest.(check bool) "star" true (q.select = [ Ast.Star ]);
+  Alcotest.(check string) "table" "users" q.from.table
+
+let test_parse_join_on () =
+  let q = parse_ok "SELECT * FROM users u JOIN orders o ON u.id = o.uid" in
+  (match q.joins with
+  | [ (Ast.Inner, src, Some (Ast.Cmp (Ast.Eq, Ast.Col (Some "u", "id"), Ast.Col (Some "o", "uid")))) ]
+    ->
+      Alcotest.(check (option string)) "alias" (Some "o") src.alias
+  | _ -> Alcotest.fail "unexpected join shape");
+  Alcotest.(check (option string)) "from alias" (Some "u") q.from.alias
+
+let test_parse_precedence () =
+  (* AND binds tighter than OR; NOT tighter than AND. *)
+  let q = parse_ok "SELECT * FROM t WHERE a = 1 OR NOT b = 2 AND c = 3" in
+  match q.where with
+  | Some (Ast.Or (Ast.Cmp _, Ast.And (Ast.Not (Ast.Cmp _), Ast.Cmp _))) -> ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_parse_errors () =
+  let bad sql =
+    match Parser.parse_result sql with
+    | Ok _ -> Alcotest.failf "expected failure on %S" sql
+    | Result.Error _ -> ()
+  in
+  bad "SELECT";
+  bad "SELECT * FROM";
+  bad "SELECT * FROM t JOIN u";  (* missing ON *)
+  bad "SELECT * FROM t WHERE a";
+  bad "SELECT * FROM t LIMIT x";
+  bad "SELECT * FROM t extra garbage ,"
+
+let test_print_parse_roundtrip () =
+  List.iter
+    (fun sql ->
+      let q = parse_ok sql in
+      let printed = Ast.to_string q in
+      let q' = parse_ok printed in
+      Alcotest.(check string) ("roundtrip " ^ sql) printed (Ast.to_string q'))
+    [
+      "SELECT * FROM users";
+      "SELECT DISTINCT name FROM users ORDER BY name DESC LIMIT 2";
+      "SELECT u.name AS who, o.total FROM users AS u JOIN orders AS o ON u.id = o.uid";
+      "SELECT * FROM users SEMI JOIN orders ON id = uid";
+      "SELECT * FROM users CROSS JOIN orders WHERE total >= 50 AND name <> 'bob'";
+      "SELECT * FROM users WHERE name IS NOT NULL OR id IS NULL";
+    ]
+
+let test_keyword_list_in_sync () =
+  (* The printer's keyword list must match the lexer: every entry must
+     lex to a keyword token (not IDENT), and conversely every identifier
+     the lexer keywordizes must be in the printer's list. *)
+  List.iter
+    (fun kw ->
+      match Lexer.tokenize kw with
+      | [ (Lexer.IDENT _, _); _ ] ->
+          Alcotest.failf "printer quotes %S but lexer does not keywordize it" kw
+      | _ -> ())
+    Ast.keywords;
+  (* Sample of identifiers that must NOT be keywords. *)
+  List.iter
+    (fun w ->
+      match Lexer.tokenize w with
+      | [ (Lexer.IDENT _, _); _ ] -> ()
+      | _ ->
+          if not (List.mem (String.lowercase_ascii w) Ast.keywords) then
+            Alcotest.failf "lexer keywordizes %S but printer does not quote it" w)
+    [ "selects"; "fromm"; "users"; "onx" ]
+
+let test_of_equijoin () =
+  let q = Ast.of_equijoin ~r:"users" ~p:"orders" [ ("id", "uid") ] in
+  Alcotest.(check string) "sql"
+    "SELECT * FROM users JOIN orders ON users.id = orders.uid"
+    (Ast.to_string q);
+  let empty = Ast.of_equijoin ~r:"a" ~p:"b" [] in
+  Alcotest.(check string) "cross for empty predicate"
+    "SELECT * FROM a CROSS JOIN b" (Ast.to_string empty);
+  let semi = Ast.of_semijoin ~r:"a" ~p:"b" [ ("x", "y") ] in
+  Alcotest.(check string) "semi" "SELECT * FROM a SEMI JOIN b ON a.x = b.y"
+    (Ast.to_string semi)
+
+(* ---------------------------- execution --------------------------- *)
+
+let test_exec_select_where () =
+  let result = run "SELECT * FROM orders WHERE total >= 70" in
+  Alcotest.(check (list int)) "oids" [ 10; 12 ] (ints_of result "oid")
+
+let test_exec_projection () =
+  let result = run "SELECT name AS who FROM users ORDER BY id DESC" in
+  Alcotest.(check (list string)) "schema" [ "who" ]
+    (Schema.names (Relation.schema result));
+  Alcotest.(check int) "rows" 3 (Relation.cardinality result)
+
+let test_exec_join_agrees_with_evaluator () =
+  let by_sql = run "SELECT * FROM users JOIN orders ON id = uid" in
+  let by_join = Join.equijoin users orders [ (0, 1) ] in
+  Alcotest.(check int) "same cardinality" (Relation.cardinality by_join)
+    (Relation.cardinality by_sql);
+  (* Same multiset of rows (column order matches: users ++ orders). *)
+  Alcotest.(check bool) "same rows" true
+    (Relation.equal_contents
+       (Relation.create ~name:"a" ~schema:(Relation.schema by_join) (Relation.rows by_join))
+       (Relation.create ~name:"a" ~schema:(Relation.schema by_join) (Relation.rows by_sql)))
+
+let test_exec_join_with_residual () =
+  let result =
+    run "SELECT * FROM users JOIN orders ON id = uid AND total > 60"
+  in
+  Alcotest.(check (list int)) "filtered" [ 10; 12 ] (ints_of result "oid")
+
+let test_exec_semi_anti () =
+  let semi = run "SELECT * FROM users SEMI JOIN orders ON id = uid" in
+  Alcotest.(check (list int)) "users with orders" [ 1; 2 ] (ints_of semi "id");
+  let anti = run "SELECT * FROM users ANTI JOIN orders ON id = uid" in
+  Alcotest.(check (list int)) "users without orders" [ 3 ] (ints_of anti "id");
+  let by_eval = Join.semijoin users orders [ (0, 1) ] in
+  Alcotest.(check int) "agrees with evaluator" (Relation.cardinality by_eval)
+    (Relation.cardinality semi)
+
+let test_exec_cross () =
+  let result = run "SELECT * FROM users CROSS JOIN orders" in
+  Alcotest.(check int) "cartesian" 12 (Relation.cardinality result)
+
+let test_exec_distinct_limit () =
+  let result = run "SELECT DISTINCT uid FROM orders ORDER BY uid" in
+  Alcotest.(check (list int)) "distinct uids" [ 1; 2; 9 ] (ints_of result "uid");
+  let limited = run "SELECT oid FROM orders ORDER BY total DESC LIMIT 2" in
+  Alcotest.(check (list int)) "top2 by total" [ 10; 12 ] (ints_of limited "oid")
+
+let test_exec_qualified_and_ambiguous () =
+  let result =
+    run "SELECT u.id FROM users u JOIN orders o ON u.id = o.uid WHERE o.total < 60"
+  in
+  Alcotest.(check (list int)) "qualified" [ 1 ] (ints_of result "id");
+  Alcotest.(check bool) "ambiguous unqualified raises" true
+    (try
+       ignore (run "SELECT id FROM users a JOIN users b ON a.id = b.id WHERE id = 1");
+       false
+     with Engine.Error _ -> true)
+
+let test_exec_star_disambiguation () =
+  (* Self-join: SELECT * must not produce duplicate column names. *)
+  let result = run "SELECT * FROM users a JOIN users b ON a.id = b.id" in
+  let names = Schema.names (Relation.schema result) in
+  Alcotest.(check int) "no duplicate names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_exec_null_semantics () =
+  let with_null =
+    Relation.of_list ~name:"n"
+      ~schema:(Schema.of_columns [ Schema.column "v" Value.TInt ])
+      [ Tuple.of_list [ Value.Int 1 ]; Tuple.of_list [ Value.Null ] ]
+  in
+  let cat = [ ("n", with_null) ] in
+  Alcotest.(check int) "v = v excludes NULL row" 1
+    (Relation.cardinality (Engine.query cat "SELECT * FROM n WHERE v = v"));
+  Alcotest.(check int) "IS NULL finds it" 1
+    (Relation.cardinality (Engine.query cat "SELECT * FROM n WHERE v IS NULL"));
+  Alcotest.(check int) "v <> 1 is false for NULL" 0
+    (Relation.cardinality (Engine.query cat "SELECT * FROM n WHERE v <> 1"))
+
+let test_exec_unknown_table_column () =
+  Alcotest.(check bool) "unknown table" true
+    (try ignore (run "SELECT * FROM nope"); false with Engine.Error _ -> true);
+  Alcotest.(check bool) "unknown column" true
+    (try ignore (run "SELECT zz FROM users"); false with Engine.Error _ -> true)
+
+(* ------------------------- GROUP BY / aggregates ------------------- *)
+
+let test_group_by_count () =
+  let result =
+    run "SELECT uid, COUNT(*) AS n FROM orders GROUP BY uid ORDER BY uid"
+  in
+  Alcotest.(check (list string)) "schema" [ "uid"; "n" ]
+    (Schema.names (Relation.schema result));
+  Alcotest.(check (list int)) "uids" [ 1; 2; 9 ] (ints_of result "uid");
+  Alcotest.(check (list int)) "counts" [ 2; 1; 1 ] (ints_of result "n")
+
+let test_group_by_sum_min_max () =
+  let result =
+    run
+      "SELECT uid, SUM(total) AS s, MIN(total) AS lo, MAX(total) AS hi \
+       FROM orders GROUP BY uid ORDER BY uid"
+  in
+  Alcotest.(check (list int)) "sums" [ 150; 70; 10 ] (ints_of result "s");
+  Alcotest.(check (list int)) "mins" [ 50; 70; 10 ] (ints_of result "lo");
+  Alcotest.(check (list int)) "maxs" [ 100; 70; 10 ] (ints_of result "hi")
+
+let test_aggregate_without_group_by () =
+  let result = run "SELECT COUNT(*) AS n, SUM(total) AS s FROM orders" in
+  Alcotest.(check int) "one row" 1 (Relation.cardinality result);
+  Alcotest.(check (list int)) "count" [ 4 ] (ints_of result "n");
+  Alcotest.(check (list int)) "sum" [ 230 ] (ints_of result "s")
+
+let test_aggregate_over_empty () =
+  let result = run "SELECT COUNT(*) AS n FROM orders WHERE total > 9999" in
+  Alcotest.(check (list int)) "count 0" [ 0 ] (ints_of result "n");
+  let s = run "SELECT SUM(total) AS s FROM orders WHERE total > 9999" in
+  Alcotest.check Fixtures.value_testable "sum of nothing is NULL" Value.Null
+    (Tuple.get (Relation.row s 0) 0)
+
+let test_avg () =
+  let result = run "SELECT AVG(total) AS a FROM orders" in
+  match Tuple.get (Relation.row result 0) 0 with
+  | Value.Float f -> Alcotest.(check (float 1e-9)) "avg" 57.5 f
+  | v -> Alcotest.failf "expected float, got %s" (Value.to_string v)
+
+let test_count_skips_nulls () =
+  let with_null =
+    Relation.of_list ~name:"n"
+      ~schema:(Schema.of_columns [ Schema.column "v" Value.TInt ])
+      [ Tuple.of_list [ Value.Int 1 ]; Tuple.of_list [ Value.Null ] ]
+  in
+  let cat = [ ("n", with_null) ] in
+  let result = Engine.query cat "SELECT COUNT(*) AS stars, COUNT(v) AS vs FROM n" in
+  Alcotest.(check (list int)) "star counts rows" [ 2 ] (ints_of result "stars");
+  Alcotest.(check (list int)) "arg skips nulls" [ 1 ] (ints_of result "vs")
+
+let test_group_by_validation () =
+  let bad sql =
+    try
+      ignore (run sql);
+      Alcotest.failf "expected rejection of %S" sql
+    with Engine.Error _ -> ()
+  in
+  bad "SELECT * FROM orders GROUP BY uid";
+  bad "SELECT oid, COUNT(*) FROM orders GROUP BY uid";  (* oid not grouped *)
+  bad "SELECT total FROM orders GROUP BY uid";
+  bad "SELECT uid, COUNT(*) FROM orders GROUP BY uid ORDER BY total";
+  bad "SELECT SUM(name) AS s FROM users"  (* non-numeric sum *)
+
+let test_having () =
+  let result =
+    run
+      "SELECT uid, COUNT(*) AS n FROM orders GROUP BY uid HAVING n >= 2 \
+       ORDER BY uid"
+  in
+  Alcotest.(check (list int)) "only uid 1 kept" [ 1 ] (ints_of result "uid");
+  (* HAVING can also reference grouped columns. *)
+  let by_col =
+    run "SELECT uid, COUNT(*) AS n FROM orders GROUP BY uid HAVING uid > 1 ORDER BY uid"
+  in
+  Alcotest.(check (list int)) "uids" [ 2; 9 ] (ints_of by_col "uid");
+  (* HAVING without grouping is rejected. *)
+  Alcotest.(check bool) "having without group rejected" true
+    (try ignore (run "SELECT * FROM orders HAVING total > 1"); false
+     with Engine.Error _ -> true)
+
+let test_semi_join_non_equi () =
+  (* SEMI/ANTI with a non-equality condition exercise the generic path. *)
+  let semi = run "SELECT * FROM users SEMI JOIN orders ON total > 60" in
+  (* Some order has total > 60, so every user survives. *)
+  Alcotest.(check int) "all users kept" 3 (Relation.cardinality semi);
+  let anti = run "SELECT * FROM users ANTI JOIN orders ON total > 999" in
+  Alcotest.(check int) "nothing matches: all kept by anti" 3
+    (Relation.cardinality anti)
+
+let test_sum_floats () =
+  let prices =
+    Relation.of_list ~name:"f"
+      ~schema:(Schema.of_columns [ Schema.column "p" Value.TFloat ])
+      [
+        Tuple.of_list [ Value.Float 1.5 ]; Tuple.of_list [ Value.Float 2.25 ];
+        Tuple.of_list [ Value.Null ];
+      ]
+  in
+  let result =
+    Engine.query [ ("f", prices) ] "SELECT SUM(p) AS s, MIN(p) AS lo FROM f"
+  in
+  (match Tuple.get (Relation.row result 0) 0 with
+  | Value.Float f -> Alcotest.(check (float 1e-9)) "sum" 3.75 f
+  | v -> Alcotest.failf "expected float, got %s" (Value.to_string v));
+  match Tuple.get (Relation.row result 0) 1 with
+  | Value.Float f -> Alcotest.(check (float 1e-9)) "min skips null" 1.5 f
+  | v -> Alcotest.failf "expected float, got %s" (Value.to_string v)
+
+let test_arithmetic () =
+  let result = run "SELECT oid, total * 2 AS double FROM orders ORDER BY oid" in
+  Alcotest.(check (list int)) "doubled" [ 200; 100; 140; 20 ] (ints_of result "double");
+  let where = run "SELECT oid FROM orders WHERE total - 10 >= 60 ORDER BY oid" in
+  Alcotest.(check (list int)) "filtered" [ 10; 12 ] (ints_of where "oid");
+  let precedence = run "SELECT 2 + 3 * 4 AS v FROM users LIMIT 1" in
+  Alcotest.(check (list int)) "precedence" [ 14 ] (ints_of precedence "v");
+  let parens = run "SELECT (2 + 3) * 4 AS v FROM users LIMIT 1" in
+  Alcotest.(check (list int)) "parens" [ 20 ] (ints_of parens "v");
+  (* Arithmetic inside aggregate arguments. *)
+  let agg = run "SELECT SUM(total * 2) AS s FROM orders" in
+  Alcotest.(check (list int)) "sum of doubled" [ 460 ] (ints_of agg "s")
+
+let test_arithmetic_nulls () =
+  let with_null =
+    Relation.of_list ~name:"n"
+      ~schema:(Schema.of_columns [ Schema.column "v" Value.TInt ])
+      [ Tuple.of_list [ Value.Int 8 ]; Tuple.of_list [ Value.Null ] ]
+  in
+  let cat = [ ("n", with_null) ] in
+  let r = Engine.query cat "SELECT v / 0 AS q, v + 1 AS s FROM n" in
+  (* 8/0 is NULL; NULL+1 is NULL. *)
+  Alcotest.check Fixtures.value_testable "div by zero" Value.Null
+    (Tuple.get (Relation.row r 0) 0);
+  Alcotest.check Fixtures.value_testable "null propagates" Value.Null
+    (Tuple.get (Relation.row r 1) 1);
+  Alcotest.(check bool) "string arithmetic rejected" true
+    (try ignore (run "SELECT name + 1 AS x FROM users"); false
+     with Engine.Error _ -> true)
+
+let test_cond_parenthesized_expr () =
+  (* '(' in conditions: both nested conditions and parenthesized
+     arithmetic must parse. *)
+  let a = run "SELECT oid FROM orders WHERE (total > 60 AND total < 90) ORDER BY oid" in
+  Alcotest.(check (list int)) "nested cond" [ 12 ] (ints_of a "oid");
+  let b = run "SELECT oid FROM orders WHERE (total + 30) = 100 ORDER BY oid" in
+  Alcotest.(check (list int)) "paren expr" [ 12 ] (ints_of b "oid")
+
+let test_group_by_join () =
+  let result =
+    run
+      "SELECT name, COUNT(*) AS n FROM users JOIN orders ON id = uid \
+       GROUP BY name ORDER BY name"
+  in
+  Alcotest.(check (list int)) "per-user order counts" [ 2; 1 ]
+    (ints_of result "n")
+
+(* Inferred predicates round-trip through SQL: running the emitted query
+   equals evaluating the predicate directly. *)
+let test_inferred_predicate_roundtrip () =
+  let r = rel "r" [ "a"; "b" ] [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 3 ] ] in
+  let p = rel "p" [ "c"; "d" ] [ [ 2; 2 ]; [ 3; 9 ] ] in
+  let cat = [ ("r", r); ("p", p) ] in
+  List.iter
+    (fun pairs ->
+      let sql =
+        Ast.to_string
+          (Ast.of_equijoin ~r:"r" ~p:"p"
+             (List.map
+                (fun (i, j) ->
+                  ( Schema.name_at (Relation.schema r) i,
+                    Schema.name_at (Relation.schema p) j ))
+                pairs))
+      in
+      let by_sql = Engine.query cat sql in
+      let by_eval = Join.equijoin r p pairs in
+      Alcotest.(check int) ("cardinality for " ^ sql)
+        (Relation.cardinality by_eval)
+        (Relation.cardinality by_sql))
+    [ []; [ (0, 0) ]; [ (1, 0) ]; [ (1, 0); (1, 1) ] ]
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer keywords case-insensitive" `Quick test_lexer_case_insensitive_keywords;
+    Alcotest.test_case "lexer strings/quotes" `Quick test_lexer_strings_and_quotes;
+    Alcotest.test_case "lexer operators" `Quick test_lexer_operators;
+    Alcotest.test_case "parse simple" `Quick test_parse_simple;
+    Alcotest.test_case "parse join on" `Quick test_parse_join_on;
+    Alcotest.test_case "parse precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+    Alcotest.test_case "keyword lists in sync" `Quick test_keyword_list_in_sync;
+    Alcotest.test_case "of_equijoin/of_semijoin" `Quick test_of_equijoin;
+    Alcotest.test_case "exec select/where" `Quick test_exec_select_where;
+    Alcotest.test_case "exec projection" `Quick test_exec_projection;
+    Alcotest.test_case "exec join = evaluator" `Quick test_exec_join_agrees_with_evaluator;
+    Alcotest.test_case "exec join residual" `Quick test_exec_join_with_residual;
+    Alcotest.test_case "exec semi/anti" `Quick test_exec_semi_anti;
+    Alcotest.test_case "exec cross" `Quick test_exec_cross;
+    Alcotest.test_case "exec distinct/limit" `Quick test_exec_distinct_limit;
+    Alcotest.test_case "exec qualification" `Quick test_exec_qualified_and_ambiguous;
+    Alcotest.test_case "exec star disambiguation" `Quick test_exec_star_disambiguation;
+    Alcotest.test_case "exec null semantics" `Quick test_exec_null_semantics;
+    Alcotest.test_case "exec name errors" `Quick test_exec_unknown_table_column;
+    Alcotest.test_case "group by count" `Quick test_group_by_count;
+    Alcotest.test_case "group by sum/min/max" `Quick test_group_by_sum_min_max;
+    Alcotest.test_case "aggregate without group by" `Quick test_aggregate_without_group_by;
+    Alcotest.test_case "aggregate over empty input" `Quick test_aggregate_over_empty;
+    Alcotest.test_case "avg" `Quick test_avg;
+    Alcotest.test_case "count null handling" `Quick test_count_skips_nulls;
+    Alcotest.test_case "group by validation" `Quick test_group_by_validation;
+    Alcotest.test_case "having" `Quick test_having;
+    Alcotest.test_case "semi join non-equi" `Quick test_semi_join_non_equi;
+    Alcotest.test_case "sum over floats" `Quick test_sum_floats;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "arithmetic nulls" `Quick test_arithmetic_nulls;
+    Alcotest.test_case "parenthesized cond vs expr" `Quick test_cond_parenthesized_expr;
+    Alcotest.test_case "group by over join" `Quick test_group_by_join;
+    Alcotest.test_case "inferred predicate roundtrip" `Quick test_inferred_predicate_roundtrip;
+  ]

@@ -1,0 +1,158 @@
+(* Strategies (§4): the paper's narrated choices on Example 2.1 and the
+   structural invariants every strategy must satisfy. *)
+
+open Fixtures
+module Bits = Jqi_util.Bits
+module Prng = Jqi_util.Prng
+module Omega = Jqi_core.Omega
+module Universe = Jqi_core.Universe
+module State = Jqi_core.State
+module Sample = Jqi_core.Sample
+module Strategy = Jqi_core.Strategy
+module Lattice = Jqi_core.Lattice
+
+let fresh () = State.create universe0
+
+let choose_sig strategy st =
+  Option.map (Universe.signature universe0) (Strategy.choose strategy st)
+
+(* §4.3: on Example 2.1 "the BU strategy asks the user to label the tuple
+   t0 = (t3,t'1) corresponding to ∅ first; if negative, it selects the
+   tuple (t2,t'1) corresponding to {(A1,B3)}". *)
+let test_bu_narrative () =
+  let st = fresh () in
+  (match choose_sig Strategy.bu st with
+  | Some s -> Alcotest.check bits_testable "first: empty sig" (pred0 []) s
+  | None -> Alcotest.fail "BU returned nothing");
+  State.label st (class0 (3, 1)) Sample.Negative;
+  match choose_sig Strategy.bu st with
+  | Some s -> Alcotest.check bits_testable "then: {(A1,B3)}" (pred0 [ (0, 2) ]) s
+  | None -> Alcotest.fail "BU returned nothing after one negative"
+
+(* §4.3: TD starts with tuples whose signature is ⊆-maximal (the size-3
+   ones); after a positive example it behaves like BU. *)
+let test_td_starts_maximal () =
+  let st = fresh () in
+  let maximal = Lattice.maximal_signatures (Universe.signatures universe0) in
+  match choose_sig Strategy.td st with
+  | Some s ->
+      Alcotest.(check bool) "maximal first" true
+        (List.exists (Bits.equal s) maximal)
+  | None -> Alcotest.fail "TD returned nothing"
+
+let test_td_all_negatives_ends_without_all_labels () =
+  (* If the user labels all maximal tuples negative, everything else is
+     certain and TD halts with Ω, far before |D| questions (the BU
+     worst-case the paper warns about). *)
+  let st = fresh () in
+  let oracle = Jqi_core.Oracle.honest ~goal:(Omega.full omega0) in
+  let steps = ref 0 in
+  let rec go () =
+    match Strategy.choose Strategy.td st with
+    | None -> ()
+    | Some c ->
+        incr steps;
+        State.label st c (Jqi_core.Oracle.label oracle universe0 c);
+        go ()
+  in
+  go ();
+  (* Exactly the seven ⊆-maximal signatures get asked — far fewer than the
+     12 classes (or the |D| questions BU would need). *)
+  Alcotest.(check int) "only the seven maximal tuples" 7 !steps;
+  Alcotest.check bits_testable "inferred Ω ... as T(S+) with no positives"
+    (Omega.full omega0) (State.inferred st)
+
+let test_td_after_positive_is_bu () =
+  let st = fresh () in
+  State.label st (class0 (1, 3)) Sample.Positive;
+  (* Now TD = BU: pick an informative tuple with minimal |T|. *)
+  let td = choose_sig Strategy.td st and bu = choose_sig Strategy.bu st in
+  match (td, bu) with
+  | Some a, Some b ->
+      Alcotest.(check int) "same size" (Bits.cardinal b) (Bits.cardinal a)
+  | _ -> Alcotest.fail "strategies returned nothing"
+
+(* §4.4: with the corrected Figure 5 (see test_entropy.ml), L1S picks the
+   tuple (t2,t'1) with entropy (1,4) on the empty sample. *)
+let test_l1s_choice () =
+  let st = fresh () in
+  match Strategy.choose Strategy.l1s st with
+  | Some c -> Alcotest.(check int) "picks (t2,t'1)" (class0 (2, 1)) c
+  | None -> Alcotest.fail "L1S returned nothing"
+
+(* §4.4 walk-through: from S = {(t1,t'3)+, (t3,t'1)−}, labeling (t2,t'1)
+   positive ends the game; its entropy² (3,3) has the best worst case, so
+   L2S must choose it. *)
+let test_l2s_walkthrough_choice () =
+  let st = fresh () in
+  State.label st (class0 (1, 3)) Sample.Positive;
+  State.label st (class0 (3, 1)) Sample.Negative;
+  match Strategy.choose Strategy.l2s st with
+  | Some c -> Alcotest.(check int) "picks (t2,t'1)" (class0 (2, 1)) c
+  | None -> Alcotest.fail "L2S returned nothing"
+
+(* Every strategy proposes only informative tuples, at every step of every
+   inference, for several goals. *)
+let strategies () =
+  [
+    Strategy.bu;
+    Strategy.td;
+    Strategy.l1s;
+    Strategy.l2s;
+    Strategy.lks 3;
+    Strategy.rnd (Prng.create 1);
+    Strategy.igs ~samples:64 (Prng.create 2);
+  ]
+
+let test_only_informative_proposed () =
+  let goals =
+    [ pred0 []; pred0 [ (0, 2) ]; pred0 [ (0, 0); (1, 2) ]; Omega.full omega0 ]
+  in
+  List.iter
+    (fun goal ->
+      List.iter
+        (fun strategy ->
+          let st = fresh () in
+          let oracle = Jqi_core.Oracle.honest ~goal in
+          let rec go n =
+            if n > 20 then Alcotest.fail "no convergence in 20 steps"
+            else
+              match Strategy.choose strategy st with
+              | None -> ()
+              | Some c ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s proposes informative" (Strategy.name strategy))
+                    true (State.informative st c);
+                  State.label st c (Jqi_core.Oracle.label oracle universe0 c);
+                  go (n + 1)
+          in
+          go 0)
+        (strategies ()))
+    goals
+
+let test_lks_validation () =
+  Alcotest.(check bool) "k=0 rejected" true
+    (try ignore (Strategy.lks 0); false with Invalid_argument _ -> true);
+  Alcotest.(check string) "name" "L3S" (Strategy.name (Strategy.lks 3))
+
+let test_rnd_deterministic_by_seed () =
+  let run seed =
+    let strategy = Strategy.rnd (Prng.create seed) in
+    let oracle = Jqi_core.Oracle.honest ~goal:(pred0 [ (0, 2) ]) in
+    let result = Jqi_core.Inference.run universe0 strategy oracle in
+    List.map fst result.steps
+  in
+  Alcotest.(check (list int)) "same seed, same trace" (run 7) (run 7)
+
+let suite =
+  [
+    Alcotest.test_case "BU narrative (§4.3)" `Quick test_bu_narrative;
+    Alcotest.test_case "TD starts at maximal nodes" `Quick test_td_starts_maximal;
+    Alcotest.test_case "TD all-negative run" `Quick test_td_all_negatives_ends_without_all_labels;
+    Alcotest.test_case "TD turns into BU after positive" `Quick test_td_after_positive_is_bu;
+    Alcotest.test_case "L1S choice on Figure 5" `Quick test_l1s_choice;
+    Alcotest.test_case "L2S walkthrough choice" `Quick test_l2s_walkthrough_choice;
+    Alcotest.test_case "only informative proposed" `Quick test_only_informative_proposed;
+    Alcotest.test_case "LkS validation" `Quick test_lks_validation;
+    Alcotest.test_case "RND deterministic by seed" `Quick test_rnd_deterministic_by_seed;
+  ]

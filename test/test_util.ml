@@ -1,0 +1,123 @@
+(* Stats, ASCII tables, charts, timers. *)
+
+module Stats = Jqi_util.Stats
+module Table = Jqi_util.Ascii_table
+module Chart = Jqi_util.Chart
+module Timer = Jqi_util.Timer
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean_variance () =
+  feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  feq "variance" (5. /. 3.) (Stats.variance [| 1.; 2.; 3.; 4. |]);
+  feq "stddev" (sqrt (5. /. 3.)) (Stats.stddev [| 1.; 2.; 3.; 4. |]);
+  feq "variance of singleton" 0. (Stats.variance [| 5. |]);
+  Alcotest.(check bool) "mean of empty is nan" true
+    (Float.is_nan (Stats.mean [||]))
+
+let test_median_percentile () =
+  feq "median odd" 3. (Stats.median [| 5.; 1.; 3. |]);
+  feq "median even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |]);
+  feq "p0 is min" 1. (Stats.percentile [| 4.; 1.; 2.; 3. |] 0.);
+  feq "p100 is max" 4. (Stats.percentile [| 4.; 1.; 2.; 3. |] 100.);
+  feq "p25 interpolates" 1.75 (Stats.percentile [| 4.; 1.; 2.; 3. |] 25.);
+  feq "percentile of singleton" 7. (Stats.percentile [| 7. |] 50.)
+
+let test_min_max_summary () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7.; 0. |] in
+  feq "min" (-1.) lo;
+  feq "max" 7. hi;
+  let s = Stats.summarize [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "n" 3 s.n;
+  feq "summary mean" 2. s.mean;
+  feq "summary median" 2. s.median
+
+let test_of_ints () =
+  Alcotest.(check (array (float 0.))) "of_ints" [| 1.; 2. |] (Stats.of_ints [| 1; 2 |])
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_table_alignment () =
+  let rendered =
+    Table.render ~headers:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "longer"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' rendered in
+  (* All non-empty lines have equal width. *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  Alcotest.(check bool) "rectangular" true
+    (List.for_all (( = ) (List.hd widths)) widths);
+  Alcotest.(check bool) "contains cell" true (contains rendered "longer")
+
+let test_table_short_rows_padded () =
+  let rendered = Table.render ~headers:[ "a"; "b"; "c" ] [ [ "only" ] ] in
+  Alcotest.(check bool) "renders without exception" true
+    (contains rendered "only")
+
+let test_table_alignments () =
+  let rendered =
+    Table.render
+      ~aligns:[| Table.Right; Table.Center |]
+      ~headers:[ "num"; "mid" ]
+      [ [ "1"; "x" ] ]
+  in
+  Alcotest.(check bool) "right-aligned number" true (contains rendered "   1 ")
+
+let test_chart () =
+  let rendered =
+    Chart.render_grouped ~title:"T" ~value_label:"v"
+      [
+        { Chart.label = "g1"; values = [ ("a", 10.); ("b", 0.) ] };
+        { Chart.label = "g2"; values = [ ("a", 5.) ] };
+      ]
+  in
+  Alcotest.(check bool) "has title" true (contains rendered "T");
+  Alcotest.(check bool) "has bars" true (contains rendered "#");
+  (* Zero value renders no bar but still a row. *)
+  Alcotest.(check bool) "zero row present" true (contains rendered "b");
+  (* All-zero chart should not divide by zero. *)
+  let flat =
+    Chart.render_grouped ~title:"flat" ~value_label:"v"
+      [ { Chart.label = "g"; values = [ ("a", 0.) ] } ]
+  in
+  Alcotest.(check bool) "flat ok" true (contains flat "flat")
+
+let test_timer () =
+  let (), dt = Timer.time (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0))) in
+  Alcotest.(check bool) "non-negative" true (dt >= 0.);
+  let t = Timer.create () in
+  Timer.start t;
+  ignore (Sys.opaque_identity (Array.make 1000 0));
+  Timer.stop t;
+  let e1 = Timer.elapsed t in
+  Alcotest.(check bool) "accumulated" true (e1 >= 0.);
+  Timer.start t;
+  Timer.stop t;
+  Alcotest.(check bool) "monotone accumulation" true (Timer.elapsed t >= e1);
+  Timer.reset t;
+  feq "reset" 0. (Timer.elapsed t)
+
+let test_pp_seconds () =
+  Alcotest.(check string) "micro" "500µs" (Fmt.str "%a" Timer.pp_seconds 0.0005);
+  Alcotest.(check string) "milli" "12.0ms" (Fmt.str "%a" Timer.pp_seconds 0.012);
+  Alcotest.(check string) "sec" "2.50s" (Fmt.str "%a" Timer.pp_seconds 2.5)
+
+let suite =
+  [
+    Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+    Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+    Alcotest.test_case "min/max/summary" `Quick test_min_max_summary;
+    Alcotest.test_case "of_ints" `Quick test_of_ints;
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "table short rows" `Quick test_table_short_rows_padded;
+    Alcotest.test_case "table explicit aligns" `Quick test_table_alignments;
+    Alcotest.test_case "chart rendering" `Quick test_chart;
+    Alcotest.test_case "timer" `Quick test_timer;
+    Alcotest.test_case "pp_seconds" `Quick test_pp_seconds;
+  ]

@@ -1,0 +1,89 @@
+(* Values: SQL-style equality, total order, parsing and type inference. *)
+
+module Value = Jqi_relational.Value
+
+let v = Fixtures.value_testable
+
+let test_eq_null_semantics () =
+  Alcotest.(check bool) "null <> null" false (Value.eq Value.Null Value.Null);
+  Alcotest.(check bool) "null <> int" false (Value.eq Value.Null (Value.Int 0));
+  Alcotest.(check bool) "int = int" true (Value.eq (Value.Int 3) (Value.Int 3));
+  Alcotest.(check bool) "int <> other int" false (Value.eq (Value.Int 3) (Value.Int 4));
+  Alcotest.(check bool) "str equality" true (Value.eq (Value.Str "a") (Value.Str "a"))
+
+let test_eq_cross_type () =
+  Alcotest.(check bool) "int <> float" false (Value.eq (Value.Int 1) (Value.Float 1.));
+  Alcotest.(check bool) "int <> str" false (Value.eq (Value.Int 1) (Value.Str "1"));
+  Alcotest.(check bool) "bool <> int" false (Value.eq (Value.Bool true) (Value.Int 1))
+
+let test_compare_total_order () =
+  (* Null sorts first; the order is total even across types. *)
+  let vals =
+    [ Value.Str "b"; Value.Int 2; Value.Null; Value.Float 1.5; Value.Bool false; Value.Int 1 ]
+  in
+  let sorted = List.sort Value.compare vals in
+  Alcotest.check v "null first" Value.Null (List.hd sorted);
+  (* compare agrees with itself reversed. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check int) "antisymmetric" (Value.compare a b)
+            (-Value.compare b a))
+        vals)
+    vals
+
+let test_hash_consistent_with_compare () =
+  let pairs = [ (Value.Int 5, Value.Int 5); (Value.Str "x", Value.Str "x") ] in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int) "equal values equal hashes" (Value.hash a) (Value.hash b))
+    pairs
+
+let test_parse () =
+  Alcotest.(check (option v)) "int" (Some (Value.Int 42)) (Value.parse Value.TInt "42");
+  Alcotest.(check (option v)) "negative int" (Some (Value.Int (-7)))
+    (Value.parse Value.TInt "-7");
+  Alcotest.(check (option v)) "bad int" None (Value.parse Value.TInt "4x");
+  Alcotest.(check (option v)) "float" (Some (Value.Float 1.5))
+    (Value.parse Value.TFloat "1.5");
+  Alcotest.(check (option v)) "bool yes" (Some (Value.Bool true))
+    (Value.parse Value.TBool "yes");
+  Alcotest.(check (option v)) "bool F" (Some (Value.Bool false))
+    (Value.parse Value.TBool "F");
+  Alcotest.(check (option v)) "string" (Some (Value.Str "hi"))
+    (Value.parse Value.TString "hi");
+  Alcotest.(check (option v)) "empty is null" (Some Value.Null)
+    (Value.parse Value.TInt "")
+
+let test_infer_ty () =
+  Alcotest.(check bool) "ints" true (Value.infer_ty [ "1"; "2"; "" ] = Value.TInt);
+  Alcotest.(check bool) "floats" true (Value.infer_ty [ "1"; "2.5" ] = Value.TFloat);
+  Alcotest.(check bool) "strings" true (Value.infer_ty [ "1"; "abc" ] = Value.TString);
+  Alcotest.(check bool) "bools" true (Value.infer_ty [ "true"; "no" ] = Value.TBool);
+  (* Numeric-looking booleans prefer int (narrowest first). *)
+  Alcotest.(check bool) "0/1 prefers int" true (Value.infer_ty [ "0"; "1" ] = Value.TInt)
+
+let test_to_string_roundtrip () =
+  List.iter
+    (fun (ty, value) ->
+      Alcotest.(check (option v))
+        "roundtrip" (Some value)
+        (Value.parse ty (Value.to_string value)))
+    [
+      (Value.TInt, Value.Int 19);
+      (Value.TFloat, Value.Float 2.25);
+      (Value.TString, Value.Str "plain");
+      (Value.TBool, Value.Bool true);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "null equality semantics" `Quick test_eq_null_semantics;
+    Alcotest.test_case "cross-type equality" `Quick test_eq_cross_type;
+    Alcotest.test_case "compare total order" `Quick test_compare_total_order;
+    Alcotest.test_case "hash consistency" `Quick test_hash_consistent_with_compare;
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "infer_ty" `Quick test_infer_ty;
+    Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip;
+  ]
