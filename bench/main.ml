@@ -25,6 +25,70 @@ let section_header title =
 (* Figure 6: TPC-H experiments.                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Lookahead acceleration: fast vs reference L1S/L2S on the two §5.1 joins
+   with the largest signature quotients (Joins 4 and 5), full inference
+   runs against the honest oracle.  The engines must agree question for
+   question (the differential guarantee the test suite enforces); here we
+   record the per-choice latency gap and emit it as BENCH_lookahead.json
+   for CI artifacts. *)
+let run_lookahead_bench ~seed =
+  let module Json = Jqi_util.Json in
+  Printf.printf
+    "\n--- Lookahead acceleration: fast vs reference engine (scale=1) ---\n";
+  let db = Tpch.generate ~seed ~scale:1 () in
+  let joins = Tpch.joins db in
+  let picks = [ List.nth joins 3; List.nth joins 4 ] in
+  let entries =
+    List.concat_map
+      (fun (join : Tpch.goal_join) ->
+        let universe = Universe.build join.r join.p in
+        let omega = Universe.omega universe in
+        let goal = Tpch.goal_predicate omega join in
+        List.map
+          (fun k ->
+            let run strategy =
+              Jqi_core.Inference.run universe strategy
+                (Jqi_core.Oracle.honest ~goal)
+            in
+            let fast = run (Strategy.lks k) in
+            let reference = run (Strategy.lks_reference k) in
+            let per_choice (r : Jqi_core.Inference.result) =
+              r.elapsed /. float_of_int (max 1 r.n_interactions)
+            in
+            let speedup = per_choice reference /. per_choice fast in
+            let traces_match =
+              fast.steps = reference.steps
+              && fast.n_interactions = reference.n_interactions
+            in
+            Printf.printf
+              "  %-22s L%dS: fast %8.3f ms/choice (%2d questions), reference \
+               %8.3f ms/choice (%2d questions), speedup %6.1fx, traces %s\n"
+              join.label k
+              (per_choice fast *. 1e3)
+              fast.n_interactions
+              (per_choice reference *. 1e3)
+              reference.n_interactions speedup
+              (if traces_match then "identical" else "DIVERGED");
+            Json.Obj
+              [
+                ("join", Json.Str join.label);
+                ("k", Json.int k);
+                ("classes", Json.int (Universe.n_classes universe));
+                ("fast_ms_per_choice", Json.Num (per_choice fast *. 1e3));
+                ("reference_ms_per_choice", Json.Num (per_choice reference *. 1e3));
+                ("speedup", Json.Num speedup);
+                ("interactions_fast", Json.int fast.n_interactions);
+                ("interactions_reference", Json.int reference.n_interactions);
+                ("traces_match", Json.Bool traces_match);
+              ])
+          [ 1; 2 ])
+      picks
+  in
+  let path = "BENCH_lookahead.json" in
+  Json.save_file path
+    (Json.Obj [ ("seed", Json.int seed); ("runs", Json.List entries) ]);
+  Printf.printf "wrote %s\n" path
+
 let run_fig6 ~full ~seed =
   section_header "Figure 6 — TPC-H: interactions (6a/6b) and time (6c/6d)";
   let small = { E.Fig6.name = "small"; scale = (if full then 3 else 1); seed } in
@@ -52,6 +116,7 @@ let run_fig6 ~full ~seed =
   in
   let small_results = run_setting small E.Paper.fig6c_times_sf1 "6a" "6c" in
   let large_results = run_setting large E.Paper.fig6d_times_sf100000 "6b" "6d" in
+  run_lookahead_bench ~seed;
   (small_results, large_results)
 
 (* ------------------------------------------------------------------ *)
@@ -314,6 +379,8 @@ let micro_tests ~seed =
       (Staged.stage (fun () -> Entropy.entropy1 st some_cls));
     Test.make ~name:"fig7:entropy2"
       (Staged.stage (fun () -> Entropy.entropy_k st 2 some_cls));
+    Test.make ~name:"fig7:entropy2_ref"
+      (Staged.stage (fun () -> Entropy.reference_k st 2 some_cls));
     (* One full strategy step each. *)
     Test.make ~name:"fig6:step_BU" (Staged.stage (fun () -> Strategy.choose Strategy.bu st));
     Test.make ~name:"fig6:step_TD" (Staged.stage (fun () -> Strategy.choose Strategy.td st));

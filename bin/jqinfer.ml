@@ -32,11 +32,20 @@ let load_pair r_path p_path =
   let p = Csv.load_relation ~name:(Filename.remove_extension (Filename.basename p_path)) p_path in
   (r, p)
 
-let strategy_of_name ~seed = function
+(* Lookahead engine selection (--engine): the fast engine is the default;
+   the reference engine is the Algorithm 5 transcription kept as the
+   differential oracle; parallel fans candidate scoring over domains. *)
+let lks_of ~engine k =
+  match engine with
+  | `Fast -> Strategy.lks k
+  | `Reference -> Strategy.lks_reference k
+  | `Parallel domains -> Strategy.lks_par ~domains k
+
+let strategy_of_name ~seed ~engine = function
   | "bu" -> Strategy.bu
   | "td" -> Strategy.td
-  | "l1s" -> Strategy.l1s
-  | "l2s" -> Strategy.l2s
+  | "l1s" -> lks_of ~engine 1
+  | "l2s" -> lks_of ~engine 2
   | "rnd" -> Strategy.rnd (Prng.create seed)
   | "igs" -> Strategy.igs (Prng.create seed)
   | "hybrid" -> Strategy.hybrid
@@ -86,7 +95,7 @@ let human_oracle r p =
       in
       ask ())
 
-let cmd_infer r_path p_path strategy_name seed verbose resume save =
+let cmd_infer r_path p_path strategy_name seed verbose engine resume save =
   setup_logs verbose;
   let r, p = load_pair r_path p_path in
   let universe = Universe.build r p in
@@ -95,7 +104,7 @@ let cmd_infer r_path p_path strategy_name seed verbose resume save =
     "Loaded %s (%d rows) and %s (%d rows); %d tuple classes over |Ω| = %d.\n"
     (Relation.name r) (Relation.cardinality r) (Relation.name p)
     (Relation.cardinality p) (Universe.n_classes universe) (Omega.width omega);
-  let strategy = strategy_of_name ~seed strategy_name in
+  let strategy = strategy_of_name ~seed ~engine strategy_name in
   let state =
     match resume with
     | None -> None
@@ -133,7 +142,7 @@ let cmd_infer r_path p_path strategy_name seed verbose resume save =
 
 (* ---------------------------- simulate ---------------------------- *)
 
-let cmd_simulate r_path p_path goal_spec seed verbose =
+let cmd_simulate r_path p_path goal_spec seed verbose engine =
   setup_logs verbose;
   let r, p = load_pair r_path p_path in
   let universe = Universe.build r p in
@@ -146,7 +155,7 @@ let cmd_simulate r_path p_path goal_spec seed verbose =
     (Omega.pred_to_string omega goal);
   List.iter
     (fun name ->
-      let strategy = strategy_of_name ~seed name in
+      let strategy = strategy_of_name ~seed ~engine name in
       let result = Inference.run universe strategy (Oracle.honest ~goal) in
       Printf.printf "  %-4s %4d interactions  %8.4fs  inferred %s%s\n"
         result.strategy result.n_interactions result.elapsed
@@ -373,6 +382,36 @@ let strategy_arg =
     value & opt string "td"
     & info [ "s"; "strategy" ] ~doc:"Strategy: bu, td, l1s, l2s, rnd, igs, hybrid.")
 
+(* --engine picks the lookahead implementation behind l1s/l2s; the other
+   strategies ignore it.  --domains only matters with --engine parallel. *)
+let engine_arg =
+  let engine_conv =
+    Arg.enum [ ("fast", `Fast); ("reference", `Reference); ("parallel", `Parallel) ]
+  in
+  Arg.(
+    value & opt engine_conv `Fast
+    & info [ "engine" ]
+        ~doc:"Lookahead engine for l1s/l2s: $(b,fast) (incremental, memoized, \
+              pruned — the default), $(b,reference) (the direct Algorithm 5 \
+              transcription), or $(b,parallel) (fast engine with candidate \
+              scoring fanned over --domains domains).")
+
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ]
+        ~doc:"Domain count for --engine parallel (0 = recommended count).")
+
+let engine_term =
+  Term.(
+    const (fun engine domains ->
+        match engine with
+        | (`Fast | `Reference) as e -> e
+        | `Parallel ->
+            `Parallel
+              (if domains > 0 then domains else Domain.recommended_domain_count ()))
+    $ engine_arg $ domains_arg)
+
 let resume_arg =
   Arg.(value & opt (some file) None
        & info [ "resume" ] ~docv:"SESSION.json" ~doc:"Resume a saved session.")
@@ -385,7 +424,7 @@ let infer_cmd =
   Cmd.v
     (Cmd.info "infer" ~doc:"Interactively infer an equijoin over two CSV files")
     Term.(const cmd_infer $ r_arg $ p_arg $ strategy_arg $ seed_arg $ verbose_arg
-          $ resume_arg $ save_arg)
+          $ engine_term $ resume_arg $ save_arg)
 
 let goal_arg =
   Arg.(
@@ -396,7 +435,8 @@ let goal_arg =
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Replay inference with a known goal, all strategies")
-    Term.(const cmd_simulate $ r_arg $ p_arg $ goal_arg $ seed_arg $ verbose_arg)
+    Term.(const cmd_simulate $ r_arg $ p_arg $ goal_arg $ seed_arg $ verbose_arg
+          $ engine_term)
 
 let scale_arg = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Scale factor.")
 let out_arg = Arg.(value & opt string "data" & info [ "out" ] ~doc:"Output directory.")

@@ -83,22 +83,19 @@ let gains state ~ids ~extras signature =
   let u_neg = count ((signature, Sample.Negative) :: extras) in
   (u_pos, u_neg)
 
-(* entropy¹: direct uninformativeness gains of labeling [cls]. *)
-let entropy1 state cls =
-  let ids = State.informative_classes state in
-  let u_pos, u_neg =
-    gains state ~ids ~extras:[] (Universe.signature (State.universe state) cls)
-  in
-  make u_pos u_neg
+(* ------------------------------------------------------------------ *)
+(* Reference engine: the direct transcription of Algorithms 4/5, kept   *)
+(* as the differential test oracle for the fast engine below.           *)
+(* ------------------------------------------------------------------ *)
 
-(* entropy^k for k ≥ 1, the recursive generalization of Algorithm 5:
-   entropy¹ is [entropy1]; for k ≥ 2, for each label α of [cls] consider
-   the extended sample; if no informative tuple remains the branch is worth
-   (∞,∞); otherwise evaluate entropy^{k-1} (still counting gains relative
-   to the original S) of every tuple informative in the branch and keep the
-   best; finally return the branch value with the smaller min — the worst
-   case over the user's answer (Algorithm 5 lines 13-14). *)
-let entropy_k state k cls =
+(* reference entropy^k for k ≥ 1, the recursive generalization of
+   Algorithm 5: for k ≥ 2, for each label α of [cls] consider the extended
+   sample; if no informative tuple remains the branch is worth (∞,∞);
+   otherwise evaluate entropy^{k-1} (still counting gains relative to the
+   original S) of every tuple informative in the branch and keep the best;
+   finally return the branch value with the smaller min — the worst case
+   over the user's answer (Algorithm 5 lines 13-14). *)
+let reference_k state k cls =
   let u = State.universe state in
   let ids0 = State.informative_classes state in
   let sig_of i = Universe.signature u i in
@@ -129,4 +126,256 @@ let entropy_k state k cls =
   in
   eval_tuple ~ids:ids0 ~extras:[] ~k cls
 
+let reference1 state cls = reference_k state 1 cls
+
+(* ------------------------------------------------------------------ *)
+(* Fast engine.  Exact same semantics as [reference_k], restructured    *)
+(* around three ideas:                                                  *)
+(*                                                                      *)
+(* 1. Incremental certainty ([State.view]): branches extend the parent  *)
+(*    view by one label instead of re-deriving (tpos, negs) from the    *)
+(*    root and rescanning every class — monotone certainty means only   *)
+(*    the classes informative so far need re-testing, and a negative    *)
+(*    label needs just one subset test per class.  The leaf u± counts   *)
+(*    fall out of the view for free: a class of the root informative    *)
+(*    set becomes uninformative iff it left the view, so               *)
+(*    u = W₀ − W(view′) − depth, tuple-weighted.                        *)
+(* 2. Canonical-state memoization: subtree values depend only on the    *)
+(*    [State.Key] quotient of the extended sample (plus remaining depth *)
+(*    and class), and branches of the T-signature lattice converge to   *)
+(*    the same quotient constantly — each is evaluated once.            *)
+(* 3. Skyline shortcuts: a branch scan stops at (∞,∞) (nothing beats    *)
+(*    it), and the worst-case-over-answers rule lets the second branch  *)
+(*    stop as soon as its running best min reaches the first branch's   *)
+(*    min — the first branch is then the exact result.                  *)
+(*                                                                      *)
+(* [score] adds the selection-level pruning of Algorithm 4 on top and   *)
+(* is what the L1S/L2S/LkS strategies call once per round.              *)
+(* ------------------------------------------------------------------ *)
+
+module Memo = Hashtbl.Make (struct
+  type t = State.Key.t * int * int (* canonical sample, remaining k, class *)
+
+  let equal (k1, d1, c1) (k2, d2, c2) =
+    d1 = d2 && c1 = c2 && State.Key.equal k1 k2
+
+  let hash (k, d, c) = ((State.Key.hash k * 31) + d * 31) + c
+end)
+
+module BTbl = Hashtbl.Make (State.Key)
+
+type evaluator = {
+  ev_state : State.t;
+  ev_k : int;            (* top-level lookahead depth *)
+  ev_root : State.view;
+  ev_w0 : int;           (* tuple weight of the root informative set *)
+  ev_memo : t Memo.t;
+  ev_bbest : t BTbl.t;   (* last-level branch values, see [branch_best] *)
+}
+
+let evaluator state k =
+  let root = State.view state in
+  {
+    ev_state = state;
+    ev_k = k;
+    ev_root = root;
+    ev_w0 = root.State.vinf_tuples;
+    ev_memo = Memo.create 256;
+    ev_bbest = BTbl.create 64;
+  }
+
+let sig_of ev i = Universe.signature (State.universe ev.ev_state) i
+
+(* Leaf u±: every leaf of one evaluator sits at the same depth
+   |extras| + 1 = ev_k, so the memo key (view key, 1, cls) is sound. *)
+let leaf ev ~view cls =
+  let s = sig_of ev cls in
+  let vp = State.view_extend ev.ev_state view (s, Sample.Positive) in
+  let vn = State.view_extend ev.ev_state view (s, Sample.Negative) in
+  make
+    (ev.ev_w0 - vp.State.vinf_tuples - ev.ev_k)
+    (ev.ev_w0 - vn.State.vinf_tuples - ev.ev_k)
+
+(* Fold [e] into the running branch best; [best es] of a whole branch is
+   (max lo, max hi among that lo), so a running (lo, hi) maximum is exact. *)
+let fold_best acc e =
+  if e.lo > acc.lo then e
+  else if e.lo = acc.lo && e.hi > acc.hi then e
+  else acc
+
+(* Best leaf entropy over a branch view — the innermost loop of the whole
+   lookahead, so it works on arrays and fused bit tests instead of views:
+   every leaf of the branch is scored against the same (tpos, negs), which
+   makes the restricted signatures tpos ∩ T(i) shared across all |vinf|²
+   certainty tests; with them precomputed, a leaf labeled negative captures
+   class i iff restricted(i) ⊆ T(leaf) (one word-wise test, Lemma 3.4) and
+   a leaf labeled positive iff restricted(leaf) ⊆ T(i) or
+   (restricted(i) ∩ T(leaf)) escapes no old negative — no intermediate
+   bitset or list is allocated anywhere in the scan.  The scan stops at
+   (∞,∞) (nothing beats it — the stop is exact) or once the running best's
+   min reaches [cut] (a lower bound the caller only uses to discard the
+   branch). *)
+let branch_best ev ~view ~cut =
+  let u = State.universe ev.ev_state in
+  let ids = Array.of_list view.State.vinf in
+  let n = Array.length ids in
+  let sigs = Array.map (Universe.signature u) ids in
+  let counts = Array.map (Universe.count u) ids in
+  let tpos = view.State.vtpos in
+  let negs = view.State.vnegs in
+  let restricted = Array.map (Bits.inter tpos) sigs in
+  let base = ev.ev_w0 - view.State.vinf_tuples - ev.ev_k in
+  let score j =
+    (* tpos ∩ T(j), the positive branch's new T(S+), is restricted(j). *)
+    let s = sigs.(j) and tpos' = restricted.(j) in
+    let gain_pos = ref 0 and gain_neg = ref 0 in
+    for i = 0 to n - 1 do
+      if Bits.subset restricted.(i) s then gain_neg := !gain_neg + counts.(i);
+      if
+        Bits.subset tpos' sigs.(i)
+        || List.exists (Bits.inter_subset restricted.(i) s) negs
+      then gain_pos := !gain_pos + counts.(i)
+    done;
+    make (base + !gain_pos) (base + !gain_neg)
+  in
+  let rec go acc j =
+    if j >= n || is_infinite acc || acc.lo >= cut then acc
+    else go (fold_best acc (score j)) (j + 1)
+  in
+  go (score 0) 1
+
+let rec eval ev ~view ~vkey ~k cls =
+  let key = (vkey, k, cls) in
+  match Memo.find_opt ev.ev_memo key with
+  | Some e -> e
+  | None ->
+      let e =
+        if k <= 1 then leaf ev ~view cls
+        else begin
+          let s = sig_of ev cls in
+          let e_pos = branch ev ~view ~k (s, Sample.Positive) ~cut:max_int in
+          (* Worst case over the answer keeps the branch with the smaller
+             min, so once the negative branch's running best min reaches
+             e_pos.lo the result is e_pos exactly. *)
+          let e_neg = branch ev ~view ~k (s, Sample.Negative) ~cut:e_pos.lo in
+          if e_pos.lo <= e_neg.lo then e_pos else e_neg
+        end
+      in
+      Memo.replace ev.ev_memo key e;
+      e
+
+(* Best entropy^{k-1} over the classes left informative after labeling;
+   (∞,∞) when none remain (Algorithm 5 lines 3-5).  The scan stops early
+   at (∞,∞), or once the running best's min reaches [cut] (the caller
+   then discards this branch — see [eval]). *)
+and branch ev ~view ~k (s, alpha) ~cut =
+  let view' = State.view_extend ev.ev_state view (s, alpha) in
+  match view'.State.vinf with
+  | [] -> infinity
+  | i0 :: rest ->
+      if k = 2 then begin
+        (* Last level before the leaves: the arena scan, memoized on the
+           canonical key.  Cut-truncated scans are lower bounds (only good
+           for discarding this branch), so only complete scans — infinity
+           is always complete, a scan ending below [cut] ran dry — are
+           stored. *)
+        let vkey' = State.view_key view' in
+        match BTbl.find_opt ev.ev_bbest vkey' with
+        | Some e -> e
+        | None ->
+            let e = branch_best ev ~view:view' ~cut in
+            if is_infinite e || e.lo < cut then BTbl.replace ev.ev_bbest vkey' e;
+            e
+      end
+      else
+        let vkey' = State.view_key view' in
+        let rec go acc = function
+          | [] -> acc
+          | _ when is_infinite acc || acc.lo >= cut -> acc
+          | i :: is ->
+              go (fold_best acc (eval ev ~view:view' ~vkey:vkey' ~k:(k - 1) i)) is
+        in
+        go (eval ev ~view:view' ~vkey:vkey' ~k:(k - 1) i0) rest
+
+(* Drop-in fast entropy^k of a single class (fresh memo per call; use
+   [score] to share the memo across a whole candidate round). *)
+let entropy_k state k cls =
+  let ev = evaluator state k in
+  eval ev ~view:ev.ev_root ~vkey:(State.view_key ev.ev_root) ~k cls
+
+let entropy1 state cls = entropy_k state 1 cls
 let entropy2 state cls = entropy_k state 2 cls
+
+(* Score one candidate at top level with Algorithm 4's selection-level
+   pruning: the chosen class maximizes the entropy min, so once a
+   candidate's first branch min drops strictly below the best min seen so
+   far its exact value cannot matter — it can neither win nor tie — and
+   the second branch is skipped ([None]).  Exact values update
+   [best_lo]. *)
+let score_candidate ev ~best_lo cls =
+  let e =
+    if ev.ev_k <= 1 then begin
+      let s = sig_of ev cls in
+      let vp = State.view_extend ev.ev_state ev.ev_root (s, Sample.Positive) in
+      let u_pos = ev.ev_w0 - vp.State.vinf_tuples - 1 in
+      if u_pos < !best_lo then None
+      else
+        let vn = State.view_extend ev.ev_state ev.ev_root (s, Sample.Negative) in
+        Some (make u_pos (ev.ev_w0 - vn.State.vinf_tuples - 1))
+    end
+    else begin
+      let s = sig_of ev cls in
+      let e_pos = branch ev ~view:ev.ev_root ~k:ev.ev_k (s, Sample.Positive) ~cut:max_int in
+      if e_pos.lo < !best_lo then None
+      else begin
+        let e_neg = branch ev ~view:ev.ev_root ~k:ev.ev_k (s, Sample.Negative) ~cut:e_pos.lo in
+        let e = if e_pos.lo <= e_neg.lo then e_pos else e_neg in
+        if e.lo < !best_lo then None else Some e
+      end
+    end
+  in
+  (match e with Some e -> best_lo := max !best_lo e.lo | None -> ());
+  (cls, e)
+
+let score_chunk state k classes =
+  let ev = evaluator state k in
+  let best_lo = ref min_int in
+  List.map (score_candidate ev ~best_lo) classes
+
+(* Split [l] into [n] contiguous chunks (some possibly empty). *)
+let chunks n l =
+  let len = List.length l in
+  let size = (len + n - 1) / n in
+  let rec take k acc l =
+    if k = 0 then (List.rev acc, l)
+    else match l with [] -> (List.rev acc, []) | x :: xs -> take (k - 1) (x :: acc) xs
+  in
+  let rec go n l = if n = 0 then [] else
+    let c, rest = take size [] l in
+    c :: go (n - 1) rest
+  in
+  go n l
+
+(* Entropy^k of every informative class of [state], ascending class order.
+   [None] marks a candidate pruned as strictly worse (its entropy min is
+   below another candidate's): pruned entries can never be the skyline
+   best nor tie with it, so selection over the [Some] entries chooses
+   exactly the class the reference engine does.  With [domains] > 1 the
+   candidates are scored in contiguous chunks across that many domains,
+   each with its own memo and its own (locally sound) pruning; chunk
+   results are concatenated in class order, every [Some] entry is exact,
+   and the downstream choice is identical to the sequential run's. *)
+let score ?(domains = 1) state ~k =
+  let root = State.view state in
+  match root.State.vinf with
+  | [] -> []
+  | classes ->
+      if domains <= 1 || List.length classes <= 1 then score_chunk state k classes
+      else
+        let parts =
+          List.filter (fun c -> c <> []) (chunks (min domains (List.length classes)) classes)
+        in
+        let handles =
+          List.map (fun part -> Domain.spawn (fun () -> score_chunk state k part)) parts
+        in
+        List.concat_map Domain.join handles

@@ -33,9 +33,33 @@ val pp : Format.formatter -> t -> unit
 (** entropy¹ of a class. *)
 val entropy1 : State.t -> int -> t
 
-(** entropy^k of a class; k = 1 coincides with [entropy1], k = 2 is the
-    paper's entropy² (Algorithm 5).  Cost grows as (informative classes)^k. *)
+(** entropy^k of a class via the fast engine: incremental certainty
+    tracking ([State.view]), canonical-state memoization ([State.Key]) and
+    skyline shortcuts.  Exact — returns precisely [reference_k]'s value;
+    k = 1 coincides with [entropy1], k = 2 is the paper's entropy²
+    (Algorithm 5). *)
 val entropy_k : State.t -> int -> int -> t
 
 (** [entropy2 st cls] = [entropy_k st 2 cls]. *)
 val entropy2 : State.t -> int -> t
+
+(** Reference engine: the direct transcription of Algorithm 5, re-deriving
+    certainty from scratch per branch.  Kept as the differential test
+    oracle for [entropy_k]/[score]; cost grows as (informative classes)^k
+    per class. *)
+val reference_k : State.t -> int -> int -> t
+
+(** [reference_k] at k = 1. *)
+val reference1 : State.t -> int -> t
+
+(** [score state ~k] is entropy^k of every informative class of [state],
+    in ascending class order, sharing one memo across the whole round and
+    pruning with Algorithm 4's selection rule: [None] marks a candidate
+    whose entropy min is strictly below another candidate's — it can
+    neither be the skyline best nor tie with it, so choosing over the
+    [Some] entries picks exactly the class the reference engine would.
+    [domains] > 1 fans the candidates out over that many domains
+    (contiguous chunks, per-domain memo and per-domain pruning); results
+    are concatenated in class order, every [Some] entry is exact, and the
+    downstream choice is identical to the sequential run's. *)
+val score : ?domains:int -> State.t -> k:int -> (int * t option) list

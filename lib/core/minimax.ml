@@ -17,34 +17,13 @@ module Bits = Jqi_util.Bits
 
 exception Too_large
 
-type key = { tpos : Bits.t; negs : Bits.t list }
+(* The canonicalization lives in [State.Key] — the fast lookahead engine
+   memoizes on the same quotient. *)
+type key = State.Key.t = { tpos : Bits.t; negs : Bits.t list }
 
-let canonical ~tpos ~negs =
-  let restricted = List.map (Bits.inter tpos) negs in
-  let maximal =
-    List.filter
-      (fun s ->
-        not
-          (List.exists
-             (fun s' -> (not (Bits.equal s s')) && Bits.subset s s')
-             restricted))
-      restricted
-  in
-  let distinct =
-    List.fold_left
-      (fun acc s -> if List.exists (Bits.equal s) acc then acc else s :: acc)
-      [] maximal
-  in
-  { tpos; negs = List.sort Bits.compare distinct }
+let canonical = State.Key.canonical
 
-module Tbl = Hashtbl.Make (struct
-  type t = key
-
-  let equal a b = Bits.equal a.tpos b.tpos && List.equal Bits.equal a.negs b.negs
-
-  let hash k =
-    List.fold_left (fun acc s -> (acc * 31) + Bits.hash s) (Bits.hash k.tpos) k.negs
-end)
+module Tbl = Hashtbl.Make (State.Key)
 
 type solver = {
   universe : Universe.t;

@@ -7,6 +7,12 @@
 
 exception Too_large
 
+(** Canonical state key — alias of [State.Key.canonical]; the fast
+    lookahead engine memoizes on the same quotient.  Exposed for the
+    differential test oracle. *)
+val canonical :
+  tpos:Jqi_util.Bits.t -> negs:Jqi_util.Bits.t list -> State.Key.t
+
 (** Worst-case optimal number of interactions from the empty sample.
     Raises [Too_large] past [max_nodes] distinct states (default 2e6). *)
 val optimal_interactions : ?max_nodes:int -> Universe.t -> int

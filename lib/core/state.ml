@@ -103,7 +103,7 @@ let uninf_tuples_with u ~tpos ~negs =
 let uninf_tuples t = uninf_tuples_with t.universe ~tpos:t.tpos ~negs:t.negs
 
 (* Hypothetical sample obtained by adding labeled signatures to [t],
-   without mutating it.  Used by the lookahead strategies. *)
+   without mutating it.  Used by the reference lookahead engine. *)
 let extend_virtual t extras =
   List.fold_left
     (fun (tpos, negs) (s, lbl) ->
@@ -111,6 +111,91 @@ let extend_virtual t extras =
       | Sample.Positive -> (Bits.inter tpos s, negs)
       | Sample.Negative -> (tpos, s :: negs))
     (t.tpos, t.negs) extras
+
+(* Canonical form of a hypothetical sample: two samples with equal keys
+   have the same Cert+/Cert− sets (Lemmas 3.3/3.4 depend only on T(S+)
+   and on the ⊆-maximal negative signatures restricted to T(S+)), hence
+   the same informative classes and the same game/lookahead values.  The
+   minimax solver and the fast lookahead engine both memoize on it. *)
+module Key = struct
+  type t = { tpos : Bits.t; negs : Bits.t list }
+
+  let canonical ~tpos ~negs =
+    let restricted = List.map (Bits.inter tpos) negs in
+    let maximal =
+      List.filter
+        (fun s ->
+          not
+            (List.exists
+               (fun s' -> (not (Bits.equal s s')) && Bits.subset s s')
+               restricted))
+        restricted
+    in
+    let distinct =
+      List.fold_left
+        (fun acc s -> if List.exists (Bits.equal s) acc then acc else s :: acc)
+        [] maximal
+    in
+    { tpos; negs = List.sort Bits.compare distinct }
+
+  let equal a b = Bits.equal a.tpos b.tpos && List.equal Bits.equal a.negs b.negs
+
+  let hash k =
+    List.fold_left (fun acc s -> (acc * 31) + Bits.hash s) (Bits.hash k.tpos) k.negs
+end
+
+(* Views: hypothetical samples with an incrementally-maintained informative
+   set.  Certainty is monotone in the sample, so extending a view by one
+   label only ever needs to re-test the classes informative so far — and a
+   negative label leaves T(S+) unchanged, so only the new negative can
+   capture a previously informative class (one subset test each).  This is
+   what replaces the per-branch full rescans of the lookahead inner loop. *)
+type view = {
+  vtpos : Bits.t;
+  vnegs : Bits.t list;
+  vinf : int list;   (* informative class ids, ascending *)
+  vinf_tuples : int; (* count-weighted |vinf| *)
+}
+
+let view t =
+  let u = t.universe in
+  let vinf = informative_classes t in
+  let vinf_tuples =
+    List.fold_left (fun acc i -> acc + Universe.count u i) 0 vinf
+  in
+  { vtpos = t.tpos; vnegs = t.negs; vinf; vinf_tuples }
+
+let view_extend t v (s, lbl) =
+  let u = t.universe in
+  match lbl with
+  | Sample.Negative ->
+      (* T(S+) unchanged: a surviving class is still not certain-positive
+         and still escapes every old negative; only the new negative can
+         newly capture it (Lemma 3.4). *)
+      let vinf, vinf_tuples =
+        List.fold_left
+          (fun (acc, w) i ->
+            if Bits.inter_subset v.vtpos (Universe.signature u i) s then (acc, w)
+            else (i :: acc, w + Universe.count u i))
+          ([], 0) v.vinf
+      in
+      { v with vnegs = s :: v.vnegs; vinf = List.rev vinf; vinf_tuples }
+  | Sample.Positive ->
+      let vtpos = Bits.inter v.vtpos s in
+      let vinf, vinf_tuples =
+        List.fold_left
+          (fun (acc, w) i ->
+            if
+              certain_label_sig ~tpos:vtpos ~negs:v.vnegs
+                (Universe.signature u i)
+              = None
+            then (i :: acc, w + Universe.count u i)
+            else (acc, w))
+          ([], 0) v.vinf
+      in
+      { vtpos; vnegs = v.vnegs; vinf = List.rev vinf; vinf_tuples }
+
+let view_key v = Key.canonical ~tpos:v.vtpos ~negs:v.vnegs
 
 (* The inferred predicate at any point is T(S+) (§3.3). *)
 let inferred t = t.tpos

@@ -68,6 +68,40 @@ val extend_virtual :
   t -> (Jqi_util.Bits.t * Sample.label) list ->
   Jqi_util.Bits.t * Jqi_util.Bits.t list
 
+(** Canonical form of a hypothetical sample: (T(S+), sorted antichain of
+    ⊆-maximal negative signatures restricted to T(S+)).  Equal keys have
+    equal Cert+/Cert− sets, hence equal informative classes and equal
+    minimax/lookahead values — the memoization key of both the [Minimax]
+    solver and the fast lookahead engine. *)
+module Key : sig
+  type t = { tpos : Jqi_util.Bits.t; negs : Jqi_util.Bits.t list }
+
+  val canonical : tpos:Jqi_util.Bits.t -> negs:Jqi_util.Bits.t list -> t
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+(** A hypothetical sample extension with its informative classes maintained
+    incrementally (monotone certainty: extensions only shrink the set). *)
+type view = {
+  vtpos : Jqi_util.Bits.t;
+  vnegs : Jqi_util.Bits.t list;
+  vinf : int list;   (** informative class ids, ascending *)
+  vinf_tuples : int; (** count-weighted [vinf] *)
+}
+
+(** The view of the current sample. *)
+val view : t -> view
+
+(** Extend a view by one labeled signature, re-testing only the classes
+    informative in the view: one subset test per class for a negative
+    label (T(S+) is unchanged), a full certain test against the shrunk
+    T(S+) for a positive one. *)
+val view_extend : t -> view -> Jqi_util.Bits.t * Sample.label -> view
+
+(** [Key.canonical] of a view's sample. *)
+val view_key : view -> Key.t
+
 (** The current answer, T(S+) (§3.3). *)
 val inferred : t -> Jqi_util.Bits.t
 

@@ -78,16 +78,44 @@ let skyline_choose entropy_of state =
             (fun (i, ei) -> if Entropy.equal ei e then Some i else None)
             scored)
 
-let l1s = make "L1S" (skyline_choose Entropy.entropy1)
-let l2s = make "L2S" (skyline_choose (fun st i -> Entropy.entropy_k st 2 i))
+(* Same selection over the fast engine's round scores.  Pruned candidates
+   ([None]) are strictly worse than some exact one, so the best entropy
+   and the first class achieving it are those of [skyline_choose] over the
+   reference engine — the property pinned by the differential suite. *)
+let skyline_choose_fast ?domains k state =
+  let scored = Entropy.score ?domains state ~k in
+  let best = Entropy.best (List.filter_map snd scored) in
+  Option.bind best (fun e ->
+      List.find_map
+        (fun (i, ei) ->
+          match ei with
+          | Some ei when Entropy.equal ei e -> Some i
+          | _ -> None)
+        scored)
+
+let l1s = make "L1S" (skyline_choose_fast 1)
+let l2s = make "L2S" (skyline_choose_fast 2)
 
 (* LkS for arbitrary lookahead depth (the paper evaluates k ≤ 2 and notes
    the generalization). *)
 let lks k =
   if k < 1 then invalid_arg "Strategy.lks: k must be >= 1";
+  make (Printf.sprintf "L%dS" k) (skyline_choose_fast k)
+
+(* LkS with candidate scoring fanned out over [domains] domains, following
+   the [Universe.build_parallel] pattern; ties still break by class index,
+   so the chosen classes are identical to the sequential run. *)
+let lks_par ~domains k =
+  if k < 1 then invalid_arg "Strategy.lks_par: k must be >= 1";
+  if domains < 1 then invalid_arg "Strategy.lks_par: domains must be >= 1";
+  make (Printf.sprintf "L%dSx%d" k domains) (skyline_choose_fast ~domains k)
+
+(* LkS over the reference engine — the differential oracle's strategies. *)
+let lks_reference k =
+  if k < 1 then invalid_arg "Strategy.lks_reference: k must be >= 1";
   make
-    (Printf.sprintf "L%dS" k)
-    (skyline_choose (fun st i -> Entropy.entropy_k st k i))
+    (Printf.sprintf "L%dS-ref" k)
+    (skyline_choose (fun st i -> Entropy.reference_k st k i))
 
 (* IGS (extension; the paper's §7 suggests probabilistic lookahead as
    future work): estimate, by sampling predicates uniformly from C(S), the
@@ -106,17 +134,20 @@ let igs ?(samples = 256) prng =
           let positions = Array.of_list (Bits.elements tpos) in
           let width = Bits.width tpos in
           let consistent = ref [] in
+          let n_consistent = ref 0 in
           let attempts = samples * 4 in
           let tries = ref 0 in
-          while List.length !consistent < samples && !tries < attempts do
+          while !n_consistent < samples && !tries < attempts do
             incr tries;
             let theta =
               Array.fold_left
                 (fun acc pos -> if Prng.bool prng then Bits.add acc pos else acc)
                 (Bits.empty width) positions
             in
-            if List.for_all (fun n -> not (Bits.subset theta n)) negs then
-              consistent := theta :: !consistent
+            if List.for_all (fun n -> not (Bits.subset theta n)) negs then begin
+              consistent := theta :: !consistent;
+              incr n_consistent
+            end
           done;
           let thetas = !consistent in
           if thetas = [] then

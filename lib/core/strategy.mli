@@ -19,15 +19,26 @@ val bu : t
     exists, then BU. *)
 val td : t
 
-(** L1S, Algorithm 4: one-step lookahead skyline. *)
+(** L1S, Algorithm 4: one-step lookahead skyline (fast engine). *)
 val l1s : t
 
-(** L2S, Algorithm 6: two-step lookahead skyline. *)
+(** L2S, Algorithm 6: two-step lookahead skyline (fast engine). *)
 val l2s : t
 
 (** LkS for arbitrary k ≥ 1 (the paper's generalization remark).  Raises
     [Invalid_argument] on k < 1. *)
 val lks : int -> t
+
+(** LkS with candidate scoring fanned out over [domains] domains.
+    Deterministic: ties break by class index, so parallel and sequential
+    runs choose identical classes.  Raises [Invalid_argument] on k < 1 or
+    domains < 1. *)
+val lks_par : domains:int -> int -> t
+
+(** LkS over the reference lookahead engine ([Entropy.reference_k]) — the
+    differential oracle the fast strategies are tested against.  Raises
+    [Invalid_argument] on k < 1. *)
+val lks_reference : int -> t
 
 (** IGS (extension, cf. §7 future work): Monte-Carlo information gain —
     samples predicates uniformly from C(S) and asks about the tuple with

@@ -159,14 +159,17 @@ let representative t i =
       let ri, pj = t.classes.(i).rep in
       Some (Relation.row r ri, Relation.row p pj)
 
+(* [classes] is sorted by [Bits.compare] (see [of_signature_list]), so
+   membership is a binary search. *)
 let find_class t signature =
-  let n = Array.length t.classes in
-  let rec go i =
-    if i >= n then None
-    else if Bits.equal t.classes.(i).signature signature then Some i
-    else go (i + 1)
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = lo + ((hi - lo) / 2) in
+      let c = Bits.compare t.classes.(mid).signature signature in
+      if c = 0 then Some mid else if c < 0 then go (mid + 1) hi else go lo mid
   in
-  go 0
+  go 0 (Array.length t.classes)
 
 (* Classes selected by θ: exactly those whose signature contains θ. *)
 let selected_classes t theta =

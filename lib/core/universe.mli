@@ -62,6 +62,8 @@ val count : t -> int -> int
 val representative :
   t -> int -> (Jqi_relational.Tuple.t * Jqi_relational.Tuple.t) option
 
+(** Class of a signature, if any — binary search over the sorted class
+    array, O(log classes). *)
 val find_class : t -> Jqi_util.Bits.t -> int option
 
 (** Classes whose signature contains θ — the classes θ selects. *)

@@ -89,6 +89,18 @@ let subset a b =
   let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
   go 0
 
+(* (a ∩ b) ⊆ c without materializing the intersection; the fused form of
+   the Lemma 3.4 test that dominates the lookahead leaf loops. *)
+let inter_subset a b c =
+  check_same a b;
+  check_same a c;
+  let n = Array.length a.words in
+  let rec go i =
+    i >= n
+    || (a.words.(i) land b.words.(i) land lnot c.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
 let disjoint a b =
   check_same a b;
   let n = Array.length a.words in

@@ -38,6 +38,10 @@ val hash : t -> int
 (** [subset a b] is true iff [a ⊆ b]. *)
 val subset : t -> t -> bool
 
+(** [inter_subset a b c] is [subset (inter a b) c] without allocating the
+    intersection. *)
+val inter_subset : t -> t -> t -> bool
+
 val disjoint : t -> t -> bool
 val is_empty : t -> bool
 val cardinal : t -> int

@@ -23,6 +23,7 @@ let () =
       ("strategy", Test_strategy.suite);
       ("inference", Test_inference.suite);
       ("minimax", Test_minimax.suite);
+      ("lookahead", Test_lookahead.suite);
       ("tpch", Test_tpch.suite);
       ("synth", Test_synth.suite);
       ("experiments", Test_experiments.suite);
