@@ -17,6 +17,7 @@ module Strategy = Jqi_core.Strategy
 module Entropy = Jqi_core.Entropy
 module Prng = Jqi_util.Prng
 module Bits = Jqi_util.Bits
+module Obs = Jqi_obs.Obs
 
 let section_header title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
@@ -52,6 +53,25 @@ let run_lookahead_bench ~seed =
             in
             let fast = run (Strategy.lks k) in
             let reference = run (Strategy.lks_reference k) in
+            (* One extra instrumented run per entry: the oracle-interaction
+               and engine counters that go with the timings. *)
+            let metrics =
+              let was_enabled = Obs.enabled () in
+              Obs.reset ();
+              Obs.set_enabled true;
+              ignore (run (Strategy.lks k));
+              let report = Obs.Report.snapshot () in
+              Obs.set_enabled was_enabled;
+              let grab name = (name, Json.int (Obs.Report.counter report name)) in
+              Json.Obj
+                (List.map grab
+                   [
+                     "oracle.questions"; "oracle.answers_positive";
+                     "oracle.answers_negative"; "lookahead.branch_cache_hit";
+                     "lookahead.branch_cache_miss"; "lookahead.candidates_scored";
+                     "lookahead.candidates_pruned"; "state.certainty_scans";
+                   ])
+            in
             let per_choice (r : Jqi_core.Inference.result) =
               r.elapsed /. float_of_int (max 1 r.n_interactions)
             in
@@ -80,6 +100,7 @@ let run_lookahead_bench ~seed =
                 ("interactions_fast", Json.int fast.n_interactions);
                 ("interactions_reference", Json.int reference.n_interactions);
                 ("traces_match", Json.Bool traces_match);
+                ("metrics", metrics);
               ])
           [ 1; 2 ])
       picks
@@ -334,6 +355,99 @@ let run_ablation ~full ~seed =
     !n_runs
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: instrumentation on vs off (ISSUE 2).        *)
+(* ------------------------------------------------------------------ *)
+
+(* A/B of the jqi.obs layer on the fig6 L2S workload: full L2S inference
+   runs on TPC-H Joins 4 and 5 at scale 1, timed with instrumentation
+   disabled and enabled.  The acceptance budget is <2% enabled overhead;
+   disabled overhead is a flag load per call site and should not be
+   measurable at all.  Results land in BENCH_obs.json. *)
+let run_obs ~full ~seed =
+  let module Json = Jqi_util.Json in
+  section_header
+    "Observability overhead — jqi.obs disabled vs enabled (fig6 L2S workload)";
+  let db = Tpch.generate ~seed ~scale:1 () in
+  let joins = Tpch.joins db in
+  let workloads =
+    List.map
+      (fun (join : Tpch.goal_join) ->
+        let universe = Universe.build join.r join.p in
+        let goal = Tpch.goal_predicate (Universe.omega universe) join in
+        (universe, goal))
+      [ List.nth joins 3; List.nth joins 4 ]
+  in
+  let workload () =
+    List.iter
+      (fun (universe, goal) ->
+        ignore
+          (Jqi_core.Inference.run universe (Strategy.lks 2)
+             (Jqi_core.Oracle.honest ~goal)))
+      workloads
+  in
+  (* A workload pass is ~0.2s (L2S spends ~20 ms/choice on these joins), so
+     a timed rep batches a handful of passes; medians of several reps are
+     compared. *)
+  let iters = if full then 20 else 5 in
+  let reps = 5 in
+  let timed_rep () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      workload ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  workload ();
+  (* warmup *)
+  (* Alternate off/on reps so drift (thermal, GC heap shape) hits both. *)
+  let disabled = ref [] and enabled = ref [] in
+  for _ = 1 to reps do
+    Obs.set_enabled false;
+    disabled := timed_rep () :: !disabled;
+    Obs.reset ();
+    Obs.set_enabled true;
+    enabled := timed_rep () :: !enabled
+  done;
+  let report = Obs.Report.snapshot () in
+  Obs.set_enabled false;
+  let d = median !disabled and e = median !enabled in
+  let overhead_pct = (e /. d -. 1.) *. 100. in
+  Printf.printf
+    "L2S on TPC-H joins 4+5, %d passes/rep, %d reps:\n\
+    \  disabled %8.4fs/rep\n\
+    \  enabled  %8.4fs/rep\n\
+    \  overhead %+.2f%%  (budget: <2%%)\n"
+    iters reps d e overhead_pct;
+  let grab name = (name, Json.int (Obs.Report.counter report name)) in
+  let path = "BENCH_obs.json" in
+  Json.save_file path
+    (Json.Obj
+       [
+         ("seed", Json.int seed);
+         ("workload", Json.Str "fig6 L2S full inference, TPC-H joins 4+5, scale 1");
+         ("iters_per_rep", Json.int iters);
+         ("reps", Json.int reps);
+         ("disabled_s", Json.Num d);
+         ("enabled_s", Json.Num e);
+         ("overhead_pct", Json.Num overhead_pct);
+         ( "metrics",
+           Json.Obj
+             (List.map grab
+                [
+                  "oracle.questions"; "strategy.choices";
+                  "lookahead.candidates_scored"; "lookahead.candidates_pruned";
+                  "lookahead.branch_cache_hit"; "lookahead.branch_cache_miss";
+                  "state.certainty_scans"; "state.labels";
+                ]) );
+       ]);
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -468,7 +582,8 @@ let run_micro ~seed =
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let all_sections = [ "fig6"; "fig7"; "table1"; "semijoin"; "scaling"; "ablation"; "micro" ]
+let all_sections =
+  [ "fig6"; "fig7"; "table1"; "semijoin"; "scaling"; "ablation"; "obs"; "micro" ]
 
 let run sections full seed =
   let sections = if sections = [] then all_sections else sections in
@@ -499,6 +614,7 @@ let run sections full seed =
   if want "semijoin" then run_semijoin ~full ~seed;
   if want "scaling" then run_scaling ~full ~seed;
   if want "ablation" then run_ablation ~full ~seed;
+  if want "obs" then run_obs ~full ~seed;
   if want "micro" then run_micro ~seed;
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
 

@@ -22,10 +22,30 @@ module Oracle = Jqi_core.Oracle
 module Inference = Jqi_core.Inference
 module Lattice = Jqi_core.Lattice
 module Prng = Jqi_util.Prng
+module Obs = Jqi_obs.Obs
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   if verbose then Logs.Src.set_level Inference.log_src (Some Logs.Debug)
+
+(* --trace/--metrics observability plumbing: enable instrumentation before
+   the run when either is requested, emit the artifacts afterwards. *)
+let obs_setup ~trace ~metrics =
+  if trace <> None || metrics then begin
+    Obs.reset ();
+    Obs.set_enabled true
+  end
+
+let obs_finish ~trace ~metrics =
+  (match trace with
+  | Some path ->
+      Obs.save_trace path;
+      Printf.printf "Trace written to %s (open in chrome://tracing or Perfetto).\n" path
+  | None -> ());
+  if metrics then begin
+    print_newline ();
+    print_string (Obs.Report.render (Obs.Report.snapshot ()))
+  end
 
 let load_pair r_path p_path =
   let r = Csv.load_relation ~name:(Filename.remove_extension (Filename.basename r_path)) r_path in
@@ -95,8 +115,10 @@ let human_oracle r p =
       in
       ask ())
 
-let cmd_infer r_path p_path strategy_name seed verbose engine resume save =
+let cmd_infer r_path p_path strategy_name seed verbose engine resume save trace
+    metrics =
   setup_logs verbose;
+  obs_setup ~trace ~metrics;
   let r, p = load_pair r_path p_path in
   let universe = Universe.build r p in
   let omega = Universe.omega universe in
@@ -138,12 +160,14 @@ let cmd_infer r_path p_path strategy_name seed verbose engine resume save =
   in
   Printf.printf "It selects %d of the %d pairs.\n"
     (Relation.cardinality join)
-    (Universe.total_tuples universe)
+    (Universe.total_tuples universe);
+  obs_finish ~trace ~metrics
 
 (* ---------------------------- simulate ---------------------------- *)
 
-let cmd_simulate r_path p_path goal_spec seed verbose engine =
+let cmd_simulate r_path p_path goal_spec seed verbose engine trace metrics =
   setup_logs verbose;
+  obs_setup ~trace ~metrics;
   let r, p = load_pair r_path p_path in
   let universe = Universe.build r p in
   let omega = Universe.omega universe in
@@ -165,7 +189,8 @@ let cmd_simulate r_path p_path goal_spec seed verbose engine =
     [ "bu"; "td"; "l1s"; "l2s"; "rnd"; "igs"; "hybrid" ];
   let td_result = Inference.run universe Strategy.td (Oracle.honest ~goal) in
   Printf.printf "inferred query as SQL:\n  %s\n"
-    (sql_of_predicate r p omega td_result.predicate)
+    (sql_of_predicate r p omega td_result.predicate);
+  obs_finish ~trace ~metrics
 
 (* ---------------------------- gen-tpch ---------------------------- *)
 
@@ -412,6 +437,20 @@ let engine_term =
               (if domains > 0 then domains else Domain.recommended_domain_count ()))
     $ engine_arg $ domains_arg)
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"TRACE.json"
+        ~doc:"Write a Chrome-trace JSON of the run (open in chrome://tracing \
+              or Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the instrumentation report (counters, histograms, span \
+              tree) after the run.")
+
 let resume_arg =
   Arg.(value & opt (some file) None
        & info [ "resume" ] ~docv:"SESSION.json" ~doc:"Resume a saved session.")
@@ -424,7 +463,7 @@ let infer_cmd =
   Cmd.v
     (Cmd.info "infer" ~doc:"Interactively infer an equijoin over two CSV files")
     Term.(const cmd_infer $ r_arg $ p_arg $ strategy_arg $ seed_arg $ verbose_arg
-          $ engine_term $ resume_arg $ save_arg)
+          $ engine_term $ resume_arg $ save_arg $ trace_arg $ metrics_arg)
 
 let goal_arg =
   Arg.(
@@ -436,7 +475,7 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Replay inference with a known goal, all strategies")
     Term.(const cmd_simulate $ r_arg $ p_arg $ goal_arg $ seed_arg $ verbose_arg
-          $ engine_term)
+          $ engine_term $ trace_arg $ metrics_arg)
 
 let scale_arg = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Scale factor.")
 let out_arg = Arg.(value & opt string "data" & info [ "out" ] ~doc:"Output directory.")

@@ -18,6 +18,19 @@
    the paper. *)
 
 module Bits = Jqi_util.Bits
+module Obs = Jqi_obs.Obs
+
+(* Lookahead-engine counters (doc/OBSERVABILITY.md glossary).  With
+   [score ~domains] > 1 the increments race across domains and may lose
+   updates; the counts are exact in the default sequential mode. *)
+let c_memo_hit = Obs.Counter.make "lookahead.memo_hit"
+let c_memo_miss = Obs.Counter.make "lookahead.memo_miss"
+let c_branch_cache_hit = Obs.Counter.make "lookahead.branch_cache_hit"
+let c_branch_cache_miss = Obs.Counter.make "lookahead.branch_cache_miss"
+let c_branch_scans = Obs.Counter.make "lookahead.branch_scans"
+let c_leaf_evals = Obs.Counter.make "lookahead.leaf_evals"
+let c_scored = Obs.Counter.make "lookahead.candidates_scored"
+let c_pruned = Obs.Counter.make "lookahead.candidates_pruned"
 
 type t = { lo : int; hi : int }
 
@@ -189,6 +202,7 @@ let sig_of ev i = Universe.signature (State.universe ev.ev_state) i
 (* Leaf u±: every leaf of one evaluator sits at the same depth
    |extras| + 1 = ev_k, so the memo key (view key, 1, cls) is sound. *)
 let leaf ev ~view cls =
+  Obs.Counter.incr c_leaf_evals;
   let s = sig_of ev cls in
   let vp = State.view_extend ev.ev_state view (s, Sample.Positive) in
   let vn = State.view_extend ev.ev_state view (s, Sample.Negative) in
@@ -216,6 +230,7 @@ let fold_best acc e =
    min reaches [cut] (a lower bound the caller only uses to discard the
    branch). *)
 let branch_best ev ~view ~cut =
+  Obs.Counter.incr c_branch_scans;
   let u = State.universe ev.ev_state in
   let ids = Array.of_list view.State.vinf in
   let n = Array.length ids in
@@ -247,8 +262,11 @@ let branch_best ev ~view ~cut =
 let rec eval ev ~view ~vkey ~k cls =
   let key = (vkey, k, cls) in
   match Memo.find_opt ev.ev_memo key with
-  | Some e -> e
+  | Some e ->
+      Obs.Counter.incr c_memo_hit;
+      e
   | None ->
+      Obs.Counter.incr c_memo_miss;
       let e =
         if k <= 1 then leaf ev ~view cls
         else begin
@@ -281,8 +299,11 @@ and branch ev ~view ~k (s, alpha) ~cut =
            stored. *)
         let vkey' = State.view_key view' in
         match BTbl.find_opt ev.ev_bbest vkey' with
-        | Some e -> e
+        | Some e ->
+            Obs.Counter.incr c_branch_cache_hit;
+            e
         | None ->
+            Obs.Counter.incr c_branch_cache_miss;
             let e = branch_best ev ~view:view' ~cut in
             if is_infinite e || e.lo < cut then BTbl.replace ev.ev_bbest vkey' e;
             e
@@ -334,7 +355,11 @@ let score_candidate ev ~best_lo cls =
       end
     end
   in
-  (match e with Some e -> best_lo := max !best_lo e.lo | None -> ());
+  (match e with
+  | Some e ->
+      Obs.Counter.incr c_scored;
+      best_lo := max !best_lo e.lo
+  | None -> Obs.Counter.incr c_pruned);
   (cls, e)
 
 let score_chunk state k classes =

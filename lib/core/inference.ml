@@ -8,6 +8,13 @@
 
 module Bits = Jqi_util.Bits
 module Timer = Jqi_util.Timer
+module Obs = Jqi_obs.Obs
+
+(* Oracle interactions — the paper's primary cost measure (Figs. 5-7). *)
+let c_questions = Obs.Counter.make "oracle.questions"
+let c_positive = Obs.Counter.make "oracle.answers_positive"
+let c_negative = Obs.Counter.make "oracle.answers_negative"
+let c_runs = Obs.Counter.make "inference.runs"
 
 (* Debug tracing: `Logs.Src.set_level Inference.log_src (Some Debug)` turns
    on one line per question. *)
@@ -33,13 +40,23 @@ let run ?max_interactions ?state universe strategy oracle =
     match max_interactions with None -> true | Some b -> n < b
   in
   let t0 = Timer.now () in
+  Obs.Counter.incr c_runs;
   let rec loop n =
     if not (budget_left n) then false
     else
-      match Strategy.choose strategy state with
+      match
+        Obs.span "strategy.choose" (fun () -> Strategy.choose strategy state)
+      with
       | None -> true
       | Some cls ->
-          let lbl = Oracle.label oracle universe cls in
+          let lbl =
+            Obs.span "oracle.label" (fun () -> Oracle.label oracle universe cls)
+          in
+          Obs.Counter.incr c_questions;
+          Obs.Counter.incr
+            (match lbl with
+            | Sample.Positive -> c_positive
+            | Sample.Negative -> c_negative);
           Log.debug (fun m ->
               m "%s asks class %d %a -> %a" (Strategy.name strategy) cls
                 (Omega.pp_pred (Universe.omega universe))
@@ -48,7 +65,10 @@ let run ?max_interactions ?state universe strategy oracle =
           State.label state cls lbl;
           loop (n + 1)
   in
-  let halted = loop 0 in
+  let halted =
+    Obs.span ~attrs:[ ("strategy", Strategy.name strategy) ] "inference.run"
+      (fun () -> loop 0)
+  in
   let elapsed = Timer.now () -. t0 in
   {
     strategy = Strategy.name strategy;

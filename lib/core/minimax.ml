@@ -14,6 +14,10 @@
    against blowup; exceeding it raises [Too_large]. *)
 
 module Bits = Jqi_util.Bits
+module Obs = Jqi_obs.Obs
+
+let c_memo_hit = Obs.Counter.make "minimax.memo_hit"
+let c_memo_miss = Obs.Counter.make "minimax.memo_miss"
 
 exception Too_large
 
@@ -46,8 +50,11 @@ let informatives u ~tpos ~negs =
 let rec value solver ~tpos ~negs =
   let key = canonical ~tpos ~negs in
   match Tbl.find_opt solver.memo key with
-  | Some v -> v
+  | Some v ->
+      Obs.Counter.incr c_memo_hit;
+      v
   | None ->
+      Obs.Counter.incr c_memo_miss;
       solver.nodes <- solver.nodes + 1;
       if solver.nodes > solver.max_nodes then raise Too_large;
       let u = solver.universe in

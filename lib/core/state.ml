@@ -6,6 +6,14 @@
    O(classes × negatives) bitset operations. *)
 
 module Bits = Jqi_util.Bits
+module Obs = Jqi_obs.Obs
+
+(* Certain-tuple closures: one counter tick per whole-universe certainty
+   scan / per incremental view extension, not per class — the per-class
+   subset tests are the hot path the <2% overhead budget protects. *)
+let c_certainty_scans = Obs.Counter.make "state.certainty_scans"
+let c_view_extends = Obs.Counter.make "state.view_extends"
+let c_labels = Obs.Counter.make "state.labels"
 
 exception Inconsistent of { class_id : int; label : Sample.label }
 
@@ -61,6 +69,7 @@ let certain_label t i =
 let informative t i = certain_label t i = None
 
 let informative_classes t =
+  Obs.Counter.incr c_certainty_scans;
   let out = ref [] in
   for i = Universe.n_classes t.universe - 1 downto 0 do
     if informative t i then out := i :: !out
@@ -77,6 +86,7 @@ let has_positive t = List.exists (fun (_, l) -> l = Sample.Positive) t.history
 (* Algorithm 1 lines 6-7: labeling against a certain label would make the
    sample inconsistent. *)
 let label t i lbl =
+  Obs.Counter.incr c_labels;
   (match certain_label t i with
   | Some certain when certain <> lbl -> raise (Inconsistent { class_id = i; label = lbl })
   | _ -> ());
@@ -166,6 +176,7 @@ let view t =
   { vtpos = t.tpos; vnegs = t.negs; vinf; vinf_tuples }
 
 let view_extend t v (s, lbl) =
+  Obs.Counter.incr c_view_extends;
   let u = t.universe in
   match lbl with
   | Sample.Negative ->

@@ -6,12 +6,18 @@
 
 module Bits = Jqi_util.Bits
 module Prng = Jqi_util.Prng
+module Obs = Jqi_obs.Obs
+
+let c_choices = Obs.Counter.make "strategy.choices"
 
 type t = { name : string; choose : State.t -> int option }
 
 let make name choose = { name; choose }
 let name t = t.name
-let choose t state = t.choose state
+
+let choose t state =
+  Obs.Counter.incr c_choices;
+  t.choose state
 
 let sig_of state i = Universe.signature (State.universe state) i
 let size_of state i = Bits.cardinal (sig_of state i)

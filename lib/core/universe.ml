@@ -11,6 +11,7 @@
    products tractable. *)
 
 module Bits = Jqi_util.Bits
+module Obs = Jqi_obs.Obs
 module Relation = Jqi_relational.Relation
 module Tuple = Jqi_relational.Tuple
 
@@ -48,6 +49,7 @@ let of_signature_list ?relations omega sigs =
   { omega; classes; total; relations }
 
 let build r p =
+  Obs.span "universe.build" @@ fun () ->
   let omega = Omega.of_schemas (Relation.schema r) (Relation.schema p) in
   let acc = H.create 256 in
   let nr = Relation.cardinality r and np = Relation.cardinality p in

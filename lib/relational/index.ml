@@ -4,6 +4,14 @@
    relation; NULL keys are excluded because NULL never joins under
    [Value.eq]. *)
 
+module Obs = Jqi_obs.Obs
+
+(* Hash-join instrumentation: rows hashed at build time, probe calls and
+   rows returned by probes. *)
+let c_build_rows = Obs.Counter.make "index.build_rows"
+let c_probes = Obs.Counter.make "index.probes"
+let c_probe_rows = Obs.Counter.make "index.probe_rows"
+
 module Key = struct
   type t = Value.t list
 
@@ -18,6 +26,7 @@ type t = { columns : int list; table : int list H.t }
 let key_of_row columns row = List.map (fun c -> Tuple.get row c) columns
 
 let build rel ~columns =
+  Obs.Counter.add c_build_rows (Relation.cardinality rel);
   let table = H.create (max 16 (Relation.cardinality rel)) in
   Array.iteri
     (fun i row ->
@@ -30,9 +39,13 @@ let build rel ~columns =
 
 (* Row indexes whose key columns match [row]'s [probe_columns] values. *)
 let probe t ~probe_columns row =
+  Obs.Counter.incr c_probes;
   let key = key_of_row probe_columns row in
   if List.exists Value.is_null key then []
-  else Option.value ~default:[] (H.find_opt t.table key)
+  else
+    let rows = Option.value ~default:[] (H.find_opt t.table key) in
+    (match rows with [] -> () | _ -> Obs.Counter.add c_probe_rows (List.length rows));
+    rows
 
 let lookup t key = Option.value ~default:[] (H.find_opt t.table key)
 

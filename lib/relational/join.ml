@@ -11,6 +11,11 @@
 
 type predicate = (int * int) list
 
+module Obs = Jqi_obs.Obs
+
+let c_join_output = Obs.Counter.make "join.output_rows"
+let c_nested_pairs = Obs.Counter.make "join.nested_pairs"
+
 let check_predicate r p (theta : predicate) =
   List.iter
     (fun (i, j) ->
@@ -32,6 +37,8 @@ let product_schema r p =
 (* R ⋈_θ P by nested loops — the executable definition. *)
 let equijoin_nested r p (theta : predicate) =
   check_predicate r p theta;
+  Obs.span "join.equijoin_nested" @@ fun () ->
+  Obs.Counter.add c_nested_pairs (Relation.cardinality r * Relation.cardinality p);
   let out = ref [] in
   Relation.iter
     (fun tr ->
@@ -39,6 +46,7 @@ let equijoin_nested r p (theta : predicate) =
         (fun tp -> if matches theta tr tp then out := Tuple.concat tr tp :: !out)
         p)
     r;
+  Obs.Counter.add c_join_output (List.length !out);
   Relation.create
     ~name:(Relation.name r ^ "_join_" ^ Relation.name p)
     ~schema:(product_schema r p)
@@ -49,6 +57,7 @@ let equijoin r p (theta : predicate) =
   check_predicate r p theta;
   if theta = [] then equijoin_nested r p theta
   else begin
+    Obs.span "join.equijoin" @@ fun () ->
     let right_cols = List.map snd theta in
     let left_cols = List.map fst theta in
     let idx = Index.build p ~columns:right_cols in
@@ -59,6 +68,7 @@ let equijoin r p (theta : predicate) =
           (fun j -> out := Tuple.concat tr (Relation.row p j) :: !out)
           (Index.probe idx ~probe_columns:left_cols tr))
       r;
+    Obs.Counter.add c_join_output (List.length !out);
     Relation.create
       ~name:(Relation.name r ^ "_join_" ^ Relation.name p)
       ~schema:(product_schema r p)

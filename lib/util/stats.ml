@@ -29,11 +29,16 @@ let variance xs =
 let stddev xs = sqrt (variance xs)
 
 let percentile xs p =
+  (* NaN and out-of-range ranks previously indexed outside the sorted
+     array (p < 0 gave lo = -1, p > 100 gave hi = n); both are caller
+     bugs, so reject them instead of clamping silently. *)
+  if Float.is_nan p || p < 0. || p > 100. then
+    invalid_arg (Printf.sprintf "Stats.percentile: p = %g not in [0,100]" p);
   match Array.length xs with
   | 0 -> nan
   | n ->
       let sorted = Array.copy xs in
-      Array.sort compare sorted;
+      Array.sort Float.compare sorted;
       if n = 1 then sorted.(0)
       else begin
         let rank = p /. 100. *. float_of_int (n - 1) in
@@ -42,6 +47,11 @@ let percentile xs p =
         let frac = rank -. float_of_int lo in
         (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
       end
+
+let quantile xs q =
+  if Float.is_nan q || q < 0. || q > 1. then
+    invalid_arg (Printf.sprintf "Stats.quantile: q = %g not in [0,1]" q);
+  percentile xs (q *. 100.)
 
 let median xs = percentile xs 50.
 

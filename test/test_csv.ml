@@ -95,6 +95,96 @@ let test_empty_input_rejected () =
        false
      with Invalid_argument _ -> true)
 
+(* ---- property tests: import ∘ export = id ------------------------- *)
+
+(* Field alphabet that exercises every quoting path: commas, double
+   quotes, embedded newlines, spaces.  '\r' is excluded — the parser
+   strips a trailing CR from every physical line (lenient CRLF handling),
+   so fields containing "\r\n" are documented-lossy, like empty-vs-NULL
+   above. *)
+let gen_field =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; 'z'; ','; '"'; '\n'; ' ' ]) (int_range 0 6))
+
+(* Rectangular record tables, ≥2 columns so no line is a lone empty field
+   (a single empty cell is indistinguishable from a blank line). *)
+let gen_records =
+  QCheck.Gen.(
+    let* ncols = int_range 2 4 in
+    let* nrows = int_range 1 6 in
+    list_repeat nrows (list_repeat ncols gen_field))
+
+let qcheck_records_roundtrip =
+  QCheck.Test.make ~name:"parse_string (to_string recs) = recs" ~count:500
+    (QCheck.make gen_records)
+    (fun recs -> Csv.parse_string (Csv.to_string recs) = recs)
+
+(* The same property under CRLF line endings: a writer that terminated
+   records with \r\n must read back identically.  Fields are kept free of
+   '\n' so the rewrite only touches record separators. *)
+let gen_records_no_nl =
+  QCheck.Gen.(
+    let field =
+      string_size ~gen:(oneofl [ 'a'; 'b'; ','; '"'; ' ' ]) (int_range 0 6)
+    in
+    let* ncols = int_range 2 4 in
+    let* nrows = int_range 1 6 in
+    list_repeat nrows (list_repeat ncols field))
+
+let qcheck_records_roundtrip_crlf =
+  QCheck.Test.make ~name:"CRLF import = LF import" ~count:500
+    (QCheck.make gen_records_no_nl)
+    (fun recs ->
+      let lf = Csv.to_string recs in
+      let buf = Buffer.create (String.length lf + 8) in
+      String.iter
+        (fun c -> if c = '\n' then Buffer.add_string buf "\r\n" else Buffer.add_char buf c)
+        lf;
+      Csv.parse_string (Buffer.contents buf) = recs)
+
+(* Relation-level round-trip with a declared schema: every cell either
+   NULL or a value that survives the text trip (non-empty strings — the
+   empty string is the NULL encoding).  Exact row-list equality, not the
+   set-based [Relation.equal_contents]. *)
+let gen_relation =
+  QCheck.Gen.(
+    let int_cell =
+      frequency
+        [ (5, map (fun i -> Value.Int (i - 50)) (int_bound 100)); (1, return Value.Null) ]
+    in
+    let str_cell =
+      frequency
+        [
+          ( 5,
+            map
+              (fun s -> Value.Str s)
+              (string_size
+                 ~gen:(oneofl [ 'a'; 'q'; ','; '"'; '\n'; ' ' ])
+                 (int_range 1 6)) );
+          (1, return Value.Null);
+        ]
+    in
+    let* tys = list_size (int_range 1 4) (oneofl [ Value.TInt; Value.TString ]) in
+    let cell ty = match ty with Value.TInt -> int_cell | _ -> str_cell in
+    let row = map Tuple.of_list (flatten_l (List.map cell tys)) in
+    let* rows = list_size (int_bound 8) row in
+    return (tys, rows))
+
+let qcheck_relation_roundtrip =
+  QCheck.Test.make ~name:"relation: import (export r) = r (exact rows)"
+    ~count:300 (QCheck.make gen_relation)
+    (fun (tys, rows) ->
+      let schema =
+        Schema.of_columns
+          (List.mapi (fun i ty -> Schema.column (Printf.sprintf "c%d" i) ty) tys)
+      in
+      let r = Relation.of_list ~name:"t" ~schema rows in
+      let r' =
+        Csv.relation_of_records ~name:"t" ~schema
+          (Csv.parse_string (Csv.to_string (Csv.records_of_relation r)))
+      in
+      Relation.to_list r = Relation.to_list r')
+
 let suite =
   [
     Alcotest.test_case "parse simple" `Quick test_parse_simple;
@@ -110,3 +200,9 @@ let suite =
     Alcotest.test_case "ragged rejected" `Quick test_ragged_rejected;
     Alcotest.test_case "empty input rejected" `Quick test_empty_input_rejected;
   ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        qcheck_records_roundtrip;
+        qcheck_records_roundtrip_crlf;
+        qcheck_relation_roundtrip;
+      ]

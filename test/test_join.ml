@@ -124,6 +124,87 @@ let qcheck_semijoin_is_projected_join =
          column names are disjoint. *)
       Relation.equal_contents semi proj)
 
+(* Differential property suite: an INDEPENDENT nested-loop reference join
+   written here in the test — not [Join.equijoin_nested], which shares the
+   production [matches]/[Value.eq] code — compared as a multiset.
+   [Relation.equal_contents] is set-based, so these are the only tests that
+   would catch a duplicate-dropping or duplicate-double-counting bug in the
+   hash join.  NULL semantics are restated from scratch: a NULL on either
+   side of any equality disqualifies the pair. *)
+let reference_join r p (pairs : (int * int) list) =
+  let pair_matches tr tp (i, j) =
+    match (Tuple.get tr i, Tuple.get tp j) with
+    | Value.Null, _ | _, Value.Null -> false
+    | a, b -> Value.compare a b = 0
+  in
+  List.concat_map
+    (fun tr ->
+      List.filter_map
+        (fun tp ->
+          if List.for_all (pair_matches tr tp) pairs then
+            Some (Tuple.concat tr tp)
+          else None)
+        (Relation.to_list p))
+    (Relation.to_list r)
+
+let multiset rel = List.sort Tuple.compare (Relation.to_list rel)
+let multiset_list rows = List.sort Tuple.compare rows
+
+(* Duplicate-heavy variant of [gen_instance]: values drawn from {0, 1,
+   NULL} over up to 16 rows per side, so nearly every key repeats and the
+   hash buckets hold long chains. *)
+let gen_instance_dups =
+  QCheck.Gen.(
+    let cell =
+      frequency
+        [ (3, map (fun i -> Value.Int i) (int_bound 1)); (1, return Value.Null) ]
+    in
+    let row arity = map Tuple.of_list (list_repeat arity cell) in
+    let* ra = int_range 1 2 and* pa = int_range 1 2 in
+    let* rrows = list_size (int_bound 16) (row ra)
+    and* prows = list_size (int_bound 16) (row pa) in
+    let* npairs = int_bound 2 in
+    let* pairs =
+      list_repeat npairs (pair (int_bound (ra - 1)) (int_bound (pa - 1)))
+    in
+    return (ra, pa, rrows, prows, pairs))
+
+let qcheck_hash_vs_reference_multiset =
+  QCheck.Test.make ~name:"hash join = independent reference (multiset)"
+    ~count:300 (QCheck.make gen_instance)
+    (fun (ra, pa, rrows, prows, pairs) ->
+      let r = relation_of "r" "a" ra rrows and p = relation_of "p" "b" pa prows in
+      multiset (Join.equijoin r p pairs)
+      = multiset_list (reference_join r p pairs))
+
+let qcheck_hash_vs_reference_dups =
+  QCheck.Test.make
+    ~name:"hash join = independent reference (duplicate-heavy multiset)"
+    ~count:300 (QCheck.make gen_instance_dups)
+    (fun (ra, pa, rrows, prows, pairs) ->
+      let r = relation_of "r" "a" ra rrows and p = relation_of "p" "b" pa prows in
+      multiset (Join.equijoin r p pairs)
+      = multiset_list (reference_join r p pairs))
+
+let qcheck_null_never_joins =
+  QCheck.Test.make ~name:"null never joins (property)" ~count:300
+    (QCheck.make gen_instance_dups)
+    (fun (ra, pa, rrows, prows, pairs) ->
+      let r = relation_of "r" "a" ra rrows and p = relation_of "p" "b" pa prows in
+      (* Every output row of a non-trivial equijoin is non-NULL on every
+         join column, on both sides. *)
+      pairs = []
+      || Relation.fold
+           (fun acc t ->
+             acc
+             && List.for_all
+                  (fun (i, j) ->
+                    (not (Value.is_null (Tuple.get t i)))
+                    && not (Value.is_null (Tuple.get t (ra + j))))
+                  pairs)
+           true
+           (Join.equijoin r p pairs))
+
 let qcheck_anti_monotone =
   QCheck.Test.make ~name:"join anti-monotone in the predicate" ~count:300
     (QCheck.make gen_instance)
@@ -150,6 +231,9 @@ let suite =
   @ List.map QCheck_alcotest.to_alcotest
       [
         qcheck_hash_vs_nested;
+        qcheck_hash_vs_reference_multiset;
+        qcheck_hash_vs_reference_dups;
+        qcheck_null_never_joins;
         qcheck_semijoin_agrees;
         qcheck_semijoin_is_projected_join;
         qcheck_anti_monotone;

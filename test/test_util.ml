@@ -23,6 +23,34 @@ let test_median_percentile () =
   feq "p25 interpolates" 1.75 (Stats.percentile [| 4.; 1.; 2.; 3. |] 25.);
   feq "percentile of singleton" 7. (Stats.percentile [| 7. |] 50.)
 
+let test_percentile_edge_cases () =
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Stats.percentile [||] 50.));
+  feq "singleton p0" 7. (Stats.percentile [| 7. |] 0.);
+  feq "singleton p100" 7. (Stats.percentile [| 7. |] 100.);
+  let raises p =
+    try
+      ignore (Stats.percentile [| 1.; 2. |] p);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "p < 0 raises" true (raises (-1.));
+  Alcotest.(check bool) "p > 100 raises" true (raises 101.);
+  Alcotest.(check bool) "nan raises" true (raises nan)
+
+let test_quantile () =
+  feq "q0 is min" 1. (Stats.quantile [| 4.; 1.; 2.; 3. |] 0.);
+  feq "q1 is max" 4. (Stats.quantile [| 4.; 1.; 2.; 3. |] 1.);
+  feq "q0.5 is median" 2.5 (Stats.quantile [| 4.; 1.; 2.; 3. |] 0.5);
+  feq "quantile = percentile"
+    (Stats.percentile [| 9.; 5.; 7. |] 25.)
+    (Stats.quantile [| 9.; 5.; 7. |] 0.25);
+  Alcotest.(check bool) "q > 1 raises" true
+    (try
+       ignore (Stats.quantile [| 1. |] 1.5);
+       false
+     with Invalid_argument _ -> true)
+
 let test_min_max_summary () =
   let lo, hi = Stats.min_max [| 3.; -1.; 7.; 0. |] in
   feq "min" (-1.) lo;
@@ -103,6 +131,17 @@ let test_timer () =
   Timer.reset t;
   feq "reset" 0. (Timer.elapsed t)
 
+(* [Timer.now] must never step backwards — span arithmetic in jqi.obs and
+   every elapsed-time figure depends on it. *)
+let test_timer_monotonic () =
+  let prev = ref (Timer.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Timer.now () in
+    if t < !prev then
+      Alcotest.failf "Timer.now stepped back: %.9f after %.9f" t !prev;
+    prev := t
+  done
+
 let test_pp_seconds () =
   Alcotest.(check string) "micro" "500µs" (Fmt.str "%a" Timer.pp_seconds 0.0005);
   Alcotest.(check string) "milli" "12.0ms" (Fmt.str "%a" Timer.pp_seconds 0.012);
@@ -112,6 +151,8 @@ let suite =
   [
     Alcotest.test_case "mean/variance" `Quick test_mean_variance;
     Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+    Alcotest.test_case "percentile edge cases" `Quick test_percentile_edge_cases;
+    Alcotest.test_case "quantile" `Quick test_quantile;
     Alcotest.test_case "min/max/summary" `Quick test_min_max_summary;
     Alcotest.test_case "of_ints" `Quick test_of_ints;
     Alcotest.test_case "table alignment" `Quick test_table_alignment;
@@ -119,5 +160,6 @@ let suite =
     Alcotest.test_case "table explicit aligns" `Quick test_table_alignments;
     Alcotest.test_case "chart rendering" `Quick test_chart;
     Alcotest.test_case "timer" `Quick test_timer;
+    Alcotest.test_case "timer monotonic" `Quick test_timer_monotonic;
     Alcotest.test_case "pp_seconds" `Quick test_pp_seconds;
   ]
