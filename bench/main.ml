@@ -391,11 +391,11 @@ let run_obs ~full ~seed =
   let iters = if full then 20 else 5 in
   let reps = 5 in
   let timed_rep () =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Jqi_util.Timer.now () in
     for _ = 1 to iters do
       workload ()
     done;
-    Unix.gettimeofday () -. t0
+    Jqi_util.Timer.now () -. t0
   in
   let median xs =
     let a = Array.of_list xs in
@@ -594,7 +594,7 @@ let run sections full seed =
           (String.concat ", " all_sections);
         exit 2))
     sections;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Jqi_util.Timer.now () in
   Printf.printf
     "jqi bench — reproduction of 'Interactive Inference of Join Queries' \
      (EDBT 2014)\nmode: %s, seed: %d, sections: %s\n"
@@ -616,7 +616,7 @@ let run sections full seed =
   if want "ablation" then run_ablation ~full ~seed;
   if want "obs" then run_obs ~full ~seed;
   if want "micro" then run_micro ~seed;
-  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nTotal bench time: %.1fs\n" (Jqi_util.Timer.now () -. t0)
 
 open Cmdliner
 

@@ -1,0 +1,113 @@
+(* jqlint — the project linter.
+
+   Usage:
+     jqlint [options] PATH...
+
+   Parses every .ml/.mli under the given paths with the project compiler
+   (compiler-libs) and enforces the R1..R8 rule catalog of doc/LINTING.md.
+   Exit code 0 means no findings beyond the baseline; 1 means new
+   findings (or parse errors); 2 means bad usage.
+
+   Run it from the repository root so paths match the checked-in
+   baseline: jqlint --baseline lint.baseline lib bin bench test *)
+
+module Lint = Jqi_lint.Driver
+module Baseline = Jqi_lint.Baseline
+module Report = Jqi_lint.Report
+module Rules = Jqi_lint.Rules
+
+type format = Human | Json | Github
+
+let usage = "jqlint [--format human|json|github] [--baseline FILE] [--update-baseline] [--out FILE] [--rules] PATH..."
+
+let () =
+  let format = ref Human in
+  let baseline_path = ref None in
+  let update = ref false in
+  let out_json = ref None in
+  let show_rules = ref false in
+  let paths = ref [] in
+  let set_format = function
+    | "human" -> format := Human
+    | "json" -> format := Json
+    | "github" -> format := Github
+    | f ->
+        prerr_endline ("jqlint: unknown format " ^ f);
+        exit 2
+  in
+  let spec =
+    [
+      ("--format", Arg.String set_format, "FMT  output format: human (default), json, github");
+      ("--baseline", Arg.String (fun s -> baseline_path := Some s), "FILE  tolerate findings pinned in FILE");
+      ("--update-baseline", Arg.Set update, "  rewrite the baseline from the current findings and exit 0");
+      ("--out", Arg.String (fun s -> out_json := Some s), "FILE  also write the full JSON report to FILE");
+      ("--rules", Arg.Set show_rules, "  print the rule catalog and exit");
+    ]
+  in
+  (try Arg.parse_argv Sys.argv spec (fun p -> paths := p :: !paths) usage
+   with
+  | Arg.Bad msg ->
+      prerr_string msg;
+      exit 2
+  | Arg.Help msg ->
+      print_string msg;
+      exit 0);
+  if !show_rules then begin
+    List.iter
+      (fun (r : Rules.rule) ->
+        Printf.printf "%s  %s\n      fix: %s\n" r.id r.title r.hint)
+      Rules.catalog;
+    exit 0
+  end;
+  let paths = List.rev !paths in
+  if paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let baseline =
+    match !baseline_path with
+    | None -> Baseline.empty
+    | Some p when !update && not (Sys.file_exists p) -> Baseline.empty
+    | Some p -> (
+        match Baseline.load p with
+        | Ok b -> b
+        | Error msg ->
+            prerr_endline ("jqlint: " ^ msg);
+            exit 2)
+  in
+  let outcome = Lint.run ~baseline paths in
+  if !update then begin
+    match !baseline_path with
+    | None ->
+        prerr_endline "jqlint: --update-baseline needs --baseline FILE";
+        exit 2
+    | Some p ->
+        Baseline.save p (Baseline.of_findings outcome.findings);
+        Printf.printf "jqlint: baseline %s updated (%d findings pinned)\n" p
+          (List.length outcome.findings);
+        exit 0
+  end;
+  (match !out_json with
+  | None -> ()
+  | Some p ->
+      let oc = open_out p in
+      output_string oc
+        (Report.json ~files:outcome.files ~findings:outcome.findings
+           ~fresh:outcome.fresh ~stale:outcome.stale);
+      close_out oc);
+  (match !format with
+  | Human ->
+      print_string
+        (Report.human ~files:outcome.files
+           ~total:(List.length outcome.findings)
+           ~fresh:outcome.fresh ~stale:outcome.stale)
+  | Json ->
+      print_string
+        (Report.json ~files:outcome.files ~findings:outcome.findings
+           ~fresh:outcome.fresh ~stale:outcome.stale)
+  | Github ->
+      print_string (Report.github outcome.fresh);
+      Printf.printf "jqlint: %d files, %d findings, %d new\n" outcome.files
+        (List.length outcome.findings)
+        (List.length outcome.fresh));
+  exit (if Lint.clean outcome then 0 else 1)

@@ -42,8 +42,10 @@ let analyze universe =
   let sizes = List.map Bits.cardinal sigs in
   let max_size = List.fold_left max 0 sizes in
   let histogram =
-    Array.init (max_size + 1) (fun k ->
-        (k, List.length (List.filter (( = ) k) sizes)))
+    (* One counting pass instead of a filter per size bucket. *)
+    let counts = Array.make (max_size + 1) 0 in
+    List.iter (fun s -> counts.(s) <- counts.(s) + 1) sizes;
+    Array.mapi (fun k n -> (k, n)) counts
   in
   let join_ratio = Universe.join_ratio universe in
   let n_classes = Universe.n_classes universe in

@@ -64,13 +64,16 @@ let pp ppf e =
 let best es =
   match es with
   | [] -> None
-  | es ->
+  | es -> (
       let m = List.fold_left (fun acc e -> max acc e.lo) min_int es in
-      let candidates = List.filter (fun e -> e.lo = m) (skyline es) in
-      Some
-        (List.fold_left
-           (fun acc e -> if e.hi > acc.hi then e else acc)
-           (List.hd candidates) candidates)
+      (* The max-lo element is never dominated, so the filter is nonempty. *)
+      match List.filter (fun e -> e.lo = m) (skyline es) with
+      | [] -> None
+      | c :: cs ->
+          Some
+            (List.fold_left
+               (fun acc e -> if e.hi > acc.hi then e else acc)
+               c cs))
 
 (* Tuple-weighted count of the classes in [ids] certain under the
    hypothetical sample; [ids] must all be informative w.r.t. [state], so
@@ -131,7 +134,8 @@ let reference_k state k cls =
             let es =
               List.map (fun i -> eval_tuple ~ids:is ~extras:extras' ~k:(k - 1) i) is
             in
-            Option.get (best es)
+            (* [is] is nonempty, so [best] returns [Some]. *)
+            Option.value ~default:infinity (best es)
       in
       let e_pos = branch Sample.Positive in
       let e_neg = branch Sample.Negative in

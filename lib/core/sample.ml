@@ -11,6 +11,7 @@ type label = Positive | Negative
 
 let label_of_bool b = if b then Positive else Negative
 let bool_of_label = function Positive -> true | Negative -> false
+let equal_label a b = Bool.equal (bool_of_label a) (bool_of_label b)
 
 let pp_label ppf = function
   | Positive -> Fmt.string ppf "+"

@@ -7,6 +7,7 @@ type label = Positive | Negative
 
 val label_of_bool : bool -> label
 val bool_of_label : label -> bool
+val equal_label : label -> label -> bool
 val pp_label : Format.formatter -> label -> unit
 
 type example = { tuple : int * int;  (** row indexes into R and P *) label : label }

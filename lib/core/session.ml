@@ -53,7 +53,9 @@ let of_json universe json =
   let examples =
     match Json.member "examples" json with
     | Some (Json.List l) -> l
-    | _ -> fail "missing examples array"
+    | Some (Json.Null | Json.Bool _ | Json.Num _ | Json.Str _ | Json.Obj _)
+    | None ->
+        fail "missing examples array"
   in
   let state = State.create universe in
   let omega = Universe.omega universe in
@@ -72,7 +74,9 @@ let of_json universe json =
       let label =
         match Json.member "label" ex with
         | Some (Json.Str s) -> label_of_string s
-        | _ -> fail "example missing label"
+        | Some (Json.Null | Json.Bool _ | Json.Num _ | Json.List _ | Json.Obj _)
+        | None ->
+            fail "example missing label"
       in
       let ri = field "r" and pj = field "p" in
       if ri < 0 || ri >= Jqi_relational.Relation.cardinality r then

@@ -74,10 +74,14 @@ let time_table ~paper results =
           | Some m -> Printf.sprintf "%.3f" m.seconds
           | None -> "n/a"
         in
-        (r.label :: List.map cell Paper.strategy_order)
-        @ [
-            String.concat "/"
-              (Array.to_list (Array.map (Printf.sprintf "%.3f") paper.(i)));
+        List.concat
+          [
+            [ r.label ];
+            List.map cell Paper.strategy_order;
+            [
+              String.concat "/"
+                (Array.to_list (Array.map (Printf.sprintf "%.3f") paper.(i)));
+            ];
           ])
       results
   in

@@ -105,11 +105,15 @@ let time_table ~paper result =
           | Some m -> Printf.sprintf "%.3f" m.seconds
           | None -> "n/a"  (* no goal of this size occurred in the sampled runs *)
         in
-        (string_of_int s.goal_size :: List.map cell Paper.strategy_order)
-        @ [
-            String.concat "/"
-              (Array.to_list
-                 (Array.map (Printf.sprintf "%.3f") paper.(s.goal_size)));
+        List.concat
+          [
+            [ string_of_int s.goal_size ];
+            List.map cell Paper.strategy_order;
+            [
+              String.concat "/"
+                (Array.to_list
+                   (Array.map (Printf.sprintf "%.3f") paper.(s.goal_size)));
+            ];
           ])
       result.by_size
   in

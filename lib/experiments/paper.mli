@@ -1,0 +1,43 @@
+(** The paper's published numbers, used to print paper-vs-measured rows.
+
+    Strategy order everywhere: BU, TD, L1S, L2S, RND (the column order of
+    Figures 6c/6d and 7). *)
+
+val strategy_order : string list
+
+(** One Table 1 line. *)
+type table1_row = {
+  dataset : string;
+  goal : string;
+  product_size : float;
+  join_ratio : float;
+  best : string list;  (** strategies tied for fewest interactions *)
+  best_interactions : int;
+  best_seconds : float list;  (** one entry per strategy in [best] *)
+}
+
+val table1_tpch_sf1 : table1_row list
+val table1_tpch_sf100000 : table1_row list
+
+(** Synthetic Table 1 lines: per config, |D|, join ratio, and the best
+    strategy / interactions / seconds for goal sizes 0..4. *)
+type synth_block = {
+  config : string;
+  product_size : float;
+  join_ratio : float;
+  by_size : (string * int * float) array;
+      (** best strategy, interactions, seconds *)
+}
+
+val table1_synth : synth_block list
+
+val fig6c_times_sf1 : float array array
+(** Figure 6c: inference times in seconds, rows Join 1..5, columns in
+    [strategy_order]. *)
+
+val fig6d_times_sf100000 : float array array
+(** Figure 6d: same layout as [fig6c_times_sf1]. *)
+
+val fig7_times : (string * float array array) list
+(** Figure 7 time tables: per config, rows goal size 0..4, columns in
+    [strategy_order]. *)

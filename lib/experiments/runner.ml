@@ -49,15 +49,16 @@ let average runs =
   match runs with
   | [] -> []
   | first :: _ ->
+      let runs = List.map Array.of_list runs in
       List.mapi
         (fun i (m : measurement) ->
-          let col f = List.map (fun run -> f (List.nth run i)) runs in
+          let col f = List.map (fun run -> f run.(i)) runs in
           {
             strategy = m.strategy;
             interactions =
               Jqi_util.Stats.mean (Array.of_list (col (fun m -> m.interactions)));
             seconds = Jqi_util.Stats.mean (Array.of_list (col (fun m -> m.seconds)));
-            verified = List.for_all (fun run -> (List.nth run i).verified) runs;
+            verified = List.for_all (fun run -> run.(i).verified) runs;
           })
         first
 

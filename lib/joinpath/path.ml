@@ -74,7 +74,7 @@ let build relations =
   in
   let rows = Array.make k 0 in
   let rec scan depth =
-    if depth = k then begin
+    if Int.equal depth k then begin
       let sigs =
         Array.init (k - 1) (fun i ->
             Tsig.of_tuples omegas.(i)
@@ -97,7 +97,16 @@ let build relations =
     H.fold
       (fun _ (signatures, count, rep) l -> { signatures; count; rep } :: l)
       acc []
-    |> List.sort (fun a b -> compare a.rep b.rep)
+    |> List.sort (fun a b ->
+           (* Deterministic order on representatives (int arrays of equal
+              length k): lexicographic. *)
+           let rec go i =
+             if i >= Array.length a.rep then 0
+             else
+               let c = Int.compare a.rep.(i) b.rep.(i) in
+               if c <> 0 then c else go (i + 1)
+           in
+           go 0)
     |> Array.of_list
   in
   { relations; omegas; combos }
@@ -159,7 +168,7 @@ let informative_combos st =
 
 let label st i lbl =
   (match certain_label st i with
-  | Some certain when certain <> lbl ->
+  | Some certain when not (Sample.equal_label certain lbl) ->
       raise (Inconsistent { combo_id = i; label = lbl })
   | _ -> ());
   let sigs = st.path.combos.(i).signatures in

@@ -1,0 +1,109 @@
+(* Pinned pre-existing debt.
+
+   The baseline maps (file, rule) to an allowed finding count, so a clean
+   CI run means "no NEW violations" without forcing a big-bang cleanup.
+   Counts — not line numbers — are recorded: unrelated edits move lines
+   around freely, while introducing one more violation of a rule in a file
+   always breaks the budget.  When a count drops, the run reports the
+   entry as stale so the budget can be ratcheted down. *)
+
+module Json = Jqi_util.Json
+
+type entry = { file : string; rule : string; count : int }
+type t = entry list  (* sorted by (file, rule), counts > 0 *)
+
+let empty = []
+
+let compare_entry a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c else String.compare a.rule b.rule
+
+let of_findings findings =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Finding.t) ->
+      let key = (f.file, f.rule) in
+      let n = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (n + 1))
+    findings;
+  Hashtbl.fold (fun (file, rule) count acc -> { file; rule; count } :: acc) tbl []
+  |> List.sort compare_entry
+
+let allowed t ~file ~rule =
+  match
+    List.find_opt (fun e -> String.equal e.file file && String.equal e.rule rule) t
+  with
+  | Some e -> e.count
+  | None -> 0
+
+(* Split current findings into the tolerated prefix and the fresh excess,
+   per (file, rule): with a budget of k, the first k findings (in source
+   order) are tolerated and the rest are fresh.  Also report stale
+   entries — budgets no longer fully used. *)
+let apply t findings =
+  let findings = List.sort Finding.compare findings in
+  let used = Hashtbl.create 64 in
+  let fresh =
+    List.filter
+      (fun (f : Finding.t) ->
+        let key = (f.Finding.file, f.Finding.rule) in
+        let n = Option.value ~default:0 (Hashtbl.find_opt used key) in
+        Hashtbl.replace used key (n + 1);
+        n >= allowed t ~file:f.Finding.file ~rule:f.Finding.rule)
+      findings
+  in
+  let stale =
+    List.filter
+      (fun e ->
+        Option.value ~default:0 (Hashtbl.find_opt used (e.file, e.rule)) < e.count)
+      t
+  in
+  (fresh, stale)
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("file", Json.Str e.file);
+      ("rule", Json.Str e.rule);
+      ("count", Json.int e.count);
+    ]
+
+let to_json t =
+  Json.Obj
+    [ ("version", Json.int 1); ("entries", Json.List (List.map entry_to_json t)) ]
+
+let of_json j =
+  let as_str = function
+    | Json.Str s -> Some s
+    | Json.Null | Json.Bool _ | Json.Num _ | Json.List _ | Json.Obj _ -> None
+  in
+  let entry e =
+    match
+      ( Option.bind (Json.member "file" e) as_str,
+        Option.bind (Json.member "rule" e) as_str,
+        Option.bind (Json.member "count" e) Json.to_int )
+    with
+    | Some file, Some rule, Some count when count > 0 ->
+        Some { file; rule; count }
+    | (Some _ | None), (Some _ | None), (Some _ | None) -> None
+  in
+  match Json.member "entries" j with
+  | Some (Json.List es) ->
+      let entries = List.filter_map entry es in
+      if List.length entries = List.length es then
+        Ok (List.sort compare_entry entries)
+      else Error "baseline: malformed entry"
+  | Some (Json.Null | Json.Bool _ | Json.Num _ | Json.Str _ | Json.Obj _)
+  | None ->
+      Error "baseline: missing \"entries\" list"
+
+let load path =
+  match Json.load_file path with
+  | j -> of_json j
+  | exception Sys_error msg -> Error msg
+  | exception Json.Parse_error { position; message } ->
+      Error (Printf.sprintf "baseline %s: %s at offset %d" path message position)
+
+let save path t = Json.save_file path (to_json t)
+
+let pp_entry ppf e = Fmt.pf ppf "%s %s x%d" e.file e.rule e.count

@@ -1,0 +1,21 @@
+(** Pinned pre-existing debt: (file, rule) -> allowed finding count. *)
+
+type entry = { file : string; rule : string; count : int }
+type t = entry list
+
+val empty : t
+
+(** Snapshot the current findings as the new budget. *)
+val of_findings : Finding.t list -> t
+
+(** [(fresh, stale)]: findings beyond the per-(file, rule) budget, in
+    source order, and baseline entries whose budget is no longer fully
+    used (ratchet candidates). *)
+val apply : t -> Finding.t list -> Finding.t list * entry list
+
+val entry_to_json : entry -> Jqi_util.Json.t
+val to_json : t -> Jqi_util.Json.t
+val of_json : Jqi_util.Json.t -> (t, string) result
+val load : string -> (t, string) result
+val save : string -> t -> unit
+val pp_entry : Format.formatter -> entry -> unit

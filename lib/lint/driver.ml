@@ -1,0 +1,48 @@
+(* The lint pipeline: discover -> parse -> rules -> suppress -> baseline.
+
+   The driver is pure plumbing; policy lives in Rules (what is flagged),
+   Suppress (what the code itself waives) and Baseline (what history
+   tolerates). *)
+
+type outcome = {
+  files : int;
+  findings : Finding.t list;  (* post-suppression, sorted; includes P0/R6 *)
+  fresh : Finding.t list;  (* findings in excess of the baseline *)
+  stale : Baseline.entry list;
+  parse_errors : int;
+}
+
+let lint_parsed (f : Source.file) =
+  Suppress.filter (Suppress.of_file f) (Rules.check_file f)
+
+(* Lint in-memory source (fixture tests): every per-file rule plus
+   suppression, no R6/baseline. *)
+let lint_source ~path source =
+  match Source.parse_string ~path source with
+  | Ok f -> lint_parsed f
+  | Error p0 -> [ p0 ]
+
+let lint_paths paths =
+  let files = Source.discover paths in
+  let findings =
+    List.concat_map
+      (fun path ->
+        match Source.parse path with
+        | Ok f -> lint_parsed f
+        | Error p0 -> [ p0 ])
+      files
+  in
+  let findings = Rules.check_missing_mli files @ findings in
+  (List.length files, List.sort Finding.compare findings)
+
+let run ?(baseline = Baseline.empty) paths =
+  let files, findings = lint_paths paths in
+  let fresh, stale = Baseline.apply baseline findings in
+  let parse_errors =
+    List.length
+      (List.filter (fun f -> String.equal f.Finding.rule "P0") findings)
+  in
+  { files; findings; fresh; stale; parse_errors }
+
+(* CI contract: fail on anything the baseline does not cover. *)
+let clean outcome = List.is_empty outcome.fresh

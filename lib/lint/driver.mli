@@ -1,0 +1,21 @@
+(** The lint pipeline: discover -> parse -> rules -> suppress -> baseline. *)
+
+type outcome = {
+  files : int;
+  findings : Finding.t list;  (** post-suppression, sorted *)
+  fresh : Finding.t list;  (** in excess of the baseline *)
+  stale : Baseline.entry list;
+  parse_errors : int;
+}
+
+(** Lint in-memory source as [path] (fixture tests); suppression applied,
+    no R6/baseline. *)
+val lint_source : path:string -> string -> Finding.t list
+
+(** Lint files/directories: [(file count, sorted findings)]. *)
+val lint_paths : string list -> int * Finding.t list
+
+val run : ?baseline:Baseline.t -> string list -> outcome
+
+(** No findings beyond the baseline. *)
+val clean : outcome -> bool

@@ -1,0 +1,43 @@
+(* A lint finding: one violation of one rule at one source location.
+
+   Findings are value types shared by every stage of the pipeline
+   (rules -> suppression -> baseline -> report), so they carry everything a
+   reporter needs and nothing tied to the compiler-libs parsetree. *)
+
+type t = {
+  file : string;  (* path as given on the command line, '/'-separated *)
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, matching compiler convention *)
+  rule : string;  (* "R1".."R8" or "P0" for parse errors *)
+  message : string;  (* what is wrong, one line *)
+  hint : string;  (* how to fix it, one line *)
+}
+
+let make ~file ~line ~col ~rule ~message ~hint =
+  { file; line; col; rule; message; hint }
+
+(* Order findings by position then rule id, so reports are deterministic
+   and baseline excess is attributed to the last findings of a file. *)
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_json f =
+  Jqi_util.Json.Obj
+    [
+      ("file", Jqi_util.Json.Str f.file);
+      ("line", Jqi_util.Json.int f.line);
+      ("col", Jqi_util.Json.int f.col);
+      ("rule", Jqi_util.Json.Str f.rule);
+      ("message", Jqi_util.Json.Str f.message);
+      ("hint", Jqi_util.Json.Str f.hint);
+    ]
+
+let pp ppf f =
+  Fmt.pf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message

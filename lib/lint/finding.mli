@@ -1,0 +1,25 @@
+(** A lint finding: one rule violation at one source location. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  rule : string;  (** "R1".."R8", or "P0" for parse errors *)
+  message : string;
+  hint : string;
+}
+
+val make :
+  file:string ->
+  line:int ->
+  col:int ->
+  rule:string ->
+  message:string ->
+  hint:string ->
+  t
+
+(** Position order (file, line, col, rule); total and deterministic. *)
+val compare : t -> t -> int
+
+val to_json : t -> Jqi_util.Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+(* Rendering findings for humans, machines, and GitHub annotations.
+
+   Everything returns a string — the library never writes to stdout
+   (its own rule R5), the CLI decides where bytes go. *)
+
+module Json = Jqi_util.Json
+
+let count_by_rule findings =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Finding.t) ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt tbl f.Finding.rule) in
+      Hashtbl.replace tbl f.Finding.rule (n + 1))
+    findings;
+  Hashtbl.fold (fun rule n acc -> (rule, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let human ~files ~total ~fresh ~stale =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (f : Finding.t) ->
+      Buffer.add_string b (Fmt.str "%a@." Finding.pp f);
+      if not (String.equal f.Finding.hint "") then
+        Buffer.add_string b (Fmt.str "    hint: %s@." f.Finding.hint))
+    fresh;
+  List.iter
+    (fun e ->
+      Buffer.add_string
+        b
+        (Fmt.str "stale baseline entry (ratchet it down): %a@." Baseline.pp_entry e))
+    stale;
+  let by_rule = count_by_rule fresh in
+  let summary =
+    if List.is_empty fresh then
+      Fmt.str "jqlint: %d files, %d findings, 0 new@." files total
+    else
+      Fmt.str "jqlint: %d files, %d findings, %d NEW (%s)@." files total
+        (List.length fresh)
+        (String.concat ", "
+           (List.map (fun (r, n) -> Printf.sprintf "%s x%d" r n) by_rule))
+  in
+  Buffer.add_string b summary;
+  Buffer.contents b
+
+(* GitHub workflow commands: one ::error line per fresh finding renders as
+   an inline annotation on the PR diff. *)
+let github fresh =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (f : Finding.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "::error file=%s,line=%d,col=%d,title=jqlint %s::%s (%s)\n"
+           f.Finding.file f.Finding.line (f.Finding.col + 1) f.Finding.rule
+           f.Finding.message f.Finding.hint))
+    fresh;
+  Buffer.contents b
+
+let json ~files ~findings ~fresh ~stale =
+  Json.to_string
+    (Json.Obj
+       [
+         ("files", Json.int files);
+         ( "counts",
+           Json.Obj
+             (List.map (fun (r, n) -> (r, Json.int n)) (count_by_rule findings))
+         );
+         ("findings", Json.List (List.map Finding.to_json findings));
+         ("fresh", Json.List (List.map Finding.to_json fresh));
+         ("stale", Json.List (List.map Baseline.entry_to_json stale));
+       ])

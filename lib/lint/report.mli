@@ -1,0 +1,24 @@
+(** Rendering.  All functions return strings; the CLI owns stdout. *)
+
+(** Per-rule counts, sorted by rule id. *)
+val count_by_rule : Finding.t list -> (string * int) list
+
+(** One line per fresh finding with its hint, stale-baseline notes, and a
+    summary line. *)
+val human :
+  files:int ->
+  total:int ->
+  fresh:Finding.t list ->
+  stale:Baseline.entry list ->
+  string
+
+(** GitHub workflow commands ([::error file=...]) for inline annotations. *)
+val github : Finding.t list -> string
+
+(** Full machine-readable report (all findings, fresh subset, counts). *)
+val json :
+  files:int ->
+  findings:Finding.t list ->
+  fresh:Finding.t list ->
+  stale:Baseline.entry list ->
+  string

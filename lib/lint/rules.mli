@@ -1,0 +1,18 @@
+(** The rule catalog (R1..R8) and its parsetree checks. *)
+
+type rule = { id : string; title : string; hint : string }
+
+val catalog : rule list
+val find_rule : string -> rule option
+
+(** Normalize a path: strip a leading "./", use '/' separators. *)
+val normalize : string -> string
+
+(** Run every expression-level rule over one parsed file.  Signatures
+    produce no findings (R6 is project-level).  Findings are in source
+    order; suppression attributes are NOT yet applied. *)
+val check_file : Source.file -> Finding.t list
+
+(** R6 over the full discovered path list: every [lib/**.ml] must have a
+    sibling [.mli]. *)
+val check_missing_mli : string list -> Finding.t list

@@ -1,0 +1,91 @@
+(* Source discovery and parsing.
+
+   Files are parsed with the compiler's own front end
+   (compiler-libs.common, version-pinned to the toolchain that builds the
+   project — 5.1.1), so jqlint accepts exactly the syntax the build
+   accepts and rules operate on the real parsetree rather than regexes.
+   Parse failures are not fatal: they become "P0" findings so a broken
+   file fails the lint run with a location instead of aborting it. *)
+
+type kind = Impl | Intf
+
+type parsed =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+type file = { path : string; kind : kind; ast : parsed }
+
+let kind_of_path path =
+  if Filename.check_suffix path ".mli" then Some Intf
+  else if Filename.check_suffix path ".ml" then Some Impl
+  else None
+
+(* Directories never worth descending into. *)
+let skip_dir name =
+  String.length name > 0 && (name.[0] = '.' || name.[0] = '_')
+
+let discover roots =
+  let out = ref [] in
+  let rec walk path =
+    match (Unix.stat path).Unix.st_kind with
+    | Unix.S_DIR ->
+        let entries = Sys.readdir path in
+        Array.sort String.compare entries;
+        Array.iter
+          (fun e -> if not (skip_dir e) then walk (Filename.concat path e))
+          entries
+    | Unix.S_REG -> (
+        match kind_of_path path with
+        | Some _ -> out := path :: !out
+        | None -> ())
+    | Unix.S_CHR | Unix.S_BLK | Unix.S_LNK | Unix.S_FIFO | Unix.S_SOCK -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  List.iter walk roots;
+  List.sort String.compare !out
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_error_finding ~path ~line ~col msg =
+  Finding.make ~file:path ~line ~col ~rule:"P0"
+    ~message:(Printf.sprintf "parse error: %s" msg)
+    ~hint:"fix the syntax error; jqlint parses with the project compiler"
+
+let line_col (pos : Lexing.position) =
+  (pos.Lexing.pos_lnum, pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+
+(* Parse [source] as the contents of [path].  [path] only names the input;
+   nothing is read from disk. *)
+let parse_string ~path source : (file, Finding.t) result =
+  match kind_of_path path with
+  | None ->
+      Error
+        (parse_error_finding ~path ~line:1 ~col:0 "not an .ml or .mli file")
+  | Some kind -> (
+      let lexbuf = Lexing.from_string source in
+      Lexing.set_filename lexbuf path;
+      match
+        match kind with
+        | Impl -> Structure (Parse.implementation lexbuf)
+        | Intf -> Signature (Parse.interface lexbuf)
+      with
+      | ast -> Ok { path; kind; ast }
+      | exception Syntaxerr.Error e ->
+          let loc = Syntaxerr.location_of_error e in
+          let line, col = line_col loc.Location.loc_start in
+          Error (parse_error_finding ~path ~line ~col "syntax error")
+      | exception Lexer.Error (_, loc) ->
+          let line, col = line_col loc.Location.loc_start in
+          Error (parse_error_finding ~path ~line ~col "lexer error")
+      | exception exn ->
+          Error
+            (parse_error_finding ~path ~line:1 ~col:0 (Printexc.to_string exn)))
+
+let parse path : (file, Finding.t) result =
+  match read_file path with
+  | source -> parse_string ~path source
+  | exception Sys_error msg -> Error (parse_error_finding ~path ~line:1 ~col:0 msg)

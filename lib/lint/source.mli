@@ -1,0 +1,19 @@
+(** Source discovery and compiler-libs parsing. *)
+
+type kind = Impl | Intf
+
+type parsed =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+type file = { path : string; kind : kind; ast : parsed }
+
+(** Walk the given files/directories, returning every [.ml]/[.mli] path in
+    sorted order.  Hidden and [_build]-style directories are skipped. *)
+val discover : string list -> string list
+
+(** Parse a file from disk; [Error] is a "P0" parse-error finding. *)
+val parse : string -> (file, Finding.t) result
+
+(** Parse in-memory source as if it were the contents of [path] (tests). *)
+val parse_string : path:string -> string -> (file, Finding.t) result

@@ -1,0 +1,120 @@
+(* [@lint.allow "R2"] suppression scopes.
+
+   An attribute attached to an expression, pattern, value binding or
+   module binding suppresses the named rules inside that node's source
+   range; a floating [@@@lint.allow "R3"] suppresses them for the whole
+   file.  A bare [@lint.allow] (no payload) suppresses every rule — use
+   it sparingly.  Suppressions are collected from the same parsetree the
+   rules run on, so they cannot drift from the code. *)
+
+(* Matching [Parsetree] exhaustively is impractical — its variants have
+   dozens of constructors and extend with the language — so catch-alls
+   are the norm here; fragile-match stays off for this file only. *)
+[@@@warning "-4"]
+
+open Parsetree
+
+type scope = {
+  rules : string list;  (* [] = every rule *)
+  whole_file : bool;
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;
+}
+
+let attr_name = "lint.allow"
+
+(* Payload: a string constant or a tuple of string constants. *)
+let payload_rules (p : payload) : string list option =
+  let const e =
+    match e.pexp_desc with
+    | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+    | _ -> None
+  in
+  match p with
+  | PStr [] -> Some []
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+      match e.pexp_desc with
+      | Pexp_constant (Pconst_string (s, _, _)) -> Some [ s ]
+      | Pexp_tuple es ->
+          let ss = List.filter_map const es in
+          if List.length ss = List.length es then Some ss else None
+      | _ -> None)
+  | _ -> None
+
+let scope_of_loc ~whole_file rules (loc : Location.t) =
+  {
+    rules;
+    whole_file;
+    start_line = loc.loc_start.Lexing.pos_lnum;
+    start_col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol;
+    end_line = loc.loc_end.Lexing.pos_lnum;
+    end_col = loc.loc_end.Lexing.pos_cnum - loc.loc_end.Lexing.pos_bol;
+  }
+
+let scopes_of_attrs ~whole_file (host_loc : Location.t) attrs acc =
+  List.fold_left
+    (fun acc (a : attribute) ->
+      if String.equal a.attr_name.txt attr_name then
+        match payload_rules a.attr_payload with
+        | Some rules -> scope_of_loc ~whole_file rules host_loc :: acc
+        | None -> acc
+      else acc)
+    acc attrs
+
+let collect (str : structure) : scope list =
+  let acc = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      expr =
+        (fun it e ->
+          acc := scopes_of_attrs ~whole_file:false e.pexp_loc e.pexp_attributes !acc;
+          super.expr it e);
+      pat =
+        (fun it p ->
+          acc := scopes_of_attrs ~whole_file:false p.ppat_loc p.ppat_attributes !acc;
+          super.pat it p);
+      value_binding =
+        (fun it vb ->
+          acc := scopes_of_attrs ~whole_file:false vb.pvb_loc vb.pvb_attributes !acc;
+          super.value_binding it vb);
+      module_binding =
+        (fun it mb ->
+          acc := scopes_of_attrs ~whole_file:false mb.pmb_loc mb.pmb_attributes !acc;
+          super.module_binding it mb);
+      structure_item =
+        (fun it si ->
+          (match si.pstr_desc with
+          | Pstr_attribute a when String.equal a.attr_name.txt attr_name -> (
+              match payload_rules a.attr_payload with
+              | Some rules ->
+                  acc := scope_of_loc ~whole_file:true rules si.pstr_loc :: !acc
+              | None -> ())
+          | _ -> ());
+          super.structure_item it si);
+    }
+  in
+  it.structure it str;
+  !acc
+
+let covers (s : scope) (f : Finding.t) =
+  (List.is_empty s.rules || List.exists (String.equal f.Finding.rule) s.rules)
+  && (s.whole_file
+     ||
+     let after_start =
+       f.line > s.start_line || (f.line = s.start_line && f.col >= s.start_col)
+     in
+     let before_end =
+       f.line < s.end_line || (f.line = s.end_line && f.col <= s.end_col)
+     in
+     after_start && before_end)
+
+(* Drop the findings of one file covered by that file's scopes. *)
+let filter scopes findings =
+  List.filter (fun f -> not (List.exists (fun s -> covers s f) scopes)) findings
+
+let of_file (f : Source.file) =
+  match f.ast with Structure str -> collect str | Signature _ -> []

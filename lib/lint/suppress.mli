@@ -1,0 +1,11 @@
+(** [@lint.allow "Rn"] suppression scopes. *)
+
+type scope
+
+(** Collect suppression scopes from one parsed file (empty for .mli). *)
+val of_file : Source.file -> scope list
+
+(** Drop findings covered by a scope: rule listed (or bare [@lint.allow])
+    and location inside the attributed node (or a whole-file
+    [@@@lint.allow]). *)
+val filter : scope list -> Finding.t list -> Finding.t list

@@ -40,7 +40,7 @@ let split_record ~sep line_stream =
               scan line (i + 1) true
             end
           else if c = '"' && Buffer.length buf = 0 then scan line (i + 1) true
-          else if c = sep then begin
+          else if Char.equal c sep then begin
             flush_field ();
             scan line (i + 1) false
           end
@@ -81,7 +81,9 @@ let parse_string ?(sep = ',') text =
 
 let quote_field ~sep s =
   let needs =
-    String.exists (fun c -> c = sep || c = '"' || c = '\n' || c = '\r') s
+    String.exists
+      (fun c -> Char.equal c sep || c = '"' || c = '\n' || c = '\r')
+      s
   in
   if not needs then s
   else begin
@@ -128,35 +130,38 @@ let relation_of_records ~name ?schema records =
   | [] -> invalid_arg "Csv: empty input (no header)"
   | header :: data ->
       let ncols = List.length header in
+      (* Records become arrays up front: the arity check is then O(1) per
+         record and column slicing for type inference is O(rows) per
+         column instead of List.nth's O(rows * ncols). *)
+      let data = List.map Array.of_list data in
       List.iteri
         (fun i r ->
-          if List.length r <> ncols then
+          if not (Int.equal (Array.length r) ncols) then
             invalid_arg
               (Printf.sprintf "Csv: record %d has %d fields, header has %d"
-                 (i + 1) (List.length r) ncols))
+                 (i + 1) (Array.length r) ncols))
         data;
       let schema =
         match schema with
         | Some s -> s
         | None ->
-            let col_cells i = List.map (fun r -> List.nth r i) data in
+            let col_cells i = List.map (fun r -> r.(i)) data in
             Schema.of_columns
               (List.mapi
                  (fun i h -> Schema.column h (Value.infer_ty (col_cells i)))
                  header)
       in
-      let parse_row r =
-        Tuple.of_list
-          (List.mapi
-             (fun i cell ->
-               let ty = Schema.ty_at schema i in
-               match Value.parse ty cell with
-               | Some v -> v
-               | None ->
-                   invalid_arg
-                     (Printf.sprintf "Csv: cannot parse %S as %s" cell
-                        (Value.ty_name ty)))
-             r)
+      let parse_row r : Tuple.t =
+        Array.mapi
+          (fun i cell ->
+            let ty = Schema.ty_at schema i in
+            match Value.parse ty cell with
+            | Some v -> v
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Csv: cannot parse %S as %s" cell
+                     (Value.ty_name ty)))
+          r
       in
       Relation.of_list ~name ~schema (List.map parse_row data)
 

@@ -15,7 +15,8 @@ let c_probe_rows = Obs.Counter.make "index.probe_rows"
 module Key = struct
   type t = Value.t list
 
-  let equal a b = List.length a = List.length b && List.for_all2 Value.eq a b
+  let equal a b =
+    Int.equal (List.length a) (List.length b) && List.for_all2 Value.eq a b
   let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
 end
 

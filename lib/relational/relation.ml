@@ -11,7 +11,7 @@ let create ~name ~schema rows =
   let arity = Schema.arity schema in
   Array.iter
     (fun r ->
-      if Tuple.arity r <> arity then
+      if not (Int.equal (Tuple.arity r) arity) then
         invalid_arg
           (Printf.sprintf "Relation %s: row arity %d, schema arity %d" name
              (Tuple.arity r) arity))
@@ -60,10 +60,12 @@ let pp ppf t =
   if shown < cardinality t then Fmt.pf ppf "@,  ... (%d more)" (cardinality t - shown);
   Fmt.pf ppf "@]"
 
+(* Console convenience for the interactive CLI; rendering itself lives in
+   Ascii_table, this is the one sanctioned stdout write of the module. *)
 let print t =
   let headers = Schema.names t.schema in
   let rows =
     Array.to_list
       (Array.map (fun r -> List.map Value.to_string (Tuple.to_list r)) t.rows)
   in
-  print_string (Jqi_util.Ascii_table.render ~headers rows)
+  (print_string [@lint.allow "R5"]) (Jqi_util.Ascii_table.render ~headers rows)

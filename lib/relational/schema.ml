@@ -41,9 +41,9 @@ let index_of_exn t name =
 let mem t name = Hashtbl.mem t.by_name name
 
 let equal a b =
-  arity a = arity b
+  Int.equal (arity a) (arity b)
   && Array.for_all2
-       (fun c d -> String.equal c.name d.name && c.ty = d.ty)
+       (fun c d -> String.equal c.name d.name && Value.ty_equal c.ty d.ty)
        a.columns b.columns
 
 (* Concatenation for Cartesian products.  Columns whose names clash are
@@ -65,7 +65,7 @@ let rename t old_name new_name =
   let i = index_of_exn t old_name in
   of_columns
     (List.mapi
-       (fun j c -> if j = i then { c with name = new_name } else c)
+       (fun j c -> if Int.equal j i then { c with name = new_name } else c)
        (columns t))
 
 let pp ppf t =

@@ -11,7 +11,7 @@ let arity = Array.length
 let get (t : t) i = t.(i)
 
 let equal (a : t) (b : t) =
-  Array.length a = Array.length b
+  Int.equal (Array.length a) (Array.length b)
   &&
   let rec go i =
     i >= Array.length a
@@ -21,7 +21,7 @@ let equal (a : t) (b : t) =
 
 let compare (a : t) (b : t) =
   let la = Array.length a and lb = Array.length b in
-  let c = Stdlib.compare la lb in
+  let c = Int.compare la lb in
   if c <> 0 then c
   else
     let rec go i =

@@ -30,15 +30,27 @@ let ty_name = function
   | TFloat -> "float"
   | TString -> "string"
 
+let ty_equal a b =
+  match (a, b) with
+  | TBool, TBool | TInt, TInt | TFloat, TFloat | TString, TString -> true
+  | (TBool | TInt | TFloat | TString), _ -> false
+
 (* Join equality: NULL never matches. *)
 let eq a b =
   match (a, b) with
   | Null, _ | _, Null -> false
-  | Bool x, Bool y -> x = y
-  | Int x, Int y -> x = y
-  | Float x, Float y -> x = y
+  | Bool x, Bool y -> Bool.equal x y
+  | Int x, Int y -> Int.equal x y
+  (* IEEE equality on purpose: Float nan never joins, like SQL's unknown.
+     Float.equal would make nan = nan true. *)
+  | Float x, Float y -> ((x = y) [@lint.allow "R1"])
   | Str x, Str y -> String.equal x y
-  | _ -> false
+  (* Spelled out so that adding a constructor is a compile error here, not
+     a silent "never joins". *)
+  | Bool _, (Int _ | Float _ | Str _)
+  | Int _, (Bool _ | Float _ | Str _)
+  | Float _, (Bool _ | Int _ | Str _)
+  | Str _, (Bool _ | Int _ | Float _) -> false
 
 (* Total order for sorting and map keys; NULLs sort first and are equal to
    each other *in this order only* (not under [eq]). *)
@@ -52,20 +64,38 @@ let compare a b =
   in
   match (a, b) with
   | Null, Null -> 0
-  | Bool x, Bool y -> Stdlib.compare x y
-  | Int x, Int y -> Stdlib.compare x y
-  | Float x, Float y -> Stdlib.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
   | Str x, Str y -> String.compare x y
-  | _ -> Stdlib.compare (rank a) (rank b)
+  | Null, (Bool _ | Int _ | Float _ | Str _)
+  | Bool _, (Null | Int _ | Float _ | Str _)
+  | Int _, (Null | Bool _ | Float _ | Str _)
+  | Float _, (Null | Bool _ | Int _ | Str _)
+  | Str _, (Null | Bool _ | Int _ | Float _) ->
+      Int.compare (rank a) (rank b)
 
+(* Structural equality under [compare]'s total order: NULL equals NULL.
+   This is the equality for container keys and deduplication — never for
+   join predicates, which must use [eq]. *)
+let equal a b =
+  (* [compare] is the total order above, not Stdlib.compare — the lint
+     flag is a shadowing false positive. *)
+  ((compare a b) [@lint.allow "R1"]) = 0
+
+(* The leaf hash may use the polymorphic hash: it sees only the unboxed
+   float/string payload, never a Value.t, so NULL semantics are not in
+   play. *)
 let hash = function
   | Null -> 0
   | Bool b -> if b then 3 else 5
   | Int i -> i * 2654435761
-  | Float f -> Hashtbl.hash f
-  | Str s -> Hashtbl.hash s
+  | Float f -> (Hashtbl.hash f [@lint.allow "R1"])
+  | Str s -> (Hashtbl.hash s [@lint.allow "R1"])
 
-let is_null = function Null -> true | _ -> false
+let is_null = function
+  | Null -> true
+  | Bool _ | Int _ | Float _ | Str _ -> false
 
 let to_string = function
   | Null -> ""
@@ -78,7 +108,7 @@ let pp ppf v =
   match v with
   | Null -> Fmt.string ppf "NULL"
   | Str s -> Fmt.pf ppf "%S" s
-  | v -> Fmt.string ppf (to_string v)
+  | (Bool _ | Int _ | Float _) as v -> Fmt.string ppf (to_string v)
 
 (* Parse a raw CSV cell under a target type; empty cells are NULL. *)
 let parse ty s =

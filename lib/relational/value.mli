@@ -18,12 +18,17 @@ type ty = TBool | TInt | TFloat | TString
 val type_of : t -> ty option
 
 val ty_name : ty -> string
+val ty_equal : ty -> ty -> bool
 
 (** Join equality: NULL ≠ everything; no cross-type coercion. *)
 val eq : t -> t -> bool
 
 (** Total order for sorting and keys (distinct from [eq] on NULLs). *)
 val compare : t -> t -> int
+
+(** Structural equality under [compare]'s total order — NULL equals NULL.
+    For container keys and deduplication, never for join predicates. *)
+val equal : t -> t -> bool
 
 val hash : t -> int
 val is_null : t -> bool

@@ -151,7 +151,8 @@ let backtrack s =
       s.trail_lim <- rest;
       let decision = ref 0 in
       while Stack.length s.trail > lim do
-        let l = Stack.pop s.trail in
+        (* Total: the loop guard just checked the stack is nonempty. *)
+        let l = (Stack.pop s.trail [@lint.allow "R2"]) in
         s.assign.(abs l) <- 0;
         decision := l
       done;

@@ -69,7 +69,7 @@ let build phi =
                  List.concat_map
                    (fun j ->
                      let j = j + 1 in
-                     if j <> l.var then [ Value.Int j; Value.Int j ]
+                     if not (Int.equal j l.var) then [ Value.Int j; Value.Int j ]
                      else if l.pos then [ Value.Int j; Value.Null ]
                      else [ Value.Null; Value.Int j ])
                    (List.init n Fun.id)
@@ -91,7 +91,7 @@ let build phi =
           List.concat_map
             (fun j ->
               let j = j + 1 in
-              if j = i + 1 then [ Value.Null; Value.Null ]
+              if Int.equal j (i + 1) then [ Value.Null; Value.Null ]
               else [ Value.Int j; Value.Int j ])
             (List.init n Fun.id)
         in

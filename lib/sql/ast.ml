@@ -53,6 +53,27 @@ type query = {
   limit : int option;
 }
 
+let equal_binop (a : binop) (b : binop) =
+  match (a, b) with
+  | Add, Add | Sub, Sub | Mul, Mul | Div, Div -> true
+  | (Add | Sub | Mul | Div), _ -> false
+
+(* Structural equality on expressions; used by GROUP BY to match select
+   items against grouping keys.  Float literals compare with [Float.equal]
+   so that a nan literal matches itself syntactically. *)
+let rec equal_expr a b =
+  match (a, b) with
+  | Col (qa, ca), Col (qb, cb) ->
+      Option.equal String.equal qa qb && String.equal ca cb
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Null, Null -> true
+  | Binop (o, l, r), Binop (o', l', r') ->
+      equal_binop o o' && equal_expr l l' && equal_expr r r'
+  | (Col _ | Int _ | Float _ | Str _ | Bool _ | Null | Binop _), _ -> false
+
 let source ?alias table = { table; alias }
 
 let simple_query ?(distinct = false) ?(joins = []) ?where ?(group_by = [])
@@ -139,7 +160,7 @@ let rec pp_cond ppf = function
 and pp_cond_atom ppf c =
   match c with
   | Cmp _ | Is_null _ | Is_not_null _ -> pp_cond ppf c
-  | _ -> Fmt.pf ppf "(%a)" pp_cond c
+  | And _ | Or _ | Not _ -> Fmt.pf ppf "(%a)" pp_cond c
 
 let pp_source ppf s =
   match s.alias with

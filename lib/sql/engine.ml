@@ -83,7 +83,10 @@ let eval_binop op a b =
   | Value.Int x, Value.Float y -> Value.Float (float_op op (float_of_int x) y)
   | Value.Float x, Value.Int y -> Value.Float (float_op op x (float_of_int y))
   | Value.Float x, Value.Float y -> Value.Float (float_op op x y)
-  | _ -> err "arithmetic on non-numeric values"
+  | (Value.Bool _ | Value.Str _),
+    (Value.Bool _ | Value.Int _ | Value.Float _ | Value.Str _)
+  | (Value.Int _ | Value.Float _), (Value.Bool _ | Value.Str _) ->
+      err "arithmetic on non-numeric values"
 
 let rec eval_expr env row : Ast.expr -> Value.t = function
   | Ast.Col (q, name) -> Tuple.get row (resolve env q name)
@@ -103,7 +106,10 @@ let eval_cmp op a b =
   | Ast.Ne -> (not (Value.is_null a)) && (not (Value.is_null b)) && not (Value.eq a b)
   | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
       if Value.is_null a || Value.is_null b then false
-      else if Value.type_of a <> Value.type_of b then false
+      else if
+        not
+          (Option.equal Value.ty_equal (Value.type_of a) (Value.type_of b))
+      then false
       else
         let c = Value.compare a b in
         (match op with
@@ -111,7 +117,7 @@ let eval_cmp op a b =
         | Ast.Le -> c <= 0
         | Ast.Gt -> c > 0
         | Ast.Ge -> c >= 0
-        | _ -> assert false)
+        | Ast.Eq | Ast.Ne -> assert false)
 
 let rec eval_cond env row : Ast.cond -> bool = function
   | Ast.Cmp (op, a, b) -> eval_cmp op (eval_expr env row a) (eval_expr env row b)
@@ -137,12 +143,16 @@ let split_equi left right cond =
         match (on_left ql nl, on_right qr nr) with
         | Some i, Some j when on_right ql nl = None && on_left qr nr = None ->
             Some (i, j)
-        | _ -> (
+        | (Some _ | None), (Some _ | None) -> (
             match (on_left qr nr, on_right ql nl) with
             | Some i, Some j when on_right qr nr = None && on_left ql nl = None ->
                 Some (i, j)
-            | _ -> None))
-    | _ -> None
+            | (Some _ | None), (Some _ | None) -> None))
+    | Ast.Col _,
+      (Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Bool _ | Ast.Null | Ast.Binop _)
+    | (Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Bool _ | Ast.Null | Ast.Binop _),
+      _ ->
+        None
   in
   let rec go cond =
     match cond with
@@ -153,7 +163,9 @@ let split_equi left right cond =
     | Ast.And (a, b) ->
         let pa, ra = go a and pb, rb = go b in
         (pa @ pb, ra @ rb)
-    | c -> ([], [ c ])
+    | Ast.Cmp ((Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _)
+    | Ast.Or _ | Ast.Not _ | Ast.Is_null _ | Ast.Is_not_null _ ->
+        ([], [ cond ])
   in
   go cond
 
@@ -251,7 +263,7 @@ let output_name env i =
   let dup =
     Array.exists
       (fun (q', n') -> String.equal n n' && not (String.equal q q'))
-      (Array.mapi (fun j c -> if j = i then (q, "") else c) env.cols)
+      (Array.mapi (fun j c -> if Int.equal j i then (q, "") else c) env.cols)
   in
   if dup then q ^ "." ^ n else n
 
@@ -268,8 +280,13 @@ let rec ty_of_expr env = function
       else Value.TInt
 
 let project env (items : Ast.select_item list) =
+  let only_star =
+    match items with
+    | [ Ast.Star ] -> true
+    | [] | (Ast.Star | Ast.Expr _ | Ast.Agg _) :: _ -> false
+  in
   let columns, extract =
-    if items = [ Ast.Star ] then
+    if only_star then
       ( Array.to_list
           (Array.mapi (fun i _ -> Schema.column (output_name env i) env.tys.(i)) env.cols),
         fun row -> row )
@@ -292,7 +309,10 @@ let project env (items : Ast.select_item list) =
                       let i = resolve env q n in
                       ignore i;
                       n
-                  | None, _ -> "expr"
+                  | ( None,
+                      ( Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Bool _
+                      | Ast.Null | Ast.Binop _ ) ) ->
+                      "expr"
                 in
                 [ (Schema.column name (ty_of_expr env e), fun row -> eval_expr env row e) ]
             | Ast.Agg _ ->
@@ -343,8 +363,9 @@ let agg_ty env fn arg =
 let eval_agg env rows fn arg =
   match ((fn : Ast.agg_fn), arg) with
   | Ast.Count, None -> Value.Int (List.length rows)
-  | _, None -> err "%s requires an argument" (agg_default_name fn)
-  | fn, Some e -> (
+  | (Ast.Sum | Ast.Avg | Ast.Min | Ast.Max), None ->
+      err "%s requires an argument" (agg_default_name fn)
+  | ((Ast.Count | Ast.Sum | Ast.Avg | Ast.Min | Ast.Max) as fn), Some e -> (
       let values =
         List.filter_map
           (fun row ->
@@ -360,19 +381,28 @@ let eval_agg env rows fn arg =
           | Value.Int _ :: _ ->
               Value.Int
                 (List.fold_left
-                   (fun acc -> function Value.Int i -> acc + i | _ -> err "SUM over mixed types")
+                   (fun acc -> function
+                     | Value.Int i -> acc + i
+                     | Value.Null | Value.Bool _ | Value.Float _ | Value.Str _
+                       ->
+                         err "SUM over mixed types")
                    0 values)
           | Value.Float _ :: _ ->
               Value.Float
                 (List.fold_left
-                   (fun acc -> function Value.Float f -> acc +. f | _ -> err "SUM over mixed types")
+                   (fun acc -> function
+                     | Value.Float f -> acc +. f
+                     | Value.Null | Value.Bool _ | Value.Int _ | Value.Str _ ->
+                         err "SUM over mixed types")
                    0. values)
-          | _ -> err "SUM over non-numeric values")
+          | (Value.Null | Value.Bool _ | Value.Str _) :: _ ->
+              err "SUM over non-numeric values")
       | Ast.Avg -> (
           let as_float = function
             | Value.Int i -> float_of_int i
             | Value.Float f -> f
-            | _ -> err "AVG over non-numeric values"
+            | Value.Null | Value.Bool _ | Value.Str _ ->
+                err "AVG over non-numeric values"
           in
           match values with
           | [] -> Value.Null
@@ -397,7 +427,7 @@ end)
 
 (* Structural expression equality, for the "every selected column must be
    grouped" rule. *)
-let expr_equal (a : Ast.expr) (b : Ast.expr) = a = b
+let expr_equal = Ast.equal_expr
 
 let execute_grouped env rows (q : Ast.query) =
   List.iter
@@ -408,14 +438,14 @@ let execute_grouped env rows (q : Ast.query) =
             (Fmt.str "%a" Ast.pp_expr e)
       | Ast.Expr (e, _) when not (List.exists (expr_equal e) q.group_by) ->
           err "selected column %s is not in GROUP BY" (Fmt.str "%a" Ast.pp_expr e)
-      | _ -> ())
+      | Ast.Expr _ | Ast.Agg _ -> ())
     q.select;
   (* Validate column references early (even for empty inputs). *)
   List.iter (fun e -> ignore (ty_of_expr env e)) q.group_by;
   List.iter
     (function
       | Ast.Agg (_, Some e, _) -> ignore (ty_of_expr env e)
-      | _ -> ())
+      | Ast.Agg (_, None, _) | Ast.Star | Ast.Expr _ -> ())
     q.select;
   let groups =
     Array.fold_left
@@ -440,7 +470,10 @@ let execute_grouped env rows (q : Ast.query) =
               match (alias, e) with
               | Some a, _ -> a
               | None, Ast.Col (_, n) -> n
-              | None, _ -> "expr"
+              | ( None,
+                  ( Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Bool _
+                  | Ast.Null | Ast.Binop _ ) ) ->
+                  "expr"
             in
             Schema.column name (ty_of_expr env e)
         | Ast.Agg (fn, arg, alias) ->
@@ -511,7 +544,9 @@ let execute_grouped env rows (q : Ast.query) =
                   match Schema.index_of schema name with
                   | Some i -> (i, dir)
                   | None -> err "ORDER BY column %s not in grouped output" name)
-              | _ -> err "ORDER BY after GROUP BY must reference output columns")
+              | Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Bool _ | Ast.Null
+              | Ast.Binop _ ->
+                  err "ORDER BY after GROUP BY must reference output columns")
             obs
         in
         let cmp a b =
@@ -581,7 +616,9 @@ let execute catalog (q : Ast.query) =
           (List.filter (fun r -> eval_cond env r cond) (Array.to_list env.rows))
   in
   let has_agg =
-    List.exists (function Ast.Agg _ -> true | _ -> false) q.select
+    List.exists
+      (function Ast.Agg _ -> true | Ast.Star | Ast.Expr _ -> false)
+      q.select
   in
   if has_agg || q.group_by <> [] then execute_grouped env rows q
   else if q.having <> None then err "HAVING requires GROUP BY or aggregates"

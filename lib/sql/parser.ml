@@ -1,3 +1,7 @@
+(* Token-dispatch catch-alls ("anything else → not this production") are
+   the recursive-descent idiom; fragile-match stays off for this file. *)
+[@@@warning "-4"]
+
 (* Recursive-descent parser for the SQL subset.
 
    Grammar (informally):

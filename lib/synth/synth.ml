@@ -72,7 +72,8 @@ let goals_of_size universe ~size =
     (fun s ->
       if Bits.cardinal s >= size then
         List.iter
-          (fun sub -> if Bits.cardinal sub = size then H.replace acc sub ())
+          (fun sub ->
+            if Int.equal (Bits.cardinal sub) size then H.replace acc sub ())
           (Bits.subsets s))
     (Universe.signatures universe);
   H.fold (fun k () l -> k :: l) acc []

@@ -42,12 +42,11 @@ let render_row ?(aligns = [||]) w row =
       row
   in
   (* Rows shorter than the header are padded with empty cells. *)
-  let missing = Array.length w - List.length row in
+  let ncells = List.length row in
+  let missing = Array.length w - ncells in
   let cells =
     if missing > 0 then
-      cells
-      @ List.init missing (fun j ->
-            " " ^ pad Left w.(List.length row + j) "" ^ " ")
+      cells @ List.init missing (fun j -> " " ^ pad Left w.(ncells + j) "" ^ " ")
     else cells
   in
   "|" ^ String.concat "|" cells ^ "|"

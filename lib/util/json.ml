@@ -19,11 +19,11 @@ let int i = Num (float_of_int i)
 
 let to_int = function
   | Num f when Float.is_integer f -> Some (int_of_float f)
-  | _ -> None
+  | Null | Bool _ | Num _ | Str _ | List _ | Obj _ -> None
 
 let member key = function
   | Obj fields -> List.assoc_opt key fields
-  | _ -> None
+  | Null | Bool _ | Num _ | Str _ | List _ -> None
 
 (* ------------------------------ writing ---------------------------- *)
 

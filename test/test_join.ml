@@ -186,6 +186,33 @@ let qcheck_hash_vs_reference_dups =
       multiset (Join.equijoin r p pairs)
       = multiset_list (reference_join r p pairs))
 
+(* All-NULL key columns: column 0 on both sides is NULL in every row, and
+   the join predicate always includes (0, 0).  SQL semantics say no pair
+   qualifies, so the hash join and the independent multiset reference must
+   both produce the empty multiset — a hash path keyed on a NULL = NULL
+   equality (e.g. built from polymorphic compare or [Value.equal]) would
+   disagree here on every nonempty instance. *)
+let gen_null_key_instance =
+  QCheck.Gen.(
+    let data = map (fun i -> Value.Int i) (int_bound 3) in
+    let row = map (fun v -> Tuple.of_list [ Value.Null; v ]) data in
+    let* rrows = list_size (int_bound 12) row
+    and* prows = list_size (int_bound 12) row in
+    let* extra_pair = bool in
+    let pairs = if extra_pair then [ (0, 0); (1, 1) ] else [ (0, 0) ] in
+    return (rrows, prows, pairs))
+
+let qcheck_null_keys_hash_vs_reference =
+  QCheck.Test.make
+    ~name:"all-NULL key columns: hash join = reference = empty multiset"
+    ~count:300
+    (QCheck.make gen_null_key_instance)
+    (fun (rrows, prows, pairs) ->
+      let r = relation_of "r" "a" 2 rrows and p = relation_of "p" "b" 2 prows in
+      let hash = multiset (Join.equijoin r p pairs) in
+      let reference = multiset_list (reference_join r p pairs) in
+      hash = reference && hash = [])
+
 let qcheck_null_never_joins =
   QCheck.Test.make ~name:"null never joins (property)" ~count:300
     (QCheck.make gen_instance_dups)
@@ -233,6 +260,7 @@ let suite =
         qcheck_hash_vs_nested;
         qcheck_hash_vs_reference_multiset;
         qcheck_hash_vs_reference_dups;
+        qcheck_null_keys_hash_vs_reference;
         qcheck_null_never_joins;
         qcheck_semijoin_agrees;
         qcheck_semijoin_is_projected_join;

@@ -1,0 +1,257 @@
+(* jqlint: one fixture per rule, the shallow-literal and Null exemptions,
+   suppression scopes, baseline JSON round-trips, parse-error findings,
+   and the clean-tree gate (the repo itself lints clean against
+   lint.baseline). *)
+
+module Driver = Jqi_lint.Driver
+module Rules = Jqi_lint.Rules
+module Finding = Jqi_lint.Finding
+module Baseline = Jqi_lint.Baseline
+module Json = Jqi_util.Json
+
+(* Rule ids raised by [src] when linted as [path], in source order. *)
+let rules_of ?(path = "lib/fixture/fixture.ml") src =
+  List.map (fun (f : Finding.t) -> f.Finding.rule) (Driver.lint_source ~path src)
+
+let check ?path name expected src =
+  Alcotest.(check (list string)) name expected (rules_of ?path src)
+
+(* --------------------------- rule fixtures -------------------------- *)
+
+(* A module "handles Value" as soon as any identifier path mentions Value
+   or Tuple; every R1 fixture does so via a type annotation. *)
+
+let test_r1_poly_eq () =
+  check "deep = flagged" [ "R1" ] "let f (a : Value.t) b = a = b";
+  check "<> flagged" [ "R1" ] "let f (a : Value.t) b = a <> b";
+  check "Null = Null flagged" [ "R1" ]
+    "let _ = ignore (Jqi_relational.Value.Null = Jqi_relational.Value.Null)";
+  check "= Value.Null flagged" [ "R1" ]
+    "let f (a : Value.t) = a = Value.Null";
+  check "compare flagged" [ "R1" ]
+    "let f (a : Value.t) b = compare a b";
+  check "Hashtbl.hash flagged" [ "R1" ]
+    "let f (a : Value.t) = Hashtbl.hash a"
+
+let test_r1_exemptions () =
+  check "shallow int literal exempt" []
+    "let f (a : Value.t) x = ignore a; x = 0";
+  check "shallow [] exempt" []
+    "let f (a : Value.t) xs = ignore a; xs = []";
+  check "shallow None exempt" []
+    "let f (a : Value.t) o = ignore a; o = None";
+  check "module without Value mention unflagged" [] "let f a b = a = b";
+  check ~path:"test/fixture.ml" "R1 skips test/" []
+    "let f (a : Value.t) b = a = b"
+
+let test_r2_partial_calls () =
+  check "Hashtbl.find flagged" [ "R2" ] "let f h k = Hashtbl.find h k";
+  check "List.hd flagged" [ "R2" ] "let f xs = List.hd xs";
+  check "Option.get flagged" [ "R2" ] "let f o = Option.get o";
+  check "functor map find flagged" [ "R2" ]
+    "let f m k = Key_map.find k m";
+  check "find_opt fine" [] "let f h k = Hashtbl.find_opt h k";
+  check ~path:"bench/fixture.ml" "R2 is lib-only" []
+    "let f xs = List.hd xs"
+
+let test_r3_loops () =
+  check "List.length in iter body" [ "R3" ]
+    "let f xs = List.iter (fun x -> ignore (List.length xs + x)) xs";
+  check "@ in fold body" [ "R3" ]
+    "let f xs = List.fold_left (fun acc x -> acc @ [ x ]) [] xs";
+  check "List.length in while body" [ "R3" ]
+    "let f r xs = while !r do r := List.length xs > 0 done";
+  check "List.length in for body" [ "R3" ]
+    "let f xs = for _ = 1 to 3 do ignore (List.length xs) done";
+  check "List.length outside loops fine" []
+    "let f xs = List.length xs";
+  check "hoisted binding fine" []
+    "let f xs = let n = List.length xs in List.iter (fun x -> ignore (n + x)) xs"
+
+let test_r4_nondeterminism () =
+  check "Unix.gettimeofday flagged" [ "R4" ]
+    "let t () = Unix.gettimeofday ()";
+  check "Random flagged" [ "R4" ] "let r () = Random.int 10";
+  check "Sys.time flagged" [ "R4" ] "let t () = Sys.time ()";
+  check ~path:"lib/util/timer.ml" "timer.ml is the sanctioned clock" []
+    "let now () = Unix.gettimeofday ()";
+  check ~path:"lib/obs/obs.ml" "lib/obs may read the clock" []
+    "let now () = Unix.gettimeofday ()"
+
+let test_r5_printing () =
+  check "Printf.printf flagged" [ "R5" ]
+    {|let f () = Printf.printf "hi"|};
+  check "print_endline flagged" [ "R5" ]
+    {|let f () = print_endline "hi"|};
+  check ~path:"lib/util/ascii_table.ml" "renderer may print" []
+    {|let f () = print_string "|"|};
+  check ~path:"bin/fixture.ml" "R5 is lib-only" []
+    {|let f () = print_endline "hi"|}
+
+let test_r6_missing_mli () =
+  let rules fs = List.map (fun (f : Finding.t) -> f.Finding.rule) fs in
+  Alcotest.(check (list string))
+    "lib ml without mli" [ "R6" ]
+    (rules (Rules.check_missing_mli [ "lib/core/x.ml"; "lib/core/y.mli" ]));
+  Alcotest.(check (list string))
+    "paired ml+mli fine" []
+    (rules (Rules.check_missing_mli [ "lib/core/x.ml"; "lib/core/x.mli" ]));
+  Alcotest.(check (list string))
+    "bin/ needs no mli" []
+    (rules (Rules.check_missing_mli [ "bin/main.ml" ]))
+
+let test_r7_obj () =
+  check "Obj.magic flagged" [ "R7" ] "let f x = Obj.magic x";
+  check "Obj.repr flagged" [ "R7" ] "let f x = Obj.repr x"
+
+let test_r8_catch_all () =
+  check "with _ -> flagged" [ "R8" ]
+    "let f g = try g () with _ -> ()";
+  check "specific exception fine" []
+    "let f g = try g () with Not_found -> ()";
+  check "guarded _ fine" []
+    "let f g = try g () with e when e = Exit -> ()"
+
+(* --------------------------- suppression ---------------------------- *)
+
+let test_suppression () =
+  check "expression [@lint.allow] honored" []
+    {|let f h k = (Hashtbl.find h k [@lint.allow "R2"])|};
+  check "binding-level attribute honored" []
+    {|let f h k = Hashtbl.find h k [@@lint.allow "R2"]|};
+  check "floating attribute is file-wide" []
+    {|[@@@lint.allow "R2"]
+let f h k = Hashtbl.find h k
+let g xs = List.hd xs|};
+  check "bare [@lint.allow] allows every rule" []
+    {|let f x = (Obj.magic x [@lint.allow])|};
+  check "wrong rule id does not suppress" [ "R2" ]
+    {|let f h k = (Hashtbl.find h k [@lint.allow "R7"])|};
+  check "tuple payload allows several rules" []
+    {|let f h k = (Hashtbl.find h (Obj.magic k) [@lint.allow ("R2", "R7")])|};
+  check "suppression is scoped, not global" [ "R2" ]
+    {|let f h k = (Hashtbl.find h k [@lint.allow "R2"])
+let g h k = Hashtbl.find h k|}
+
+(* ------------------------------ parsing ----------------------------- *)
+
+let test_parse_errors () =
+  check "syntax error is a P0 finding" [ "P0" ] "let f x = ";
+  check "lexer error is a P0 finding" [ "P0" ] "let s = \"unterminated"
+
+(* ------------------------------ baseline ---------------------------- *)
+
+let find file rule line =
+  Finding.make ~file ~rule ~line ~col:0 ~message:"m" ~hint:""
+
+let test_baseline_roundtrip () =
+  let fs =
+    [ find "lib/a.ml" "R2" 3; find "lib/a.ml" "R2" 9; find "test/t.ml" "R3" 1 ]
+  in
+  let b = Baseline.of_findings fs in
+  let b' =
+    match
+      Baseline.of_json (Json.of_string (Json.to_string (Baseline.to_json b)))
+    with
+    | Ok b' -> b'
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "entry count survives" 2 (List.length b');
+  let fresh, stale = Baseline.apply b' fs in
+  Alcotest.(check int) "snapshot is clean against itself" 0 (List.length fresh);
+  Alcotest.(check int) "no stale budget" 0 (List.length stale)
+
+let test_baseline_fresh_and_stale () =
+  let b = Baseline.of_findings [ find "lib/a.ml" "R2" 3 ] in
+  (* Same (file, rule) budget tolerates line drift... *)
+  let fresh, _ = Baseline.apply b [ find "lib/a.ml" "R2" 7 ] in
+  Alcotest.(check int) "line drift does not break the budget" 0
+    (List.length fresh);
+  (* ...but an extra finding of that (file, rule) is fresh... *)
+  let fresh, _ =
+    Baseline.apply b [ find "lib/a.ml" "R2" 3; find "lib/a.ml" "R2" 8 ]
+  in
+  Alcotest.(check int) "budget overflow is fresh" 1 (List.length fresh);
+  (* ...and a paid-down file surfaces as stale (ratchet candidate). *)
+  let fresh, stale = Baseline.apply b [] in
+  Alcotest.(check int) "nothing fresh when paid down" 0 (List.length fresh);
+  Alcotest.(check int) "paid-down entry is stale" 1 (List.length stale)
+
+let test_baseline_rejects_malformed () =
+  (match Baseline.of_json (Json.Obj [ ("version", Json.int 1) ]) with
+  | Ok _ -> Alcotest.fail "accepted a baseline without entries"
+  | Error _ -> ());
+  match
+    Baseline.of_json
+      (Json.Obj
+         [ ("entries", Json.List [ Json.Obj [ ("file", Json.Str "x") ] ]) ])
+  with
+  | Ok _ -> Alcotest.fail "accepted a malformed entry"
+  | Error _ -> ()
+
+(* ----------------------------- clean tree ---------------------------- *)
+
+(* The repo's own sources (staged into _build by the dune deps of this
+   test) must be clean against the checked-in baseline — the same gate CI
+   runs via `dune build @lint`. *)
+let test_clean_tree () =
+  let cwd = Sys.getcwd () in
+  Fun.protect
+    ~finally:(fun () -> Sys.chdir cwd)
+    (fun () ->
+      Sys.chdir "..";
+      Alcotest.(check bool)
+        "repo sources staged" true
+        (Sys.file_exists "lib/relational/value.ml");
+      let baseline =
+        match Baseline.load "lint.baseline" with
+        | Ok b -> b
+        | Error e -> Alcotest.fail e
+      in
+      let outcome =
+        Driver.run ~baseline [ "lib"; "bin"; "bench"; "test" ]
+      in
+      Alcotest.(check int) "no parse errors" 0 outcome.Driver.parse_errors;
+      List.iter
+        (fun f -> Alcotest.failf "new finding: %a" Finding.pp f)
+        outcome.Driver.fresh;
+      Alcotest.(check bool) "clean against baseline" true
+        (Driver.clean outcome))
+
+(* The acceptance scenario: reintroducing a NULL-equality bug anywhere in
+   lib/ must surface as a fresh finding against the checked-in baseline. *)
+let test_null_eq_regression_is_fresh () =
+  let baseline =
+    (* Budgets only exist for test/ R3 debt, so any R1 is fresh. *)
+    match Baseline.load "../lint.baseline" with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  let findings =
+    Driver.lint_source ~path:"lib/relational/broken.ml"
+      "let never_matches (a : Value.t) = a = Value.Null"
+  in
+  let fresh, _ = Baseline.apply baseline findings in
+  Alcotest.(check (list string))
+    "Null comparison escapes the baseline" [ "R1" ]
+    (List.map (fun (f : Finding.t) -> f.Finding.rule) fresh)
+
+let suite =
+  [
+    Alcotest.test_case "r1-poly-eq" `Quick test_r1_poly_eq;
+    Alcotest.test_case "r1-exemptions" `Quick test_r1_exemptions;
+    Alcotest.test_case "r2-partial-calls" `Quick test_r2_partial_calls;
+    Alcotest.test_case "r3-loops" `Quick test_r3_loops;
+    Alcotest.test_case "r4-nondeterminism" `Quick test_r4_nondeterminism;
+    Alcotest.test_case "r5-printing" `Quick test_r5_printing;
+    Alcotest.test_case "r6-missing-mli" `Quick test_r6_missing_mli;
+    Alcotest.test_case "r7-obj" `Quick test_r7_obj;
+    Alcotest.test_case "r8-catch-all" `Quick test_r8_catch_all;
+    Alcotest.test_case "suppression" `Quick test_suppression;
+    Alcotest.test_case "parse-errors" `Quick test_parse_errors;
+    Alcotest.test_case "baseline-roundtrip" `Quick test_baseline_roundtrip;
+    Alcotest.test_case "baseline-fresh-stale" `Quick test_baseline_fresh_and_stale;
+    Alcotest.test_case "baseline-malformed" `Quick test_baseline_rejects_malformed;
+    Alcotest.test_case "clean-tree" `Quick test_clean_tree;
+    Alcotest.test_case "null-eq-regression" `Quick test_null_eq_regression_is_fresh;
+  ]
