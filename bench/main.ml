@@ -22,6 +22,21 @@ module Obs = Jqi_obs.Obs
 let section_header title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
 
+(* --universe: which constructor builds the fig6/fig7 universes (mirrors
+   jqinfer's flag), so those sections report which builder produced their
+   timings.  The quotient is the default everywhere. *)
+let universe_builder_of ~seed spec =
+  match String.lowercase_ascii (String.trim spec) with
+  | "naive" -> Some Universe.build_naive
+  | "quotient" -> Some Universe.build_quotient
+  | "parallel" -> Some (fun r p -> Universe.build_parallel r p)
+  | s when String.length s > 8 && String.equal (String.sub s 0 8) "sampled:" -> (
+      match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+      | Some pairs when pairs > 0 ->
+          Some (fun r p -> Universe.build_sampled (Prng.create seed) ~pairs r p)
+      | Some _ | None -> None)
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Figure 6: TPC-H experiments.                                        *)
 (* ------------------------------------------------------------------ *)
@@ -110,12 +125,16 @@ let run_lookahead_bench ~seed =
     (Json.Obj [ ("seed", Json.int seed); ("runs", Json.List entries) ]);
   Printf.printf "wrote %s\n" path
 
-let run_fig6 ~full ~seed =
-  section_header "Figure 6 — TPC-H: interactions (6a/6b) and time (6c/6d)";
+let run_fig6 ~full ~seed ~builder ~builder_label =
+  section_header
+    (Printf.sprintf
+       "Figure 6 — TPC-H: interactions (6a/6b) and time (6c/6d) [universe \
+        builder: %s]"
+       builder_label);
   let small = { E.Fig6.name = "small"; scale = (if full then 3 else 1); seed } in
   let large = { E.Fig6.name = "large"; scale = (if full then 10 else 3); seed } in
   let run_setting (setting : E.Fig6.setting) paper_times sub_int sub_time =
-    let results = E.Fig6.run setting in
+    let results = E.Fig6.run ~builder setting in
     Printf.printf "\n--- Figure %s: interactions, %s scale (scale=%d) ---\n"
       sub_int setting.name setting.scale;
     print_string
@@ -147,16 +166,20 @@ let run_fig6 ~full ~seed =
 let fig7_parts =
   [ ("a", "c"); ("b", "d"); ("e", "g"); ("f", "h"); ("i", "k"); ("j", "l") ]
 
-let run_fig7 ~full ~seed =
-  section_header "Figure 7 — synthetic datasets: interactions and time";
+let run_fig7 ~full ~seed ~builder ~builder_label =
+  section_header
+    (Printf.sprintf
+       "Figure 7 — synthetic datasets: interactions and time [universe \
+        builder: %s]"
+       builder_label);
   let runs = if full then 100 else 10 in
   let goals_per_size = if full then None else Some 3 in
   List.map2
     (fun config ((int_part, time_part), (config_label, paper_times)) ->
       let result =
         match goals_per_size with
-        | None -> E.Fig7.run ~seed ~runs config
-        | Some k -> E.Fig7.run ~seed ~runs ~goals_per_size:k config
+        | None -> E.Fig7.run ~builder ~seed ~runs config
+        | Some k -> E.Fig7.run ~builder ~seed ~runs ~goals_per_size:k config
       in
       Printf.printf "\n--- Figure 7%s: interactions, config %s (%d runs) ---\n"
         int_part config_label runs;
@@ -355,6 +378,123 @@ let run_ablation ~full ~seed =
     !n_runs
 
 (* ------------------------------------------------------------------ *)
+(* Universe construction: naive vs quotient vs parallel (ISSUE 4).     *)
+(* ------------------------------------------------------------------ *)
+
+(* A/B of the universe builders on a duplicate-heavy TPC-H-shaped
+   instance: lineitem and orders projected onto their low-cardinality
+   flag/status/priority columns (the §5.1 table shapes with the key
+   columns dropped), so row profiles repeat heavily and the quotient
+   collapses the |R|·|P| scan to the distinct-profile product.  All three
+   exact builders must produce identical universes — classes, counts and
+   representatives — which is asserted here and by CI on the emitted
+   BENCH_universe.json. *)
+let run_universe ~full ~seed =
+  let module Json = Jqi_util.Json in
+  let module Algebra = Jqi_relational.Algebra in
+  let module Relation = Jqi_relational.Relation in
+  section_header
+    "Universe construction — naive vs quotient vs parallel (profile quotient)";
+  let scales = if full then [ 4; 16 ] else [ 2; 8 ] in
+  let universes_equal u1 u2 =
+    Universe.n_classes u1 = Universe.n_classes u2
+    && (let rec go i =
+          i >= Universe.n_classes u1
+          || Bits.equal (Universe.signature u1 i) (Universe.signature u2 i)
+             && Universe.count u1 i = Universe.count u2 i
+             && (Universe.cls u1 i).Universe.rep = (Universe.cls u2 i).Universe.rep
+             && go (i + 1)
+        in
+        go 0)
+  in
+  let time_best f =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to 3 do
+      let x, dt = Jqi_util.Timer.time f in
+      if dt < !best then best := dt;
+      result := Some x
+    done;
+    (Option.get !result, !best)
+  in
+  let entries =
+    List.map
+      (fun scale ->
+        let db = Tpch.generate ~seed ~scale () in
+        let r =
+          Algebra.project db.lineitem
+            [ "l_returnflag"; "l_linestatus"; "l_shipmode" ]
+        in
+        let p =
+          Algebra.project db.orders
+            [ "o_orderstatus"; "o_orderpriority"; "o_shippriority" ]
+        in
+        let naive_u, naive_s = time_best (fun () -> Universe.build_naive r p) in
+        let quot_u, quot_s = time_best (fun () -> Universe.build_quotient r p) in
+        let par_u, par_s =
+          time_best (fun () -> Universe.build_parallel ~domains:4 r p)
+        in
+        (* One instrumented quotient build for the profile/dict counters. *)
+        let was_enabled = Obs.enabled () in
+        Obs.reset ();
+        Obs.set_enabled true;
+        ignore (Universe.build_quotient r p);
+        let counter name = Obs.Counter.find name in
+        let profiles_r = counter "universe.profiles_r" in
+        let profiles_p = counter "universe.profiles_p" in
+        let dict_values = counter "universe.dict_values" in
+        let pairs_skipped = counter "universe.pairs_skipped" in
+        Obs.set_enabled was_enabled;
+        let identical = universes_equal naive_u quot_u && universes_equal naive_u par_u in
+        let speedup_quot = naive_s /. quot_s in
+        let speedup_par = naive_s /. par_s in
+        Printf.printf
+          "  scale %2d: %4d x %4d rows (|D| = %7d), %3d x %2d profiles, %d \
+           dict values, %d classes\n\
+          \    naive    %8.2f ms\n\
+          \    quotient %8.2f ms  (%.1fx)\n\
+          \    parallel %8.2f ms  (%.1fx, 4 domains)\n\
+          \    universes %s\n"
+          scale (Relation.cardinality r) (Relation.cardinality p)
+          (Relation.cardinality r * Relation.cardinality p)
+          profiles_r profiles_p dict_values (Universe.n_classes quot_u)
+          (naive_s *. 1e3) (quot_s *. 1e3) speedup_quot (par_s *. 1e3)
+          speedup_par
+          (if identical then "identical" else "DIVERGED");
+        Json.Obj
+          [
+            ("scale", Json.int scale);
+            ("rows_r", Json.int (Relation.cardinality r));
+            ("rows_p", Json.int (Relation.cardinality p));
+            ("profiles_r", Json.int profiles_r);
+            ("profiles_p", Json.int profiles_p);
+            ("dict_values", Json.int dict_values);
+            ("pairs_skipped", Json.int pairs_skipped);
+            ("classes", Json.int (Universe.n_classes quot_u));
+            ("naive_s", Json.Num naive_s);
+            ("quotient_s", Json.Num quot_s);
+            ("parallel_s", Json.Num par_s);
+            ("speedup_quotient", Json.Num speedup_quot);
+            ("speedup_parallel", Json.Num speedup_par);
+            ("identical", Json.Bool identical);
+          ])
+      scales
+  in
+  let path = "BENCH_universe.json" in
+  Json.save_file path
+    (Json.Obj
+       [
+         ("seed", Json.int seed);
+         ( "instance",
+           Json.Str
+             "TPC-H lineitem(returnflag,linestatus,shipmode) x \
+              orders(orderstatus,orderpriority,shippriority) — \
+              duplicate-heavy projections" );
+         ("entries", Json.List entries);
+       ]);
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Observability overhead: instrumentation on vs off (ISSUE 2).        *)
 (* ------------------------------------------------------------------ *)
 
@@ -481,8 +621,10 @@ let micro_tests ~seed =
   let red = Jqi_semijoin.Reduction.build phi in
   [
     (* Fig 6 critical path: quotienting the Cartesian product. *)
-    Test.make ~name:"fig6:universe_build(J4,scale1)"
+    Test.make ~name:"fig6:universe_build_quotient(J4,scale1)"
       (Staged.stage (fun () -> Universe.build join4.r join4.p));
+    Test.make ~name:"fig6:universe_build_naive(J4,scale1)"
+      (Staged.stage (fun () -> Universe.build_naive join4.r join4.p));
     Test.make ~name:"fig6:universe_build_parallel(J4,4 domains)"
       (Staged.stage (fun () -> Universe.build_parallel ~domains:4 join4.r join4.p));
     (* §3.4 / Theorem 3.5: the PTIME informativeness test. *)
@@ -583,9 +725,10 @@ let run_micro ~seed =
 (* ------------------------------------------------------------------ *)
 
 let all_sections =
-  [ "fig6"; "fig7"; "table1"; "semijoin"; "scaling"; "ablation"; "obs"; "micro" ]
+  [ "fig6"; "fig7"; "table1"; "semijoin"; "scaling"; "ablation"; "universe";
+    "obs"; "micro" ]
 
-let run sections full seed =
+let run sections full seed universe_spec =
   let sections = if sections = [] then all_sections else sections in
   List.iter
     (fun s ->
@@ -594,19 +737,34 @@ let run sections full seed =
           (String.concat ", " all_sections);
         exit 2))
     sections;
+  let builder, builder_label =
+    match universe_builder_of ~seed universe_spec with
+    | Some b -> (b, String.lowercase_ascii (String.trim universe_spec))
+    | None ->
+        Printf.eprintf
+          "bad --universe %S (expected naive|quotient|parallel|sampled:<pairs>)\n"
+          universe_spec;
+        exit 2
+  in
   let t0 = Jqi_util.Timer.now () in
   Printf.printf
     "jqi bench — reproduction of 'Interactive Inference of Join Queries' \
-     (EDBT 2014)\nmode: %s, seed: %d, sections: %s\n"
+     (EDBT 2014)\nmode: %s, seed: %d, universe builder: %s, sections: %s\n"
     (if full then "full" else "quick")
-    seed
+    seed builder_label
     (String.concat " " sections);
   let want s = List.mem s sections in
   (* table1 is derived from fig6 + fig7 results; run them if needed. *)
   let need_fig6 = want "fig6" || want "table1" in
   let need_fig7 = want "fig7" || want "table1" in
-  let fig6_results = if need_fig6 then Some (run_fig6 ~full ~seed) else None in
-  let fig7_results = if need_fig7 then Some (run_fig7 ~full ~seed) else None in
+  let fig6_results =
+    if need_fig6 then Some (run_fig6 ~full ~seed ~builder ~builder_label)
+    else None
+  in
+  let fig7_results =
+    if need_fig7 then Some (run_fig7 ~full ~seed ~builder ~builder_label)
+    else None
+  in
   if want "table1" then
     run_table1
       ~fig6_results:(Option.get fig6_results)
@@ -614,6 +772,7 @@ let run sections full seed =
   if want "semijoin" then run_semijoin ~full ~seed;
   if want "scaling" then run_scaling ~full ~seed;
   if want "ablation" then run_ablation ~full ~seed;
+  if want "universe" then run_universe ~full ~seed;
   if want "obs" then run_obs ~full ~seed;
   if want "micro" then run_micro ~seed;
   Printf.printf "\nTotal bench time: %.1fs\n" (Jqi_util.Timer.now () -. t0)
@@ -631,9 +790,16 @@ let full_arg =
 
 let seed_arg = Arg.(value & opt int 2014 & info [ "seed" ] ~doc:"PRNG seed.")
 
+let universe_spec_arg =
+  Arg.(
+    value & opt string "quotient"
+    & info [ "universe" ] ~docv:"BUILDER"
+        ~doc:"Universe constructor for the fig6/fig7 universes (mirrors \
+              jqinfer): naive, quotient, parallel or sampled:<pairs>.")
+
 let cmd =
   Cmd.v
     (Cmd.info "jqi-bench" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ sections_arg $ full_arg $ seed_arg)
+    Term.(const run $ sections_arg $ full_arg $ seed_arg $ universe_spec_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -61,6 +61,22 @@ let lks_of ~engine k =
   | `Reference -> Strategy.lks_reference k
   | `Parallel domains -> Strategy.lks_par ~domains k
 
+(* Universe builder selection (--universe): the profile quotient is the
+   default; naive is the per-pair reference scan kept for differentials;
+   parallel fans distinct R-profiles over domains; sampled:<pairs> draws
+   that many uniform random pairs instead of scanning the product. *)
+let builder_name = function
+  | `Naive -> "naive"
+  | `Quotient -> "quotient"
+  | `Parallel -> "parallel"
+  | `Sampled pairs -> Printf.sprintf "sampled:%d" pairs
+
+let builder_of ~seed = function
+  | `Naive -> Universe.build_naive
+  | `Quotient -> Universe.build_quotient
+  | `Parallel -> fun r p -> Universe.build_parallel r p
+  | `Sampled pairs -> fun r p -> Universe.build_sampled (Prng.create seed) ~pairs r p
+
 let strategy_of_name ~seed ~engine = function
   | "bu" -> Strategy.bu
   | "td" -> Strategy.td
@@ -115,17 +131,19 @@ let human_oracle r p =
       in
       ask ())
 
-let cmd_infer r_path p_path strategy_name seed verbose engine resume save trace
-    metrics =
+let cmd_infer r_path p_path strategy_name seed verbose engine ubuilder resume
+    save trace metrics =
   setup_logs verbose;
   obs_setup ~trace ~metrics;
   let r, p = load_pair r_path p_path in
-  let universe = Universe.build r p in
+  let universe = builder_of ~seed ubuilder r p in
   let omega = Universe.omega universe in
   Printf.printf
-    "Loaded %s (%d rows) and %s (%d rows); %d tuple classes over |Ω| = %d.\n"
+    "Loaded %s (%d rows) and %s (%d rows); %d tuple classes over |Ω| = %d \
+     (%s universe builder).\n"
     (Relation.name r) (Relation.cardinality r) (Relation.name p)
-    (Relation.cardinality p) (Universe.n_classes universe) (Omega.width omega);
+    (Relation.cardinality p) (Universe.n_classes universe) (Omega.width omega)
+    (builder_name ubuilder);
   let strategy = strategy_of_name ~seed ~engine strategy_name in
   let state =
     match resume with
@@ -165,17 +183,21 @@ let cmd_infer r_path p_path strategy_name seed verbose engine resume save trace
 
 (* ---------------------------- simulate ---------------------------- *)
 
-let cmd_simulate r_path p_path goal_spec seed verbose engine trace metrics =
+let cmd_simulate r_path p_path goal_spec seed verbose engine ubuilder trace
+    metrics =
   setup_logs verbose;
   obs_setup ~trace ~metrics;
   let r, p = load_pair r_path p_path in
-  let universe = Universe.build r p in
+  let universe = builder_of ~seed ubuilder r p in
   let omega = Universe.omega universe in
   let goal = Omega.of_names omega (parse_goal goal_spec) in
-  Printf.printf "Instance: |D| = %d, %d classes, join ratio %.3f; goal %s\n"
+  Printf.printf
+    "Instance: |D| = %d, %d classes, join ratio %.3f (%s universe builder); \
+     goal %s\n"
     (Universe.total_tuples universe)
     (Universe.n_classes universe)
     (Universe.join_ratio universe)
+    (builder_name ubuilder)
     (Omega.pred_to_string omega goal);
   List.iter
     (fun name ->
@@ -437,6 +459,30 @@ let engine_term =
               (if domains > 0 then domains else Domain.recommended_domain_count ()))
     $ engine_arg $ domains_arg)
 
+let universe_arg =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "naive" -> Ok `Naive
+    | "quotient" -> Ok `Quotient
+    | "parallel" -> Ok `Parallel
+    | s when String.length s > 8 && String.equal (String.sub s 0 8) "sampled:" -> (
+        match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+        | Some pairs when pairs > 0 -> Ok (`Sampled pairs)
+        | Some _ | None ->
+            Error (`Msg "sampled:<pairs> needs a positive pair count"))
+    | _ -> Error (`Msg "expected naive, quotient, parallel or sampled:<pairs>")
+  in
+  let print ppf b = Fmt.string ppf (builder_name b) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Quotient
+    & info [ "universe" ] ~docv:"BUILDER"
+        ~doc:"Universe constructor: $(b,quotient) (dictionary-encoded \
+              row-profile quotient — the default), $(b,naive) (the per-pair \
+              reference scan), $(b,parallel) (quotient with R-profiles \
+              fanned over domains), or $(b,sampled:)$(i,PAIRS) (uniform \
+              random pairs instead of a full scan; approximate).")
+
 let trace_arg =
   Arg.(
     value & opt (some string) None
@@ -463,7 +509,8 @@ let infer_cmd =
   Cmd.v
     (Cmd.info "infer" ~doc:"Interactively infer an equijoin over two CSV files")
     Term.(const cmd_infer $ r_arg $ p_arg $ strategy_arg $ seed_arg $ verbose_arg
-          $ engine_term $ resume_arg $ save_arg $ trace_arg $ metrics_arg)
+          $ engine_term $ universe_arg $ resume_arg $ save_arg $ trace_arg
+          $ metrics_arg)
 
 let goal_arg =
   Arg.(
@@ -475,7 +522,7 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Replay inference with a known goal, all strategies")
     Term.(const cmd_simulate $ r_arg $ p_arg $ goal_arg $ seed_arg $ verbose_arg
-          $ engine_term $ trace_arg $ metrics_arg)
+          $ engine_term $ universe_arg $ trace_arg $ metrics_arg)
 
 let scale_arg = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Scale factor.")
 let out_arg = Arg.(value & opt string "data" & info [ "out" ] ~doc:"Output directory.")

@@ -8,6 +8,12 @@
 val of_tuples :
   Omega.t -> Jqi_relational.Tuple.t -> Jqi_relational.Tuple.t -> Jqi_util.Bits.t
 
+(** [of_codes omega cr cp] is {!of_tuples} over {!Jqi_relational.Dict}
+    code vectors: equal codes are join-matches, negative codes (NULL/NaN)
+    match nothing.  Raises [Invalid_argument] when vector lengths differ
+    from the arities of [omega]. *)
+val of_codes : Omega.t -> int array -> int array -> Jqi_util.Bits.t
+
 (** [of_signatures omega sigs] is T(U) = ∩ sigs, and Ω when [sigs] is empty
     (the convention §3.3 needs for samples without positive examples). *)
 val of_signatures : Omega.t -> Jqi_util.Bits.t list -> Jqi_util.Bits.t

@@ -12,8 +12,10 @@
 
 module Bits = Jqi_util.Bits
 module Obs = Jqi_obs.Obs
+module Dict = Jqi_relational.Dict
 module Relation = Jqi_relational.Relation
 module Tuple = Jqi_relational.Tuple
+module Vec = Jqi_util.Vec
 
 type cls = { signature : Bits.t; count : int; rep : int * int }
 
@@ -48,8 +50,12 @@ let of_signature_list ?relations omega sigs =
   let total = Array.fold_left (fun s c -> s + c.count) 0 classes in
   { omega; classes; total; relations }
 
-let build r p =
-  Obs.span "universe.build" @@ fun () ->
+(* The reference per-pair scan: every tuple of R × P gets its own
+   [Tsig.of_tuples] call and bitset.  Kept as the executable definition
+   and as the differential oracle for the quotient builders below; the
+   default [build] is [build_quotient]. *)
+let build_naive r p =
+  Obs.span "universe.build_naive" @@ fun () ->
   let omega = Omega.of_schemas (Relation.schema r) (Relation.schema p) in
   let acc = H.create 256 in
   let nr = Relation.cardinality r and np = Relation.cardinality p in
@@ -66,56 +72,160 @@ let build r p =
   if sigs = [] then invalid_arg "Universe.build: empty Cartesian product";
   of_signature_list ~relations:(r, p) omega sigs
 
-(* Multicore scan: partition R's rows across domains, build per-domain
-   signature tables, merge.  Deterministic regardless of scheduling — the
-   representative of a class is the lexicographically smallest row pair,
-   which is also what the sequential scan (ascending loops) picks, so
-   [build_parallel] and [build] produce identical universes.
+(* ---------------- profile-quotient construction ------------------- *)
 
-   The scan allocates one bitset per pair, so domains contend on the minor
-   GC; with few cores the sequential scan wins (measure with
-   `bench/main.exe micro` before relying on this — on the 2-core reference
-   container it is a net loss, which is why [build] is the default
-   everywhere). *)
-let build_parallel ?domains r p =
+(* The quotient-first constructor exploits two levels of redundancy the
+   per-pair scan ignores:
+
+   1. Value dictionary: every cell of R and P is interned into one shared
+      dense code space ([Jqi_relational.Dict]) replicating [Value.eq], so
+      the signature inner loop compares integers on flat arrays instead of
+      tag-dispatching on boxed [Value.t].
+
+   2. Row profiles: two rows with the same code vector produce the same
+      signature against *every* partner row, so it suffices to compute
+      signatures for distinct-profile pairs and add multiplicity
+      |profile_R| × |profile_P| per pair.  The scan shrinks from
+      |R|·|P| to d_R·d_P where d is the distinct-profile count —
+      orders of magnitude on duplicate-heavy (TPC-H-shaped) data.
+
+   The result is identical to [build_naive]: same classes and counts by
+   construction, and the same representatives because the full-scan rep of
+   a class is its lexicographically smallest pair (i, j), which for a
+   profile pair (a, b) — whose members are all combinations of a's rows
+   with b's rows — is (first row of a, first row of b), min-merged across
+   the profile pairs sharing a signature. *)
+
+module Profile = struct
+  type t = int array
+
+  let equal a b =
+    Int.equal (Array.length a) (Array.length b)
+    &&
+    let rec go i = i >= Array.length a || (Int.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash a = Array.fold_left (fun acc c -> (acc * 31) + c + 2) 17 a
+end
+
+module PH = Hashtbl.Make (Profile)
+
+type profile = { codes : int array; mutable multiplicity : int; first_row : int }
+
+(* Group encoded rows by code vector, in first-seen (i.e. ascending
+   first-row) order; [first_row] is the smallest row index of the group
+   because rows are scanned in ascending order. *)
+let profiles_of encoded =
+  let tbl = PH.create (max 16 (Array.length encoded)) in
+  let order = Vec.create () in
+  Array.iteri
+    (fun i codes ->
+      match PH.find_opt tbl codes with
+      | Some prof -> prof.multiplicity <- prof.multiplicity + 1
+      | None ->
+          let prof = { codes; multiplicity = 1; first_row = i } in
+          PH.add tbl codes prof;
+          Vec.push order prof)
+    encoded;
+  Vec.to_array order
+
+let c_dict_values = Obs.Counter.make "universe.dict_values"
+let c_profiles_r = Obs.Counter.make "universe.profiles_r"
+let c_profiles_p = Obs.Counter.make "universe.profiles_p"
+let c_profile_pairs = Obs.Counter.make "universe.profile_pairs"
+let c_pairs_skipped = Obs.Counter.make "universe.pairs_skipped"
+
+(* Shared front half of the quotient builders: intern both relations into
+   one dictionary and group their rows into profiles. *)
+let quotient_profiles r p =
   let nr = Relation.cardinality r and np = Relation.cardinality p in
-  if nr = 0 || np = 0 then invalid_arg "Universe.build_parallel: empty relation";
+  if nr = 0 || np = 0 then invalid_arg "Universe.build: empty Cartesian product";
+  let dict = Dict.create ~size:(nr + np) () in
+  let rprofs = profiles_of (Dict.encode_rows dict r) in
+  let pprofs = profiles_of (Dict.encode_rows dict p) in
+  Obs.Counter.add c_dict_values (Dict.size dict);
+  Obs.Counter.add c_profiles_r (Array.length rprofs);
+  Obs.Counter.add c_profiles_p (Array.length pprofs);
+  let n_pairs = Array.length rprofs * Array.length pprofs in
+  Obs.Counter.add c_profile_pairs n_pairs;
+  Obs.Counter.add c_pairs_skipped ((nr * np) - n_pairs);
+  (rprofs, pprofs)
+
+let merge_into acc s count rep =
+  match H.find_opt acc s with
+  | Some (c, rep') -> H.replace acc s (c + count, min rep rep')
+  | None -> H.add acc s (count, rep)
+
+let build_quotient r p =
+  Obs.span "universe.build_quotient" @@ fun () ->
+  let omega = Omega.of_schemas (Relation.schema r) (Relation.schema p) in
+  let rprofs, pprofs = quotient_profiles r p in
+  let acc = H.create 256 in
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          merge_into acc
+            (Tsig.of_codes omega a.codes b.codes)
+            (a.multiplicity * b.multiplicity)
+            (a.first_row, b.first_row))
+        pprofs)
+    rprofs;
+  let sigs = H.fold (fun s (c, rep) l -> (s, c, rep) :: l) acc [] in
+  of_signature_list ~relations:(r, p) omega sigs
+
+(* The default constructor is the quotient; [build_naive] remains the
+   differential oracle. *)
+let build r p = build_quotient r p
+
+(* Multicore quotient: partition the distinct R-*profiles* (not the raw
+   rows) across domains, each scanning every P-profile; merge per-domain
+   signature tables with the same min-rep rule as [build_quotient], so the
+   result is deterministic regardless of scheduling and identical to the
+   sequential builders.
+
+   Partitioning profiles rather than rows also removes the per-pair-bitset
+   minor-GC contention that used to make the row-parallel scan a net loss
+   on few-core machines: only d_R·d_P bitsets are allocated in total, the
+   same number the sequential quotient allocates.  The remaining trade-off
+   is the fixed spawn cost — for small d_R·d_P the sequential
+   [build_quotient] still wins; measure with `bench/main.exe universe`. *)
+let build_parallel ?domains r p =
+  Obs.span "universe.build_parallel" @@ fun () ->
+  let omega = Omega.of_schemas (Relation.schema r) (Relation.schema p) in
+  let rprofs, pprofs = quotient_profiles r p in
+  let dr = Array.length rprofs in
   let domains =
     match domains with
-    | Some d -> max 1 (min d nr)
-    | None -> max 1 (min (Domain.recommended_domain_count ()) nr)
+    | Some d -> max 1 (min d dr)
+    | None -> max 1 (min (Domain.recommended_domain_count ()) dr)
   in
-  let omega = Omega.of_schemas (Relation.schema r) (Relation.schema p) in
-  let chunk = (nr + domains - 1) / domains in
+  let chunk = (dr + domains - 1) / domains in
   let scan lo hi () =
     let acc = H.create 256 in
-    for i = lo to hi - 1 do
-      let tr = Relation.row r i in
-      for j = 0 to np - 1 do
-        let s = Tsig.of_tuples omega tr (Relation.row p j) in
-        match H.find_opt acc s with
-        | Some (c, rep) -> H.replace acc s (c + 1, rep)
-        | None -> H.replace acc s (1, (i, j))
-      done
+    for ai = lo to hi - 1 do
+      let a = rprofs.(ai) in
+      Array.iter
+        (fun b ->
+          merge_into acc
+            (Tsig.of_codes omega a.codes b.codes)
+            (a.multiplicity * b.multiplicity)
+            (a.first_row, b.first_row))
+        pprofs
     done;
     acc
   in
   let handles =
     List.init domains (fun d ->
         let lo = d * chunk in
-        let hi = min nr ((d + 1) * chunk) in
+        let hi = min dr ((d + 1) * chunk) in
         Domain.spawn (scan lo hi))
   in
   let merged = H.create 256 in
   List.iter
     (fun handle ->
       let table = Domain.join handle in
-      H.iter
-        (fun s (c, rep) ->
-          match H.find_opt merged s with
-          | Some (c', rep') -> H.replace merged s (c + c', min rep rep')
-          | None -> H.replace merged s (c, rep))
-        table)
+      H.iter (fun s (c, rep) -> merge_into merged s c rep) table)
     handles;
   let sigs = H.fold (fun s (c, rep) l -> (s, c, rep) :: l) merged [] in
   of_signature_list ~relations:(r, p) omega sigs
@@ -125,7 +235,13 @@ let build_parallel ?domains r p =
    uniform random tuple pairs instead of enumerating R × P.  Signatures
    that never come up in the sample are invisible, so the inference result
    is only guaranteed instance-equivalent on the sampled sub-product; rare
-   signatures (small join ratio contributions) are the ones at risk. *)
+   signatures (small join ratio contributions) are the ones at risk.
+
+   The representative of a class is the lexicographically smallest sampled
+   member ([min], not keep-first-drawn): reps then depend only on the
+   sampled *set* of pairs, never on the order the PRNG produced them —
+   the same determinism contract [build]/[build_parallel] satisfy, and a
+   sample covering the whole product reproduces their universe exactly. *)
 let build_sampled prng ~pairs r p =
   if pairs <= 0 then invalid_arg "Universe.build_sampled: need a positive sample size";
   let nr = Relation.cardinality r and np = Relation.cardinality p in
@@ -136,7 +252,7 @@ let build_sampled prng ~pairs r p =
     let i = Jqi_util.Prng.int prng nr and j = Jqi_util.Prng.int prng np in
     let s = Tsig.of_tuples omega (Relation.row r i) (Relation.row p j) in
     match H.find_opt acc s with
-    | Some (c, rep) -> H.replace acc s (c + 1, rep)
+    | Some (c, rep) -> H.replace acc s (c + 1, min rep (i, j))
     | None -> H.replace acc s (1, (i, j))
   done;
   let sigs = H.fold (fun s (c, rep) l -> (s, c, rep) :: l) acc [] in

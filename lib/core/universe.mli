@@ -14,22 +14,41 @@ type cls = {
 
 type t
 
-(** Build the quotient by scanning R × P.  Raises [Invalid_argument] on an
-    empty product.  O(|R|·|P|·|Ω|). *)
+(** Build the quotient of R × P.  The default constructor — an alias for
+    {!build_quotient}.  Raises [Invalid_argument] on an empty product. *)
 val build : Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> t
 
-(** Multicore [build]: R's rows are partitioned across [domains] (default
-    [Domain.recommended_domain_count ()]); produces a universe identical
-    to the sequential scan.  The scan is allocation-heavy, so domains
-    contend on the minor GC — benchmark before preferring this over
-    [build]; on few-core machines the sequential scan wins. *)
+(** The reference per-pair scan: one [Tsig.of_tuples] call per tuple of
+    R × P, O(|R|·|P|·|Ω|).  Kept as the executable definition and the
+    differential oracle for the quotient builders, which must produce
+    identical universes (classes, counts and representatives). *)
+val build_naive : Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> t
+
+(** Profile-quotient construction: interns every cell of both relations
+    into a shared {!Jqi_relational.Dict} code space, groups rows by code
+    vector, and computes one signature per distinct-profile *pair* with
+    multiplicity |profile_R| × |profile_P| — O(d_R·d_P·|Ω|) signature work
+    after an O((|R|+|P|)·arity) encoding pass, where d is the
+    distinct-profile count.  Identical output to {!build_naive};
+    representatives are the lexicographically smallest member pair of each
+    class. *)
+val build_quotient :
+  Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> t
+
+(** Multicore {!build_quotient}: the distinct R-profiles are partitioned
+    across [domains] (default [Domain.recommended_domain_count ()]);
+    produces a universe identical to the sequential builders regardless of
+    scheduling.  Worthwhile once d_R·d_P is large enough to amortize the
+    domain-spawn cost — `bench/main.exe universe` measures the crossover. *)
 val build_parallel :
   ?domains:int -> Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> t
 
 (** Approximate universe for products too large to scan: [pairs] uniform
     random tuple pairs instead of the full R × P.  Signatures absent from
     the sample are invisible, so inference is only guaranteed
-    instance-equivalent on the sampled sub-product. *)
+    instance-equivalent on the sampled sub-product.  Representatives are
+    the lexicographically smallest {e sampled} member of each class, so
+    the result depends only on the sampled set, not the PRNG draw order. *)
 val build_sampled :
   Jqi_util.Prng.t -> pairs:int ->
   Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> t

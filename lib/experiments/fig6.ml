@@ -21,8 +21,11 @@ type join_result = {
   measurements : Runner.measurement list;
 }
 
-let run_join ~seed (join : Tpch.goal_join) =
-  let universe = Universe.build join.r join.p in
+(* [builder] picks the universe constructor (default [Universe.build],
+   i.e. the profile quotient) so the bench can A/B builders and report
+   which one produced the timings. *)
+let run_join ?(builder = Universe.build) ~seed (join : Tpch.goal_join) =
+  let universe = builder join.r join.p in
   let omega = Universe.omega universe in
   let goal = Tpch.goal_predicate omega join in
   let measurements =
@@ -41,9 +44,9 @@ let run_join ~seed (join : Tpch.goal_join) =
 
 type setting = { name : string; scale : int; seed : int }
 
-let run setting =
+let run ?builder setting =
   let db = Tpch.generate ~seed:setting.seed ~scale:setting.scale () in
-  List.map (run_join ~seed:setting.seed) (Tpch.joins db)
+  List.map (run_join ?builder ~seed:setting.seed) (Tpch.joins db)
 
 let interactions_chart ~title results =
   Chart.render_grouped ~title ~value_label:"number of interactions"

@@ -12,8 +12,17 @@ type join_result = {
 
 type setting = { name : string; scale : int; seed : int }
 
-val run_join : seed:int -> Jqi_tpch.Tpch.goal_join -> join_result
-val run : setting -> join_result list
+(** [builder] selects the universe constructor (default
+    [Jqi_core.Universe.build], the profile quotient). *)
+val run_join :
+  ?builder:
+    (Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> Jqi_core.Universe.t) ->
+  seed:int -> Jqi_tpch.Tpch.goal_join -> join_result
+
+val run :
+  ?builder:
+    (Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> Jqi_core.Universe.t) ->
+  setting -> join_result list
 
 (** Figure 6a/6b as an ASCII bar chart. *)
 val interactions_chart : title:string -> join_result list -> string

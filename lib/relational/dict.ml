@@ -1,0 +1,67 @@
+(* Dictionary encoding of cell values into dense integer codes.
+
+   The universe constructor compares every R-cell against every P-cell
+   under [Value.eq]; interning both relations' cells into one shared code
+   space turns those comparisons into integer equality on pre-encoded
+   arrays — no tag dispatch, no boxed payload reads in the inner loop.
+
+   The code space mirrors [Value.eq] exactly:
+
+   - two values share a code iff [Value.eq] holds between them, which the
+     table guarantees by hashing with [Value.hash] and resolving with
+     [Value.eq] (values of different types never match, so they never
+     share a code even on hash collisions);
+   - NULL and Float NaN are never equal to anything, themselves included,
+     so they get [no_code] (which is negative and never equals a real
+     code).  A NaN key must not enter the table at all: [Value.eq] on NaN
+     is irreflexive, so an inserted NaN could never be found again and
+     every occurrence would leak a fresh code.
+
+   [no_code] slots still take part in row-profile equality (two rows that
+   both hold NULL at a column behave identically against every partner
+   row), which is exactly what the profile quotient needs. *)
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.eq
+  let hash = Value.hash
+end)
+
+type t = { table : int VH.t; mutable next : int }
+
+let no_code = -1
+
+let create ?(size = 256) () = { table = VH.create (max 16 size); next = 0 }
+
+let size t = t.next
+
+let codable v =
+  match v with
+  | Value.Null -> false
+  | Value.Float f -> not (Float.is_nan f)
+  | Value.Bool _ | Value.Int _ | Value.Str _ -> true
+
+let code t v =
+  if not (codable v) then no_code
+  else
+    match VH.find_opt t.table v with
+    | Some c -> c
+    | None ->
+        let c = t.next in
+        t.next <- c + 1;
+        VH.add t.table v c;
+        c
+
+let find t v =
+  if not (codable v) then no_code
+  else match VH.find_opt t.table v with Some c -> c | None -> no_code
+
+let encode_row t row = Array.init (Tuple.arity row) (fun i -> code t (Tuple.get row i))
+
+let encode_rows t rel = Array.map (encode_row t) (Relation.rows rel)
+
+let encode_column t rel col =
+  if col < 0 || col >= Relation.arity rel then
+    invalid_arg (Printf.sprintf "Dict.encode_column: no column %d" col);
+  Array.map (fun row -> code t (Tuple.get row col)) (Relation.rows rel)

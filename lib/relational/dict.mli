@@ -1,0 +1,40 @@
+(** Dictionary encoding of cell values into dense integer codes shared
+    across relations.
+
+    Codes replicate {!Value.eq} (join equality): two values receive the
+    same code iff they join-match, so signature computation over encoded
+    rows is integer comparison.  NULL and Float NaN never join-match
+    anything (themselves included) and are never interned — they encode as
+    {!no_code}, a negative sentinel no real code ever equals. *)
+
+type t
+
+(** The sentinel code of NULL/NaN cells; negative, distinct from every
+    interned code. *)
+val no_code : int
+
+val create : ?size:int -> unit -> t
+
+(** Number of distinct interned values. *)
+val size : t -> int
+
+(** Intern [v], allocating the next dense code on first sight;
+    [no_code] for NULL/NaN. *)
+val code : t -> Value.t -> int
+
+(** Like {!code} but read-only: [no_code] for values never interned. *)
+val find : t -> Value.t -> int
+
+(** Can [v] carry a code, i.e. is it ever join-equal to anything? *)
+val codable : Value.t -> bool
+
+(** Code vector of one row, in column order. *)
+val encode_row : t -> Tuple.t -> int array
+
+(** Row-major encoding of a whole relation:
+    [(encode_rows d r).(i).(k)] is the code of row [i], column [k]. *)
+val encode_rows : t -> Relation.t -> int array array
+
+(** Single-column encoding, one code per row.  Raises [Invalid_argument]
+    on an out-of-range column. *)
+val encode_column : t -> Relation.t -> int -> int array

@@ -2,7 +2,14 @@
 
    The equijoin evaluator builds an index on the join columns of the smaller
    relation; NULL keys are excluded because NULL never joins under
-   [Value.eq]. *)
+   [Value.eq].
+
+   Keys are [Value.t array]s (not lists): the per-key allocation is one
+   flat block, and equality/hashing are index loops without list-spine
+   chasing.  Callers probing many rows against the same columns should use
+   [prober], which hoists the column resolution and the key buffer out of
+   the probe loop — one key buffer is reused for every probe, so a
+   [prober] closure allocates nothing per call. *)
 
 module Obs = Jqi_obs.Obs
 
@@ -13,41 +20,66 @@ let c_probes = Obs.Counter.make "index.probes"
 let c_probe_rows = Obs.Counter.make "index.probe_rows"
 
 module Key = struct
-  type t = Value.t list
+  type t = Value.t array
 
   let equal a b =
-    Int.equal (List.length a) (List.length b) && List.for_all2 Value.eq a b
-  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+    Int.equal (Array.length a) (Array.length b)
+    &&
+    let rec go i = i >= Array.length a || (Value.eq a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash k = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
 end
 
 module H = Hashtbl.Make (Key)
 
-type t = { columns : int list; table : int list H.t }
+type t = { columns : int array; table : int list H.t }
 
-let key_of_row columns row = List.map (fun c -> Tuple.get row c) columns
+let key_of_row columns row = Array.map (fun c -> Tuple.get row c) columns
+
+let has_null key = Array.exists Value.is_null key
 
 let build rel ~columns =
   Obs.Counter.add c_build_rows (Relation.cardinality rel);
+  let columns = Array.of_list columns in
   let table = H.create (max 16 (Relation.cardinality rel)) in
   Array.iteri
     (fun i row ->
       let key = key_of_row columns row in
-      if not (List.exists Value.is_null key) then
+      if not (has_null key) then
         let prev = Option.value ~default:[] (H.find_opt table key) in
         H.replace table key (i :: prev))
     (Relation.rows rel);
   { columns; table }
 
-(* Row indexes whose key columns match [row]'s [probe_columns] values. *)
-let probe t ~probe_columns row =
+(* [find_key] looks rows up by a caller-owned key buffer; the table never
+   retains a probe key, so reusing one buffer across probes is safe. *)
+let find_key t key =
   Obs.Counter.incr c_probes;
-  let key = key_of_row probe_columns row in
-  if List.exists Value.is_null key then []
+  if has_null key then []
   else
     let rows = Option.value ~default:[] (H.find_opt t.table key) in
-    (match rows with [] -> () | _ -> Obs.Counter.add c_probe_rows (List.length rows));
+    (match rows with [] -> () | _ :: _ -> Obs.Counter.add c_probe_rows (List.length rows));
     rows
 
-let lookup t key = Option.value ~default:[] (H.find_opt t.table key)
+(* Row indexes whose key columns match [row]'s [probe_columns] values. *)
+let probe t ~probe_columns row =
+  find_key t (key_of_row (Array.of_list probe_columns) row)
+
+let prober t ~probe_columns =
+  let cols = Array.of_list probe_columns in
+  let n = Array.length cols in
+  if n = 0 then fun _ -> find_key t [||]
+  else
+    (* The buffer is sized once and overwritten per probe; [Value.Null] is
+       only the initial fill. *)
+    let key = Array.make n Value.Null in
+    fun row ->
+      for k = 0 to n - 1 do
+        key.(k) <- Tuple.get row cols.(k)
+      done;
+      find_key t key
+
+let lookup t key = find_key t (Array.of_list key)
 
 let distinct_keys t = H.length t.table

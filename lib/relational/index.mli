@@ -9,5 +9,13 @@ val build : Relation.t -> columns:int list -> t
     NULL-containing probes. *)
 val probe : t -> probe_columns:int list -> Tuple.t -> int list
 
+(** Hoisted repeated probing: resolves [probe_columns] and allocates the
+    key buffer once, returning a closure that probes without per-call
+    allocation.  The closure reuses its buffer, so it must not be shared
+    across domains. *)
+val prober : t -> probe_columns:int list -> Tuple.t -> int list
+
+(** Lookup counts as a probe for the instrumentation counters. *)
 val lookup : t -> Value.t list -> int list
+
 val distinct_keys : t -> int
