@@ -588,6 +588,104 @@ let run_obs ~full ~seed =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Service layer: questions/sec through the full protocol stack.       *)
+(* ------------------------------------------------------------------ *)
+
+(* N sessions per TPC-H join, every request going through the wire codec
+   ([Service.handle_line] on encoded frames) with an honest oracle driven
+   from the goal predicate.  The first session per join pays the universe
+   build; every later one must hit the cache — the hit rate lands in
+   BENCH_server.json so CI can assert Ω really is built once. *)
+let run_server ~full ~seed =
+  let module Json = Jqi_util.Json in
+  let module Relation = Jqi_relational.Relation in
+  let module Omega = Jqi_core.Omega in
+  let module Sample = Jqi_core.Sample in
+  let module Catalog = Jqi_server.Catalog in
+  let module Manager = Jqi_server.Manager in
+  let module P = Jqi_server.Protocol in
+  let module Service = Jqi_server.Service in
+  section_header
+    "Service layer — questions/sec and universe cache (TPC-H joins 4+5)";
+  let db = Tpch.generate ~seed ~scale:1 () in
+  let joins = Tpch.joins db in
+  let picks = [ List.nth joins 3; List.nth joins 4 ] in
+  let catalog = Catalog.create () in
+  List.iter
+    (fun (j : Tpch.goal_join) ->
+      Catalog.add catalog j.r;
+      Catalog.add catalog j.p)
+    picks;
+  let manager = Manager.create ~seed catalog in
+  let sessions_per_join = if full then 50 else 10 in
+  let next_id = ref 0 in
+  let call req =
+    incr next_id;
+    Service.handle_line manager (P.encode_request ~id:!next_id req)
+  in
+  let questions = ref 0 in
+  let drive (j : Tpch.goal_join) =
+    let omega = Omega.of_schemas (Relation.schema j.r) (Relation.schema j.p) in
+    let goal = Tpch.goal_predicate omega j in
+    let session =
+      match
+        P.decode_response
+          (call
+             (P.Open_session
+                { r = Relation.name j.r; p = Relation.name j.p; strategy = "td" }))
+      with
+      | Ok (_, P.Opened { session; _ }) -> session
+      | _ -> failwith "server bench: open failed"
+    in
+    let rec loop resp =
+      match P.decode_response resp with
+      | Ok (_, P.Question { q_r_row; q_p_row; _ }) ->
+          incr questions;
+          let s = Sample.signature_of_tuple omega j.r j.p (q_r_row, q_p_row) in
+          let label =
+            if Bits.subset goal s then Sample.Positive else Sample.Negative
+          in
+          loop (call (P.Tell { session; label }))
+      | Ok (_, P.Done _) -> ()
+      | _ -> failwith "server bench: protocol failure"
+    in
+    loop (call (P.Ask { session }));
+    ignore (call (P.Close { session }))
+  in
+  let t0 = Jqi_util.Timer.now () in
+  for _ = 1 to sessions_per_join do
+    List.iter drive picks
+  done;
+  let elapsed = Jqi_util.Timer.now () -. t0 in
+  let hits, misses = Catalog.stats catalog in
+  let hit_rate = float_of_int hits /. float_of_int (hits + misses) in
+  let sessions = 2 * sessions_per_join in
+  let qps = float_of_int !questions /. elapsed in
+  Printf.printf
+    "%d sessions (%d per join), %d questions in %.3fs through the JSON \
+     codec:\n\
+    \  %10.0f questions/sec\n\
+    \  universe cache: %d hits / %d misses (hit rate %.3f)\n"
+    sessions sessions_per_join !questions elapsed qps hits misses hit_rate;
+  let path = "BENCH_server.json" in
+  Json.save_file path
+    (Json.Obj
+       [
+         ("seed", Json.int seed);
+         ( "workload",
+           Json.Str
+             "TD inference sessions over TPC-H joins 4+5 via Service.handle_line" );
+         ("sessions", Json.int sessions);
+         ("questions", Json.int !questions);
+         ("elapsed_s", Json.Num elapsed);
+         ("questions_per_sec", Json.Num qps);
+         ("cache_hits", Json.int hits);
+         ("cache_misses", Json.int misses);
+         ("cache_hit_rate", Json.Num hit_rate);
+       ]);
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -726,7 +824,7 @@ let run_micro ~seed =
 
 let all_sections =
   [ "fig6"; "fig7"; "table1"; "semijoin"; "scaling"; "ablation"; "universe";
-    "obs"; "micro" ]
+    "obs"; "server"; "micro" ]
 
 let run sections full seed universe_spec =
   let sections = if sections = [] then all_sections else sections in
@@ -774,6 +872,7 @@ let run sections full seed universe_spec =
   if want "ablation" then run_ablation ~full ~seed;
   if want "universe" then run_universe ~full ~seed;
   if want "obs" then run_obs ~full ~seed;
+  if want "server" then run_server ~full ~seed;
   if want "micro" then run_micro ~seed;
   Printf.printf "\nTotal bench time: %.1fs\n" (Jqi_util.Timer.now () -. t0)
 

@@ -7,9 +7,12 @@
      gen-tpch       generate TPC-H-style CSV files
      gen-synth      generate a synthetic instance (§5.2 configuration)
      semijoin-cons  decide CONS⋉ for a labeled sample over two CSV files
-     lattice        export the Figure-4-style predicate lattice as Graphviz *)
+     lattice        export the Figure-4-style predicate lattice as Graphviz
+     serve          speak the JSON-lines inference protocol on stdin/stdout
+     client         drive a served session to completion (CI smoke tests) *)
 
 module Value = Jqi_relational.Value
+module Engine = Jqi_core.Engine
 module Relation = Jqi_relational.Relation
 module Tuple = Jqi_relational.Tuple
 module Csv = Jqi_relational.Csv
@@ -114,22 +117,40 @@ let sql_of_predicate r p omega theta =
   Jqi_sql.Ast.to_string
     (Jqi_sql.Ast.of_equijoin ~r:(Relation.name r) ~p:(Relation.name p) pairs)
 
-let human_oracle r p =
-  Oracle.of_fun "human" (fun universe cls ->
-      (match Universe.representative universe cls with
-      | Some (tr, tp) ->
-          Printf.printf "\nWould you combine these two rows?\n  %s: %s\n  %s: %s\n"
-            (Relation.name r) (Tuple.to_string tr) (Relation.name p)
-            (Tuple.to_string tp)
-      | None -> ());
-      let rec ask () =
-        Printf.printf "  [y]es / [n]o > %!";
-        match input_line stdin |> String.lowercase_ascii |> String.trim with
-        | "y" | "yes" | "+" -> Sample.Positive
-        | "n" | "no" | "-" -> Sample.Negative
-        | _ -> ask ()
-      in
-      ask ())
+(* Lenient label reading: y/n/+/-/yes/no in any case; anything else
+   re-prompts; EOF returns [None] so the caller can freeze the session
+   instead of dropping the user's answers on the floor. *)
+let read_label () =
+  let rec prompt () =
+    Printf.printf "  [y]es / [n]o > %!";
+    match input_line stdin |> String.trim |> String.lowercase_ascii with
+    | "y" | "yes" | "+" -> Some Sample.Positive
+    | "n" | "no" | "-" -> Some Sample.Negative
+    | other ->
+        Printf.printf "  (%S is not an answer — y, n, yes, no, + or -)\n" other;
+        prompt ()
+    | exception End_of_file -> None
+  in
+  prompt ()
+
+let print_question r p (q : Engine.question) =
+  match q.Engine.representative with
+  | Some (tr, tp) ->
+      Printf.printf "\nWould you combine these two rows?\n  %s: %s\n  %s: %s\n"
+        (Relation.name r) (Tuple.to_string tr) (Relation.name p)
+        (Tuple.to_string tp)
+  | None -> ()
+
+(* Freeze a live engine as a v2 session document: labels so far, the
+   strategy, and the in-flight question if one is outstanding. *)
+let save_session path universe strategy engine =
+  let pending =
+    match Engine.pending engine with
+    | Some q -> Some (Universe.cls universe q.Engine.class_id).Universe.rep
+    | None -> None
+  in
+  Jqi_core.Session.save ~strategy:(Strategy.name strategy) ?pending path
+    universe (Engine.result engine).Engine.state
 
 let cmd_infer r_path p_path strategy_name seed verbose engine ubuilder resume
     save trace metrics =
@@ -145,41 +166,76 @@ let cmd_infer r_path p_path strategy_name seed verbose engine ubuilder resume
     (Relation.cardinality p) (Universe.n_classes universe) (Omega.width omega)
     (builder_name ubuilder);
   let strategy = strategy_of_name ~seed ~engine strategy_name in
-  let state =
+  let engine =
     match resume with
-    | None -> None
+    | None -> Engine.create universe strategy
     | Some path ->
-        let st = Jqi_core.Session.load path universe in
-        Printf.printf "Resumed %d earlier answers from %s.\n"
-          (State.n_interactions st) path;
-        Some st
+        let loaded = Jqi_core.Session.load_full path universe in
+        Printf.printf "Resumed %d earlier answers from %s%s.\n"
+          (State.n_interactions loaded.Jqi_core.Session.state)
+          path
+          (match loaded.Jqi_core.Session.strategy with
+          | Some s -> Printf.sprintf " (saved under strategy %s)" s
+          | None -> "");
+        let pending =
+          Jqi_core.Session.pending_class universe
+            loaded.Jqi_core.Session.state loaded.Jqi_core.Session.pending
+        in
+        Engine.create ~state:loaded.Jqi_core.Session.state ?pending universe
+          strategy
   in
-  let result =
-    match state with
-    | Some st -> Inference.run ~state:st universe strategy (human_oracle r p)
-    | None -> Inference.run universe strategy (human_oracle r p)
+  (* The interactive loop over the sans-IO engine.  [None] means stdin
+     closed mid-session: autosave (to --save or a temp file) and print the
+     exact command that resumes it. *)
+  let rec drive engine =
+    match Engine.pending engine with
+    | None -> Some engine
+    | Some q -> (
+        print_question r p q;
+        match read_label () with
+        | Some label -> drive (Engine.answer engine label)
+        | None ->
+            let path =
+              match save with
+              | Some path -> path
+              | None -> Filename.temp_file "jqinfer" "-session.json"
+            in
+            save_session path universe strategy engine;
+            Printf.printf
+              "\nInput closed — session autosaved to %s.\nResume with:\n  \
+               jqinfer infer %s %s --strategy %s --resume %s\n"
+              path r_path p_path strategy_name path;
+            None)
   in
-  (match save with
-  | Some path ->
-      Jqi_core.Session.save path universe result.state;
-      Printf.printf "Session saved to %s.\n" path
-  | None -> ());
-  if result.halted then begin
-    let cert = Jqi_core.Certificate.of_state result.state in
-    Printf.printf "Minimal evidence: %d of your %d answers pinned the query down.\n"
-      (Jqi_core.Certificate.size cert) result.n_interactions
-  end;
-  Printf.printf "\nInferred join predicate after %d answers:\n  %s\n"
-    result.n_interactions
-    (Omega.pred_to_string omega result.predicate);
-  Printf.printf "As SQL:\n  %s\n" (sql_of_predicate r p omega result.predicate);
-  let join =
-    Jqi_relational.Join.equijoin r p (Omega.to_pairs omega result.predicate)
-  in
-  Printf.printf "It selects %d of the %d pairs.\n"
-    (Relation.cardinality join)
-    (Universe.total_tuples universe);
-  obs_finish ~trace ~metrics
+  match drive engine with
+  | None -> obs_finish ~trace ~metrics
+  | Some engine ->
+      let result = Engine.result engine in
+      (match save with
+      | Some path ->
+          save_session path universe strategy engine;
+          Printf.printf "Session saved to %s.\n" path
+      | None -> ());
+      if result.Engine.halted then begin
+        let cert = Jqi_core.Certificate.of_state result.Engine.state in
+        Printf.printf
+          "Minimal evidence: %d of your %d answers pinned the query down.\n"
+          (Jqi_core.Certificate.size cert)
+          result.Engine.n_interactions
+      end;
+      Printf.printf "\nInferred join predicate after %d answers:\n  %s\n"
+        result.Engine.n_interactions
+        (Omega.pred_to_string omega result.Engine.predicate);
+      Printf.printf "As SQL:\n  %s\n"
+        (sql_of_predicate r p omega result.Engine.predicate);
+      let join =
+        Jqi_relational.Join.equijoin r p
+          (Omega.to_pairs omega result.Engine.predicate)
+      in
+      Printf.printf "It selects %d of the %d pairs.\n"
+        (Relation.cardinality join)
+        (Universe.total_tuples universe);
+      obs_finish ~trace ~metrics
 
 (* ---------------------------- simulate ---------------------------- *)
 
@@ -411,6 +467,157 @@ let cmd_query sql table_specs =
       Printf.eprintf "error: %s\n" msg;
       exit 1
 
+(* ------------------------------ serve ----------------------------- *)
+
+(* "name=path" or bare "path" (named after the file). *)
+let parse_table_spec spec =
+  match String.index_opt spec '=' with
+  | Some k ->
+      ( String.sub spec 0 k,
+        String.sub spec (k + 1) (String.length spec - k - 1) )
+  | None -> (Filename.remove_extension (Filename.basename spec), spec)
+
+(* JSON-lines service loop on stdin/stdout: one frame per line in, one
+   frame per line out.  All state lives in the manager; the loop itself
+   only shuttles lines, so a protocol error can never kill it. *)
+let cmd_serve table_specs seed idle_timeout =
+  let catalog = Jqi_server.Catalog.create () in
+  List.iter
+    (fun spec ->
+      let name, path = parse_table_spec spec in
+      Jqi_server.Catalog.add ~name catalog (Csv.load_relation ~name path))
+    table_specs;
+  let idle_timeout = if idle_timeout > 0. then Some idle_timeout else None in
+  let manager = Jqi_server.Manager.create ?idle_timeout ~seed catalog in
+  let rec loop () =
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line ->
+        if not (String.equal (String.trim line) "") then begin
+          print_string (Jqi_server.Service.handle_line manager line);
+          print_newline ();
+          flush stdout
+        end;
+        ignore (Jqi_server.Manager.sweep manager);
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------ client ---------------------------- *)
+
+(* Scriptable protocol driver: spawn (or be pointed at) a server, load
+   both CSVs into its catalog, open a session and answer every question
+   honestly against --goal, evaluated locally.  Exits non-zero on any
+   protocol failure, so CI can assert on both the exit code and the
+   final "predicate:" line. *)
+let cmd_client server_command r_path p_path goal_spec strategy resume_after =
+  let module P = Jqi_server.Protocol in
+  let ic, oc = Unix.open_process server_command in
+  let next_id = ref 0 in
+  let unexpected what resp =
+    Printf.eprintf "%s: unexpected reply %s\n" what
+      (P.encode_response ~id:0 resp);
+    exit 1
+  in
+  let call req =
+    incr next_id;
+    output_string oc (P.encode_request ~id:!next_id req);
+    output_char oc '\n';
+    flush oc;
+    match input_line ic with
+    | exception End_of_file ->
+        Printf.eprintf "server closed the connection\n";
+        exit 1
+    | line -> (
+        match P.decode_response line with
+        | Ok (_, resp) -> resp
+        | Error msg ->
+            Printf.eprintf "undecodable response: %s\n" msg;
+            exit 1)
+  in
+  (match call (P.Hello { versions = [ P.version ] }) with
+  | P.Welcome { version } -> Printf.printf "protocol v%d\n" version
+  | resp -> unexpected "hello" resp);
+  let load path =
+    match call (P.Load { name = None; path }) with
+    | P.Loaded { name; rows } ->
+        Printf.printf "loaded %s (%d rows)\n" name rows;
+        name
+    | resp -> unexpected "load" resp
+  in
+  let r_name = load r_path in
+  let p_name = load p_path in
+  (* The honest oracle, computed locally: positive iff goal ⊆ T(t). *)
+  let r, p = load_pair r_path p_path in
+  let omega = Omega.of_schemas (Relation.schema r) (Relation.schema p) in
+  let goal = Omega.of_names omega (parse_goal goal_spec) in
+  let label_of r_row p_row =
+    if
+      Jqi_util.Bits.subset goal
+        (Sample.signature_of_tuple omega r p (r_row, p_row))
+    then Sample.Positive
+    else Sample.Negative
+  in
+  let session =
+    match call (P.Open_session { r = r_name; p = p_name; strategy }) with
+    | P.Opened { session; classes; omega_width; cache_hit } ->
+        Printf.printf "opened %s (%d classes, |Ω| = %d, cache_hit=%b)\n"
+          session classes omega_width cache_hit;
+        ref session
+    | resp -> unexpected "open" resp
+  in
+  let answered = ref 0 in
+  (* After --resume-after answers: freeze the session, close it and thaw
+     the document into a fresh one — a live test of v2 persistence and of
+     the universe cache (the re-open must be a hit). *)
+  let freeze_thaw () =
+    match call (P.Save { session = !session }) with
+    | P.Saved { doc; _ } -> (
+        (match call (P.Close { session = !session }) with
+        | P.Closed _ -> ()
+        | resp -> unexpected "close" resp);
+        match
+          call
+            (P.Resume { r = r_name; p = p_name; strategy = Some strategy; doc })
+        with
+        | P.Opened { session = fresh; cache_hit; _ } ->
+            Printf.printf "resumed as %s (cache_hit=%b)\n" fresh cache_hit;
+            session := fresh
+        | resp -> unexpected "resume" resp)
+    | resp -> unexpected "save" resp
+  in
+  let rec drive turn =
+    match turn with
+    | P.Question { q_r_row; q_p_row; q_r_cells; q_p_cells; _ } ->
+        let label = label_of q_r_row q_p_row in
+        incr answered;
+        Printf.printf "Q%d  (%s) ⋈ (%s) -> %s\n" !answered
+          (String.concat ", " q_r_cells)
+          (String.concat ", " q_p_cells)
+          (match label with Sample.Positive -> "+" | Sample.Negative -> "-");
+        let next = call (P.Tell { session = !session; label }) in
+        if Int.equal !answered resume_after then begin
+          freeze_thaw ();
+          drive (call (P.Ask { session = !session }))
+        end
+        else drive next
+    | P.Done { predicate; n_interactions; _ } ->
+        Printf.printf "predicate: %s\n"
+          (String.concat ","
+             (List.map (fun (a, b) -> a ^ "=" ^ b) predicate));
+        Printf.printf "interactions: %d\n" n_interactions
+    | resp -> unexpected "turn" resp
+  in
+  drive (call (P.Ask { session = !session }));
+  (match call P.Stats with
+  | P.Stats_reply { cache_hits; cache_misses; _ } ->
+      Printf.printf "cache: %d hits, %d misses\n" cache_hits cache_misses
+  | resp -> unexpected "stats" resp);
+  (match call (P.Close { session = !session }) with
+  | P.Closed _ -> ()
+  | resp -> unexpected "close" resp);
+  ignore (Unix.close_process (ic, oc))
+
 (* ------------------------------ CLI ------------------------------- *)
 
 open Cmdliner
@@ -596,11 +803,45 @@ let lattice_cmd =
     (Cmd.info "lattice" ~doc:"Export the join-predicate lattice (Figure 4) as Graphviz")
     Term.(const cmd_lattice $ r_arg $ p_arg $ dot_arg)
 
+let idle_timeout_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:"Evict sessions idle longer than this (0 = never).")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the JSON-lines inference protocol on stdin/stdout")
+    Term.(const cmd_serve $ tables_arg $ seed_arg $ idle_timeout_arg)
+
+let server_command_arg =
+  Arg.(
+    value
+    & opt string "jqinfer serve"
+    & info [ "server" ] ~docv:"CMD"
+        ~doc:"Command to launch the server; spoken to over its stdin/stdout.")
+
+let resume_after_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "resume-after" ] ~docv:"N"
+        ~doc:"After N answers, save the session, close it and thaw it again \
+              (exercises persistence and the universe cache); 0 disables.")
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Drive a served inference session to completion with a known goal")
+    Term.(const cmd_client $ server_command_arg $ r_arg $ p_arg $ goal_arg
+          $ strategy_arg $ resume_after_arg)
+
 let main =
   Cmd.group
     (Cmd.info "jqinfer" ~version:"1.0.0"
        ~doc:"Interactive inference of join queries (EDBT 2014 reproduction)")
     [ infer_cmd; simulate_cmd; gen_tpch_cmd; gen_synth_cmd; semijoin_cmd;
-      semijoin_infer_cmd; lattice_cmd; query_cmd; analyze_cmd; figure_cmd ]
+      semijoin_infer_cmd; lattice_cmd; query_cmd; analyze_cmd; figure_cmd;
+      serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -32,52 +32,49 @@ type result = {
   state : State.t;
 }
 
+(* Algorithm 1 as a driver over the sans-IO [Engine]: the engine selects
+   questions, this loop supplies the oracle's labels.  The question
+   sequence is identical to the historical callback loop — the engine
+   performs the same budget check before each strategy invocation — which
+   the differential suite in test/test_engine.ml pins. *)
 let run ?max_interactions ?state universe strategy oracle =
-  let state =
-    match state with Some st -> st | None -> State.create universe
-  in
-  let budget_left n =
-    match max_interactions with None -> true | Some b -> n < b
-  in
   let t0 = Timer.now () in
   Obs.Counter.incr c_runs;
-  let rec loop n =
-    if not (budget_left n) then false
-    else
-      match
-        Obs.span "strategy.choose" (fun () -> Strategy.choose strategy state)
-      with
-      | None -> true
-      | Some cls ->
-          let lbl =
-            Obs.span "oracle.label" (fun () -> Oracle.label oracle universe cls)
-          in
-          Obs.Counter.incr c_questions;
-          Obs.Counter.incr
-            (match lbl with
-            | Sample.Positive -> c_positive
-            | Sample.Negative -> c_negative);
-          Log.debug (fun m ->
-              m "%s asks class %d %a -> %a" (Strategy.name strategy) cls
-                (Omega.pp_pred (Universe.omega universe))
-                (Universe.signature universe cls)
-                Sample.pp_label lbl);
-          State.label state cls lbl;
-          loop (n + 1)
-  in
-  let halted =
+  let outcome =
     Obs.span ~attrs:[ ("strategy", Strategy.name strategy) ] "inference.run"
-      (fun () -> loop 0)
+      (fun () ->
+        let rec loop engine =
+          match Engine.pending engine with
+          | None -> engine
+          | Some q ->
+              let cls = q.Engine.class_id in
+              let lbl =
+                Obs.span "oracle.label" (fun () ->
+                    Oracle.label oracle universe cls)
+              in
+              Obs.Counter.incr c_questions;
+              Obs.Counter.incr
+                (match lbl with
+                | Sample.Positive -> c_positive
+                | Sample.Negative -> c_negative);
+              Log.debug (fun m ->
+                  m "%s asks class %d %a -> %a" (Strategy.name strategy) cls
+                    (Omega.pp_pred (Universe.omega universe))
+                    q.Engine.signature Sample.pp_label lbl);
+              loop (Engine.answer engine lbl)
+        in
+        Engine.result
+          (loop (Engine.create ?max_interactions ?state universe strategy)))
   in
   let elapsed = Timer.now () -. t0 in
   {
     strategy = Strategy.name strategy;
-    predicate = State.inferred state;
-    steps = State.history state;
-    n_interactions = State.n_interactions state;
+    predicate = outcome.Engine.predicate;
+    steps = outcome.Engine.steps;
+    n_interactions = outcome.Engine.n_interactions;
     elapsed;
-    halted;
-    state;
+    halted = outcome.Engine.halted;
+    state = outcome.Engine.state;
   }
 
 (* Success criterion of §3.3: the inferred predicate must be equivalent to

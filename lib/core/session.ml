@@ -6,7 +6,14 @@
    assumes the underlying relations (and hence each row's signature) are
    unchanged.  Loading replays the labels through [State.label], so a file
    inconsistent with the instance is rejected exactly like a lying user
-   (Algorithm 1 lines 6-7). *)
+   (Algorithm 1 lines 6-7).
+
+   Version history:
+     v1  { version, examples }
+     v2  adds the optional fields the service layer needs to freeze a
+         whole [Engine] session: the strategy name and the in-flight
+         question (as a row-index pair).  v1 files still load — they
+         simply carry neither. *)
 
 module Json = Jqi_util.Json
 
@@ -14,7 +21,13 @@ exception Corrupt of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
-let version = 1
+let version = 2
+
+type loaded = {
+  state : State.t;
+  strategy : string option;
+  pending : (int * int) option;
+}
 
 let label_to_string = function
   | Sample.Positive -> "+"
@@ -25,7 +38,7 @@ let label_of_string = function
   | "-" -> Sample.Negative
   | s -> fail "bad label %S" s
 
-let to_json universe state =
+let to_json ?strategy ?pending universe state =
   let example (cls, label) =
     let r, p =
       match Universe.relations universe with
@@ -40,16 +53,41 @@ let to_json universe state =
       ]
   in
   Json.Obj
-    [
-      ("version", Json.int version);
-      ("examples", Json.List (List.map example (State.history state)));
-    ]
+    (List.concat
+       [
+         [ ("version", Json.int version) ];
+         (match strategy with
+         | Some s -> [ ("strategy", Json.Str s) ]
+         | None -> []);
+         (match pending with
+         | Some (r, p) ->
+             [ ("pending", Json.Obj [ ("r", Json.int r); ("p", Json.int p) ]) ]
+         | None -> []);
+         [ ("examples", Json.List (List.map example (State.history state))) ];
+       ])
 
-let of_json universe json =
-  (match Option.bind (Json.member "version" json) Json.to_int with
-  | Some v when v = version -> ()
-  | Some v -> fail "unsupported session version %d" v
-  | None -> fail "missing version");
+(* A row-index pair field {"r":i,"p":j}, range-checked against the
+   relations. *)
+let row_pair ~what r p json =
+  let field name =
+    match Option.bind (Json.member name json) Json.to_int with
+    | Some i -> i
+    | None -> fail "%s missing %s" what name
+  in
+  let ri = field "r" and pj = field "p" in
+  if ri < 0 || ri >= Jqi_relational.Relation.cardinality r then
+    fail "row %d out of range for %s" ri (Jqi_relational.Relation.name r);
+  if pj < 0 || pj >= Jqi_relational.Relation.cardinality p then
+    fail "row %d out of range for %s" pj (Jqi_relational.Relation.name p);
+  (ri, pj)
+
+let of_json_full universe json =
+  let v =
+    match Option.bind (Json.member "version" json) Json.to_int with
+    | Some v when v >= 1 && v <= version -> v
+    | Some v -> fail "unsupported session version %d (this build reads 1-%d)" v version
+    | None -> fail "missing version"
+  in
   let examples =
     match Json.member "examples" json with
     | Some (Json.List l) -> l
@@ -66,11 +104,6 @@ let of_json universe json =
   in
   List.iter
     (fun ex ->
-      let field name =
-        match Option.bind (Json.member name ex) Json.to_int with
-        | Some i -> i
-        | None -> fail "example missing %s" name
-      in
       let label =
         match Json.member "label" ex with
         | Some (Json.Str s) -> label_of_string s
@@ -78,11 +111,7 @@ let of_json universe json =
         | None ->
             fail "example missing label"
       in
-      let ri = field "r" and pj = field "p" in
-      if ri < 0 || ri >= Jqi_relational.Relation.cardinality r then
-        fail "row %d out of range for %s" ri (Jqi_relational.Relation.name r);
-      if pj < 0 || pj >= Jqi_relational.Relation.cardinality p then
-        fail "row %d out of range for %s" pj (Jqi_relational.Relation.name p);
+      let ri, pj = row_pair ~what:"example" r p ex in
       let signature =
         Tsig.of_tuples omega
           (Jqi_relational.Relation.row r ri)
@@ -100,12 +129,54 @@ let of_json universe json =
               with State.Inconsistent _ ->
                 fail "example (%d,%d) contradicts earlier labels" ri pj)))
     examples;
-  state
+  let strategy =
+    if v < 2 then None
+    else
+      match Json.member "strategy" json with
+      | Some (Json.Str s) -> Some s
+      | None | Some Json.Null -> None
+      | Some (Json.Bool _ | Json.Num _ | Json.List _ | Json.Obj _) ->
+          fail "strategy must be a string"
+  in
+  let pending =
+    if v < 2 then None
+    else
+      match Json.member "pending" json with
+      | Some (Json.Obj _ as obj) -> Some (row_pair ~what:"pending" r p obj)
+      | None | Some Json.Null -> None
+      | Some (Json.Bool _ | Json.Num _ | Json.Str _ | Json.List _) ->
+          fail "pending must be an object"
+  in
+  { state; strategy; pending }
 
-let save path universe state = Json.save_file path (to_json universe state)
+let of_json universe json = (of_json_full universe json).state
 
-let load path universe =
+let save ?strategy ?pending path universe state =
+  Json.save_file path (to_json ?strategy ?pending universe state)
+
+let parse_file path =
   match Json.load_file path with
-  | json -> of_json universe json
+  | json -> json
   | exception Json.Parse_error { position; message } ->
       fail "malformed JSON at offset %d: %s" position message
+
+let load path universe = of_json universe (parse_file path)
+let load_full path universe = of_json_full universe (parse_file path)
+
+(* The class of a persisted pending row pair in [universe], when it still
+   names a question worth re-asking. *)
+let pending_class universe state = function
+  | None -> None
+  | Some (ri, pj) -> (
+      match Universe.relations universe with
+      | None -> None
+      | Some (r, p) -> (
+          let signature =
+            Tsig.of_tuples
+              (Universe.omega universe)
+              (Jqi_relational.Relation.row r ri)
+              (Jqi_relational.Relation.row p pj)
+          in
+          match Universe.find_class universe signature with
+          | Some cls when State.informative state cls -> Some cls
+          | Some _ | None -> None))

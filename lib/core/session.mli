@@ -2,19 +2,46 @@
     against the same relations.  Examples are stored as row-index pairs,
     so sessions are independent of class numbering; loading replays labels
     through [State.label] and rejects files inconsistent with the
-    instance. *)
+    instance.
+
+    Schema v2 additionally persists the strategy name and the in-flight
+    question, so a whole [Engine] session freezes and thaws; v1 files
+    (examples only) still load. *)
 
 exception Corrupt of string
 
+(** The version this build writes (2).  Versions 1..[version] load. *)
 val version : int
 
-(** Requires a universe built from relations.  Raises [Corrupt]
-    otherwise. *)
-val to_json : Universe.t -> State.t -> Jqi_util.Json.t
+(** A thawed session: the replayed sample plus the v2 metadata (absent
+    for v1 files). *)
+type loaded = {
+  state : State.t;
+  strategy : string option;  (** strategy name, e.g. ["TD"] *)
+  pending : (int * int) option;  (** in-flight question as a row pair *)
+}
+
+(** Requires a universe built from relations; raises [Corrupt] otherwise.
+    [strategy] and [pending] become the v2 metadata fields. *)
+val to_json :
+  ?strategy:string -> ?pending:int * int -> Universe.t -> State.t ->
+  Jqi_util.Json.t
 
 (** Raises [Corrupt] on version mismatch, malformed structure, dangling
     row references, or labels inconsistent with the instance. *)
+val of_json_full : Universe.t -> Jqi_util.Json.t -> loaded
+
+(** [of_json u j] is [(of_json_full u j).state]. *)
 val of_json : Universe.t -> Jqi_util.Json.t -> State.t
 
-val save : string -> Universe.t -> State.t -> unit
+val save :
+  ?strategy:string -> ?pending:int * int -> string -> Universe.t ->
+  State.t -> unit
+
 val load : string -> Universe.t -> State.t
+val load_full : string -> Universe.t -> loaded
+
+(** Map a thawed [pending] row pair back to its class, provided the class
+    is still informative under [state] — the guard a resuming engine uses
+    before re-presenting the frozen question. *)
+val pending_class : Universe.t -> State.t -> (int * int) option -> int option

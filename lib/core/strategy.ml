@@ -184,3 +184,19 @@ let hybrid =
 
 let all ?(prng_seed = 42) () =
   [ rnd (Prng.create prng_seed); bu; td; l1s; l2s ]
+
+(* Strategy lookup by the CLI/protocol spelling.  The one constructor the
+   CLI offers that this cannot express is the --engine selection behind
+   l1s/l2s; callers that need it (bin/jqinfer) keep their own table. *)
+let of_name ?(seed = 42) name =
+  match String.lowercase_ascii (String.trim name) with
+  | "bu" -> Some bu
+  | "td" -> Some td
+  | "l1s" -> Some l1s
+  | "l2s" -> Some l2s
+  (* "td+l2s" is [Strategy.name hybrid] — accepted so persisted sessions
+     (which store the display name) resolve back to the strategy. *)
+  | "hybrid" | "td+l2s" -> Some hybrid
+  | "rnd" -> Some (rnd (Prng.create seed))
+  | "igs" -> Some (igs (Prng.create seed))
+  | _ -> None

@@ -60,6 +60,54 @@ let pp ppf t =
   if shown < cardinality t then Fmt.pf ppf "@,  ... (%d more)" (cardinality t - shown);
   Fmt.pf ppf "@]"
 
+(* Content fingerprint: FNV-1a 64-bit over a canonical serialization of
+   name, schema and every cell, in row-major order.  Cells are fed with a
+   type tag (and floats by their IEEE bits), so values that merely render
+   alike — Null vs Str "", Int 1 vs Str "1", 1.0 vs 2.0-1.0 rounding —
+   cannot collide structurally.  Two relations with equal fingerprints can
+   be treated as the same instance for caching purposes: equal name,
+   schema, row order and cell values. *)
+let fingerprint t =
+  let h = ref 0xcbf29ce484222325L in
+  let feed_byte b =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) 0x100000001b3L
+  in
+  let feed_string s =
+    (* Length prefix keeps "ab"+"c" distinct from "a"+"bc". *)
+    feed_byte (String.length s);
+    feed_byte (String.length s lsr 8);
+    String.iter (fun c -> feed_byte (Char.code c)) s
+  in
+  let feed_int64 x =
+    for shift = 0 to 7 do
+      feed_byte (Int64.to_int (Int64.shift_right_logical x (shift * 8)))
+    done
+  in
+  let feed_value v =
+    match v with
+    | Value.Null -> feed_byte 0
+    | Value.Bool b ->
+        feed_byte 1;
+        feed_byte (Bool.to_int b)
+    | Value.Int i ->
+        feed_byte 2;
+        feed_int64 (Int64.of_int i)
+    | Value.Float f ->
+        feed_byte 3;
+        feed_int64 (Int64.bits_of_float f)
+    | Value.Str s ->
+        feed_byte 4;
+        feed_string s
+  in
+  feed_string t.name;
+  List.iter
+    (fun (c : Schema.column) ->
+      feed_string c.name;
+      feed_string (Value.ty_name c.ty))
+    (Schema.columns t.schema);
+  Array.iter (fun r -> Array.iter feed_value r) t.rows;
+  Printf.sprintf "%016Lx" !h
+
 (* Console convenience for the interactive CLI; rendering itself lives in
    Ascii_table, this is the one sanctioned stdout write of the module. *)
 let print t =

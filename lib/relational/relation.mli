@@ -30,6 +30,13 @@ val tuple_set : t -> Tuple_set.t
     insensitive). *)
 val equal_contents : t -> t -> bool
 
+(** Content fingerprint (FNV-1a 64-bit, rendered as 16 hex digits) over
+    name, schema and all cells in row-major order.  Cells are hashed with
+    type tags, so renderings that coincide (NULL vs the empty string) do
+    not collide structurally.  Equal fingerprints identify relations for
+    cache keying — e.g. the server's universe cache. *)
+val fingerprint : t -> string
+
 val pp : Format.formatter -> t -> unit
 
 (** Print as an ASCII table on stdout. *)

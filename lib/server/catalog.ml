@@ -1,0 +1,59 @@
+(* Relation catalog + universe cache.
+
+   Universe construction is the expensive part of opening a session — the
+   profile-quotient scan touches every row of both relations — so it is
+   memoized per relation pair.  The key is the pair of content
+   fingerprints, not the names: re-registering "flights" with new rows
+   yields a different fingerprint and a fresh build, while two differently
+   registered names over identical content share one universe. *)
+
+module Relation = Jqi_relational.Relation
+module Universe = Jqi_core.Universe
+module Obs = Jqi_obs.Obs
+
+let c_hit = Obs.Counter.make "server.universe_cache_hit"
+let c_miss = Obs.Counter.make "server.universe_cache_miss"
+
+type t = {
+  relations : (string, Relation.t) Hashtbl.t;
+  universes : (string, Universe.t) Hashtbl.t;  (* "fp(R):fp(P)" keyed *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  {
+    relations = Hashtbl.create 16;
+    universes = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+  }
+
+let add ?name t rel =
+  let name = match name with Some n -> n | None -> Relation.name rel in
+  Hashtbl.replace t.relations name rel
+
+let find t name = Hashtbl.find_opt t.relations name
+
+let names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun name _ acc -> name :: acc) t.relations [])
+
+let universe t r p =
+  let key = Relation.fingerprint r ^ ":" ^ Relation.fingerprint p in
+  match Hashtbl.find_opt t.universes key with
+  | Some u ->
+      t.hits <- t.hits + 1;
+      Obs.Counter.incr c_hit;
+      (true, u)
+  | None ->
+      t.misses <- t.misses + 1;
+      Obs.Counter.incr c_miss;
+      let u =
+        Obs.span ~attrs:[ ("key", key) ] "server.universe_build" (fun () ->
+            Universe.build r p)
+      in
+      Hashtbl.replace t.universes key u;
+      (false, u)
+
+let stats t = (t.hits, t.misses)

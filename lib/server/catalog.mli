@@ -1,0 +1,35 @@
+(** Relation catalog with a content-hash-keyed universe cache.
+
+    The catalog names the relations a server may open sessions over, and
+    memoizes [Universe.build] per relation *pair*, keyed by the two
+    {!Jqi_relational.Relation.fingerprint}s.  N sessions over the same
+    CSV pair build Ω once; re-registering a relation with different
+    contents changes its fingerprint and naturally misses the cache.
+
+    Cache traffic is observable twice over: the plain {!stats} counters
+    (always on, used by the bench) and the Obs counters
+    [server.universe_cache_hit] / [server.universe_cache_miss] (for
+    metrics-pinned tests and traces). *)
+
+type t
+
+val create : unit -> t
+
+(** Register a relation under [name] (default: its own
+    [Relation.name]).  Re-registering a name replaces the relation. *)
+val add : ?name:string -> t -> Jqi_relational.Relation.t -> unit
+
+val find : t -> string -> Jqi_relational.Relation.t option
+
+(** Registered names, sorted. *)
+val names : t -> string list
+
+(** The universe of R × P, built on first use and cached by content
+    fingerprint.  The flag is [true] on a cache hit (the build was
+    skipped). *)
+val universe :
+  t -> Jqi_relational.Relation.t -> Jqi_relational.Relation.t ->
+  bool * Jqi_core.Universe.t
+
+(** (cache hits, cache misses) since [create]. *)
+val stats : t -> int * int

@@ -1,0 +1,250 @@
+(* The session manager: the server's heart.
+
+   A session is an [Engine] plus addressing metadata; the manager owns the
+   id space, the idle clock and the Obs accounting.  Everything here is
+   single-domain: concurrency at this layer means *interleaving* many
+   sessions' requests, which the sans-IO engine makes trivial — each
+   request is a pure state transition on one session's engine value. *)
+
+module Engine = Jqi_core.Engine
+module Strategy = Jqi_core.Strategy
+module Session = Jqi_core.Session
+module Universe = Jqi_core.Universe
+module Obs = Jqi_obs.Obs
+
+let c_opened = Obs.Counter.make "server.sessions_opened"
+let c_resumed = Obs.Counter.make "server.sessions_resumed"
+let c_closed = Obs.Counter.make "server.sessions_closed"
+let c_evicted = Obs.Counter.make "server.sessions_evicted"
+let c_questions = Obs.Counter.make "server.questions"
+let c_labels = Obs.Counter.make "server.labels"
+
+type error =
+  | Unknown_relation of string
+  | Unknown_strategy of string
+  | Unknown_session of string
+  | No_pending of string
+  | Corrupt_session of string
+
+let error_message = function
+  | Unknown_relation n -> Printf.sprintf "no relation %S in the catalog" n
+  | Unknown_strategy n ->
+      Printf.sprintf
+        "unknown strategy %S (bu|td|l1s|l2s|hybrid|rnd|igs)" n
+  | Unknown_session id -> Printf.sprintf "no session %S" id
+  | No_pending id ->
+      Printf.sprintf "session %S has no outstanding question (ask first)" id
+  | Corrupt_session msg -> Printf.sprintf "session document rejected: %s" msg
+
+type info = {
+  id : string;
+  r_name : string;
+  p_name : string;
+  strategy_name : string;
+  classes : int;
+  omega_width : int;
+  cache_hit : bool;
+}
+
+type turn = Next of Engine.question | Finished of Engine.outcome
+
+type session = {
+  s_id : string;
+  s_r : string;
+  s_p : string;
+  s_strategy : string;  (* [Strategy.name], e.g. "TD" *)
+  s_universe : Universe.t;
+  mutable s_engine : Engine.t;
+  mutable s_last_active : float;
+}
+
+type t = {
+  catalog : Catalog.t;
+  sessions : (string, session) Hashtbl.t;
+  clock : unit -> float;
+  idle_timeout : float option;
+  seed : int;
+  mutable next_id : int;
+}
+
+let create ?clock ?idle_timeout ?(seed = 42) catalog =
+  let clock = match clock with Some c -> c | None -> Obs.now in
+  {
+    catalog;
+    sessions = Hashtbl.create 64;
+    clock;
+    idle_timeout;
+    seed;
+    next_id = 1;
+  }
+
+let catalog t = t.catalog
+
+let fresh_id t =
+  let id = Printf.sprintf "s%d" t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+let find_session t id =
+  match Hashtbl.find_opt t.sessions id with
+  | Some s ->
+      s.s_last_active <- t.clock ();
+      Ok s
+  | None -> Error (Unknown_session id)
+
+(* Shared tail of open/resume: wrap an engine into a registered session. *)
+let register t ~r_name ~p_name ~strategy_name ~universe ~cache_hit engine =
+  let id = fresh_id t in
+  let session =
+    {
+      s_id = id;
+      s_r = r_name;
+      s_p = p_name;
+      s_strategy = strategy_name;
+      s_universe = universe;
+      s_engine = engine;
+      s_last_active = t.clock ();
+    }
+  in
+  Hashtbl.replace t.sessions id session;
+  {
+    id;
+    r_name;
+    p_name;
+    strategy_name;
+    classes = Universe.n_classes universe;
+    omega_width = Jqi_core.Omega.width (Universe.omega universe);
+    cache_hit;
+  }
+
+let relation_pair t ~r ~p =
+  match (Catalog.find t.catalog r, Catalog.find t.catalog p) with
+  | Some rr, Some pp -> Ok (rr, pp)
+  | None, _ -> Error (Unknown_relation r)
+  | Some _, None -> Error (Unknown_relation p)
+
+let open_session t ~r ~p ~strategy =
+  Obs.span ~attrs:[ ("r", r); ("p", p) ] "server.open" (fun () ->
+      match relation_pair t ~r ~p with
+      | Error e -> Error e
+      | Ok (rr, pp) -> (
+          match Strategy.of_name ~seed:t.seed strategy with
+          | None -> Error (Unknown_strategy strategy)
+          | Some strat ->
+              let cache_hit, universe = Catalog.universe t.catalog rr pp in
+              let engine = Engine.create universe strat in
+              Obs.Counter.incr c_opened;
+              Ok
+                (register t ~r_name:r ~p_name:p
+                   ~strategy_name:(Strategy.name strat) ~universe ~cache_hit
+                   engine)))
+
+let resume_session t ~r ~p ?strategy doc =
+  Obs.span ~attrs:[ ("r", r); ("p", p) ] "server.resume" (fun () ->
+      match relation_pair t ~r ~p with
+      | Error e -> Error e
+      | Ok (rr, pp) -> (
+          let cache_hit, universe = Catalog.universe t.catalog rr pp in
+          match Session.of_json_full universe doc with
+          | exception Session.Corrupt msg -> Error (Corrupt_session msg)
+          | loaded -> (
+              let strategy_name =
+                match (strategy, loaded.Session.strategy) with
+                | Some s, _ -> s
+                | None, Some s -> s
+                | None, None -> "td"
+              in
+              match Strategy.of_name ~seed:t.seed strategy_name with
+              | None -> Error (Unknown_strategy strategy_name)
+              | Some strat ->
+                  let pending =
+                    Session.pending_class universe loaded.Session.state
+                      loaded.Session.pending
+                  in
+                  let engine =
+                    Engine.create ~state:loaded.Session.state ?pending universe
+                      strat
+                  in
+                  Obs.Counter.incr c_resumed;
+                  Ok
+                    (register t ~r_name:r ~p_name:p
+                       ~strategy_name:(Strategy.name strat) ~universe
+                       ~cache_hit engine))))
+
+let turn_of session =
+  match Engine.pending session.s_engine with
+  | Some q ->
+      Obs.Counter.incr c_questions;
+      Next q
+  | None -> Finished (Engine.result session.s_engine)
+
+let ask t id =
+  Obs.span ~attrs:[ ("session", id) ] "server.ask" (fun () ->
+      Result.map turn_of (find_session t id))
+
+let tell t id label =
+  Obs.span ~attrs:[ ("session", id) ] "server.tell" (fun () ->
+      match find_session t id with
+      | Error e -> Error e
+      | Ok session -> (
+          match Engine.pending session.s_engine with
+          | None -> Error (No_pending id)
+          | Some _ ->
+              Obs.Counter.incr c_labels;
+              session.s_engine <- Engine.answer session.s_engine label;
+              Ok (turn_of session)))
+
+let save t id =
+  Obs.span ~attrs:[ ("session", id) ] "server.save" (fun () ->
+      match find_session t id with
+      | Error e -> Error e
+      | Ok session ->
+          let pending =
+            match Engine.pending session.s_engine with
+            | Some q ->
+                Some
+                  (Universe.cls session.s_universe q.Engine.class_id)
+                    .Universe.rep
+            | None -> None
+          in
+          let outcome = Engine.result session.s_engine in
+          Ok
+            (Session.to_json ~strategy:session.s_strategy ?pending
+               session.s_universe outcome.Engine.state))
+
+let close t id =
+  match find_session t id with
+  | Error e -> Error e
+  | Ok _ ->
+      Hashtbl.remove t.sessions id;
+      Obs.Counter.incr c_closed;
+      Ok ()
+
+let sweep t =
+  match t.idle_timeout with
+  | None -> []
+  | Some timeout ->
+      let now = t.clock () in
+      let stale =
+        Hashtbl.fold
+          (fun id s acc ->
+            if now -. s.s_last_active > timeout then id :: acc else acc)
+          t.sessions []
+      in
+      List.iter
+        (fun id ->
+          Hashtbl.remove t.sessions id;
+          Obs.Counter.incr c_evicted)
+        stale;
+      List.sort String.compare stale
+
+let session_count t = Hashtbl.length t.sessions
+
+let session_ids t =
+  List.sort String.compare
+    (Hashtbl.fold (fun id _ acc -> id :: acc) t.sessions [])
+
+let session_universe t id =
+  Option.map
+    (fun s -> s.s_universe)
+    (Hashtbl.find_opt t.sessions id)

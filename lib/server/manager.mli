@@ -1,0 +1,86 @@
+(** Concurrent-session manager: many independent labeling sessions over
+    one relation catalog, each a sans-IO [Engine] addressed by id.
+
+    The manager is transport-agnostic — [Service] maps protocol frames
+    onto it, the bench drives it directly, and a future network front end
+    would too.  Sessions are cheap: opening one costs a universe-cache
+    lookup (the build itself is shared via [Catalog]) plus one strategy
+    choice, so thousands of interleaved sessions are the intended load.
+
+    Every call stamps the session's last-activity time from the
+    manager's clock ([Obs.now] unless injected), and [sweep] evicts
+    sessions idle longer than [idle_timeout].  All activity ticks
+    [server.*] Obs counters, with per-call spans carrying the session id
+    as an attribute. *)
+
+module Engine = Jqi_core.Engine
+
+type t
+
+type error =
+  | Unknown_relation of string
+  | Unknown_strategy of string
+  | Unknown_session of string
+  | No_pending of string  (** tell without an outstanding question *)
+  | Corrupt_session of string  (** resume document rejected; message *)
+
+val error_message : error -> string
+
+(** What [open_session]/[resume_session] report back. *)
+type info = {
+  id : string;
+  r_name : string;
+  p_name : string;
+  strategy_name : string;
+  classes : int;
+  omega_width : int;
+  cache_hit : bool;  (** the universe came from the cache *)
+}
+
+(** One protocol step: either the next question to present, or the
+    session's outcome (Γ reached — nothing informative left to ask). *)
+type turn = Next of Engine.question | Finished of Engine.outcome
+
+(** [clock] defaults to [Obs.now]; [idle_timeout] (seconds) enables
+    {!sweep}; [seed] feeds randomized strategies. *)
+val create :
+  ?clock:(unit -> float) -> ?idle_timeout:float -> ?seed:int -> Catalog.t -> t
+
+val catalog : t -> Catalog.t
+
+(** Open a fresh session over two catalog relations with a strategy
+    named as in [Strategy.of_name]. *)
+val open_session :
+  t -> r:string -> p:string -> strategy:string -> (info, error) result
+
+(** Thaw a [Session] document (v1 or v2) into a live session.
+    [strategy] overrides the persisted strategy name; without either the
+    default is td.  A persisted in-flight question is re-presented when
+    it is still informative. *)
+val resume_session :
+  t -> r:string -> p:string -> ?strategy:string -> Jqi_util.Json.t ->
+  (info, error) result
+
+val ask : t -> string -> (turn, error) result
+
+(** Label the outstanding question; returns the following turn. *)
+val tell : t -> string -> Jqi_core.Sample.label -> (turn, error) result
+
+(** Freeze the session as a v2 [Session] document (strategy + pending
+    question included). *)
+val save : t -> string -> (Jqi_util.Json.t, error) result
+
+val close : t -> string -> (unit, error) result
+
+(** Evict sessions idle past [idle_timeout]; returns the evicted ids.
+    No-op without a timeout. *)
+val sweep : t -> string list
+
+val session_count : t -> int
+
+(** Live ids, sorted. *)
+val session_ids : t -> string list
+
+(** The universe a session runs on, for callers that need to render
+    predicates or signatures (e.g. [Service]). *)
+val session_universe : t -> string -> Jqi_core.Universe.t option

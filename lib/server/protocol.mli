@@ -1,0 +1,88 @@
+(** Versioned JSON-lines wire protocol for the inference service.
+
+    One frame per line.  Requests are
+    [{"v":1,"id":N,"op":"...", ...}]; responses echo the id as
+    [{"v":1,"id":N,"ok":true,"op":"...", ...}], or
+    [{"v":1,"id":N,"ok":false,"op":"error","code":"...","message":"..."}]
+    on failure.  The decoder never raises on wire input: truncated or
+    garbage lines come back as a ready-to-send [Error] frame (with id 0
+    when the id itself was unreadable).
+
+    Version negotiation is a plain [hello] request listing the client's
+    supported versions; the server answers [welcome] with the highest
+    version both sides speak, and that version governs the connection. *)
+
+(** The protocol version this build speaks. *)
+val version : int
+
+(** Highest mutually supported version, if any.  [negotiate versions] is
+    over the client's advertised list. *)
+val negotiate : int list -> int option
+
+type request =
+  | Hello of { versions : int list }
+  | Load of { name : string option; path : string }
+      (** register a CSV file in the catalog, optionally renamed *)
+  | Open_session of { r : string; p : string; strategy : string }
+  | Ask of { session : string }
+  | Tell of { session : string; label : Jqi_core.Sample.label }
+  | Save of { session : string }
+  | Resume of {
+      r : string;
+      p : string;
+      strategy : string option;  (** overrides the persisted name *)
+      doc : Jqi_util.Json.t;  (** a [Session] document, v1 or v2 *)
+    }
+  | Close of { session : string }
+  | Stats
+
+(** A question rendered for a client that has no relation data: the row
+    indexes plus the cells, so it can show "does this pair join?". *)
+type question = {
+  q_session : string;
+  q_class : int;
+  q_r_row : int;
+  q_p_row : int;
+  q_r_cells : string list;
+  q_p_cells : string list;
+}
+
+type response =
+  | Welcome of { version : int }
+  | Loaded of { name : string; rows : int }
+  | Opened of {
+      session : string;
+      classes : int;
+      omega_width : int;
+      cache_hit : bool;
+    }
+  | Question of question
+  | Done of {
+      session : string;
+      predicate : (string * string) list;  (** attribute pairs of T(S+) *)
+      n_interactions : int;
+    }
+  | Saved of { session : string; doc : Jqi_util.Json.t }
+  | Closed of { session : string }
+  | Stats_reply of {
+      sessions : int;
+      relations : string list;
+      cache_hits : int;
+      cache_misses : int;
+    }
+  | Error of { code : string; message : string }
+
+val equal_request : request -> request -> bool
+val equal_response : response -> response -> bool
+
+(** One-line frame renderings (no trailing newline). *)
+val encode_request : id:int -> request -> string
+
+val encode_response : id:int -> response -> string
+
+(** Server side: a request line to (id, request), or the (id, [Error])
+    frame to send back.  Never raises. *)
+val decode_request : string -> (int * request, int * response) result
+
+(** Client side: a response line to (id, response).  Never raises. *)
+val decode_response : string -> (int * response, string) result

@@ -1,0 +1,144 @@
+(* Frame dispatcher.  The interesting work happens in [Manager]; this
+   module renders its answers for a client that holds no relation data —
+   questions carry the representative pair's cells, outcomes carry the
+   predicate as attribute-name pairs. *)
+
+module Csv = Jqi_relational.Csv
+module Relation = Jqi_relational.Relation
+module Tuple = Jqi_relational.Tuple
+module Value = Jqi_relational.Value
+module Engine = Jqi_core.Engine
+module Omega = Jqi_core.Omega
+module Universe = Jqi_core.Universe
+
+let error_code = function
+  | Manager.Unknown_relation _ -> "unknown_relation"
+  | Manager.Unknown_strategy _ -> "unknown_strategy"
+  | Manager.Unknown_session _ -> "unknown_session"
+  | Manager.No_pending _ -> "no_pending"
+  | Manager.Corrupt_session _ -> "corrupt_session"
+
+let error e =
+  Protocol.Error { code = error_code e; message = Manager.error_message e }
+
+let opened (info : Manager.info) =
+  Protocol.Opened
+    {
+      session = info.Manager.id;
+      classes = info.Manager.classes;
+      omega_width = info.Manager.omega_width;
+      cache_hit = info.Manager.cache_hit;
+    }
+
+let cells tuple = List.map Value.to_string (Tuple.to_list tuple)
+
+let render_question universe session (q : Engine.question) =
+  let r_row, p_row = (Universe.cls universe q.Engine.class_id).Universe.rep in
+  let r_cells, p_cells =
+    match q.Engine.representative with
+    | Some (tr, tp) -> (cells tr, cells tp)
+    | None -> ([], [])
+  in
+  Protocol.Question
+    {
+      q_session = session;
+      q_class = q.Engine.class_id;
+      q_r_row = r_row;
+      q_p_row = p_row;
+      q_r_cells = r_cells;
+      q_p_cells = p_cells;
+    }
+
+let render_done universe session (outcome : Engine.outcome) =
+  let omega = Universe.omega universe in
+  let predicate =
+    List.map
+      (fun (i, j) -> (Omega.r_name omega i, Omega.p_name omega j))
+      (Omega.to_pairs omega outcome.Engine.predicate)
+  in
+  Protocol.Done
+    {
+      session;
+      predicate;
+      n_interactions = outcome.Engine.n_interactions;
+    }
+
+let render_turn manager session turn =
+  match Manager.session_universe manager session with
+  | None ->
+      Protocol.Error
+        { code = "internal"; message = "session vanished mid-request" }
+  | Some universe -> (
+      match turn with
+      | Manager.Next q -> render_question universe session q
+      | Manager.Finished outcome -> render_done universe session outcome)
+
+let handle manager request =
+  match request with
+  | Protocol.Hello { versions } -> (
+      match Protocol.negotiate versions with
+      | Some v -> Protocol.Welcome { version = v }
+      | None ->
+          Protocol.Error
+            {
+              code = "version";
+              message =
+                Printf.sprintf "no common protocol version (server speaks %d)"
+                  Protocol.version;
+            })
+  | Protocol.Load { name; path } -> (
+      let name =
+        match name with
+        | Some n -> n
+        | None -> Filename.remove_extension (Filename.basename path)
+      in
+      match Csv.load_relation ~name path with
+      | exception Sys_error message -> Protocol.Error { code = "io"; message }
+      | exception Invalid_argument message ->
+          Protocol.Error { code = "csv"; message }
+      | rel ->
+          Catalog.add ~name (Manager.catalog manager) rel;
+          Protocol.Loaded { name; rows = Relation.cardinality rel })
+  | Protocol.Open_session { r; p; strategy } -> (
+      match Manager.open_session manager ~r ~p ~strategy with
+      | exception Invalid_argument message ->
+          Protocol.Error { code = "invalid"; message }
+      | Ok info -> opened info
+      | Error e -> error e)
+  | Protocol.Ask { session } -> (
+      match Manager.ask manager session with
+      | Ok turn -> render_turn manager session turn
+      | Error e -> error e)
+  | Protocol.Tell { session; label } -> (
+      match Manager.tell manager session label with
+      | Ok turn -> render_turn manager session turn
+      | Error e -> error e)
+  | Protocol.Save { session } -> (
+      match Manager.save manager session with
+      | Ok doc -> Protocol.Saved { session; doc }
+      | Error e -> error e)
+  | Protocol.Resume { r; p; strategy; doc } -> (
+      match Manager.resume_session manager ~r ~p ?strategy doc with
+      | exception Invalid_argument message ->
+          Protocol.Error { code = "invalid"; message }
+      | Ok info -> opened info
+      | Error e -> error e)
+  | Protocol.Close { session } -> (
+      match Manager.close manager session with
+      | Ok () -> Protocol.Closed { session }
+      | Error e -> error e)
+  | Protocol.Stats ->
+      let catalog = Manager.catalog manager in
+      let hits, misses = Catalog.stats catalog in
+      Protocol.Stats_reply
+        {
+          sessions = Manager.session_count manager;
+          relations = Catalog.names catalog;
+          cache_hits = hits;
+          cache_misses = misses;
+        }
+
+let handle_line manager line =
+  match Protocol.decode_request line with
+  | Ok (id, request) -> Protocol.encode_response ~id (handle manager request)
+  | Error (id, response) -> Protocol.encode_response ~id response

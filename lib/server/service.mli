@@ -1,0 +1,15 @@
+(** Request handler: one protocol frame in, one frame out.
+
+    [Service] is the pure part of the serve loop — it owns no transport.
+    [bin/jqinfer serve] reads stdin lines, feeds them through
+    {!handle_line} and prints the answers; tests call {!handle} on
+    structured frames directly.  Every failure path (unknown session,
+    corrupt resume document, unreadable CSV, malformed frame) produces an
+    [Error] response, never an exception. *)
+
+(** Answer one decoded request. *)
+val handle : Manager.t -> Protocol.request -> Protocol.response
+
+(** Answer one wire line: decode, dispatch, encode.  Undecodable lines
+    yield an encoded [Error] frame (id 0 when the id was unreadable). *)
+val handle_line : Manager.t -> string -> string

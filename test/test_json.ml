@@ -162,6 +162,107 @@ let test_session_implied_labels_ok () =
   Alcotest.check bits_testable "same predicate" (State.tpos st)
     (State.tpos reloaded)
 
+(* --------------------------- schema v2 ----------------------------- *)
+
+let corrupt_message f =
+  try
+    ignore (f ());
+    Alcotest.fail "expected Session.Corrupt"
+  with Session.Corrupt msg -> msg
+
+let contains ~needle haystack =
+  let n = String.length haystack and nl = String.length needle in
+  let rec go i =
+    i + nl <= n && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let test_session_v2_roundtrip () =
+  let st = session_state () in
+  (* Freeze mid-question: the pending class is any still-informative one. *)
+  let cls =
+    match State.informative_classes st with
+    | c :: _ -> c
+    | [] -> Alcotest.fail "fixture state must have informative classes"
+  in
+  let pending = (Universe.cls universe0 cls).Universe.rep in
+  let json = Session.to_json ~strategy:"TD" ~pending universe0 st in
+  let loaded = Session.of_json_full universe0 json in
+  Alcotest.(check (option string)) "strategy persisted" (Some "TD")
+    loaded.Session.strategy;
+  Alcotest.(check (option (pair int int))) "pending persisted" (Some pending)
+    loaded.Session.pending;
+  Alcotest.check bits_testable "same T(S+)" (State.tpos st)
+    (State.tpos loaded.Session.state);
+  Alcotest.(check (option int)) "pending maps back to its class" (Some cls)
+    (Session.pending_class universe0 loaded.Session.state
+       loaded.Session.pending)
+
+let test_session_v1_fixture_loads () =
+  (* The checked-in v1 file: examples only — metadata defaults to None. *)
+  let loaded = Session.load_full "data/session_v1.json" universe0 in
+  Alcotest.(check (option string)) "no strategy in v1" None
+    loaded.Session.strategy;
+  Alcotest.(check (option (pair int int))) "no pending in v1" None
+    loaded.Session.pending;
+  let st = session_state () in
+  Alcotest.check bits_testable "replays to the same T(S+)" (State.tpos st)
+    (State.tpos loaded.Session.state);
+  Alcotest.(check int) "both answers replayed" 2
+    (State.n_interactions loaded.Session.state)
+
+let test_session_version_errors () =
+  let msg =
+    corrupt_message (fun () ->
+        Session.of_json universe0
+          (Json.Obj
+             [ ("version", Json.int 3); ("examples", Json.List []) ]))
+  in
+  Alcotest.(check bool) "names the bad version" true
+    (contains ~needle:"unsupported session version 3" msg);
+  Alcotest.(check bool) "names the supported range" true
+    (contains ~needle:"1-2" msg);
+  let missing = corrupt_message (fun () -> Session.of_json universe0 (Json.Obj [])) in
+  Alcotest.(check bool) "missing version named" true
+    (contains ~needle:"version" missing)
+
+let test_session_v2_field_validation () =
+  let base extra =
+    Json.Obj
+      (( "version", Json.int 2 )
+      :: extra
+      @ [ ("examples", Json.List []) ])
+  in
+  (* Null metadata is tolerated (absent), wrong types are not. *)
+  let loaded =
+    Session.of_json_full universe0
+      (base [ ("strategy", Json.Null); ("pending", Json.Null) ])
+  in
+  Alcotest.(check (option string)) "null strategy tolerated" None
+    loaded.Session.strategy;
+  ignore
+    (corrupt_message (fun () ->
+         Session.of_json_full universe0 (base [ ("strategy", Json.int 5) ])));
+  ignore
+    (corrupt_message (fun () ->
+         Session.of_json_full universe0
+           (base [ ("pending", Json.Obj [ ("r", Json.int 0) ]) ])));
+  ignore
+    (corrupt_message (fun () ->
+         Session.of_json_full universe0
+           (base
+              [ ("pending", Json.Obj [ ("r", Json.int 99); ("p", Json.int 0) ]) ])))
+
+let test_session_stale_pending_dropped () =
+  (* A frozen question whose class has since become certain is not
+     re-presented. *)
+  let st = session_state () in
+  let answered = (Universe.cls universe0 (class0 (2, 2))).Universe.rep in
+  Alcotest.(check (option int)) "certain class not re-presented" None
+    (Session.pending_class universe0 st (Some answered));
+  Alcotest.(check (option int)) "no pending, no class" None
+    (Session.pending_class universe0 st None)
+
 let test_session_survives_data_growth () =
   (* Appending rows to the relations keeps old row indexes and signatures
      valid, so a saved session resumes against the grown instance: the old
@@ -196,4 +297,9 @@ let suite =
     Alcotest.test_case "session resume and finish" `Quick test_session_resume_and_finish;
     Alcotest.test_case "session rejects garbage" `Quick test_session_rejects_garbage;
     Alcotest.test_case "session implied labels" `Quick test_session_implied_labels_ok;
+    Alcotest.test_case "session v2 roundtrip" `Quick test_session_v2_roundtrip;
+    Alcotest.test_case "session v1 fixture loads" `Quick test_session_v1_fixture_loads;
+    Alcotest.test_case "session version errors" `Quick test_session_version_errors;
+    Alcotest.test_case "session v2 field validation" `Quick test_session_v2_field_validation;
+    Alcotest.test_case "session stale pending dropped" `Quick test_session_stale_pending_dropped;
   ]

@@ -1,0 +1,484 @@
+(* The service layer: catalog universe cache (content-addressed, build
+   shared across sessions), session manager lifecycle + idle eviction,
+   the wire codec (QCheck roundtrips; garbage must come back as error
+   frames, never exceptions) and the frame dispatcher. *)
+
+open Fixtures
+module Bits = Jqi_util.Bits
+module Json = Jqi_util.Json
+module Obs = Jqi_obs.Obs
+module Csv = Jqi_relational.Csv
+module Engine = Jqi_core.Engine
+module Sample = Jqi_core.Sample
+module Catalog = Jqi_server.Catalog
+module Manager = Jqi_server.Manager
+module P = Jqi_server.Protocol
+module Service = Jqi_server.Service
+
+let fh_omega =
+  Jqi_core.Omega.of_schemas
+    (Relation.schema Fixtures.flight)
+    (Relation.schema Fixtures.hotel)
+
+(* The Figure-1 goal: Flight.To = Hotel.City. *)
+let fh_goal = Jqi_core.Omega.of_names fh_omega [ ("To", "City") ]
+
+let label_for goal signature =
+  if Bits.subset goal signature then Sample.Positive else Sample.Negative
+
+let fh_catalog () =
+  let catalog = Catalog.create () in
+  Catalog.add catalog Fixtures.flight;
+  Catalog.add catalog Fixtures.hotel;
+  catalog
+
+(* ----------------------------- catalog ----------------------------- *)
+
+let test_catalog_cache () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      let catalog = fh_catalog () in
+      let hit1, u1 = Catalog.universe catalog Fixtures.flight Fixtures.hotel in
+      let hit2, u2 = Catalog.universe catalog Fixtures.flight Fixtures.hotel in
+      Alcotest.(check bool) "first build misses" false hit1;
+      Alcotest.(check bool) "second hits" true hit2;
+      Alcotest.(check bool) "same universe shared" true (u1 == u2);
+      Alcotest.(check (pair int int)) "stats" (1, 1) (Catalog.stats catalog);
+      (* The cache is keyed by content, not registration name. *)
+      Catalog.add ~name:"flight2" catalog Fixtures.flight;
+      let hit3, u3 = Catalog.universe catalog Fixtures.flight Fixtures.hotel in
+      Alcotest.(check bool) "renamed content still hits" true hit3;
+      Alcotest.(check bool) "still shared" true (u1 == u3);
+      (* Swapping the pair is a different product: a fresh build. *)
+      let hit4, _ = Catalog.universe catalog Fixtures.hotel Fixtures.flight in
+      Alcotest.(check bool) "swapped pair misses" false hit4;
+      let report = Obs.Report.snapshot () in
+      Alcotest.(check int) "hit counter" 2
+        (Obs.Report.counter report "server.universe_cache_hit");
+      Alcotest.(check int) "miss counter = builds performed" 2
+        (Obs.Report.counter report "server.universe_cache_miss"))
+
+let test_catalog_names () =
+  let catalog = fh_catalog () in
+  Alcotest.(check (list string)) "sorted names" [ "Flight"; "Hotel" ]
+    (Catalog.names catalog);
+  Alcotest.(check bool) "find hit" true (Catalog.find catalog "Hotel" <> None);
+  Alcotest.(check bool) "find miss" true (Catalog.find catalog "nope" = None)
+
+let test_fingerprint () =
+  let fp = Relation.fingerprint in
+  let flight_copy =
+    Relation.of_list ~name:(Relation.name Fixtures.flight)
+      ~schema:(Relation.schema Fixtures.flight)
+      (Array.to_list (Relation.rows Fixtures.flight))
+  in
+  Alcotest.(check string) "structural copy, same fingerprint"
+    (fp Fixtures.flight) (fp flight_copy);
+  Alcotest.(check bool) "different relations differ" true
+    (not (String.equal (fp Fixtures.flight) (fp Fixtures.hotel)));
+  let grown =
+    Relation.with_rows Fixtures.flight
+      (Array.append
+         (Relation.rows Fixtures.flight)
+         [| Tuple.strs [ "NYC"; "Lille"; "AF" ] |])
+  in
+  Alcotest.(check bool) "adding a row changes it" true
+    (not (String.equal (fp Fixtures.flight) (fp grown)))
+
+(* ----------------------------- manager ----------------------------- *)
+
+let expect_ok what = function
+  | Ok x -> x
+  | Error e -> Alcotest.fail (what ^ ": " ^ Manager.error_message e)
+
+let rec drive_manager manager id turn =
+  match turn with
+  | Manager.Finished outcome -> outcome
+  | Manager.Next q ->
+      drive_manager manager id
+        (expect_ok "tell"
+           (Manager.tell manager id (label_for fh_goal q.Engine.signature)))
+
+let test_manager_lifecycle () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      let manager = Manager.create (fh_catalog ()) in
+      let info =
+        expect_ok "open"
+          (Manager.open_session manager ~r:"Flight" ~p:"Hotel" ~strategy:"td")
+      in
+      Alcotest.(check string) "first id" "s1" info.Manager.id;
+      Alcotest.(check bool) "first open builds" false info.Manager.cache_hit;
+      Alcotest.(check string) "strategy name" "TD" info.Manager.strategy_name;
+      let outcome =
+        drive_manager manager info.Manager.id
+          (expect_ok "ask" (Manager.ask manager info.Manager.id))
+      in
+      Alcotest.check bits_testable "inferred the goal" fh_goal
+        outcome.Engine.predicate;
+      Alcotest.(check bool) "halted" true outcome.Engine.halted;
+      (* A label without an outstanding question is an error, not a crash. *)
+      (match Manager.tell manager info.Manager.id Sample.Positive with
+      | Error (Manager.No_pending _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected No_pending");
+      (* Second session over the same pair shares the universe. *)
+      let info2 =
+        expect_ok "open2"
+          (Manager.open_session manager ~r:"Flight" ~p:"Hotel" ~strategy:"bu")
+      in
+      Alcotest.(check bool) "second open hits the cache" true
+        info2.Manager.cache_hit;
+      let report = Obs.Report.snapshot () in
+      Alcotest.(check int) "exactly one universe build" 1
+        (Obs.Report.counter report "server.universe_cache_miss");
+      Alcotest.(check int) "opens counted" 2
+        (Obs.Report.counter report "server.sessions_opened");
+      Alcotest.(check int) "close" 2 (Manager.session_count manager);
+      (match Manager.close manager info.Manager.id with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Manager.error_message e));
+      (match Manager.close manager info.Manager.id with
+      | Error (Manager.Unknown_session _) -> ()
+      | Ok () | Error _ -> Alcotest.fail "double close must fail");
+      Alcotest.(check (list string)) "remaining ids" [ info2.Manager.id ]
+        (Manager.session_ids manager))
+
+let test_manager_errors () =
+  let manager = Manager.create (fh_catalog ()) in
+  (match Manager.open_session manager ~r:"nope" ~p:"Hotel" ~strategy:"td" with
+  | Error (Manager.Unknown_relation "nope") -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Unknown_relation");
+  (match Manager.open_session manager ~r:"Flight" ~p:"Hotel" ~strategy:"zz" with
+  | Error (Manager.Unknown_strategy "zz") -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Unknown_strategy");
+  (match Manager.ask manager "s99" with
+  | Error (Manager.Unknown_session "s99") -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Unknown_session");
+  match
+    Manager.resume_session manager ~r:"Flight" ~p:"Hotel" (Json.Obj [])
+  with
+  | Error (Manager.Corrupt_session _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Corrupt_session"
+
+let test_manager_save_resume () =
+  let manager = Manager.create (fh_catalog ()) in
+  let info =
+    expect_ok "open"
+      (Manager.open_session manager ~r:"Flight" ~p:"Hotel" ~strategy:"td")
+  in
+  let id = info.Manager.id in
+  (* Answer one question, note the next one, freeze. *)
+  let q1 =
+    match expect_ok "ask" (Manager.ask manager id) with
+    | Manager.Next q -> q
+    | Manager.Finished _ -> Alcotest.fail "finished too early"
+  in
+  let q2 =
+    match
+      expect_ok "tell" (Manager.tell manager id (label_for fh_goal q1.Engine.signature))
+    with
+    | Manager.Next q -> q
+    | Manager.Finished _ -> Alcotest.fail "finished too early"
+  in
+  let doc = expect_ok "save" (Manager.save manager id) in
+  expect_ok "close" (Manager.close manager id);
+  (* Thaw: the in-flight question must be re-presented verbatim, and the
+     resumed run must land on the same predicate. *)
+  let info2 =
+    expect_ok "resume" (Manager.resume_session manager ~r:"Flight" ~p:"Hotel" doc)
+  in
+  Alcotest.(check string) "persisted strategy restored" "TD"
+    info2.Manager.strategy_name;
+  Alcotest.(check bool) "resume hits the universe cache" true
+    info2.Manager.cache_hit;
+  (match expect_ok "ask2" (Manager.ask manager info2.Manager.id) with
+  | Manager.Next q ->
+      Alcotest.(check int) "frozen question re-presented" q2.Engine.class_id
+        q.Engine.class_id
+  | Manager.Finished _ -> Alcotest.fail "lost the in-flight question");
+  let outcome =
+    drive_manager manager info2.Manager.id
+      (expect_ok "ask3" (Manager.ask manager info2.Manager.id))
+  in
+  Alcotest.check bits_testable "same answer after thaw" fh_goal
+    outcome.Engine.predicate
+
+let test_manager_idle_eviction () =
+  let now = ref 0. in
+  let manager =
+    Manager.create ~clock:(fun () -> !now) ~idle_timeout:10. (fh_catalog ())
+  in
+  let s1 =
+    (expect_ok "open1"
+       (Manager.open_session manager ~r:"Flight" ~p:"Hotel" ~strategy:"td"))
+      .Manager.id
+  in
+  let s2 =
+    (expect_ok "open2"
+       (Manager.open_session manager ~r:"Flight" ~p:"Hotel" ~strategy:"bu"))
+      .Manager.id
+  in
+  Alcotest.(check (list string)) "nothing stale yet" [] (Manager.sweep manager);
+  now := 5.;
+  ignore (expect_ok "touch s1" (Manager.ask manager s1));
+  now := 12.;
+  Alcotest.(check (list string)) "s2 idle past the timeout" [ s2 ]
+    (Manager.sweep manager);
+  Alcotest.(check int) "one session left" 1 (Manager.session_count manager);
+  (match Manager.ask manager s2 with
+  | Error (Manager.Unknown_session _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "evicted session must be gone");
+  Alcotest.(check bool) "survivor still answers" true
+    (match Manager.ask manager s1 with Ok _ -> true | Error _ -> false)
+
+(* ----------------------------- protocol ---------------------------- *)
+
+let gen_str = QCheck.Gen.(string_size ~gen:printable (int_range 0 10))
+
+let gen_label = QCheck.Gen.map Sample.label_of_bool QCheck.Gen.bool
+
+let gen_doc =
+  QCheck.Gen.(
+    oneof
+      [
+        return Json.Null;
+        map Json.int (int_bound 100);
+        map (fun s -> Json.Str s) gen_str;
+        return (Json.Obj [ ("version", Json.int 2); ("examples", Json.List []) ]);
+      ])
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun vs -> P.Hello { versions = vs })
+          (list_size (int_range 0 4) (int_bound 6));
+        map2 (fun name path -> P.Load { name; path }) (option gen_str) gen_str;
+        map3
+          (fun r p strategy -> P.Open_session { r; p; strategy })
+          gen_str gen_str gen_str;
+        map (fun session -> P.Ask { session }) gen_str;
+        map2 (fun session label -> P.Tell { session; label }) gen_str gen_label;
+        map (fun session -> P.Save { session }) gen_str;
+        map3
+          (fun (r, p) strategy doc -> P.Resume { r; p; strategy; doc })
+          (pair gen_str gen_str) (option gen_str) gen_doc;
+        map (fun session -> P.Close { session }) gen_str;
+        return P.Stats;
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> P.Welcome { version = v }) (int_bound 9);
+        map2 (fun name rows -> P.Loaded { name; rows }) gen_str (int_bound 999);
+        map3
+          (fun session classes (omega_width, cache_hit) ->
+            P.Opened { session; classes; omega_width; cache_hit })
+          gen_str (int_bound 99)
+          (pair (int_bound 99) bool);
+        map3
+          (fun (q_session, q_class) (q_r_row, q_p_row) (q_r_cells, q_p_cells) ->
+            P.Question
+              { q_session; q_class; q_r_row; q_p_row; q_r_cells; q_p_cells })
+          (pair gen_str (int_bound 99))
+          (pair (int_bound 99) (int_bound 99))
+          (pair
+             (list_size (int_range 0 3) gen_str)
+             (list_size (int_range 0 3) gen_str));
+        map3
+          (fun session predicate n_interactions ->
+            P.Done { session; predicate; n_interactions })
+          gen_str
+          (list_size (int_range 0 3) (pair gen_str gen_str))
+          (int_bound 99);
+        map2 (fun session doc -> P.Saved { session; doc }) gen_str gen_doc;
+        map (fun session -> P.Closed { session }) gen_str;
+        map3
+          (fun sessions relations (cache_hits, cache_misses) ->
+            P.Stats_reply { sessions; relations; cache_hits; cache_misses })
+          (int_bound 99)
+          (list_size (int_range 0 3) gen_str)
+          (pair (int_bound 99) (int_bound 99));
+        map2 (fun code message -> P.Error { code; message }) gen_str gen_str;
+      ])
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~name:"decode ∘ encode = id for request frames" ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair (int_bound 10_000) gen_request)
+       ~print:(fun (id, r) -> P.encode_request ~id r))
+    (fun (id, request) ->
+      match P.decode_request (P.encode_request ~id request) with
+      | Ok (id', request') -> id = id' && P.equal_request request request'
+      | Error _ -> false)
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~name:"decode ∘ encode = id for response frames" ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair (int_bound 10_000) gen_response)
+       ~print:(fun (id, r) -> P.encode_response ~id r))
+    (fun (id, response) ->
+      match P.decode_response (P.encode_response ~id response) with
+      | Ok (id', response') -> id = id' && P.equal_response response response'
+      | Error _ -> false)
+
+let qcheck_decoder_total =
+  QCheck.Test.make ~name:"request decoder never raises on garbage" ~count:500
+    QCheck.(string_gen QCheck.Gen.printable)
+    (fun line ->
+      match P.decode_request line with
+      | Ok _ | Error _ -> true)
+
+let expect_error_frame what expected_code expected_id line =
+  match P.decode_request line with
+  | Error (id, P.Error { code; _ }) ->
+      Alcotest.(check string) (what ^ ": code") expected_code code;
+      Alcotest.(check int) (what ^ ": id echoed") expected_id id
+  | Error (_, _) | Ok _ -> Alcotest.fail (what ^ ": expected an error frame")
+
+let test_decode_garbage () =
+  expect_error_frame "empty" "parse" 0 "";
+  expect_error_frame "not json" "parse" 0 "nonsense";
+  expect_error_frame "truncated" "parse" 0 "{\"v\":1,\"id\":3";
+  expect_error_frame "non-object" "parse" 0 "[1,2,3]";
+  expect_error_frame "wrong version" "version" 7 "{\"v\":2,\"id\":7,\"op\":\"stats\"}";
+  expect_error_frame "missing version" "version" 7 "{\"id\":7,\"op\":\"stats\"}";
+  expect_error_frame "missing op" "malformed" 7 "{\"v\":1,\"id\":7}";
+  expect_error_frame "missing field" "malformed" 7
+    "{\"v\":1,\"id\":7,\"op\":\"tell\",\"session\":\"s1\"}";
+  expect_error_frame "bad label" "malformed" 7
+    "{\"v\":1,\"id\":7,\"op\":\"tell\",\"session\":\"s1\",\"label\":\"maybe\"}";
+  expect_error_frame "unknown op" "unsupported" 7 "{\"v\":1,\"id\":7,\"op\":\"zap\"}"
+
+let test_negotiate () =
+  Alcotest.(check (option int)) "current version" (Some 1) (P.negotiate [ 1 ]);
+  Alcotest.(check (option int)) "picks the newest common" (Some 1)
+    (P.negotiate [ 0; 1; 7 ]);
+  Alcotest.(check (option int)) "nothing in common" None (P.negotiate [ 99 ]);
+  Alcotest.(check (option int)) "empty offer" None (P.negotiate [])
+
+(* ----------------------------- service ----------------------------- *)
+
+let with_temp_csvs f =
+  let r_path = Filename.temp_file "jqi_flight" ".csv" in
+  let p_path = Filename.temp_file "jqi_hotel" ".csv" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove r_path;
+      Sys.remove p_path)
+    (fun () ->
+      Csv.save_relation r_path Fixtures.flight;
+      Csv.save_relation p_path Fixtures.hotel;
+      f r_path p_path)
+
+let test_service_full_flight () =
+  with_temp_csvs (fun r_path p_path ->
+      let manager = Manager.create (Catalog.create ()) in
+      let handle = Service.handle manager in
+      (match handle (P.Hello { versions = [ 1; 9 ] }) with
+      | P.Welcome { version = 1 } -> ()
+      | _ -> Alcotest.fail "hello");
+      (match handle (P.Load { name = Some "flight"; path = r_path }) with
+      | P.Loaded { name = "flight"; rows = 4 } -> ()
+      | _ -> Alcotest.fail "load flight");
+      (match handle (P.Load { name = Some "hotel"; path = p_path }) with
+      | P.Loaded { name = "hotel"; rows = 3 } -> ()
+      | _ -> Alcotest.fail "load hotel");
+      let session =
+        match
+          handle (P.Open_session { r = "flight"; p = "hotel"; strategy = "td" })
+        with
+        | P.Opened { session; cache_hit = false; _ } -> session
+        | _ -> Alcotest.fail "open"
+      in
+      let questions = ref 0 in
+      let rec loop resp =
+        match resp with
+        | P.Question { q_r_row; q_p_row; q_r_cells; q_p_cells; _ } ->
+            incr questions;
+            Alcotest.(check int) "flight cells rendered" 3
+              (List.length q_r_cells);
+            Alcotest.(check int) "hotel cells rendered" 2
+              (List.length q_p_cells);
+            let s =
+              Sample.signature_of_tuple fh_omega Fixtures.flight Fixtures.hotel
+                (q_r_row, q_p_row)
+            in
+            loop (handle (P.Tell { session; label = label_for fh_goal s }))
+        | P.Done { predicate; n_interactions; _ } ->
+            Alcotest.(check (list (pair string string)))
+              "predicate named" [ ("To", "City") ] predicate;
+            Alcotest.(check int) "interaction count" !questions n_interactions
+        | _ -> Alcotest.fail "unexpected turn"
+      in
+      loop (handle (P.Ask { session }));
+      (* Re-opening the same CSVs must hit the universe cache. *)
+      (match
+         handle (P.Open_session { r = "flight"; p = "hotel"; strategy = "bu" })
+       with
+      | P.Opened { cache_hit = true; _ } -> ()
+      | _ -> Alcotest.fail "second open should hit the cache");
+      match handle P.Stats with
+      | P.Stats_reply { sessions = 2; relations; cache_hits = 1; cache_misses = 1 }
+        ->
+          Alcotest.(check (list string)) "catalog names" [ "flight"; "hotel" ]
+            relations
+      | _ -> Alcotest.fail "stats")
+
+let test_service_errors () =
+  let manager = Manager.create (fh_catalog ()) in
+  let handle = Service.handle manager in
+  (match handle (P.Hello { versions = [ 99 ] }) with
+  | P.Error { code = "version"; _ } -> ()
+  | _ -> Alcotest.fail "bad hello");
+  (match handle (P.Load { name = None; path = "/does/not/exist.csv" }) with
+  | P.Error { code = "io"; _ } -> ()
+  | _ -> Alcotest.fail "missing file");
+  (match handle (P.Open_session { r = "zz"; p = "Hotel"; strategy = "td" }) with
+  | P.Error { code = "unknown_relation"; _ } -> ()
+  | _ -> Alcotest.fail "unknown relation");
+  (match handle (P.Ask { session = "s9" }) with
+  | P.Error { code = "unknown_session"; _ } -> ()
+  | _ -> Alcotest.fail "unknown session");
+  (match
+     handle
+       (P.Resume
+          { r = "Flight"; p = "Hotel"; strategy = None; doc = Json.Obj [] })
+   with
+  | P.Error { code = "corrupt_session"; _ } -> ()
+  | _ -> Alcotest.fail "corrupt resume");
+  (* handle_line turns an undecodable line into an ok:false frame. *)
+  let reply = Service.handle_line manager "{\"v\":1,\"id\":5,\"op\":\"zap\"}" in
+  match P.decode_response reply with
+  | Ok (5, P.Error { code = "unsupported"; _ }) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected an encoded error frame"
+
+let suite =
+  [
+    Alcotest.test_case "catalog cache" `Quick test_catalog_cache;
+    Alcotest.test_case "catalog names" `Quick test_catalog_names;
+    Alcotest.test_case "relation fingerprints" `Quick test_fingerprint;
+    Alcotest.test_case "manager lifecycle" `Quick test_manager_lifecycle;
+    Alcotest.test_case "manager errors" `Quick test_manager_errors;
+    Alcotest.test_case "manager save/resume" `Quick test_manager_save_resume;
+    Alcotest.test_case "manager idle eviction" `Quick test_manager_idle_eviction;
+    QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_decoder_total;
+    Alcotest.test_case "decoder yields error frames" `Quick test_decode_garbage;
+    Alcotest.test_case "version negotiation" `Quick test_negotiate;
+    Alcotest.test_case "service full session" `Quick test_service_full_flight;
+    Alcotest.test_case "service error frames" `Quick test_service_errors;
+  ]
