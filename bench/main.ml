@@ -686,6 +686,273 @@ let run_server ~full ~seed =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Server load: concurrent listener fleet vs single-client baseline.   *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's deployment is crowdsourced labeling: the server idles
+   between a labeler's answers.  The baseline below is the stdin/stdout
+   deployment ([Service.serve_channels] over a socketpair) driven by ONE
+   client whose oracle thinks for [think] seconds before every answer —
+   throughput is capped near 1/think.  The fleet run drives the same
+   protocol through the real [Listener] + [Pool] front end with many
+   concurrent client domains, overlapping their think time; the speedup
+   is the whole point of the concurrent server and CI asserts its floor.
+   Both runs must infer byte-identical predicates (the differential). *)
+let run_server_load ~full ~seed =
+  let module Json = Jqi_util.Json in
+  let module Stats = Jqi_util.Stats in
+  let module Relation = Jqi_relational.Relation in
+  let module Omega = Jqi_core.Omega in
+  let module Sample = Jqi_core.Sample in
+  let module Catalog = Jqi_server.Catalog in
+  let module Manager = Jqi_server.Manager in
+  let module P = Jqi_server.Protocol in
+  let module Service = Jqi_server.Service in
+  let module Pool = Jqi_server.Pool in
+  let module Listener = Jqi_server.Listener in
+  section_header
+    "Server load — concurrent listener fleet vs single-client baseline";
+  let db = Tpch.generate ~seed ~scale:1 () in
+  let joins = Tpch.joins db in
+  let picks = [| List.nth joins 3; List.nth joins 4 |] in
+  let goals =
+    Array.map
+      (fun (j : Tpch.goal_join) ->
+        let omega =
+          Omega.of_schemas (Relation.schema j.r) (Relation.schema j.p)
+        in
+        (j, omega, Tpch.goal_predicate omega j))
+      picks
+  in
+  let n_joins = Array.length goals in
+  let make_manager () =
+    let catalog = Catalog.create () in
+    Array.iter
+      (fun (j : Tpch.goal_join) ->
+        Catalog.add catalog j.r;
+        Catalog.add catalog j.p)
+      picks;
+    (catalog, Manager.create ~seed catalog)
+  in
+  let think = 0.025 in
+  let base_sessions = if full then 12 else 8 in
+  let clients = if full then 32 else 16 in
+  let sessions_per_client = if full then 8 else 4 in
+  let workers = 4 in
+  (* One honest session over the line transport [call]; the oracle
+     sleeps [think] before each answer.  Wire latency (request sent →
+     response parsed, think time excluded) accumulates in [latencies]. *)
+  let drive_session ~latencies ~questions ~next_id ~call k =
+    let (j : Tpch.goal_join), omega, goal = goals.(k) in
+    let rpc req =
+      incr next_id;
+      let line = P.encode_request ~id:!next_id req in
+      let t0 = Jqi_util.Timer.now () in
+      let resp = call line in
+      latencies := (Jqi_util.Timer.now () -. t0) :: !latencies;
+      P.decode_response resp
+    in
+    let session =
+      match
+        rpc
+          (P.Open_session
+             { r = Relation.name j.r; p = Relation.name j.p; strategy = "td" })
+      with
+      | Ok (_, P.Opened { session; _ }) -> session
+      | _ -> failwith "server-load: open failed"
+    in
+    let rec loop resp =
+      match resp with
+      | Ok (_, P.Question { q_r_row; q_p_row; _ }) ->
+          incr questions;
+          let s = Sample.signature_of_tuple omega j.r j.p (q_r_row, q_p_row) in
+          let label =
+            if Bits.subset goal s then Jqi_core.Sample.Positive
+            else Jqi_core.Sample.Negative
+          in
+          Unix.sleepf think;
+          loop (rpc (P.Tell { session; label }))
+      | Ok (_, P.Done { predicate; _ }) ->
+          ignore (rpc (P.Close { session }));
+          predicate
+      | _ -> failwith "server-load: protocol failure"
+    in
+    loop (rpc (P.Ask { session }))
+  in
+  let line_call ic oc line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  in
+  (* Baseline: the blocking single-client loop over a socketpair. *)
+  let _catalog_b, manager_b = make_manager () in
+  let srv_fd, cli_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        Service.serve_channels manager_b
+          (Unix.in_channel_of_descr srv_fd)
+          (Unix.out_channel_of_descr srv_fd))
+      ()
+  in
+  let base_ic = Unix.in_channel_of_descr cli_fd in
+  let base_oc = Unix.out_channel_of_descr cli_fd in
+  let base_latencies = ref [] in
+  let base_questions = ref 0 in
+  let base_next_id = ref 0 in
+  let base_predicates = Array.make n_joins [] in
+  let t0 = Jqi_util.Timer.now () in
+  for s = 0 to base_sessions - 1 do
+    let k = s mod n_joins in
+    base_predicates.(k) <-
+      drive_session ~latencies:base_latencies ~questions:base_questions
+        ~next_id:base_next_id
+        ~call:(line_call base_ic base_oc)
+        k
+  done;
+  let base_elapsed = Jqi_util.Timer.now () -. t0 in
+  close_out base_oc;
+  Thread.join server_thread;
+  Unix.close srv_fd;
+  let base_qps = float_of_int !base_questions /. base_elapsed in
+  (* Fleet: client domains against the real listener + worker pool. *)
+  let catalog_f, manager_f = make_manager () in
+  let pool = Pool.create ~capacity:256 ~workers () in
+  let listener = Listener.start ~pool manager_f (Listener.Tcp ("127.0.0.1", 0)) in
+  let port =
+    match Listener.address listener with
+    | Listener.Tcp (_, p) -> p
+    | Listener.Unix_path _ -> failwith "server-load: expected a tcp address"
+  in
+  let run_client c =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let latencies = ref [] in
+    let questions = ref 0 in
+    let next_id = ref 0 in
+    let preds = Array.make n_joins [] in
+    for s = 0 to sessions_per_client - 1 do
+      let k = (c + s) mod n_joins in
+      preds.(k) <-
+        drive_session ~latencies ~questions ~next_id ~call:(line_call ic oc) k
+    done;
+    close_out oc;
+    (!latencies, !questions, preds)
+  in
+  (* [clients] connections spread over a few client domains, one
+     systhread per connection: blocking IO and think-time sleeps release
+     the runtime lock, so connections overlap within a domain, and a low
+     domain count keeps minor-GC stop-the-world sync cheap on small
+     machines. *)
+  let client_domains = 4 in
+  let per_domain = (clients + client_domains - 1) / client_domains in
+  let t1 = Jqi_util.Timer.now () in
+  let domains =
+    List.init client_domains (fun d ->
+        Domain.spawn (fun () ->
+            let lo = min clients (d * per_domain) in
+            let hi = min clients (lo + per_domain) in
+            let slots =
+              List.init (hi - lo) (fun i ->
+                  let out = ref ([], 0, Array.make n_joins []) in
+                  ( out,
+                    Thread.create (fun () -> out := run_client (lo + i)) () ))
+            in
+            List.map
+              (fun (out, th) ->
+                Thread.join th;
+                !out)
+              slots))
+  in
+  let results = List.concat_map Domain.join domains in
+  let fleet_elapsed = Jqi_util.Timer.now () -. t1 in
+  let leaked = Manager.session_count manager_f in
+  Listener.stop listener;
+  Pool.shutdown pool;
+  let fleet_questions =
+    List.fold_left (fun acc (_, q, _) -> acc + q) 0 results
+  in
+  let fleet_latencies =
+    Array.of_list (List.concat_map (fun (ls, _, _) -> ls) results)
+  in
+  let fleet_qps = float_of_int fleet_questions /. fleet_elapsed in
+  let speedup = fleet_qps /. base_qps in
+  let p50 = Stats.percentile fleet_latencies 50. *. 1e3 in
+  let p99 = Stats.percentile fleet_latencies 99. *. 1e3 in
+  let pool_stats = Pool.stats pool in
+  let hits, misses = Catalog.stats catalog_f in
+  let hit_rate = float_of_int hits /. float_of_int (hits + misses) in
+  (* The differential: every fleet session must land on the baseline's
+     predicate for its join, attribute pair for attribute pair. *)
+  let pred_equal =
+    List.equal (fun (a, b) (c, d) -> String.equal a c && String.equal b d)
+  in
+  let theta_match =
+    List.for_all
+      (fun (_, _, preds) ->
+        Array.for_all2
+          (fun base mine ->
+            match mine with [] -> true | _ :: _ -> pred_equal base mine)
+          base_predicates preds)
+      results
+  in
+  let fleet_sessions = clients * sessions_per_client in
+  Printf.printf
+    "think time %.0fms/answer; baseline 1 client x %d sessions, fleet %d \
+     clients x %d sessions on %d worker domains:\n\
+    \  baseline %8.0f questions/sec  (%d questions, %.2fs)\n\
+    \  fleet    %8.0f questions/sec  (%d questions, %.2fs)\n\
+    \  speedup  %8.2fx  (CI floor: 5x)\n\
+    \  latency  p50 %.2fms  p99 %.2fms  (wire, think time excluded)\n\
+    \  shed %d of %d submitted; universe cache %d hits / %d misses \
+     (%.3f)\n\
+    \  predicates %s baseline; %d sessions leaked\n"
+    (think *. 1e3) base_sessions clients sessions_per_client workers base_qps
+    !base_questions base_elapsed fleet_qps fleet_questions fleet_elapsed
+    speedup p50 p99 pool_stats.Pool.shed pool_stats.Pool.submitted hits misses
+    hit_rate
+    (if theta_match then "identical to" else "DIVERGED from")
+    leaked;
+  let path = "BENCH_server.json" in
+  Json.save_file path
+    (Json.Obj
+       [
+         ("seed", Json.int seed);
+         ( "workload",
+           Json.Str
+             "TD inference fleet over TPC-H joins 4+5 via the concurrent \
+              listener, vs the blocking single-client loop" );
+         ("think_ms", Json.Num (think *. 1e3));
+         ("sessions", Json.int fleet_sessions);
+         ("questions", Json.int fleet_questions);
+         ("elapsed_s", Json.Num fleet_elapsed);
+         ("questions_per_sec", Json.Num fleet_qps);
+         ("cache_hits", Json.int hits);
+         ("cache_misses", Json.int misses);
+         ("cache_hit_rate", Json.Num hit_rate);
+         ("clients", Json.int clients);
+         ("workers", Json.int workers);
+         ("baseline_sessions", Json.int base_sessions);
+         ("baseline_questions", Json.int !base_questions);
+         ("baseline_elapsed_s", Json.Num base_elapsed);
+         ("baseline_questions_per_sec", Json.Num base_qps);
+         ("speedup", Json.Num speedup);
+         ("latency_p50_ms", Json.Num p50);
+         ("latency_p99_ms", Json.Num p99);
+         ("shed", Json.int pool_stats.Pool.shed);
+         ("pool_submitted", Json.int pool_stats.Pool.submitted);
+         ("pool_completed", Json.int pool_stats.Pool.completed);
+         ("pool_max_depth", Json.int pool_stats.Pool.max_depth);
+         ("theta_match", Json.Bool theta_match);
+         ("sessions_leaked", Json.int leaked);
+       ]);
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -824,7 +1091,7 @@ let run_micro ~seed =
 
 let all_sections =
   [ "fig6"; "fig7"; "table1"; "semijoin"; "scaling"; "ablation"; "universe";
-    "obs"; "server"; "micro" ]
+    "obs"; "server"; "server-load"; "micro" ]
 
 let run sections full seed universe_spec =
   let sections = if sections = [] then all_sections else sections in
@@ -873,6 +1140,7 @@ let run sections full seed universe_spec =
   if want "universe" then run_universe ~full ~seed;
   if want "obs" then run_obs ~full ~seed;
   if want "server" then run_server ~full ~seed;
+  if want "server-load" then run_server_load ~full ~seed;
   if want "micro" then run_micro ~seed;
   Printf.printf "\nTotal bench time: %.1fs\n" (Jqi_util.Timer.now () -. t0)
 

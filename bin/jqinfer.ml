@@ -477,31 +477,60 @@ let parse_table_spec spec =
         String.sub spec (k + 1) (String.length spec - k - 1) )
   | None -> (Filename.remove_extension (Filename.basename spec), spec)
 
-(* JSON-lines service loop on stdin/stdout: one frame per line in, one
-   frame per line out.  All state lives in the manager; the loop itself
-   only shuttles lines, so a protocol error can never kill it. *)
-let cmd_serve table_specs seed idle_timeout =
-  let catalog = Jqi_server.Catalog.create () in
+(* "host:port" (numeric host) or "path.sock" → a listener address. *)
+let parse_listen_addr spec =
+  match String.rindex_opt spec ':' with
+  | Some k -> (
+      let host = String.sub spec 0 k in
+      let port = String.sub spec (k + 1) (String.length spec - k - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 ->
+          Jqi_server.Listener.Tcp ((if host = "" then "127.0.0.1" else host), p)
+      | Some _ | None -> Jqi_server.Listener.Unix_path spec)
+  | None -> Jqi_server.Listener.Unix_path spec
+
+(* JSON-lines service.  Default deployment is the blocking loop on
+   stdin/stdout (one client, one frame per line).  --listen switches to
+   the concurrent front end: a socket listener feeding a domain worker
+   pool over the sharded manager. *)
+let cmd_serve table_specs seed idle_timeout listen workers queue shards
+    sweep_every =
+  let catalog = Jqi_server.Catalog.create ~shards () in
   List.iter
     (fun spec ->
       let name, path = parse_table_spec spec in
       Jqi_server.Catalog.add ~name catalog (Csv.load_relation ~name path))
     table_specs;
   let idle_timeout = if idle_timeout > 0. then Some idle_timeout else None in
-  let manager = Jqi_server.Manager.create ?idle_timeout ~seed catalog in
-  let rec loop () =
-    match input_line stdin with
-    | exception End_of_file -> ()
-    | line ->
-        if not (String.equal (String.trim line) "") then begin
-          print_string (Jqi_server.Service.handle_line manager line);
-          print_newline ();
-          flush stdout
-        end;
-        ignore (Jqi_server.Manager.sweep manager);
-        loop ()
+  let manager =
+    Jqi_server.Manager.create ?idle_timeout ~seed ~shards catalog
   in
-  loop ()
+  match listen with
+  | None -> Jqi_server.Service.serve_channels manager stdin stdout
+  | Some spec ->
+      let addr = parse_listen_addr spec in
+      let pool = Jqi_server.Pool.create ~capacity:queue ~workers () in
+      let listener =
+        Jqi_server.Listener.start ~sweep_every ~pool manager addr
+      in
+      Printf.eprintf "jqinfer: listening on %s (%d workers, queue %d, %d shards)\n%!"
+        (Jqi_server.Listener.addr_to_string
+           (Jqi_server.Listener.address listener))
+        workers queue shards;
+      let stop_requested = Atomic.make false in
+      let shutdown _ = Atomic.set stop_requested true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+      (* OCaml signal handlers only run when OCaml code executes, so a
+         [Condition.wait] here would leave SIGINT/SIGTERM pending forever
+         once every thread is parked in a blocking C call.  Napping in
+         short ticks gives the runtime a safe point to deliver the
+         handler, bounding shutdown latency to one tick. *)
+      while not (Atomic.get stop_requested) do
+        Thread.delay 0.2
+      done;
+      Jqi_server.Listener.stop listener;
+      Jqi_server.Pool.shutdown pool
 
 (* ------------------------------ client ---------------------------- *)
 
@@ -809,11 +838,47 @@ let idle_timeout_arg =
     & info [ "idle-timeout" ] ~docv:"SECONDS"
         ~doc:"Evict sessions idle longer than this (0 = never).")
 
+let listen_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:"Serve over a socket instead of stdin/stdout: $(i,HOST:PORT) \
+              for TCP (port 0 picks one) or a filesystem path for a \
+              Unix-domain socket.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker domains driving the inference engine (with --listen).")
+
+let queue_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Bounded request queue; requests beyond it are shed with a \
+              $(i,busy) error frame (with --listen).")
+
+let shards_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Session/universe lock shards.")
+
+let sweep_every_arg =
+  Arg.(
+    value & opt float 1.
+    & info [ "sweep-every" ] ~docv:"SECONDS"
+        ~doc:"Idle-eviction sweep period (with --listen; 0 disables).")
+
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve the JSON-lines inference protocol on stdin/stdout")
-    Term.(const cmd_serve $ tables_arg $ seed_arg $ idle_timeout_arg)
+       ~doc:"Serve the JSON-lines inference protocol (stdin/stdout, or \
+             --listen for the concurrent socket front end)")
+    Term.(const cmd_serve $ tables_arg $ seed_arg $ idle_timeout_arg
+          $ listen_arg $ workers_arg $ queue_arg $ shards_arg
+          $ sweep_every_arg)
 
 let server_command_arg =
   Arg.(

@@ -5,7 +5,15 @@
    memoized per relation pair.  The key is the pair of content
    fingerprints, not the names: re-registering "flights" with new rows
    yields a different fingerprint and a fresh build, while two differently
-   registered names over identical content share one universe. *)
+   registered names over identical content share one universe.
+
+   Concurrency: the universe cache is sharded by fingerprint-pair key
+   (one mutex per shard), so sessions over distinct pairs build and look
+   up in parallel.  A build runs *inside* its shard's lock — two
+   concurrent misses on the same pair produce exactly one build (the
+   second caller blocks, then hits), at the price of briefly serializing
+   unrelated pairs that hash to the same shard.  The name table is a
+   single small mutex: registration is rare and lookups are O(1). *)
 
 module Relation = Jqi_relational.Relation
 module Universe = Jqi_core.Universe
@@ -14,46 +22,64 @@ module Obs = Jqi_obs.Obs
 let c_hit = Obs.Counter.make "server.universe_cache_hit"
 let c_miss = Obs.Counter.make "server.universe_cache_miss"
 
-type t = {
-  relations : (string, Relation.t) Hashtbl.t;
+type ushard = {
   universes : (string, Universe.t) Hashtbl.t;  (* "fp(R):fp(P)" keyed *)
   mutable hits : int;
   mutable misses : int;
 }
 
-let create () =
+type t = {
+  names_mutex : Mutex.t;
+  relations : (string, Relation.t) Hashtbl.t;
+  shards : ushard Shard.t;
+}
+
+let create ?shards () =
   {
+    names_mutex = Mutex.create ();
     relations = Hashtbl.create 16;
-    universes = Hashtbl.create 16;
-    hits = 0;
-    misses = 0;
+    shards =
+      Shard.create ?shards (fun _ ->
+          { universes = Hashtbl.create 4; hits = 0; misses = 0 });
   }
+
+let shards t = Shard.size t.shards
+
+let with_names t f =
+  Mutex.lock t.names_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.names_mutex) f
 
 let add ?name t rel =
   let name = match name with Some n -> n | None -> Relation.name rel in
-  Hashtbl.replace t.relations name rel
+  with_names t (fun () -> Hashtbl.replace t.relations name rel)
 
-let find t name = Hashtbl.find_opt t.relations name
+let find t name = with_names t (fun () -> Hashtbl.find_opt t.relations name)
 
 let names t =
   List.sort String.compare
-    (Hashtbl.fold (fun name _ acc -> name :: acc) t.relations [])
+    (with_names t (fun () ->
+         Hashtbl.fold (fun name _ acc -> name :: acc) t.relations []))
 
 let universe t r p =
   let key = Relation.fingerprint r ^ ":" ^ Relation.fingerprint p in
-  match Hashtbl.find_opt t.universes key with
-  | Some u ->
-      t.hits <- t.hits + 1;
-      Obs.Counter.incr c_hit;
-      (true, u)
-  | None ->
-      t.misses <- t.misses + 1;
-      Obs.Counter.incr c_miss;
-      let u =
-        Obs.span ~attrs:[ ("key", key) ] "server.universe_build" (fun () ->
-            Universe.build r p)
-      in
-      Hashtbl.replace t.universes key u;
-      (false, u)
+  Shard.with_key t.shards key (fun shard ->
+      match Hashtbl.find_opt shard.universes key with
+      | Some u ->
+          shard.hits <- shard.hits + 1;
+          Obs.Counter.incr c_hit;
+          (true, u)
+      | None ->
+          shard.misses <- shard.misses + 1;
+          Obs.Counter.incr c_miss;
+          let u =
+            Obs.span ~attrs:[ ("key", key) ] "server.universe_build" (fun () ->
+                Universe.build r p)
+          in
+          Hashtbl.replace shard.universes key u;
+          (false, u))
 
-let stats t = (t.hits, t.misses)
+let shard_stats t = Shard.mapi t.shards (fun _ s -> (s.hits, s.misses))
+
+let stats t =
+  Shard.fold t.shards ~init:(0, 0) ~f:(fun (h, m) _ s ->
+      (h + s.hits, m + s.misses))

@@ -1,4 +1,5 @@
-(** Relation catalog with a content-hash-keyed universe cache.
+(** Relation catalog with a content-hash-keyed universe cache, sharded
+    for concurrent use.
 
     The catalog names the relations a server may open sessions over, and
     memoizes [Universe.build] per relation *pair*, keyed by the two
@@ -6,14 +7,24 @@
     CSV pair build Ω once; re-registering a relation with different
     contents changes its fingerprint and naturally misses the cache.
 
+    Every operation is safe to call from any domain.  The universe cache
+    is hashed across shards (one mutex each); a build holds only its own
+    shard's lock, and two concurrent misses on the same pair perform
+    exactly one build.
+
     Cache traffic is observable twice over: the plain {!stats} counters
-    (always on, used by the bench) and the Obs counters
-    [server.universe_cache_hit] / [server.universe_cache_miss] (for
+    (exact — maintained under the shard locks, used by the bench) and
+    the Obs counters [server.universe_cache_hit] /
+    [server.universe_cache_miss] (best-effort across domains, for
     metrics-pinned tests and traces). *)
 
 type t
 
-val create : unit -> t
+(** [shards] defaults to {!Shard.default_shards}. *)
+val create : ?shards:int -> unit -> t
+
+(** Number of universe-cache shards. *)
+val shards : t -> int
 
 (** Register a relation under [name] (default: its own
     [Relation.name]).  Re-registering a name replaces the relation. *)
@@ -31,5 +42,10 @@ val universe :
   t -> Jqi_relational.Relation.t -> Jqi_relational.Relation.t ->
   bool * Jqi_core.Universe.t
 
-(** (cache hits, cache misses) since [create]. *)
+(** (cache hits, cache misses) per shard, in shard order.  Exact: the
+    counters are updated under the shard locks. *)
+val shard_stats : t -> (int * int) list
+
+(** (cache hits, cache misses) since [create] — the sum of
+    {!shard_stats}. *)
 val stats : t -> int * int

@@ -1,0 +1,319 @@
+(* The network front end: a Unix-domain/TCP listener feeding a worker
+   pool.
+
+   Thread/domain layout: the accept loop and one reader thread per
+   connection are plain systhreads (they only do blocking IO, which
+   releases the runtime lock); the actual protocol work — decode already
+   done on the reader thread, engine transitions in [Service.handle] —
+   runs on the [Pool]'s worker domains.  A reader keeps at most one
+   request of its connection in flight, so per-connection ordering is
+   the protocol's ordering; concurrency comes from many connections.
+
+   Backpressure: when the pool's bounded queue is full, the reader
+   answers with a typed [busy] error frame immediately instead of
+   queueing without bound.  Oversized lines get an [overflow] error
+   frame and a clean disconnect; torn frames are buffered by [Framing]
+   until their newline arrives; undecodable lines are answered by the
+   reader thread directly (no pool round-trip) with the codec's error
+   frame.  No input can raise out of a reader. *)
+
+module Obs = Jqi_obs.Obs
+
+let c_accepted = Obs.Counter.make "server.listener.accepted"
+let c_frames = Obs.Counter.make "server.listener.frames"
+let c_overflow = Obs.Counter.make "server.listener.overflow"
+
+(* ------------------------------------------------------------------ *)
+(* Incremental newline framing                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Framing = struct
+  type event = Frame of string | Overflow of int | Await
+
+  type t = {
+    max_frame : int;
+    buf : Buffer.t;
+    events : event Queue.t;
+    mutable discarding : bool;  (* inside an oversized line *)
+  }
+
+  let default_max_frame = 1 lsl 20
+
+  let create ?(max_frame = default_max_frame) () =
+    {
+      max_frame = (if max_frame < 1 then 1 else max_frame);
+      buf = Buffer.create 256;
+      events = Queue.create ();
+      discarding = false;
+    }
+
+  (* One character at a time keeps the state machine trivially invariant
+     under chunk boundaries: feeding a byte stream split any way yields
+     the same event sequence. *)
+  let feed_char t c =
+    if t.discarding then begin
+      if Char.equal c '\n' then t.discarding <- false
+    end
+    else if Char.equal c '\n' then begin
+      let line = Buffer.contents t.buf in
+      Buffer.clear t.buf;
+      let line =
+        (* JSON-lines over TCP often arrives CRLF-terminated. *)
+        if String.length line > 0 && Char.equal line.[String.length line - 1] '\r'
+        then String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Queue.add (Frame line) t.events
+    end
+    else begin
+      Buffer.add_char t.buf c;
+      if Buffer.length t.buf > t.max_frame then begin
+        Queue.add (Overflow (Buffer.length t.buf)) t.events;
+        Buffer.clear t.buf;
+        t.discarding <- true
+      end
+    end
+
+  let feed t chunk = String.iter (feed_char t) chunk
+
+  let next t =
+    match Queue.take_opt t.events with Some e -> e | None -> Await
+end
+
+(* ------------------------------------------------------------------ *)
+(* Socket plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+type t = {
+  manager : Manager.t;
+  pool : Pool.t;
+  max_frame : int;
+  listen_fd : Unix.file_descr;
+  (* Self-pipe: [stop] writes a byte so the accept loop's [select]
+     wakes — closing a listening fd does not interrupt a blocked
+     [accept] on Linux. *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  actual : addr;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  mutable next_conn : int;
+  mutable threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  mutable sweep_thread : Thread.t option;
+  mutable stopping : bool;
+}
+
+let ignore_unix_error f = try f () with Unix.Unix_error (_, _, _) -> ()
+
+(* Write the whole string, returning [false] on a dead peer. *)
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off >= len then true
+    else
+      match Unix.write_substring fd s off (len - off) with
+      | 0 -> false
+      | n -> go (off + n)
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
+  go 0
+
+let reply_line fd line = write_all fd (line ^ "\n")
+
+(* One request: decode on this thread, run on the pool, answer in
+   order.  A full pool is the backpressure path: a typed busy frame. *)
+let respond t fd line =
+  match Protocol.decode_request line with
+  | Error (id, resp) -> reply_line fd (Protocol.encode_response ~id resp)
+  | Ok (id, request) -> (
+      let outcome =
+        try Pool.submit t.pool (fun () -> Service.handle t.manager request)
+        with exn ->
+          Pool.Done
+            (Protocol.Error
+               {
+                 code = "internal";
+                 message = "request failed: " ^ Printexc.to_string exn;
+               })
+      in
+      match outcome with
+      | Pool.Done resp -> reply_line fd (Protocol.encode_response ~id resp)
+      | Pool.Shed -> reply_line fd (Protocol.encode_response ~id (Service.busy ())))
+
+let overflow_frame size =
+  Protocol.encode_response ~id:0
+    (Protocol.Error
+       {
+         code = "overflow";
+         message =
+           Printf.sprintf "frame exceeds %d bytes (got %d); disconnecting" size
+             size;
+       })
+
+let conn_main t cid fd =
+  let framing = Framing.create ~max_frame:t.max_frame () in
+  let buf = Bytes.create 4096 in
+  let alive = ref true in
+  (* Drain every complete frame the last read uncovered. *)
+  let rec drain () =
+    if !alive then
+      match Framing.next framing with
+      | Framing.Await -> ()
+      | Framing.Frame line ->
+          if not (String.equal (String.trim line) "") then begin
+            Obs.Counter.incr c_frames;
+            if not (respond t fd line) then alive := false
+          end;
+          drain ()
+      | Framing.Overflow size ->
+          Obs.Counter.incr c_overflow;
+          ignore (write_all fd (overflow_frame size ^ "\n"));
+          alive := false
+  in
+  while !alive do
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> alive := false
+    | n ->
+        Framing.feed framing (Bytes.sub_string buf 0 n);
+        drain ()
+    | exception Unix.Unix_error (_, _, _) -> alive := false
+  done;
+  ignore_unix_error (fun () -> Unix.close fd);
+  Mutex.lock t.conns_mutex;
+  Hashtbl.remove t.conns cid;
+  Mutex.unlock t.conns_mutex
+
+(* Block in [select] (listen fd + self-pipe), not in [accept]: a byte
+   on the pipe from [stop] ends the loop promptly, which a plain
+   blocking [accept] would never notice. *)
+let accept_loop t =
+  let rec loop () =
+    if not t.stopping then
+      match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.) with
+      | exception Unix.Unix_error (_, _, _) -> ()
+      | readable, _, _ ->
+          if t.stopping || List.memq t.wake_r readable then ()
+          else if List.memq t.listen_fd readable then begin
+            match Unix.accept t.listen_fd with
+            | exception Unix.Unix_error (_, _, _) -> loop ()
+            | fd, _ ->
+                (match t.actual with
+                | Tcp (_, _) ->
+                    (* Request/response over small frames: Nagle +
+                       delayed ACK would add tens of ms per turn. *)
+                    ignore_unix_error (fun () ->
+                        Unix.setsockopt fd Unix.TCP_NODELAY true)
+                | Unix_path _ -> ());
+                Obs.Counter.incr c_accepted;
+                Mutex.lock t.conns_mutex;
+                let cid = t.next_conn in
+                t.next_conn <- cid + 1;
+                Hashtbl.replace t.conns cid fd;
+                let thread = Thread.create (fun () -> conn_main t cid fd) () in
+                t.threads <- thread :: t.threads;
+                Mutex.unlock t.conns_mutex;
+                loop ()
+          end
+          else loop ()
+  in
+  loop ()
+
+(* Periodic idle-eviction sweep, in 50ms ticks so [stop] is prompt. *)
+let sweep_loop t every =
+  let tick = 0.05 in
+  let rec go elapsed =
+    if not t.stopping then
+      if elapsed >= every then begin
+        ignore (Manager.sweep t.manager);
+        go 0.
+      end
+      else begin
+        Thread.delay tick;
+        go (elapsed +. tick)
+      end
+  in
+  go 0.
+
+let bind_socket = function
+  | Unix_path path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 128;
+      (fd, Unix_path path)
+  | Tcp (host, port) ->
+      let inet = Unix.inet_addr_of_string host in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      Unix.listen fd 128;
+      let actual =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, bound) -> Tcp (host, bound)
+        | Unix.ADDR_UNIX _ -> Tcp (host, port)
+      in
+      (fd, actual)
+
+let start ?(max_frame = Framing.default_max_frame) ?sweep_every ~pool manager
+    addr =
+  let listen_fd, actual = bind_socket addr in
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      manager;
+      pool;
+      max_frame;
+      listen_fd;
+      wake_r;
+      wake_w;
+      actual;
+      conns = Hashtbl.create 32;
+      conns_mutex = Mutex.create ();
+      next_conn = 1;
+      threads = [];
+      accept_thread = None;
+      sweep_thread = None;
+      stopping = false;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  (match sweep_every with
+  | Some every when every > 0. ->
+      t.sweep_thread <- Some (Thread.create (fun () -> sweep_loop t every) ())
+  | Some _ | None -> ());
+  t
+
+let address t = t.actual
+
+let connections t =
+  Mutex.lock t.conns_mutex;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_mutex;
+  n
+
+let stop t =
+  t.stopping <- true;
+  ignore_unix_error (fun () -> ignore (Unix.write_substring t.wake_w "x" 0 1));
+  Mutex.lock t.conns_mutex;
+  let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
+  let threads = t.threads in
+  Mutex.unlock t.conns_mutex;
+  List.iter
+    (fun fd -> ignore_unix_error (fun () -> Unix.shutdown fd Unix.SHUTDOWN_ALL))
+    fds;
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (match t.sweep_thread with Some th -> Thread.join th | None -> ());
+  List.iter Thread.join threads;
+  ignore_unix_error (fun () -> Unix.close t.listen_fd);
+  ignore_unix_error (fun () -> Unix.close t.wake_r);
+  ignore_unix_error (fun () -> Unix.close t.wake_w);
+  match t.actual with
+  | Unix_path path -> if Sys.file_exists path then Sys.remove path
+  | Tcp (_, _) -> ()

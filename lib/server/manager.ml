@@ -1,10 +1,18 @@
 (* The session manager: the server's heart.
 
    A session is an [Engine] plus addressing metadata; the manager owns the
-   id space, the idle clock and the Obs accounting.  Everything here is
-   single-domain: concurrency at this layer means *interleaving* many
-   sessions' requests, which the sans-IO engine makes trivial — each
-   request is a pure state transition on one session's engine value. *)
+   id space, the idle clock and the Obs accounting.  Sessions are hashed
+   across shards by id — one mutex per shard — so requests for sessions
+   on different shards run in parallel from any number of domains; each
+   request is a pure state transition on one session's engine value,
+   executed under exactly one shard lock.  Ids come from a process-wide
+   atomic counter, so they are globally unique without any global lock.
+
+   Eviction keeps the EOF-path guarantee: a swept session is first frozen
+   as a v2 [Session] document (labels, strategy, and the in-flight
+   question if one is outstanding) into a bounded per-shard morgue, from
+   which [evicted_doc] lets a returning client resume instead of losing
+   its answers. *)
 
 module Engine = Jqi_core.Engine
 module Strategy = Jqi_core.Strategy
@@ -18,6 +26,7 @@ let c_closed = Obs.Counter.make "server.sessions_closed"
 let c_evicted = Obs.Counter.make "server.sessions_evicted"
 let c_questions = Obs.Counter.make "server.questions"
 let c_labels = Obs.Counter.make "server.labels"
+let c_autosaved = Obs.Counter.make "server.shard.evict_autosave"
 
 type error =
   | Unknown_relation of string
@@ -48,6 +57,41 @@ type info = {
 
 type turn = Next of Engine.question | Finished of Engine.outcome
 
+type stats = {
+  live : int;
+  opened : int;
+  resumed : int;
+  closed : int;
+  evicted : int;
+  autosaved : int;
+  questions : int;
+  labels : int;
+}
+
+let zero_stats =
+  {
+    live = 0;
+    opened = 0;
+    resumed = 0;
+    closed = 0;
+    evicted = 0;
+    autosaved = 0;
+    questions = 0;
+    labels = 0;
+  }
+
+let add_stats a b =
+  {
+    live = a.live + b.live;
+    opened = a.opened + b.opened;
+    resumed = a.resumed + b.resumed;
+    closed = a.closed + b.closed;
+    evicted = a.evicted + b.evicted;
+    autosaved = a.autosaved + b.autosaved;
+    questions = a.questions + b.questions;
+    labels = a.labels + b.labels;
+  }
+
 type session = {
   s_id : string;
   s_r : string;
@@ -58,42 +102,54 @@ type session = {
   mutable s_last_active : float;
 }
 
+(* Everything inside a shard is guarded by that shard's mutex; the
+   counters are exact, unlike the best-effort cross-domain Obs ones. *)
+type shard = {
+  sessions : (string, session) Hashtbl.t;
+  morgue : (string, Jqi_util.Json.t) Hashtbl.t;  (* autosaved evictees *)
+  morgue_order : string Queue.t;  (* FIFO for the morgue bound *)
+  mutable st : stats;  (* [live] unused here; computed from [sessions] *)
+}
+
+(* Autosaved documents kept per shard; older ones are dropped first. *)
+let max_morgue = 512
+
 type t = {
   catalog : Catalog.t;
-  sessions : (string, session) Hashtbl.t;
+  shards : shard Shard.t;
   clock : unit -> float;
   idle_timeout : float option;
   seed : int;
-  mutable next_id : int;
+  next_id : int Atomic.t;
 }
 
-let create ?clock ?idle_timeout ?(seed = 42) catalog =
+let create ?clock ?idle_timeout ?(seed = 42) ?shards catalog =
   let clock = match clock with Some c -> c | None -> Obs.now in
   {
     catalog;
-    sessions = Hashtbl.create 64;
+    shards =
+      Shard.create ?shards (fun _ ->
+          {
+            sessions = Hashtbl.create 16;
+            morgue = Hashtbl.create 4;
+            morgue_order = Queue.create ();
+            st = zero_stats;
+          });
     clock;
     idle_timeout;
     seed;
-    next_id = 1;
+    next_id = Atomic.make 1;
   }
 
 let catalog t = t.catalog
+let shards t = Shard.size t.shards
 
-let fresh_id t =
-  let id = Printf.sprintf "s%d" t.next_id in
-  t.next_id <- t.next_id + 1;
-  id
+let fresh_id t = Printf.sprintf "s%d" (Atomic.fetch_and_add t.next_id 1)
 
-let find_session t id =
-  match Hashtbl.find_opt t.sessions id with
-  | Some s ->
-      s.s_last_active <- t.clock ();
-      Ok s
-  | None -> Error (Unknown_session id)
-
-(* Shared tail of open/resume: wrap an engine into a registered session. *)
-let register t ~r_name ~p_name ~strategy_name ~universe ~cache_hit engine =
+(* Shared tail of open/resume: wrap an engine into a registered session.
+   The id is drawn before locking, so only the target shard is held. *)
+let register t ~r_name ~p_name ~strategy_name ~universe ~cache_hit ~resumed
+    engine =
   let id = fresh_id t in
   let session =
     {
@@ -106,7 +162,11 @@ let register t ~r_name ~p_name ~strategy_name ~universe ~cache_hit engine =
       s_last_active = t.clock ();
     }
   in
-  Hashtbl.replace t.sessions id session;
+  Shard.with_key t.shards id (fun shard ->
+      Hashtbl.replace shard.sessions id session;
+      shard.st <-
+        (if resumed then { shard.st with resumed = shard.st.resumed + 1 }
+         else { shard.st with opened = shard.st.opened + 1 }));
   {
     id;
     r_name;
@@ -137,7 +197,7 @@ let open_session t ~r ~p ~strategy =
               Ok
                 (register t ~r_name:r ~p_name:p
                    ~strategy_name:(Strategy.name strat) ~universe ~cache_hit
-                   engine)))
+                   ~resumed:false engine)))
 
 let resume_session t ~r ~p ?strategy doc =
   Obs.span ~attrs:[ ("r", r); ("p", p) ] "server.resume" (fun () ->
@@ -169,82 +229,131 @@ let resume_session t ~r ~p ?strategy doc =
                   Ok
                     (register t ~r_name:r ~p_name:p
                        ~strategy_name:(Strategy.name strat) ~universe
-                       ~cache_hit engine))))
+                       ~cache_hit ~resumed:true engine))))
 
-let turn_of session =
+(* Run [f] on the live session [id] under its shard's lock, stamping the
+   idle clock.  All reads and writes of a session happen inside this. *)
+let with_session t id f =
+  Shard.with_key t.shards id (fun shard ->
+      match Hashtbl.find_opt shard.sessions id with
+      | None -> Error (Unknown_session id)
+      | Some s ->
+          s.s_last_active <- t.clock ();
+          f shard s)
+
+let turn_of shard session =
   match Engine.pending session.s_engine with
   | Some q ->
       Obs.Counter.incr c_questions;
+      shard.st <- { shard.st with questions = shard.st.questions + 1 };
       Next q
   | None -> Finished (Engine.result session.s_engine)
 
 let ask t id =
   Obs.span ~attrs:[ ("session", id) ] "server.ask" (fun () ->
-      Result.map turn_of (find_session t id))
+      with_session t id (fun shard s -> Ok (turn_of shard s)))
 
 let tell t id label =
   Obs.span ~attrs:[ ("session", id) ] "server.tell" (fun () ->
-      match find_session t id with
-      | Error e -> Error e
-      | Ok session -> (
+      with_session t id (fun shard session ->
           match Engine.pending session.s_engine with
           | None -> Error (No_pending id)
           | Some _ ->
               Obs.Counter.incr c_labels;
+              shard.st <- { shard.st with labels = shard.st.labels + 1 };
               session.s_engine <- Engine.answer session.s_engine label;
-              Ok (turn_of session)))
+              Ok (turn_of shard session)))
+
+(* Freeze a session as a v2 document: labels, strategy, and the pending
+   question.  Called under the shard lock (from [save] and [sweep]). *)
+let doc_of_session session =
+  let pending =
+    match Engine.pending session.s_engine with
+    | Some q ->
+        Some (Universe.cls session.s_universe q.Engine.class_id).Universe.rep
+    | None -> None
+  in
+  let outcome = Engine.result session.s_engine in
+  Session.to_json ~strategy:session.s_strategy ?pending session.s_universe
+    outcome.Engine.state
 
 let save t id =
   Obs.span ~attrs:[ ("session", id) ] "server.save" (fun () ->
-      match find_session t id with
-      | Error e -> Error e
-      | Ok session ->
-          let pending =
-            match Engine.pending session.s_engine with
-            | Some q ->
-                Some
-                  (Universe.cls session.s_universe q.Engine.class_id)
-                    .Universe.rep
-            | None -> None
-          in
-          let outcome = Engine.result session.s_engine in
-          Ok
-            (Session.to_json ~strategy:session.s_strategy ?pending
-               session.s_universe outcome.Engine.state))
+      with_session t id (fun _shard session -> Ok (doc_of_session session)))
 
 let close t id =
-  match find_session t id with
-  | Error e -> Error e
-  | Ok _ ->
-      Hashtbl.remove t.sessions id;
+  with_session t id (fun shard _ ->
+      Hashtbl.remove shard.sessions id;
       Obs.Counter.incr c_closed;
-      Ok ()
+      shard.st <- { shard.st with closed = shard.st.closed + 1 };
+      Ok ())
+
+(* Stash an evicted session's document, dropping the oldest entries past
+   the morgue bound.  Under the shard lock. *)
+let stash shard id doc =
+  if not (Hashtbl.mem shard.morgue id) then Queue.add id shard.morgue_order;
+  Hashtbl.replace shard.morgue id doc;
+  while Hashtbl.length shard.morgue > max_morgue do
+    match Queue.take_opt shard.morgue_order with
+    | Some oldest -> Hashtbl.remove shard.morgue oldest
+    | None -> Hashtbl.reset shard.morgue
+  done
 
 let sweep t =
   match t.idle_timeout with
   | None -> []
   | Some timeout ->
       let now = t.clock () in
-      let stale =
-        Hashtbl.fold
-          (fun id s acc ->
-            if now -. s.s_last_active > timeout then id :: acc else acc)
-          t.sessions []
+      let evicted =
+        Shard.fold t.shards ~init:[] ~f:(fun acc _ shard ->
+            let stale =
+              Hashtbl.fold
+                (fun id s acc ->
+                  if now -. s.s_last_active > timeout then (id, s) :: acc
+                  else acc)
+                shard.sessions []
+            in
+            List.iter
+              (fun (id, s) ->
+                (* The EOF-path guarantee: never drop a labeler's answers.
+                   Autosave before removal — pending question included —
+                   so the session is resumable from [evicted_doc]. *)
+                stash shard id (doc_of_session s);
+                Hashtbl.remove shard.sessions id;
+                Obs.Counter.incr c_evicted;
+                Obs.Counter.incr c_autosaved;
+                shard.st <-
+                  {
+                    shard.st with
+                    evicted = shard.st.evicted + 1;
+                    autosaved = shard.st.autosaved + 1;
+                  })
+              stale;
+            List.rev_append (List.rev_map fst stale) acc)
       in
-      List.iter
-        (fun id ->
-          Hashtbl.remove t.sessions id;
-          Obs.Counter.incr c_evicted)
-        stale;
-      List.sort String.compare stale
+      List.sort String.compare evicted
 
-let session_count t = Hashtbl.length t.sessions
+let evicted_doc t id =
+  Shard.with_key t.shards id (fun shard -> Hashtbl.find_opt shard.morgue id)
+
+let session_count t =
+  Shard.fold t.shards ~init:0 ~f:(fun n _ shard ->
+      n + Hashtbl.length shard.sessions)
 
 let session_ids t =
   List.sort String.compare
-    (Hashtbl.fold (fun id _ acc -> id :: acc) t.sessions [])
+    (Shard.fold t.shards ~init:[] ~f:(fun acc _ shard ->
+         Hashtbl.fold (fun id _ acc -> id :: acc) shard.sessions acc))
 
 let session_universe t id =
-  Option.map
-    (fun s -> s.s_universe)
-    (Hashtbl.find_opt t.sessions id)
+  Shard.with_key t.shards id (fun shard ->
+      Option.map
+        (fun s -> s.s_universe)
+        (Hashtbl.find_opt shard.sessions id))
+
+let shard_stats t =
+  Shard.mapi t.shards (fun _ shard ->
+      { shard.st with live = Hashtbl.length shard.sessions })
+
+let stats t =
+  List.fold_left add_stats zero_stats (shard_stats t)

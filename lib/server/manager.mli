@@ -2,16 +2,26 @@
     one relation catalog, each a sans-IO [Engine] addressed by id.
 
     The manager is transport-agnostic — [Service] maps protocol frames
-    onto it, the bench drives it directly, and a future network front end
-    would too.  Sessions are cheap: opening one costs a universe-cache
+    onto it, [Listener] serves it over sockets, the bench drives it
+    directly.  Sessions are cheap: opening one costs a universe-cache
     lookup (the build itself is shared via [Catalog]) plus one strategy
     choice, so thousands of interleaved sessions are the intended load.
 
+    Every operation is safe to call from any domain.  Sessions are
+    hashed across shards by id, one mutex per shard: a request locks
+    exactly its session's shard for the duration of the engine
+    transition, so sessions on different shards proceed in parallel and
+    two racing requests for the same session serialize — each sees a
+    consistent engine value, never a torn one.
+
     Every call stamps the session's last-activity time from the
     manager's clock ([Obs.now] unless injected), and [sweep] evicts
-    sessions idle longer than [idle_timeout].  All activity ticks
-    [server.*] Obs counters, with per-call spans carrying the session id
-    as an attribute. *)
+    sessions idle longer than [idle_timeout] — first freezing each as a
+    v2 session document retrievable via {!evicted_doc}, the same
+    autosave guarantee the CLI's EOF path gives (in-flight pending
+    question included).  All activity ticks [server.*] Obs counters
+    (best-effort across domains); {!shard_stats} and {!stats} are exact,
+    maintained under the shard locks. *)
 
 module Engine = Jqi_core.Engine
 
@@ -41,12 +51,34 @@ type info = {
     session's outcome (Γ reached — nothing informative left to ask). *)
 type turn = Next of Engine.question | Finished of Engine.outcome
 
+(** Exact activity counters.  As per-shard values ({!shard_stats}) each
+    is maintained under that shard's lock; the global {!stats} is their
+    sum, so shard stats always sum to global stats. *)
+type stats = {
+  live : int;  (** sessions currently registered *)
+  opened : int;
+  resumed : int;
+  closed : int;
+  evicted : int;
+  autosaved : int;  (** evictions that stashed a resume document *)
+  questions : int;
+  labels : int;
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
 (** [clock] defaults to [Obs.now]; [idle_timeout] (seconds) enables
-    {!sweep}; [seed] feeds randomized strategies. *)
+    {!sweep}; [seed] feeds randomized strategies; [shards] defaults to
+    {!Shard.default_shards}. *)
 val create :
-  ?clock:(unit -> float) -> ?idle_timeout:float -> ?seed:int -> Catalog.t -> t
+  ?clock:(unit -> float) -> ?idle_timeout:float -> ?seed:int ->
+  ?shards:int -> Catalog.t -> t
 
 val catalog : t -> Catalog.t
+
+(** Number of session shards. *)
+val shards : t -> int
 
 (** Open a fresh session over two catalog relations with a strategy
     named as in [Strategy.of_name]. *)
@@ -72,9 +104,17 @@ val save : t -> string -> (Jqi_util.Json.t, error) result
 
 val close : t -> string -> (unit, error) result
 
-(** Evict sessions idle past [idle_timeout]; returns the evicted ids.
-    No-op without a timeout. *)
+(** Evict sessions idle past [idle_timeout]; returns the evicted ids,
+    sorted.  Each evicted session is autosaved first — its v2 document
+    (in-flight pending question included) lands in a bounded per-shard
+    store readable via {!evicted_doc}.  No-op without a timeout. *)
 val sweep : t -> string list
+
+(** The autosaved document of an evicted session, if still retained
+    (the per-shard store is bounded; oldest entries fall out first).
+    Feed it to {!resume_session} to pick up where the evictee left
+    off. *)
+val evicted_doc : t -> string -> Jqi_util.Json.t option
 
 val session_count : t -> int
 
@@ -84,3 +124,9 @@ val session_ids : t -> string list
 (** The universe a session runs on, for callers that need to render
     predicates or signatures (e.g. [Service]). *)
 val session_universe : t -> string -> Jqi_core.Universe.t option
+
+(** Per-shard exact counters, in shard order. *)
+val shard_stats : t -> stats list
+
+(** Global exact counters: the sum of {!shard_stats}. *)
+val stats : t -> stats

@@ -142,3 +142,32 @@ let handle_line manager line =
   match Protocol.decode_request line with
   | Ok (id, request) -> Protocol.encode_response ~id (handle manager request)
   | Error (id, response) -> Protocol.encode_response ~id response
+
+(* The backpressure frame: what a shed request is answered with when the
+   worker pool's bounded queue is full.  Typed so clients can tell
+   overload (retry later, with backoff) from a protocol mistake. *)
+let busy () =
+  Protocol.Error
+    {
+      code = "busy";
+      message = "server overloaded — request shed, retry with backoff";
+    }
+
+(* The original single-client deployment: a blocking JSON-lines loop
+   over a channel pair.  [bin/jqinfer serve] runs it on stdin/stdout;
+   the bench runs it over a socketpair as the single-threaded
+   differential baseline for the concurrent listener. *)
+let serve_channels ?(sweep = true) manager ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        if not (String.equal (String.trim line) "") then begin
+          output_string oc (handle_line manager line);
+          output_char oc '\n';
+          flush oc
+        end;
+        if sweep then ignore (Manager.sweep manager);
+        loop ()
+  in
+  loop ()

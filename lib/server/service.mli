@@ -13,3 +13,15 @@ val handle : Manager.t -> Protocol.request -> Protocol.response
 (** Answer one wire line: decode, dispatch, encode.  Undecodable lines
     yield an encoded [Error] frame (id 0 when the id was unreadable). *)
 val handle_line : Manager.t -> string -> string
+
+(** The typed backpressure response (code ["busy"]) a shed request is
+    answered with when the worker pool refuses it. *)
+val busy : unit -> Protocol.response
+
+(** The blocking single-client loop: read a line, {!handle_line} it,
+    write and flush the answer, [sweep] the manager after each request
+    (default [true]), until EOF.  [bin/jqinfer serve] runs this on
+    stdin/stdout; the bench runs it over a socketpair as the
+    single-threaded baseline. *)
+val serve_channels :
+  ?sweep:bool -> Manager.t -> in_channel -> out_channel -> unit

@@ -188,6 +188,134 @@ let lexer_total =
       | _ -> true
       | exception Jqi_sql.Lexer.Error _ -> true)
 
+(* --------------------------- wire framing -------------------------- *)
+
+module Framing = Jqi_server.Listener.Framing
+module Protocol = Jqi_server.Protocol
+
+let event_to_string = function
+  | Framing.Frame s -> Printf.sprintf "Frame %S" s
+  | Framing.Overflow n -> Printf.sprintf "Overflow %d" n
+  | Framing.Await -> "Await"
+
+(* Feed the chunks, then pop every completed event. *)
+let events_of ?max_frame chunks =
+  let t = Framing.create ?max_frame () in
+  List.iter (Framing.feed t) chunks;
+  let rec drain acc =
+    match Framing.next t with
+    | Framing.Await -> List.rev acc
+    | e -> drain (e :: acc)
+  in
+  drain []
+
+let check_events what expected got =
+  Alcotest.(check (list string))
+    what
+    (List.map event_to_string expected)
+    (List.map event_to_string got)
+
+(* The regression table: torn frames, CRLF, oversized lines, partial
+   writes — every case an error frame or clean buffering, never a
+   surprise. *)
+let test_framing_table () =
+  check_events "torn frames reassemble across writes"
+    [ Framing.Frame "abc"; Framing.Frame "def" ]
+    (events_of [ "ab"; "c\nde"; "f\n" ]);
+  check_events "no newline, no frame" [] (events_of [ "half a line" ]);
+  check_events "crlf terminator stripped" [ Framing.Frame "abc" ]
+    (events_of [ "abc\r\n" ]);
+  check_events "bare cr mid-line preserved" [ Framing.Frame "a\rb" ]
+    (events_of [ "a\rb\n" ]);
+  check_events "empty line is an empty frame" [ Framing.Frame "" ]
+    (events_of [ "\n" ]);
+  check_events "oversized line: overflow, rest discarded, next line intact"
+    [ Framing.Overflow 5; Framing.Frame "ok" ]
+    (events_of ~max_frame:4 [ "abcdefgh\nok\n" ]);
+  check_events "oversized line torn across writes"
+    [ Framing.Overflow 5; Framing.Frame "z" ]
+    (events_of ~max_frame:4 [ "abc"; "def"; "g\nz\n" ]);
+  check_events "two oversized lines, two overflows"
+    [ Framing.Overflow 5; Framing.Overflow 5 ]
+    (events_of ~max_frame:4 [ "aaaaaaaa\nbbbbbbbb\n" ])
+
+let graph_char_or_nl =
+  QCheck.Gen.(
+    frequency [ (8, printable); (1, return '\n'); (1, return '\r') ])
+
+(* Random byte streams: a mix of valid frames, truncations and noise. *)
+let gen_wire_stream =
+  QCheck.Gen.(
+    map (String.concat "")
+      (list_size (int_bound 6)
+         (oneof
+            [
+              oneofl
+                [
+                  {|{"v":1,"id":3,"op":"stats"}|} ^ "\n";
+                  {|{"v":1,"id":4,"op":"ask","session":"s1"}|} ^ "\n";
+                  {|{"v":1,"id":7,"op":"hello","versions":[1]}|} ^ "\n";
+                  {|{"v":1,"id":9|};
+                  "garbage";
+                  "\n";
+                  "\r\n";
+                ];
+              string_size ~gen:graph_char_or_nl (int_bound 80);
+            ])))
+
+(* Split [s] at the (deduplicated, in-range) cut points. *)
+let split_at_cuts s cuts =
+  let cuts =
+    List.sort_uniq Int.compare
+      (List.filter (fun c -> c > 0 && c < String.length s) cuts)
+  in
+  let rec go start = function
+    | [] -> [ String.sub s start (String.length s - start) ]
+    | c :: rest -> String.sub s start (c - start) :: go c rest
+  in
+  go 0 cuts
+
+let gen_stream_and_cuts =
+  QCheck.Gen.(pair gen_wire_stream (list_size (int_bound 8) (int_bound 300)))
+
+let print_stream_and_cuts (s, cuts) =
+  Printf.sprintf "%S cut at [%s]" s
+    (String.concat ";" (List.map string_of_int cuts))
+
+(* Chunk invariance: the event sequence is a function of the byte
+   stream, not of how the writes were torn. *)
+let framing_chunk_invariant =
+  QCheck.Test.make ~name:"framing invariant under write boundaries" ~count:300
+    (QCheck.make gen_stream_and_cuts ~print:print_stream_and_cuts)
+    (fun (s, cuts) ->
+      events_of ~max_frame:64 (split_at_cuts s cuts)
+      = events_of ~max_frame:64 [ s ])
+
+(* Decoder totality extended to the framed TCP path: every frame the
+   framing layer can ever emit decodes to a request or an error frame —
+   never an exception. *)
+let framed_decoder_total =
+  QCheck.Test.make ~name:"protocol decoder total over framed streams"
+    ~count:300
+    (QCheck.make gen_stream_and_cuts ~print:print_stream_and_cuts)
+    (fun (s, cuts) ->
+      List.for_all
+        (fun event ->
+          match event with
+          | Framing.Frame line -> (
+              match Protocol.decode_request line with
+              | Ok _ | Error _ -> true)
+          | Framing.Overflow _ | Framing.Await -> true)
+        (events_of ~max_frame:64 (split_at_cuts s cuts)))
+
 let suite =
-  List.map QCheck_alcotest.to_alcotest
-    [ csv_roundtrip; csv_separator_roundtrip; sql_print_parse_fixpoint; lexer_total ]
+  Alcotest.test_case "wire framing regression table" `Quick test_framing_table
+  :: List.map QCheck_alcotest.to_alcotest
+       [
+         csv_roundtrip;
+         csv_separator_roundtrip;
+         sql_print_parse_fixpoint;
+         lexer_total;
+         framing_chunk_invariant;
+         framed_decoder_total;
+       ]

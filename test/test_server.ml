@@ -241,6 +241,61 @@ let test_manager_idle_eviction () =
   Alcotest.(check bool) "survivor still answers" true
     (match Manager.ask manager s1 with Ok _ -> true | Error _ -> false)
 
+(* Idle eviction of a session with an in-flight pending question must
+   autosave — the same guarantee the CLI's EOF path gives.  Pinned with
+   an injected clock: no real time passes. *)
+let test_eviction_autosaves_pending () =
+  let now = ref 0. in
+  let manager =
+    Manager.create ~clock:(fun () -> !now) ~idle_timeout:10. (fh_catalog ())
+  in
+  let id =
+    (expect_ok "open"
+       (Manager.open_session manager ~r:"Flight" ~p:"Hotel" ~strategy:"td"))
+      .Manager.id
+  in
+  (* Answer one question and leave the next one outstanding. *)
+  let q1 =
+    match expect_ok "ask" (Manager.ask manager id) with
+    | Manager.Next q -> q
+    | Manager.Finished _ -> Alcotest.fail "finished too early"
+  in
+  let q2 =
+    match
+      expect_ok "tell" (Manager.tell manager id (label_for fh_goal q1.Engine.signature))
+    with
+    | Manager.Next q -> q
+    | Manager.Finished _ -> Alcotest.fail "finished too early"
+  in
+  now := 20.;
+  Alcotest.(check (list string)) "evicted" [ id ] (Manager.sweep manager);
+  let stats = Manager.stats manager in
+  Alcotest.(check int) "eviction counted" 1 stats.Manager.evicted;
+  Alcotest.(check int) "eviction autosaved" 1 stats.Manager.autosaved;
+  Alcotest.(check bool) "unknown id has no autosave" true
+    (Manager.evicted_doc manager "no-such-session" = None);
+  let doc =
+    match Manager.evicted_doc manager id with
+    | Some doc -> doc
+    | None -> Alcotest.fail "evicted session left no resume document"
+  in
+  (* Thaw the autosave: the in-flight question survives eviction exactly
+     as it survives an explicit save. *)
+  let info =
+    expect_ok "resume" (Manager.resume_session manager ~r:"Flight" ~p:"Hotel" doc)
+  in
+  (match expect_ok "ask2" (Manager.ask manager info.Manager.id) with
+  | Manager.Next q ->
+      Alcotest.(check int) "pending question survived eviction"
+        q2.Engine.class_id q.Engine.class_id
+  | Manager.Finished _ -> Alcotest.fail "lost the pending question");
+  let outcome =
+    drive_manager manager info.Manager.id
+      (expect_ok "ask3" (Manager.ask manager info.Manager.id))
+  in
+  Alcotest.check bits_testable "same θ after evict and thaw" fh_goal
+    outcome.Engine.predicate
+
 (* ----------------------------- protocol ---------------------------- *)
 
 let gen_str = QCheck.Gen.(string_size ~gen:printable (int_range 0 10))
@@ -474,6 +529,8 @@ let suite =
     Alcotest.test_case "manager errors" `Quick test_manager_errors;
     Alcotest.test_case "manager save/resume" `Quick test_manager_save_resume;
     Alcotest.test_case "manager idle eviction" `Quick test_manager_idle_eviction;
+    Alcotest.test_case "eviction autosaves a pending question" `Quick
+      test_eviction_autosaves_pending;
     QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_decoder_total;
