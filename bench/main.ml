@@ -495,6 +495,176 @@ let run_universe ~full ~seed =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* k-ary joins: Leapfrog Triejoin vs composition vs naive (ISSUE 7).   *)
+(* ------------------------------------------------------------------ *)
+
+(* Three-table TPC-H chain part ⋈ partsupp ⋈ supplier on the natural
+   keys.  Three measurements: (a) the k-ary quotient universe against
+   its Cartesian reference (identical classes, large speedup), (b) the
+   triejoin evaluator against left-deep hash composition and the naive
+   nested loop (equal multisets, triejoin beating naive), and (c) k-ary
+   inference convergence under BU/TD/L2S with an honest oracle.
+   Results land in BENCH_KARY.json; CI asserts the identity bits and the
+   triejoin-vs-naive speedup. *)
+let run_kary ~full ~seed =
+  let module Json = Jqi_util.Json in
+  let module Algebra = Jqi_relational.Algebra in
+  let module Relation = Jqi_relational.Relation in
+  let module Leapfrog = Jqi_relational.Leapfrog in
+  let module Ordering = Jqi_joinpath.Ordering in
+  let module Omega = Jqi_core.Omega in
+  let module Inference = Jqi_core.Inference in
+  let module Oracle = Jqi_core.Oracle in
+  section_header
+    "k-ary joins — Leapfrog Triejoin vs pairwise composition vs naive";
+  let scale = if full then 4 else 2 in
+  let db = Tpch.generate ~seed ~scale () in
+  let part = Algebra.project db.part [ "p_partkey"; "p_size" ] in
+  let partsupp = Algebra.project db.partsupp [ "ps_partkey"; "ps_suppkey" ] in
+  let supplier = Algebra.project db.supplier [ "s_suppkey"; "s_nationkey" ] in
+  let rels = [| part; partsupp; supplier |] in
+  let rel_list = [ part; partsupp; supplier ] in
+  let eqs = [ ((0, 0), (1, 0)); ((1, 1), (2, 0)) ] in
+  let time_best f =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to 3 do
+      let x, dt = Jqi_util.Timer.time f in
+      if dt < !best then best := dt;
+      result := Some x
+    done;
+    (Option.get !result, !best)
+  in
+  (* (a) universe: profile-trie walk vs Cartesian reference, on
+     duplicate-heavy projections where quotienting can pay (unique-key
+     columns have one profile per row, so there the two builders do the
+     same work). *)
+  let lw = Algebra.project db.lineitem [ "l_returnflag"; "l_linestatus"; "l_shipmode" ] in
+  let ow = Algebra.project db.orders [ "o_orderstatus"; "o_orderpriority" ] in
+  let cw = Algebra.project db.customer [ "c_mktsegment" ] in
+  let wide_list = [ lw; ow; cw ] in
+  let kary_u, kary_s = time_best (fun () -> Universe.build_kary wide_list) in
+  let naive_u, naive_s =
+    time_best (fun () -> Universe.build_kary_naive wide_list)
+  in
+  let universes_equal u1 u2 =
+    Universe.n_classes u1 = Universe.n_classes u2
+    && (let rec go i =
+          i >= Universe.n_classes u1
+          || Bits.equal (Universe.signature u1 i) (Universe.signature u2 i)
+             && Universe.count u1 i = Universe.count u2 i
+             && (Universe.cls u1 i).Universe.rep
+                = (Universe.cls u2 i).Universe.rep
+             && go (i + 1)
+        in
+        go 0)
+  in
+  let u_identical = universes_equal kary_u naive_u in
+  let u_speedup = naive_s /. kary_s in
+  Printf.printf
+    "  universe: %d x %d x %d rows (|D| = %d), %d classes\n\
+    \    kary     %8.2f ms\n\
+    \    naive    %8.2f ms  (%.1fx)\n\
+    \    universes %s\n"
+    (Relation.cardinality lw) (Relation.cardinality ow)
+    (Relation.cardinality cw)
+    (Universe.total_tuples kary_u)
+    (Universe.n_classes kary_u) (kary_s *. 1e3) (naive_s *. 1e3) u_speedup
+    (if u_identical then "identical" else "DIVERGED");
+  (* (b) join evaluation: triejoin vs composition vs nested loop. *)
+  let vars = Leapfrog.variables rels eqs in
+  let order = Ordering.default vars in
+  let tj_rows, tj_s = time_best (fun () -> Leapfrog.join ~order rels eqs) in
+  let comp_rows, comp_s = time_best (fun () -> Leapfrog.compose rels eqs) in
+  let ref_rows, ref_s = time_best (fun () -> Leapfrog.reference rels eqs) in
+  let canon rows =
+    let c = Array.map Array.copy rows in
+    Array.sort Stdlib.compare c;
+    c
+  in
+  let agree =
+    canon tj_rows = canon comp_rows && canon tj_rows = canon ref_rows
+  in
+  let speedup_ref = ref_s /. tj_s in
+  let speedup_comp = comp_s /. tj_s in
+  Printf.printf
+    "  join (%d result rows, %d variables):\n\
+    \    triejoin %8.3f ms\n\
+    \    compose  %8.3f ms  (triejoin %.1fx)\n\
+    \    naive    %8.3f ms  (triejoin %.1fx)\n\
+    \    results %s\n"
+    (Array.length tj_rows) (Array.length vars) (tj_s *. 1e3) (comp_s *. 1e3)
+    speedup_comp (ref_s *. 1e3) speedup_ref
+    (if agree then "multiset-equal" else "DIVERGED");
+  (* (c) inference convergence over the key-chain k-ary universe. *)
+  let chain_u = Universe.build_kary rel_list in
+  let omega = Universe.omega chain_u in
+  let goal =
+    Omega.of_names_kary omega
+      [
+        ("part.p_partkey", "partsupp.ps_partkey");
+        ("partsupp.ps_suppkey", "supplier.s_suppkey");
+      ]
+  in
+  let inference_entries =
+    List.map
+      (fun (name, strategy) ->
+        let result = Inference.run chain_u strategy (Oracle.honest ~goal) in
+        let verified = Inference.verified chain_u ~goal result in
+        Printf.printf "  inference %-4s %4d interactions  %s\n" name
+          result.Jqi_core.Inference.n_interactions
+          (if verified then "converged" else "NOT instance-equivalent");
+        Json.Obj
+          [
+            ("strategy", Json.Str name);
+            ( "n_interactions",
+              Json.int result.Jqi_core.Inference.n_interactions );
+            ("verified", Json.Bool verified);
+          ])
+      [
+        ("bu", Strategy.bu);
+        ("td", Strategy.td);
+        ("l2s", Strategy.lks 2);
+      ]
+  in
+  let path = "BENCH_KARY.json" in
+  Json.save_file path
+    (Json.Obj
+       [
+         ("seed", Json.int seed);
+         ("scale", Json.int scale);
+         ( "instance",
+           Json.Str
+             "universe: TPC-H lineitem x orders x customer duplicate-heavy \
+              projections; join/inference: part x partsupp x supplier \
+              natural-key chain" );
+         ( "universe",
+           Json.Obj
+             [
+               ("classes", Json.int (Universe.n_classes kary_u));
+               ("total_tuples", Json.int (Universe.total_tuples kary_u));
+               ("kary_s", Json.Num kary_s);
+               ("naive_s", Json.Num naive_s);
+               ("speedup", Json.Num u_speedup);
+               ("identical", Json.Bool u_identical);
+             ] );
+         ( "join",
+           Json.Obj
+             [
+               ("result_rows", Json.int (Array.length tj_rows));
+               ("variables", Json.int (Array.length vars));
+               ("triejoin_s", Json.Num tj_s);
+               ("compose_s", Json.Num comp_s);
+               ("reference_s", Json.Num ref_s);
+               ("speedup_vs_naive", Json.Num speedup_ref);
+               ("speedup_vs_compose", Json.Num speedup_comp);
+               ("agree", Json.Bool agree);
+             ] );
+         ("inference", Json.List inference_entries);
+       ]);
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Observability overhead: instrumentation on vs off (ISSUE 2).        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1091,7 +1261,7 @@ let run_micro ~seed =
 
 let all_sections =
   [ "fig6"; "fig7"; "table1"; "semijoin"; "scaling"; "ablation"; "universe";
-    "obs"; "server"; "server-load"; "micro" ]
+    "kary"; "obs"; "server"; "server-load"; "micro" ]
 
 let run sections full seed universe_spec =
   let sections = if sections = [] then all_sections else sections in
@@ -1138,6 +1308,7 @@ let run sections full seed universe_spec =
   if want "scaling" then run_scaling ~full ~seed;
   if want "ablation" then run_ablation ~full ~seed;
   if want "universe" then run_universe ~full ~seed;
+  if want "kary" then run_kary ~full ~seed;
   if want "obs" then run_obs ~full ~seed;
   if want "server" then run_server ~full ~seed;
   if want "server-load" then run_server_load ~full ~seed;

@@ -50,10 +50,25 @@ let obs_finish ~trace ~metrics =
     print_string (Obs.Report.render (Obs.Report.snapshot ()))
   end
 
-let load_pair r_path p_path =
-  let r = Csv.load_relation ~name:(Filename.remove_extension (Filename.basename r_path)) r_path in
-  let p = Csv.load_relation ~name:(Filename.remove_extension (Filename.basename p_path)) p_path in
-  (r, p)
+let load_rel path =
+  Csv.load_relation
+    ~name:(Filename.remove_extension (Filename.basename path))
+    path
+
+let load_pair r_path p_path = (load_rel r_path, load_rel p_path)
+
+(* "--relations a.csv,b.csv,c.csv" — the k-ary instance. *)
+let load_relations spec =
+  let paths =
+    List.filter
+      (fun s -> not (String.equal s ""))
+      (List.map String.trim (String.split_on_char ',' spec))
+  in
+  if List.compare_length_with paths 2 < 0 then begin
+    Printf.eprintf "--relations needs at least two CSV paths, got %S\n" spec;
+    exit 2
+  end;
+  List.map load_rel paths
 
 (* Lookahead engine selection (--engine): the fast engine is the default;
    the reference engine is the Algorithm 5 transcription kept as the
@@ -79,6 +94,16 @@ let builder_of ~seed = function
   | `Quotient -> Universe.build_quotient
   | `Parallel -> fun r p -> Universe.build_parallel r p
   | `Sampled pairs -> fun r p -> Universe.build_sampled (Prng.create seed) ~pairs r p
+
+(* The same selector for a k-ary relation list.  The quotient/parallel
+   builders share the profile-trie walk; naive is the Cartesian
+   reference; sampled draws random k-tuples. *)
+let kary_builder_of ~seed ubuilder rels =
+  match ubuilder with
+  | `Naive -> Universe.build_kary_naive rels
+  | `Quotient | `Parallel -> Universe.build_kary rels
+  | `Sampled tuples ->
+      Universe.build_sampled_kary (Prng.create seed) ~tuples rels
 
 let strategy_of_name ~seed ~engine = function
   | "bu" -> Strategy.bu
@@ -152,8 +177,8 @@ let save_session path universe strategy engine =
   Jqi_core.Session.save ~strategy:(Strategy.name strategy) ?pending path
     universe (Engine.result engine).Engine.state
 
-let cmd_infer r_path p_path strategy_name seed verbose engine ubuilder resume
-    save trace metrics =
+let cmd_infer_binary r_path p_path strategy_name seed verbose engine ubuilder
+    resume save trace metrics =
   setup_logs verbose;
   obs_setup ~trace ~metrics;
   let r, p = load_pair r_path p_path in
@@ -237,10 +262,130 @@ let cmd_infer r_path p_path strategy_name seed verbose engine ubuilder resume
         (Universe.total_tuples universe);
       obs_finish ~trace ~metrics
 
+(* --------------------------- k-ary infer -------------------------- *)
+
+let print_kquestion rels (q : Engine.question) =
+  match q.Engine.rows with
+  | Some tuples ->
+      Printf.printf "\nWould you combine these rows?\n";
+      Array.iteri
+        (fun i t ->
+          Printf.printf "  %s: %s\n"
+            (Relation.name rels.(i))
+            (Tuple.to_string t))
+        tuples
+  | None -> ()
+
+(* How many k-tuples of the instance the predicate selects. *)
+let selected_tuples universe predicate =
+  let total = ref 0 in
+  for i = 0 to Universe.n_classes universe - 1 do
+    if Jqi_util.Bits.subset predicate (Universe.signature universe i) then
+      total := !total + Universe.count universe i
+  done;
+  !total
+
+let cmd_infer_kary spec strategy_name seed verbose engine ubuilder resume save
+    trace metrics =
+  setup_logs verbose;
+  obs_setup ~trace ~metrics;
+  let rels = load_relations spec in
+  let universe = kary_builder_of ~seed ubuilder rels in
+  let omega = Universe.omega universe in
+  let rel_arr = Array.of_list rels in
+  Printf.printf
+    "Loaded %s; %d tuple classes over |Ω| = %d (%s universe builder).\n"
+    (String.concat ", "
+       (List.map
+          (fun r ->
+            Printf.sprintf "%s (%d rows)" (Relation.name r)
+              (Relation.cardinality r))
+          rels))
+    (Universe.n_classes universe) (Omega.width omega) (builder_name ubuilder);
+  let strategy = strategy_of_name ~seed ~engine strategy_name in
+  let engine =
+    match resume with
+    | None -> Engine.create universe strategy
+    | Some path ->
+        let loaded = Jqi_core.Session.load_full path universe in
+        Printf.printf "Resumed %d earlier answers from %s%s.\n"
+          (State.n_interactions loaded.Jqi_core.Session.state)
+          path
+          (match loaded.Jqi_core.Session.strategy with
+          | Some s -> Printf.sprintf " (saved under strategy %s)" s
+          | None -> "");
+        let pending =
+          Jqi_core.Session.pending_class universe
+            loaded.Jqi_core.Session.state loaded.Jqi_core.Session.pending
+        in
+        Engine.create ~state:loaded.Jqi_core.Session.state ?pending universe
+          strategy
+  in
+  let rec drive engine =
+    match Engine.pending engine with
+    | None -> Some engine
+    | Some q -> (
+        print_kquestion rel_arr q;
+        match read_label () with
+        | Some label -> drive (Engine.answer engine label)
+        | None ->
+            let path =
+              match save with
+              | Some path -> path
+              | None -> Filename.temp_file "jqinfer" "-session.json"
+            in
+            save_session path universe strategy engine;
+            Printf.printf
+              "\nInput closed — session autosaved to %s.\nResume with:\n  \
+               jqinfer infer --relations %s --strategy %s --resume %s\n"
+              path spec strategy_name path;
+            None)
+  in
+  match drive engine with
+  | None -> obs_finish ~trace ~metrics
+  | Some engine ->
+      let result = Engine.result engine in
+      (match save with
+      | Some path ->
+          save_session path universe strategy engine;
+          Printf.printf "Session saved to %s.\n" path
+      | None -> ());
+      if result.Engine.halted then begin
+        let cert = Jqi_core.Certificate.of_state result.Engine.state in
+        Printf.printf
+          "Minimal evidence: %d of your %d answers pinned the query down.\n"
+          (Jqi_core.Certificate.size cert)
+          result.Engine.n_interactions
+      end;
+      Printf.printf "\nInferred join predicate after %d answers:\n  %s\n"
+        result.Engine.n_interactions
+        (Omega.pred_to_string omega result.Engine.predicate);
+      Printf.printf "It selects %d of the %d tuple combinations.\n"
+        (selected_tuples universe result.Engine.predicate)
+        (Universe.total_tuples universe);
+      obs_finish ~trace ~metrics
+
+let cmd_infer r_path p_path relations strategy_name seed verbose engine
+    ubuilder resume save trace metrics =
+  match (relations, r_path, p_path) with
+  | Some spec, None, None ->
+      cmd_infer_kary spec strategy_name seed verbose engine ubuilder resume
+        save trace metrics
+  | Some _, Some _, _ | Some _, _, Some _ ->
+      Printf.eprintf
+        "infer takes either R.csv P.csv positionals or --relations, not both\n";
+      exit 2
+  | None, Some r, Some p ->
+      cmd_infer_binary r p strategy_name seed verbose engine ubuilder resume
+        save trace metrics
+  | None, None, _ | None, _, None ->
+      Printf.eprintf "infer needs R.csv P.csv positionals or --relations\n";
+      exit 2
+
 (* ---------------------------- simulate ---------------------------- *)
 
-let cmd_simulate r_path p_path goal_spec seed verbose engine ubuilder trace
-    metrics =
+let cmd_simulate_binary r_path p_path goal_spec seed verbose engine ubuilder
+    trace metrics =
   setup_logs verbose;
   obs_setup ~trace ~metrics;
   let r, p = load_pair r_path p_path in
@@ -269,6 +414,53 @@ let cmd_simulate r_path p_path goal_spec seed verbose engine ubuilder trace
   Printf.printf "inferred query as SQL:\n  %s\n"
     (sql_of_predicate r p omega td_result.predicate);
   obs_finish ~trace ~metrics
+
+let cmd_simulate_kary spec goal_spec seed verbose engine ubuilder trace metrics
+    =
+  setup_logs verbose;
+  obs_setup ~trace ~metrics;
+  let rels = load_relations spec in
+  let universe = kary_builder_of ~seed ubuilder rels in
+  let omega = Universe.omega universe in
+  let goal = Omega.of_names_kary omega (parse_goal goal_spec) in
+  Printf.printf
+    "Instance: %d relations, |D| = %d, %d classes, join ratio %.3f (%s \
+     universe builder); goal %s\n"
+    (List.length rels)
+    (Universe.total_tuples universe)
+    (Universe.n_classes universe)
+    (Universe.join_ratio universe)
+    (builder_name ubuilder)
+    (Omega.pred_to_string omega goal);
+  List.iter
+    (fun name ->
+      let strategy = strategy_of_name ~seed ~engine name in
+      let result = Inference.run universe strategy (Oracle.honest ~goal) in
+      Printf.printf "  %-4s %4d interactions  %8.4fs  inferred %s%s\n"
+        result.strategy result.n_interactions result.elapsed
+        (Omega.pred_to_string omega result.predicate)
+        (if Inference.verified universe ~goal result then ""
+         else "  [NOT instance-equivalent]"))
+    [ "bu"; "td"; "l1s"; "l2s"; "rnd"; "igs"; "hybrid" ];
+  obs_finish ~trace ~metrics
+
+let cmd_simulate r_path p_path relations goal_spec seed verbose engine ubuilder
+    trace metrics =
+  match (relations, r_path, p_path) with
+  | Some spec, None, None ->
+      cmd_simulate_kary spec goal_spec seed verbose engine ubuilder trace
+        metrics
+  | Some _, Some _, _ | Some _, _, Some _ ->
+      Printf.eprintf
+        "simulate takes either R.csv P.csv positionals or --relations, not \
+         both\n";
+      exit 2
+  | None, Some r, Some p ->
+      cmd_simulate_binary r p goal_spec seed verbose engine ubuilder trace
+        metrics
+  | None, None, _ | None, _, None ->
+      Printf.eprintf "simulate needs R.csv P.csv positionals or --relations\n";
+      exit 2
 
 (* ---------------------------- gen-tpch ---------------------------- *)
 
@@ -654,6 +846,21 @@ open Cmdliner
 let r_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"R.csv")
 let p_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"P.csv")
 
+(* infer/simulate accept either the two positionals or --relations; the
+   positionals become optional there and the command validates. *)
+let r_opt_arg = Arg.(value & pos 0 (some file) None & info [] ~docv:"R.csv")
+let p_opt_arg = Arg.(value & pos 1 (some file) None & info [] ~docv:"P.csv")
+
+let relations_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "relations" ] ~docv:"A.csv,B.csv,C.csv"
+        ~doc:"Infer a k-ary equijoin over two or more comma-separated CSV \
+              files instead of the R.csv P.csv positionals.  The universe is \
+              the k-ary profile quotient; questions show one row per \
+              relation.")
+
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed for randomized strategies.")
 
@@ -743,10 +950,12 @@ let save_arg =
 
 let infer_cmd =
   Cmd.v
-    (Cmd.info "infer" ~doc:"Interactively infer an equijoin over two CSV files")
-    Term.(const cmd_infer $ r_arg $ p_arg $ strategy_arg $ seed_arg $ verbose_arg
-          $ engine_term $ universe_arg $ resume_arg $ save_arg $ trace_arg
-          $ metrics_arg)
+    (Cmd.info "infer"
+       ~doc:"Interactively infer an equijoin over two CSV files (or k with \
+             --relations)")
+    Term.(const cmd_infer $ r_opt_arg $ p_opt_arg $ relations_arg
+          $ strategy_arg $ seed_arg $ verbose_arg $ engine_term $ universe_arg
+          $ resume_arg $ save_arg $ trace_arg $ metrics_arg)
 
 let goal_arg =
   Arg.(
@@ -757,8 +966,9 @@ let goal_arg =
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Replay inference with a known goal, all strategies")
-    Term.(const cmd_simulate $ r_arg $ p_arg $ goal_arg $ seed_arg $ verbose_arg
-          $ engine_term $ universe_arg $ trace_arg $ metrics_arg)
+    Term.(const cmd_simulate $ r_opt_arg $ p_opt_arg $ relations_arg $ goal_arg
+          $ seed_arg $ verbose_arg $ engine_term $ universe_arg $ trace_arg
+          $ metrics_arg)
 
 let scale_arg = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Scale factor.")
 let out_arg = Arg.(value & opt string "data" & info [ "out" ] ~doc:"Output directory.")

@@ -1,12 +1,57 @@
-(* The attribute-pair universe Ω = attrs(R) × attrs(P).
+(* The attribute-pair universe Ω.
 
-   A join predicate θ ⊆ Ω is represented as a bitset ([Jqi_util.Bits.t]) of
-   width |Ω|; this module owns the bijection between bit positions and
-   attribute pairs (A_i, B_j). *)
+   Binary (the paper's §2): Ω = attrs(R) × attrs(P).  K-ary (ROADMAP
+   item 2): for relations R_0..R_{k-1}, Ω = ⋃_{i<j} attrs(R_i) ×
+   attrs(R_j) — one block of bits per unordered relation pair, blocks
+   laid out in lexicographic (i,j) order.  For k = 2 there is a single
+   block (0,1) at offset 0, so the k-ary layout degenerates to the
+   historical [i*m + j] bit positions: binary predicates are
+   bit-compatible across both code paths.
+
+   A join predicate θ ⊆ Ω is represented as a bitset ([Jqi_util.Bits.t])
+   of width |Ω|; this module owns the bijection between bit positions and
+   attribute pairs. *)
 
 module Bits = Jqi_util.Bits
 
-type t = { n : int; m : int; r_names : string array; p_names : string array }
+type t = {
+  arities : int array;  (* arity per relation *)
+  names : string array array;  (* attribute names per relation *)
+  rel_names : string array;  (* relation names (k-ary printing) *)
+  offsets : int array array;  (* offsets.(i).(j) for i < j; -1 elsewhere *)
+  width : int;
+}
+
+let n_relations t = Array.length t.arities
+let arity_at t i = t.arities.(i)
+let attr_name t i a = t.names.(i).(a)
+let rel_name t i = t.rel_names.(i)
+let width t = t.width
+
+let create_kary ?rel_names names =
+  let k = Array.length names in
+  if k < 2 then invalid_arg "Omega: need at least two relations";
+  let arities = Array.map Array.length names in
+  Array.iter
+    (fun n -> if n <= 0 then invalid_arg "Omega: need at least one attribute")
+    arities;
+  let rel_names =
+    match rel_names with
+    | Some rs ->
+        if Array.length rs <> k then
+          invalid_arg "Omega: relation name array must match relation count";
+        rs
+    | None -> Array.init k (fun i -> Printf.sprintf "R%d" (i + 1))
+  in
+  let offsets = Array.make_matrix k k (-1) in
+  let off = ref 0 in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      offsets.(i).(j) <- !off;
+      off := !off + (arities.(i) * arities.(j))
+    done
+  done;
+  { arities; names; rel_names; offsets; width = !off }
 
 let create ?r_names ?p_names ~n ~m () =
   if n <= 0 || m <= 0 then invalid_arg "Omega: need at least one attribute";
@@ -15,7 +60,7 @@ let create ?r_names ?p_names ~n ~m () =
   let p_names = Option.value ~default:(default "B" m) p_names in
   if Array.length r_names <> n || Array.length p_names <> m then
     invalid_arg "Omega: name arrays must match arities";
-  { n; m; r_names; p_names }
+  create_kary ~rel_names:[| "R"; "P" |] [| r_names; p_names |]
 
 let of_schemas sr sp =
   let module S = Jqi_relational.Schema in
@@ -24,49 +69,171 @@ let of_schemas sr sp =
     ~p_names:(Array.of_list (S.names sp))
     ~n:(S.arity sr) ~m:(S.arity sp) ()
 
-let width t = t.n * t.m
-let left_arity t = t.n
-let right_arity t = t.m
+let of_schemas_kary named =
+  let module S = Jqi_relational.Schema in
+  let named = Array.of_list named in
+  create_kary
+    ~rel_names:(Array.map fst named)
+    (Array.map (fun (_, s) -> Array.of_list (S.names s)) named)
+
+(* Binary views: total only when k = 2. *)
+
+let binary t op =
+  if n_relations t <> 2 then
+    invalid_arg (Printf.sprintf "Omega.%s: k-ary universe (k=%d)" op (n_relations t))
+
+let left_arity t =
+  binary t "left_arity";
+  t.arities.(0)
+
+let right_arity t =
+  binary t "right_arity";
+  t.arities.(1)
 
 let index t i j =
-  if i < 0 || i >= t.n || j < 0 || j >= t.m then
-    invalid_arg (Printf.sprintf "Omega.index: (%d,%d) outside %dx%d" i j t.n t.m);
-  (i * t.m) + j
+  binary t "index";
+  let n = t.arities.(0) and m = t.arities.(1) in
+  if i < 0 || i >= n || j < 0 || j >= m then
+    invalid_arg (Printf.sprintf "Omega.index: (%d,%d) outside %dx%d" i j n m);
+  (i * m) + j
 
 let pair t k =
+  binary t "pair";
   if k < 0 || k >= width t then invalid_arg "Omega.pair: out of range";
-  (k / t.m, k mod t.m)
+  let m = t.arities.(1) in
+  (k / m, k mod m)
 
-let r_name t i = t.r_names.(i)
-let p_name t j = t.p_names.(j)
+let r_name t i =
+  binary t "r_name";
+  t.names.(0).(i)
+
+let p_name t j =
+  binary t "p_name";
+  t.names.(1).(j)
+
+(* K-ary bit bijection. *)
+
+let block_offset t i j =
+  let k = n_relations t in
+  if i < 0 || j < 0 || i >= k || j >= k || i >= j then
+    invalid_arg (Printf.sprintf "Omega.block_offset: bad block (%d,%d) for k=%d" i j k);
+  t.offsets.(i).(j)
+
+let kindex t (i, a) (j, b) =
+  let (i, a), (j, b) = if i <= j then ((i, a), (j, b)) else ((j, b), (i, a)) in
+  let k = n_relations t in
+  if i < 0 || j >= k || i = j then
+    invalid_arg (Printf.sprintf "Omega.kindex: bad relation pair (%d,%d) for k=%d" i j k);
+  if a < 0 || a >= t.arities.(i) || b < 0 || b >= t.arities.(j) then
+    invalid_arg
+      (Printf.sprintf "Omega.kindex: attribute (%d,%d) outside %dx%d" a b
+         t.arities.(i) t.arities.(j));
+  t.offsets.(i).(j) + (a * t.arities.(j)) + b
+
+let kpair t bit =
+  if bit < 0 || bit >= t.width then invalid_arg "Omega.kpair: out of range";
+  let k = n_relations t in
+  let found = ref None in
+  (try
+     for i = 0 to k - 1 do
+       for j = i + 1 to k - 1 do
+         let base = t.offsets.(i).(j) in
+         let size = t.arities.(i) * t.arities.(j) in
+         if bit >= base && bit < base + size then begin
+           let local = bit - base in
+           let m = t.arities.(j) in
+           found := Some ((i, local / m), (j, local mod m));
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  match !found with
+  | Some p -> p
+  | None -> invalid_arg "Omega.kpair: out of range"
 
 let empty t = Bits.empty (width t)
 let full t = Bits.full (width t)
+
+let of_kpairs t pairs =
+  List.fold_left (fun b (p, q) -> Bits.add b (kindex t p q)) (empty t) pairs
+
+let to_kpairs t b = List.map (kpair t) (Bits.elements b)
 
 let of_pairs t pairs =
   List.fold_left (fun b (i, j) -> Bits.add b (index t i j)) (empty t) pairs
 
 let to_pairs t b = List.map (pair t) (Bits.elements b)
 
-let of_names t pairs =
-  let find arr name =
-    let rec go i =
-      if i >= Array.length arr then
-        invalid_arg (Printf.sprintf "Omega.of_names: no attribute %S" name)
-      else if String.equal arr.(i) name then i
-      else go (i + 1)
-    in
-    go 0
+(* [restrict t b i j] keeps only the bits of block (i,j). *)
+let restrict t b i j =
+  let base = block_offset t i j in
+  let size = t.arities.(i) * t.arities.(j) in
+  Bits.build (width t) (fun set ->
+      for local = 0 to size - 1 do
+        if Bits.mem b (base + local) then set (base + local)
+      done)
+
+let find_attr arr name =
+  let rec go i =
+    if i >= Array.length arr then None
+    else if String.equal arr.(i) name then Some i
+    else go (i + 1)
   in
-  of_pairs t (List.map (fun (a, b) -> (find t.r_names a, find t.p_names b)) pairs)
+  go 0
+
+let of_names t pairs =
+  binary t "of_names";
+  let find arr name =
+    match find_attr arr name with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Omega.of_names: no attribute %S" name)
+  in
+  of_pairs t
+    (List.map (fun (a, b) -> (find t.names.(0) a, find t.names.(1) b)) pairs)
+
+(* Resolve "rel.attr" (or a bare attribute name when globally unique) to a
+   (relation, attribute) position. *)
+let resolve_name t spec =
+  let fail msg = invalid_arg (Printf.sprintf "Omega.of_names_kary: %s %S" msg spec) in
+  match String.index_opt spec '.' with
+  | Some dot ->
+      let rel = String.sub spec 0 dot in
+      let attr = String.sub spec (dot + 1) (String.length spec - dot - 1) in
+      let rec go i =
+        if i >= n_relations t then fail "no relation in"
+        else if String.equal t.rel_names.(i) rel then
+          match find_attr t.names.(i) attr with
+          | Some a -> (i, a)
+          | None -> fail "no attribute in"
+        else go (i + 1)
+      in
+      go 0
+  | None ->
+      let hits = ref [] in
+      for i = n_relations t - 1 downto 0 do
+        match find_attr t.names.(i) spec with
+        | Some a -> hits := (i, a) :: !hits
+        | None -> ()
+      done;
+      (match !hits with
+      | [ p ] -> p
+      | [] -> fail "no attribute"
+      | _ :: _ :: _ -> fail "ambiguous attribute (qualify as rel.attr)")
+
+let of_names_kary t pairs =
+  of_kpairs t (List.map (fun (a, b) -> (resolve_name t a, resolve_name t b)) pairs)
 
 let pp_pred t ppf b =
-  let pp_pair ppf (i, j) = Fmt.pf ppf "(%s,%s)" t.r_names.(i) t.p_names.(j) in
   if Bits.is_empty b then Fmt.string ppf "{}"
+  else if n_relations t = 2 then
+    (* Historical binary rendering: bare attribute names. *)
+    let pp_pair ppf (i, j) = Fmt.pf ppf "(%s,%s)" t.names.(0).(i) t.names.(1).(j) in
+    Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") pp_pair) (to_pairs t b)
   else
-    Fmt.pf ppf "{%a}"
-      (Fmt.list ~sep:(Fmt.any ", ") pp_pair)
-      (to_pairs t b)
+    let pp_pos ppf (i, a) = Fmt.pf ppf "%s.%s" t.rel_names.(i) t.names.(i).(a) in
+    let pp_pair ppf (p, q) = Fmt.pf ppf "(%a,%a)" pp_pos p pp_pos q in
+    Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") pp_pair) (to_kpairs t b)
 
 let pred_to_string t b = Fmt.str "%a" (pp_pred t) b
 

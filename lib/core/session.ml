@@ -1,32 +1,37 @@
 (* Session persistence: save a labeling session to JSON and resume it
-   later against the same pair of relations.
+   later against the same relations.
 
-   Examples are stored by representative *tuple* (row-index pair), not by
-   class id, so a session survives any change in class numbering — it only
-   assumes the underlying relations (and hence each row's signature) are
-   unchanged.  Loading replays the labels through [State.label], so a file
-   inconsistent with the instance is rejected exactly like a lying user
-   (Algorithm 1 lines 6-7).
+   Examples are stored by representative *tuple* (row-index vector), not
+   by class id, so a session survives any change in class numbering — it
+   only assumes the underlying relations (and hence each row's signature)
+   are unchanged.  Loading replays the labels through [State.label], so a
+   file inconsistent with the instance is rejected exactly like a lying
+   user (Algorithm 1 lines 6-7).
 
    Version history:
-     v1  { version, examples }
+     v1  { version, examples }                      — examples as {"r","p"}
      v2  adds the optional fields the service layer needs to freeze a
          whole [Engine] session: the strategy name and the in-flight
          question (as a row-index pair).  v1 files still load — they
-         simply carry neither. *)
+         simply carry neither.
+     v3  k-ary sessions: examples and pending carry {"rows":[i,…]}, one
+         row index per relation.  Binary sessions keep writing v2, so
+         every document produced by earlier builds round-trips and v2
+         readers keep working on binary data. *)
 
 module Json = Jqi_util.Json
+module Relation = Jqi_relational.Relation
 
 exception Corrupt of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
-let version = 2
+let version = 3
 
 type loaded = {
   state : State.t;
   strategy : string option;
-  pending : (int * int) option;
+  pending : int array option;
 }
 
 let label_to_string = function
@@ -38,48 +43,73 @@ let label_of_string = function
   | "-" -> Sample.Negative
   | s -> fail "bad label %S" s
 
+let relations_of universe =
+  match Universe.relation_array universe with
+  | Some rels -> rels
+  | None -> fail "session requires a universe built from relations"
+
 let to_json ?strategy ?pending universe state =
+  let rels = relations_of universe in
+  let binary = Int.equal (Array.length rels) 2 in
+  let rows_fields rep =
+    if binary then [ ("r", Json.int rep.(0)); ("p", Json.int rep.(1)) ]
+    else [ ("rows", Json.List (Array.to_list (Array.map Json.int rep))) ]
+  in
   let example (cls, label) =
-    let r, p =
-      match Universe.relations universe with
-      | Some _ -> (Universe.cls universe cls).Universe.rep
-      | None -> fail "session requires a universe built from relations"
-    in
     Json.Obj
-      [
-        ("r", Json.int r);
-        ("p", Json.int p);
-        ("label", Json.Str (label_to_string label));
-      ]
+      (rows_fields (Universe.cls universe cls).Universe.rep
+      @ [ ("label", Json.Str (label_to_string label)) ])
   in
   Json.Obj
     (List.concat
        [
-         [ ("version", Json.int version) ];
+         [ ("version", Json.int (if binary then 2 else version)) ];
          (match strategy with
          | Some s -> [ ("strategy", Json.Str s) ]
          | None -> []);
          (match pending with
-         | Some (r, p) ->
-             [ ("pending", Json.Obj [ ("r", Json.int r); ("p", Json.int p) ]) ]
+         | Some rep -> [ ("pending", Json.Obj (rows_fields rep)) ]
          | None -> []);
          [ ("examples", Json.List (List.map example (State.history state))) ];
        ])
 
-(* A row-index pair field {"r":i,"p":j}, range-checked against the
-   relations. *)
-let row_pair ~what r p json =
-  let field name =
-    match Option.bind (Json.member name json) Json.to_int with
-    | Some i -> i
-    | None -> fail "%s missing %s" what name
-  in
-  let ri = field "r" and pj = field "p" in
-  if ri < 0 || ri >= Jqi_relational.Relation.cardinality r then
-    fail "row %d out of range for %s" ri (Jqi_relational.Relation.name r);
-  if pj < 0 || pj >= Jqi_relational.Relation.cardinality p then
-    fail "row %d out of range for %s" pj (Jqi_relational.Relation.name p);
-  (ri, pj)
+let check_row rels d i =
+  if i < 0 || i >= Relation.cardinality rels.(d) then
+    fail "row %d out of range for %s" i (Relation.name rels.(d));
+  i
+
+(* A row-index field: {"r":i,"p":j} (v1/v2, binary only) or
+   {"rows":[i,…]} (v3), range-checked against the relations. *)
+let row_vector ~what ~v rels json =
+  if v >= 3 then
+    match Json.member "rows" json with
+    | Some (Json.List l) ->
+        let rows = Array.of_list l in
+        if not (Int.equal (Array.length rows) (Array.length rels)) then
+          fail "%s needs one row index per relation" what;
+        Array.mapi
+          (fun d j ->
+            match Json.to_int j with
+            | Some i -> check_row rels d i
+            | None -> fail "%s has a non-integer row index" what)
+          rows
+    | Some (Json.Null | Json.Bool _ | Json.Num _ | Json.Str _ | Json.Obj _)
+    | None ->
+        fail "%s missing rows" what
+  else begin
+    if not (Int.equal (Array.length rels) 2) then
+      fail "%s: v%d documents only describe binary sessions" what v;
+    let field name =
+      match Option.bind (Json.member name json) Json.to_int with
+      | Some i -> i
+      | None -> fail "%s missing %s" what name
+    in
+    [| check_row rels 0 (field "r"); check_row rels 1 (field "p") |]
+  end
+
+let signature_of universe rels rows =
+  Tsig.of_ktuples (Universe.omega universe)
+    (Array.mapi (fun d i -> Relation.row rels.(d) i) rows)
 
 let of_json_full universe json =
   let v =
@@ -96,11 +126,9 @@ let of_json_full universe json =
         fail "missing examples array"
   in
   let state = State.create universe in
-  let omega = Universe.omega universe in
-  let r, p =
-    match Universe.relations universe with
-    | Some pair -> pair
-    | None -> fail "session requires a universe built from relations"
+  let rels = relations_of universe in
+  let pp_rows rows =
+    String.concat "," (Array.to_list (Array.map string_of_int rows))
   in
   List.iter
     (fun ex ->
@@ -111,14 +139,10 @@ let of_json_full universe json =
         | None ->
             fail "example missing label"
       in
-      let ri, pj = row_pair ~what:"example" r p ex in
-      let signature =
-        Tsig.of_tuples omega
-          (Jqi_relational.Relation.row r ri)
-          (Jqi_relational.Relation.row p pj)
-      in
+      let rows = row_vector ~what:"example" ~v rels ex in
+      let signature = signature_of universe rels rows in
       match Universe.find_class universe signature with
-      | None -> fail "tuple (%d,%d) has no class in this universe" ri pj
+      | None -> fail "tuple (%s) has no class in this universe" (pp_rows rows)
       | Some cls -> (
           match State.certain_label state cls with
           | Some certain when certain = label ->
@@ -127,7 +151,7 @@ let of_json_full universe json =
           | _ -> (
               try State.label state cls label
               with State.Inconsistent _ ->
-                fail "example (%d,%d) contradicts earlier labels" ri pj)))
+                fail "example (%s) contradicts earlier labels" (pp_rows rows))))
     examples;
   let strategy =
     if v < 2 then None
@@ -142,7 +166,7 @@ let of_json_full universe json =
     if v < 2 then None
     else
       match Json.member "pending" json with
-      | Some (Json.Obj _ as obj) -> Some (row_pair ~what:"pending" r p obj)
+      | Some (Json.Obj _ as obj) -> Some (row_vector ~what:"pending" ~v rels obj)
       | None | Some Json.Null -> None
       | Some (Json.Bool _ | Json.Num _ | Json.Str _ | Json.List _) ->
           fail "pending must be an object"
@@ -163,20 +187,24 @@ let parse_file path =
 let load path universe = of_json universe (parse_file path)
 let load_full path universe = of_json_full universe (parse_file path)
 
-(* The class of a persisted pending row pair in [universe], when it still
-   names a question worth re-asking. *)
+(* The class of a persisted pending row vector in [universe], when it
+   still names a question worth re-asking. *)
 let pending_class universe state = function
   | None -> None
-  | Some (ri, pj) -> (
-      match Universe.relations universe with
+  | Some rows -> (
+      match Universe.relation_array universe with
       | None -> None
-      | Some (r, p) -> (
-          let signature =
-            Tsig.of_tuples
-              (Universe.omega universe)
-              (Jqi_relational.Relation.row r ri)
-              (Jqi_relational.Relation.row p pj)
-          in
-          match Universe.find_class universe signature with
-          | Some cls when State.informative state cls -> Some cls
-          | Some _ | None -> None))
+      | Some rels -> (
+          let ok = ref (Int.equal (Array.length rows) (Array.length rels)) in
+          if !ok then
+            Array.iteri
+              (fun d i ->
+                if i < 0 || i >= Relation.cardinality rels.(d) then ok := false)
+              rows;
+          if not !ok then None
+          else
+            match
+              Universe.find_class universe (signature_of universe rels rows)
+            with
+            | Some cls when State.informative state cls -> Some cls
+            | Some _ | None -> None))

@@ -1,30 +1,32 @@
 (** Session persistence: save a labeling session as JSON, resume it later
-    against the same relations.  Examples are stored as row-index pairs,
-    so sessions are independent of class numbering; loading replays labels
-    through [State.label] and rejects files inconsistent with the
-    instance.
+    against the same relations.  Examples are stored as row-index vectors
+    (one index per relation), so sessions are independent of class
+    numbering; loading replays labels through [State.label] and rejects
+    files inconsistent with the instance.
 
     Schema v2 additionally persists the strategy name and the in-flight
-    question, so a whole [Engine] session freezes and thaws; v1 files
-    (examples only) still load. *)
+    question; v3 generalizes examples and pending to k-ary row vectors.
+    Binary sessions keep writing v2 documents, so earlier readers and
+    checked-in fixtures stay valid; v1..v3 files all load. *)
 
 exception Corrupt of string
 
-(** The version this build writes (2).  Versions 1..[version] load. *)
+(** The newest version this build writes (3 — k-ary sessions only; binary
+    sessions write 2).  Versions 1..[version] load. *)
 val version : int
 
-(** A thawed session: the replayed sample plus the v2 metadata (absent
+(** A thawed session: the replayed sample plus the v2+ metadata (absent
     for v1 files). *)
 type loaded = {
   state : State.t;
   strategy : string option;  (** strategy name, e.g. ["TD"] *)
-  pending : (int * int) option;  (** in-flight question as a row pair *)
+  pending : int array option;  (** in-flight question as a row vector *)
 }
 
 (** Requires a universe built from relations; raises [Corrupt] otherwise.
-    [strategy] and [pending] become the v2 metadata fields. *)
+    [strategy] and [pending] become the v2+ metadata fields. *)
 val to_json :
-  ?strategy:string -> ?pending:int * int -> Universe.t -> State.t ->
+  ?strategy:string -> ?pending:int array -> Universe.t -> State.t ->
   Jqi_util.Json.t
 
 (** Raises [Corrupt] on version mismatch, malformed structure, dangling
@@ -35,13 +37,13 @@ val of_json_full : Universe.t -> Jqi_util.Json.t -> loaded
 val of_json : Universe.t -> Jqi_util.Json.t -> State.t
 
 val save :
-  ?strategy:string -> ?pending:int * int -> string -> Universe.t ->
+  ?strategy:string -> ?pending:int array -> string -> Universe.t ->
   State.t -> unit
 
 val load : string -> Universe.t -> State.t
 val load_full : string -> Universe.t -> loaded
 
-(** Map a thawed [pending] row pair back to its class, provided the class
-    is still informative under [state] — the guard a resuming engine uses
-    before re-presenting the frozen question. *)
-val pending_class : Universe.t -> State.t -> (int * int) option -> int option
+(** Map a thawed [pending] row vector back to its class, provided the
+    class is still informative under [state] — the guard a resuming
+    engine uses before re-presenting the frozen question. *)
+val pending_class : Universe.t -> State.t -> int array option -> int option

@@ -43,6 +43,55 @@ let of_codes omega cr cp =
           done
       done)
 
+(* K-ary T: one tuple (or code vector) per relation; the signature has a
+   bit for every cross-relation attribute pair that matches.  For k = 2
+   the block layout makes this coincide bit-for-bit with [of_codes]. *)
+let of_kcodes omega codes =
+  let k = Omega.n_relations omega in
+  if not (Int.equal (Array.length codes) k) then
+    invalid_arg "Tsig.of_kcodes: need one code vector per relation";
+  for i = 0 to k - 1 do
+    if not (Int.equal (Array.length codes.(i)) (Omega.arity_at omega i)) then
+      invalid_arg "Tsig.of_kcodes: code vectors must match the arities of Omega"
+  done;
+  Bits.build (Omega.width omega) (fun set ->
+      for i = 0 to k - 2 do
+        let ci = codes.(i) in
+        for j = i + 1 to k - 1 do
+          let cj = codes.(j) in
+          let m = Array.length cj in
+          let base = Omega.block_offset omega i j in
+          for a = 0 to Array.length ci - 1 do
+            let c = ci.(a) in
+            if c >= 0 then
+              for b = 0 to m - 1 do
+                if Int.equal c cj.(b) then set (base + (a * m) + b)
+              done
+          done
+        done
+      done)
+
+let of_ktuples omega tuples =
+  let k = Omega.n_relations omega in
+  if not (Int.equal (Array.length tuples) k) then
+    invalid_arg "Tsig.of_ktuples: need one tuple per relation";
+  Bits.build (Omega.width omega) (fun set ->
+      for i = 0 to k - 2 do
+        let ti = tuples.(i) in
+        for j = i + 1 to k - 1 do
+          let tj = tuples.(j) in
+          let m = Omega.arity_at omega j in
+          let base = Omega.block_offset omega i j in
+          for a = 0 to Omega.arity_at omega i - 1 do
+            let v = Tuple.get ti a in
+            if not (Value.is_null v) then
+              for b = 0 to m - 1 do
+                if Value.eq v (Tuple.get tj b) then set (base + (a * m) + b)
+              done
+          done
+        done
+      done)
+
 (* T(U) for a set of signatures; T(∅) = Ω, the identity of intersection,
    which is exactly what §3.3 needs when the user labels no positive
    example. *)

@@ -14,6 +14,16 @@ val of_tuples :
     from the arities of [omega]. *)
 val of_codes : Omega.t -> int array -> int array -> Jqi_util.Bits.t
 
+(** [of_kcodes omega codes] is the k-ary T-signature of one code vector
+    per relation: a bit for every cross-relation attribute pair whose
+    codes match (negative codes match nothing).  For k = 2 this is
+    bit-identical to {!of_codes}.  Raises [Invalid_argument] on a wrong
+    relation count or vector length. *)
+val of_kcodes : Omega.t -> int array array -> Jqi_util.Bits.t
+
+(** {!of_kcodes} over raw tuples with [Value.eq] semantics. *)
+val of_ktuples : Omega.t -> Jqi_relational.Tuple.t array -> Jqi_util.Bits.t
+
 (** [of_signatures omega sigs] is T(U) = ∩ sigs, and Ω when [sigs] is empty
     (the convention §3.3 needs for samples without positive examples). *)
 val of_signatures : Omega.t -> Jqi_util.Bits.t list -> Jqi_util.Bits.t

@@ -1,14 +1,15 @@
-(* The quotient of the Cartesian product D = R × P by the T-signature.
+(* The quotient of the Cartesian product D = R_0 × … × R_{k-1} by the
+   T-signature (k = 2 in the paper; k-ary per ROADMAP item 2).
 
    Whether a tuple is informative, certain, or selected by any predicate
    depends only on T(t) (Lemmas 3.3/3.4), so two tuples with equal
    signatures are interchangeable for inference.  The engine therefore
    groups D into equivalence classes, each carrying its signature, its
-   multiplicity in D and one representative pair of row indexes.  This is
-   also the paper's own observation in §5.3 ("if two tuples are selected by
-   the same most specific join predicate, then they are basically
-   equivalent w.r.t. the inference process") and is what makes TPC-H-sized
-   products tractable. *)
+   multiplicity in D and one representative vector of row indexes.  This
+   is also the paper's own observation in §5.3 ("if two tuples are
+   selected by the same most specific join predicate, then they are
+   basically equivalent w.r.t. the inference process") and is what makes
+   TPC-H-sized products tractable. *)
 
 module Bits = Jqi_util.Bits
 module Obs = Jqi_obs.Obs
@@ -17,14 +18,16 @@ module Relation = Jqi_relational.Relation
 module Tuple = Jqi_relational.Tuple
 module Vec = Jqi_util.Vec
 
-type cls = { signature : Bits.t; count : int; rep : int * int }
+type cls = { signature : Bits.t; count : int; rep : int array }
 
 type t = {
   omega : Omega.t;
   classes : cls array;
   total : int;  (* |D|; the sum of class multiplicities *)
-  relations : (Relation.t * Relation.t) option;
+  relations : Relation.t array option;
 }
+
+exception Kary_too_large of { work : int; limit : int }
 
 module H = Hashtbl.Make (struct
   type t = Bits.t
@@ -33,11 +36,30 @@ module H = Hashtbl.Make (struct
   let hash = Bits.hash
 end)
 
-let of_signature_list ?relations omega sigs =
+(* Lexicographically smaller of two same-length representative vectors —
+   the deterministic merge rule every builder shares. *)
+let rep_min a b =
+  let rec go i =
+    if i >= Array.length a then a
+    else if a.(i) < b.(i) then a
+    else if a.(i) > b.(i) then b
+    else go (i + 1)
+  in
+  go 0
+
+let of_ksignature_list ?relations omega sigs =
+  let k = Omega.n_relations omega in
+  (match relations with
+  | Some rels ->
+      if not (Int.equal (Array.length rels) k) then
+        invalid_arg "Universe: need one relation per Omega relation"
+  | None -> ());
   let acc = H.create 64 in
   List.iter
     (fun (signature, count, rep) ->
       if count <= 0 then invalid_arg "Universe: class multiplicity must be positive";
+      if not (Int.equal (Array.length rep) k) then
+        invalid_arg "Universe: representative must have one row index per relation";
       match H.find_opt acc signature with
       | Some (c, r) -> H.replace acc signature (c + count, r)
       | None -> H.replace acc signature (count, rep))
@@ -49,6 +71,12 @@ let of_signature_list ?relations omega sigs =
   in
   let total = Array.fold_left (fun s c -> s + c.count) 0 classes in
   { omega; classes; total; relations }
+
+let of_signature_list ?relations omega sigs =
+  of_ksignature_list
+    ?relations:(Option.map (fun (r, p) -> [| r; p |]) relations)
+    omega
+    (List.map (fun (s, c, (i, j)) -> (s, c, [| i; j |])) sigs)
 
 (* The reference per-pair scan: every tuple of R × P gets its own
    [Tsig.of_tuples] call and bitset.  Kept as the executable definition
@@ -65,12 +93,14 @@ let build_naive r p =
       let s = Tsig.of_tuples omega tr (Relation.row p j) in
       match H.find_opt acc s with
       | Some (c, rep) -> H.replace acc s (c + 1, rep)
-      | None -> H.replace acc s (1, (i, j))
+      | None -> H.replace acc s (1, [| i; j |])
     done
   done;
   let sigs = H.fold (fun s (c, rep) l -> (s, c, rep) :: l) acc [] in
-  if sigs = [] then invalid_arg "Universe.build: empty Cartesian product";
-  of_signature_list ~relations:(r, p) omega sigs
+  (match sigs with
+  | [] -> invalid_arg "Universe.build: empty Cartesian product"
+  | _ :: _ -> ());
+  of_ksignature_list ~relations:[| r; p |] omega sigs
 
 (* ---------------- profile-quotient construction ------------------- *)
 
@@ -153,7 +183,7 @@ let quotient_profiles r p =
 
 let merge_into acc s count rep =
   match H.find_opt acc s with
-  | Some (c, rep') -> H.replace acc s (c + count, min rep rep')
+  | Some (c, rep') -> H.replace acc s (c + count, rep_min rep rep')
   | None -> H.add acc s (count, rep)
 
 let build_quotient r p =
@@ -168,11 +198,11 @@ let build_quotient r p =
           merge_into acc
             (Tsig.of_codes omega a.codes b.codes)
             (a.multiplicity * b.multiplicity)
-            (a.first_row, b.first_row))
+            [| a.first_row; b.first_row |])
         pprofs)
     rprofs;
   let sigs = H.fold (fun s (c, rep) l -> (s, c, rep) :: l) acc [] in
-  of_signature_list ~relations:(r, p) omega sigs
+  of_ksignature_list ~relations:[| r; p |] omega sigs
 
 (* The default constructor is the quotient; [build_naive] remains the
    differential oracle. *)
@@ -210,7 +240,7 @@ let build_parallel ?domains r p =
           merge_into acc
             (Tsig.of_codes omega a.codes b.codes)
             (a.multiplicity * b.multiplicity)
-            (a.first_row, b.first_row))
+            [| a.first_row; b.first_row |])
         pprofs
     done;
     acc
@@ -228,7 +258,7 @@ let build_parallel ?domains r p =
       H.iter (fun s (c, rep) -> merge_into merged s c rep) table)
     handles;
   let sigs = H.fold (fun s (c, rep) l -> (s, c, rep) :: l) merged [] in
-  of_signature_list ~relations:(r, p) omega sigs
+  of_ksignature_list ~relations:[| r; p |] omega sigs
 
 (* Approximate universe for products too large to scan (the paper's §1:
    "the database instances may be too big to be skimmed"): draw [pairs]
@@ -238,7 +268,7 @@ let build_parallel ?domains r p =
    signatures (small join ratio contributions) are the ones at risk.
 
    The representative of a class is the lexicographically smallest sampled
-   member ([min], not keep-first-drawn): reps then depend only on the
+   member ([rep_min], not keep-first-drawn): reps then depend only on the
    sampled *set* of pairs, never on the order the PRNG produced them —
    the same determinism contract [build]/[build_parallel] satisfy, and a
    sample covering the whole product reproduces their universe exactly. *)
@@ -251,19 +281,266 @@ let build_sampled prng ~pairs r p =
   for _ = 1 to pairs do
     let i = Jqi_util.Prng.int prng nr and j = Jqi_util.Prng.int prng np in
     let s = Tsig.of_tuples omega (Relation.row r i) (Relation.row p j) in
-    match H.find_opt acc s with
-    | Some (c, rep) -> H.replace acc s (c + 1, min rep (i, j))
-    | None -> H.replace acc s (1, (i, j))
+    merge_into acc s 1 [| i; j |]
   done;
   let sigs = H.fold (fun s (c, rep) l -> (s, c, rep) :: l) acc [] in
-  of_signature_list ~relations:(r, p) omega sigs
+  of_ksignature_list ~relations:[| r; p |] omega sigs
+
+(* ---------------- k-ary construction (ROADMAP item 2) -------------- *)
+
+let c_kary_profiles = Obs.Counter.make "universe.kary_profiles"
+let c_kary_work = Obs.Counter.make "universe.kary_work"
+let c_kary_collapsed = Obs.Counter.make "universe.kary_collapsed"
+
+let kary_omega rels =
+  Omega.of_schemas_kary
+    (Array.to_list
+       (Array.map (fun r -> (Relation.name r, Relation.schema r)) rels))
+
+let check_kary ~entry rels =
+  let k = Array.length rels in
+  if k < 2 then invalid_arg (entry ^ ": need at least two relations");
+  Array.iter
+    (fun r ->
+      if Relation.cardinality r = 0 then
+        invalid_arg (entry ^ ": empty Cartesian product"))
+    rels
+
+(* The reference k-way scan: one [Tsig.of_ktuples] per raw tuple of
+   ∏ R_i — the executable definition of the k-ary universe and the
+   differential oracle for [build_kary].  Exponential in k; tests and
+   benches only. *)
+let build_kary_naive rels =
+  Obs.span "universe.build_kary_naive" @@ fun () ->
+  let rels = Array.of_list rels in
+  check_kary ~entry:"Universe.build_kary" rels;
+  let k = Array.length rels in
+  let omega = kary_omega rels in
+  let acc = H.create 256 in
+  let tuples = Array.make k (Relation.row rels.(0) 0) in
+  let rep = Array.make k 0 in
+  let rec scan d =
+    if Int.equal d k then begin
+      let s = Tsig.of_ktuples omega tuples in
+      match H.find_opt acc s with
+      | Some (c, r) -> H.replace acc s (c + 1, r)
+      | None -> H.replace acc s (1, Array.copy rep)
+    end
+    else
+      for i = 0 to Relation.cardinality rels.(d) - 1 do
+        tuples.(d) <- Relation.row rels.(d) i;
+        rep.(d) <- i;
+        scan (d + 1)
+      done
+  in
+  scan 0;
+  of_ksignature_list ~relations:rels omega
+    (H.fold (fun s (c, r) l -> (s, c, r) :: l) acc [])
+
+(* K-ary quotient: profile grouping per relation (as in the binary
+   quotient), then a trie walk over distinct-profile k-tuples in the
+   leapfrog spirit — relations are levels, profiles are keys, and whole
+   subtrees collapse instead of being enumerated.  Two collapses apply:
+
+   1. Profile quotient: ∏|R_i| raw tuples shrink to at most ∏ d_i
+      distinct-profile combinations, each merged with the product of the
+      profile multiplicities.
+
+   2. Disconnected-suffix collapse: walking relations left to right, when
+      none of the codes of the profiles chosen so far appears in any
+      remaining relation, no further cross bits can be produced — the
+      walk folds in the precomputed *suffix universe* (classes of
+      R_j × … × R_{k-1} alone) in one step per suffix class rather than
+      descending.  Suffix universes are built bottom-up by the same walk,
+      so the construction is one pass of k stages.
+
+   Pairwise block signatures are cached per (relation pair, profile
+   pair), so each is computed once even though the walk revisits it on
+   every branch — this is where the "pairwise binary composition" reuse
+   lives.
+
+   Identical to [build_kary_naive] by the same argument as the binary
+   quotient: same classes and counts by construction, and representatives
+   are min-merged lexicographically smallest row vectors.  For k = 2 the
+   walk degenerates to the profile-pair scan and the result is
+   byte-identical to [build] (asserted in test/test_kary.ml).
+
+   [limit] bounds the number of class merges (the unit of real work); a
+   walk exceeding it raises [Kary_too_large] — the typed refusal for
+   products whose quotient is still too big. *)
+let default_kary_limit = 20_000_000
+
+let build_kary ?(limit = default_kary_limit) rels =
+  Obs.span "universe.build_kary" @@ fun () ->
+  let rels = Array.of_list rels in
+  check_kary ~entry:"Universe.build_kary" rels;
+  let k = Array.length rels in
+  let omega = kary_omega rels in
+  let width = Omega.width omega in
+  let total_rows = Array.fold_left (fun s r -> s + Relation.cardinality r) 0 rels in
+  let dict = Dict.create ~size:total_rows () in
+  let profs = Array.map (fun r -> profiles_of (Dict.encode_rows dict r)) rels in
+  Array.iter (fun ps -> Obs.Counter.add c_kary_profiles (Array.length ps)) profs;
+  (* Which codes appear anywhere in each relation. *)
+  let rel_codes =
+    Array.map
+      (fun ps ->
+        let h = Hashtbl.create 64 in
+        Array.iter
+          (fun p ->
+            Array.iter (fun c -> if c >= 0 then Hashtbl.replace h c ()) p.codes)
+          ps;
+        h)
+      profs
+  in
+  (* Per profile, the bitmask of relations sharing at least one code. *)
+  let touch =
+    Array.map
+      (fun ps ->
+        Array.map
+          (fun p ->
+            let m = ref 0 in
+            Array.iter
+              (fun c ->
+                if c >= 0 then
+                  for j = 0 to k - 1 do
+                    if Hashtbl.mem rel_codes.(j) c then m := !m lor (1 lsl j)
+                  done)
+              p.codes;
+            !m)
+          ps)
+      profs
+  in
+  let suffix_mask =
+    Array.init (k + 1) (fun j ->
+        let m = ref 0 in
+        for i = j to k - 1 do
+          m := !m lor (1 lsl i)
+        done;
+        !m)
+  in
+  (* Cached pairwise block signatures, keyed by profile-index pair. *)
+  let block_tbl = Array.init k (fun _ -> Array.init k (fun _ -> Hashtbl.create 16)) in
+  let block_sig i a j b =
+    let tbl = block_tbl.(i).(j) in
+    let key = (a * Array.length profs.(j)) + b in
+    match Hashtbl.find_opt tbl key with
+    | Some s -> s
+    | None ->
+        let ci = profs.(i).(a).codes and cj = profs.(j).(b).codes in
+        let m = Array.length cj in
+        let base = Omega.block_offset omega i j in
+        let s =
+          Bits.build width (fun set ->
+              for x = 0 to Array.length ci - 1 do
+                let c = ci.(x) in
+                if c >= 0 then
+                  for y = 0 to m - 1 do
+                    if Int.equal c cj.(y) then set (base + (x * m) + y)
+                  done
+              done)
+        in
+        Hashtbl.add tbl key s;
+        s
+  in
+  let work = ref 0 in
+  let bump () =
+    incr work;
+    if !work > limit then raise (Kary_too_large { work = !work; limit })
+  in
+  (* [rep_of rev_prefix len suffix_rep]: the reversed prefix rows (length
+     [len]) followed by a suffix representative. *)
+  let rep_of rev_prefix len suffix_rep =
+    let arr = Array.make (len + Array.length suffix_rep) 0 in
+    List.iteri (fun idx v -> arr.(len - 1 - idx) <- v) rev_prefix;
+    Array.blit suffix_rep 0 arr len (Array.length suffix_rep);
+    arr
+  in
+  (* suffix.(m): classes of R_m × … × R_{k-1} alone, as full-width
+     signatures (their bits live in suffix blocks only) with suffix-length
+     representatives.  suffix.(k) is the neutral element. *)
+  let suffix = Array.make (k + 1) [] in
+  suffix.(k) <- [ (Bits.empty width, 1, [||]) ];
+  for m = k - 1 downto 0 do
+    let acc = H.create 256 in
+    let rec walk j sig_ mult rep_rev touched chosen =
+      if Int.equal j k then begin
+        bump ();
+        merge_into acc sig_ mult (rep_of rep_rev (j - m) [||])
+      end
+      else if Int.equal (touched land suffix_mask.(j)) 0 then begin
+        Obs.Counter.add c_kary_collapsed 1;
+        List.iter
+          (fun (s, c, srep) ->
+            bump ();
+            merge_into acc (Bits.union sig_ s) (mult * c) (rep_of rep_rev (j - m) srep))
+          suffix.(j)
+      end
+      else
+        Array.iteri
+          (fun bidx b ->
+            let sig' =
+              List.fold_left
+                (fun s (i, aidx) -> Bits.union s (block_sig i aidx j bidx))
+                sig_ chosen
+            in
+            walk (j + 1) sig' (mult * b.multiplicity) (b.first_row :: rep_rev)
+              (touched lor touch.(j).(bidx))
+              ((j, bidx) :: chosen))
+          profs.(j)
+    in
+    Array.iteri
+      (fun aidx a ->
+        walk (m + 1) (Bits.empty width) a.multiplicity [ a.first_row ]
+          touch.(m).(aidx)
+          [ (m, aidx) ])
+      profs.(m);
+    suffix.(m) <- H.fold (fun s (c, rep) l -> (s, c, rep) :: l) acc []
+  done;
+  Obs.Counter.add c_kary_work !work;
+  of_ksignature_list ~relations:rels omega suffix.(0)
+
+(* K-ary [build_sampled]: draw [tuples] uniform random row vectors.  On
+   k = 2 it draws the same PRNG sequence as [build_sampled], so the two
+   agree given equal seeds.  Like every sampling entry point it depends
+   only on the sampled set (min-rep merge), never on draw order. *)
+let build_sampled_kary prng ~tuples rels =
+  if tuples <= 0 then invalid_arg "Universe.build_sampled: need a positive sample size";
+  let rels = Array.of_list rels in
+  let k = Array.length rels in
+  if k < 2 then invalid_arg "Universe.build_sampled: need at least two relations";
+  Array.iter
+    (fun r ->
+      if Relation.cardinality r = 0 then
+        invalid_arg "Universe.build_sampled: empty relation")
+    rels;
+  let ns = Array.map Relation.cardinality rels in
+  let omega = kary_omega rels in
+  let acc = H.create 256 in
+  let row_tuples = Array.make k (Relation.row rels.(0) 0) in
+  for _ = 1 to tuples do
+    let rep = Array.init k (fun d -> Jqi_util.Prng.int prng ns.(d)) in
+    for d = 0 to k - 1 do
+      row_tuples.(d) <- Relation.row rels.(d) rep.(d)
+    done;
+    merge_into acc (Tsig.of_ktuples omega row_tuples) 1 rep
+  done;
+  of_ksignature_list ~relations:rels omega
+    (H.fold (fun s (c, r) l -> (s, c, r) :: l) acc [])
 
 let omega t = t.omega
 let classes t = t.classes
 let n_classes t = Array.length t.classes
 let cls t i = t.classes.(i)
 let total_tuples t = t.total
-let relations t = t.relations
+let n_relations t = Omega.n_relations t.omega
+
+let relations t =
+  match t.relations with
+  | Some rels when Int.equal (Array.length rels) 2 -> Some (rels.(0), rels.(1))
+  | Some _ | None -> None
+
+let relation_array t = Option.map Array.copy t.relations
 
 let signature t i = t.classes.(i).signature
 let count t i = t.classes.(i).count
@@ -272,12 +549,18 @@ let count t i = t.classes.(i).count
    actual relations (interactive CLI display). *)
 let representative t i =
   match t.relations with
-  | None -> None
-  | Some (r, p) ->
-      let ri, pj = t.classes.(i).rep in
-      Some (Relation.row r ri, Relation.row p pj)
+  | Some rels when Int.equal (Array.length rels) 2 ->
+      let rep = t.classes.(i).rep in
+      Some (Relation.row rels.(0) rep.(0), Relation.row rels.(1) rep.(1))
+  | Some _ | None -> None
 
-(* [classes] is sorted by [Bits.compare] (see [of_signature_list]), so
+let representative_rows t i =
+  match t.relations with
+  | None -> None
+  | Some rels ->
+      Some (Array.mapi (fun d ri -> Relation.row rels.(d) ri) t.classes.(i).rep)
+
+(* [classes] is sorted by [Bits.compare] (see [of_ksignature_list]), so
    membership is a binary search. *)
 let find_class t signature =
   let rec go lo hi =

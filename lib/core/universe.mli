@@ -1,4 +1,5 @@
-(** The quotient of the Cartesian product D = R × P by the T-signature.
+(** The quotient of the Cartesian product D = R_0 × … × R_{k-1} by the
+    T-signature (k = 2 in the paper; k-ary per ROADMAP item 2).
 
     Informativeness, certainty and selection depend only on T(t)
     (Lemmas 3.3/3.4), so tuples with equal signatures are interchangeable;
@@ -9,10 +10,15 @@
 type cls = {
   signature : Jqi_util.Bits.t;  (** T(t) for every tuple of the class *)
   count : int;  (** multiplicity in D *)
-  rep : int * int;  (** row indexes of one representative pair *)
+  rep : int array;  (** one representative row index per relation *)
 }
 
 type t
+
+(** Raised by {!build_kary} when the distinct-profile walk exceeds its
+    work limit — the typed refusal for products whose quotient is still
+    too large to enumerate. *)
+exception Kary_too_large of { work : int; limit : int }
 
 (** Build the quotient of R × P.  The default constructor — an alias for
     {!build_quotient}.  Raises [Invalid_argument] on an empty product. *)
@@ -53,13 +59,52 @@ val build_sampled :
   Jqi_util.Prng.t -> pairs:int ->
   Jqi_relational.Relation.t -> Jqi_relational.Relation.t -> t
 
-(** Assemble a universe directly from (signature, multiplicity,
-    representative) triples; duplicate signatures are merged.  Meant for
-    tests and the minimax examples. *)
+(** {2 K-ary construction}
+
+    The universe of D = R_0 × … × R_{k-1} with signatures over every
+    cross-relation attribute pair ({!Omega.create_kary} layout).  On two
+    relations all of these agree byte-for-byte with their binary
+    counterparts. *)
+
+(** K-ary quotient: per-relation profile grouping, then a trie walk over
+    distinct-profile k-tuples in the leapfrog spirit — whole suffix
+    subtrees that can contribute no further cross bits are folded in via
+    precomputed suffix universes instead of being enumerated, and
+    pairwise block signatures are cached per profile pair.  Identical
+    output to {!build_kary_naive}; byte-identical to {!build} on k = 2.
+    Raises {!Kary_too_large} when the walk exceeds [limit] (default
+    2·10⁷) class merges, and [Invalid_argument] on fewer than two
+    relations or an empty product. *)
+val build_kary : ?limit:int -> Jqi_relational.Relation.t list -> t
+
+(** The reference k-way scan — one signature per raw tuple of ∏ R_i.
+    Exponential; the differential oracle for {!build_kary}. *)
+val build_kary_naive : Jqi_relational.Relation.t list -> t
+
+(** K-ary {!build_sampled}: [tuples] uniform random row vectors.  On two
+    relations it draws the same PRNG sequence as [build_sampled], so the
+    two agree given equal seeds.  Raises [Invalid_argument] on a
+    non-positive sample size, fewer than two relations, or an empty
+    relation. *)
+val build_sampled_kary :
+  Jqi_util.Prng.t -> tuples:int -> Jqi_relational.Relation.t list -> t
+
+(** Assemble a binary universe directly from (signature, multiplicity,
+    representative) triples; duplicate signatures are merged (keeping the
+    first representative).  Meant for tests and the minimax examples. *)
 val of_signature_list :
   ?relations:Jqi_relational.Relation.t * Jqi_relational.Relation.t ->
   Omega.t ->
   (Jqi_util.Bits.t * int * (int * int)) list ->
+  t
+
+(** K-ary {!of_signature_list}: representatives carry one row index per
+    relation of [omega].  Raises [Invalid_argument] on a representative
+    or relation count mismatching [omega]. *)
+val of_ksignature_list :
+  ?relations:Jqi_relational.Relation.t array ->
+  Omega.t ->
+  (Jqi_util.Bits.t * int * int array) list ->
   t
 
 val omega : t -> Omega.t
@@ -70,16 +115,29 @@ val cls : t -> int -> cls
 (** |D|, the sum of class multiplicities. *)
 val total_tuples : t -> int
 
+(** Number of relations k of the underlying Ω. *)
+val n_relations : t -> int
+
+(** The relation pair, when the universe is binary (k = 2) and was built
+    from actual relations; [None] on k-ary universes. *)
 val relations :
   t -> (Jqi_relational.Relation.t * Jqi_relational.Relation.t) option
+
+(** All k relations, when the universe was built from actual relations. *)
+val relation_array : t -> Jqi_relational.Relation.t array option
 
 val signature : t -> int -> Jqi_util.Bits.t
 val count : t -> int -> int
 
-(** Representative tuple pair of a class, when the universe was built from
-    actual relations. *)
+(** Representative tuple pair of a class, when the universe is binary and
+    was built from actual relations; [None] on k-ary universes (use
+    {!representative_rows}). *)
 val representative :
   t -> int -> (Jqi_relational.Tuple.t * Jqi_relational.Tuple.t) option
+
+(** Representative tuples of a class, one per relation, when the universe
+    was built from actual relations. *)
+val representative_rows : t -> int -> Jqi_relational.Tuple.t array option
 
 (** Class of a signature, if any — binary search over the sorted class
     array, O(log classes). *)

@@ -1,0 +1,461 @@
+(* Three evaluators for the same k-ary equijoin semantics.
+
+   The semantics is fixed by [reference]: every row combination whose
+   cells satisfy each constraint under [Value.eq].  NULL/NaN cells fail
+   every constraint (themselves included), mirroring signature
+   computation — so dictionary codes, where NULL encodes as [no_code]
+   and is never interned, decide constraints exactly.
+
+   [compose] and [join] both work on codes.  Constraints are first
+   closed into join variables (connected components of positions); a row
+   participates only when, for every variable touching its relation, all
+   of that variable's columns in the row carry one equal, non-[no_code]
+   code.  This per-relation "local validity" plus cross-relation code
+   equality on shared variables is equivalent to checking every original
+   constraint, because code equality is an equivalence on joinable
+   values. *)
+
+type pos = int * int
+type eq = pos * pos
+type var = { positions : pos list; card : int }
+
+let validate rels eqs =
+  let k = Array.length rels in
+  let check (r, c) =
+    if r < 0 || r >= k then
+      invalid_arg (Printf.sprintf "Leapfrog: relation index %d out of range" r);
+    if c < 0 || c >= Relation.arity rels.(r) then
+      invalid_arg
+        (Printf.sprintf "Leapfrog: column %d out of range for relation %d" c r)
+  in
+  List.iter
+    (fun (p1, p2) ->
+      check p1;
+      check p2)
+    eqs
+
+(* Join variables as position lists: union-find over flat position ids,
+   roots kept at the smallest member so discovery order is "sorted by
+   smallest position".  Each component's positions come out ascending. *)
+let components rels eqs =
+  validate rels eqs;
+  let k = Array.length rels in
+  let off = Array.make (k + 1) 0 in
+  for r = 0 to k - 1 do
+    off.(r + 1) <- off.(r) + Relation.arity rels.(r)
+  done;
+  let total = off.(k) in
+  let parent = Array.init total (fun i -> i) in
+  let rec find i =
+    if Int.equal parent.(i) i then i
+    else begin
+      let root = find parent.(i) in
+      parent.(i) <- root;
+      root
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if not (Int.equal ri rj) then
+      if ri < rj then parent.(rj) <- ri else parent.(ri) <- rj
+  in
+  let mentioned = Array.make total false in
+  let pid (r, c) = off.(r) + c in
+  List.iter
+    (fun (p1, p2) ->
+      mentioned.(pid p1) <- true;
+      mentioned.(pid p2) <- true;
+      union (pid p1) (pid p2))
+    eqs;
+  let members = Hashtbl.create 16 in
+  for i = total - 1 downto 0 do
+    if mentioned.(i) then begin
+      let root = find i in
+      let prev =
+        match Hashtbl.find_opt members root with Some l -> l | None -> []
+      in
+      Hashtbl.replace members root (i :: prev)
+    end
+  done;
+  let roots =
+    List.sort Int.compare (Hashtbl.fold (fun r _ acc -> r :: acc) members [])
+  in
+  let unpid i =
+    let rec go r = if off.(r + 1) > i then (r, i - off.(r)) else go (r + 1) in
+    go 0
+  in
+  Array.of_list
+    (List.map
+       (fun root ->
+         match Hashtbl.find_opt members root with
+         | Some pids -> List.map unpid pids
+         | None -> [])
+       roots)
+
+let variables rels eqs =
+  let comps = components rels eqs in
+  let dict = Dict.create () in
+  let codes = Array.map (Dict.encode_rows dict) rels in
+  Array.map
+    (fun positions ->
+      let card =
+        List.fold_left
+          (fun acc (r, c) ->
+            let seen = Hashtbl.create 16 in
+            let distinct = ref 0 in
+            for row = 0 to Relation.cardinality rels.(r) - 1 do
+              let x = codes.(r).(row).(c) in
+              if (not (Int.equal x Dict.no_code)) && not (Hashtbl.mem seen x)
+              then begin
+                Hashtbl.replace seen x ();
+                incr distinct
+              end
+            done;
+            min acc !distinct)
+          max_int positions
+      in
+      { positions; card })
+    comps
+
+(* ------------------------------ unary ----------------------------- *)
+
+let array_seek (a : int array) from v =
+  let lo = ref from and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let unary sets =
+  match sets with
+  | [] -> invalid_arg "Leapfrog.unary: intersection of no sets"
+  | [ only ] -> Array.to_list only
+  | first :: _ :: _ ->
+      let arrs = Array.of_list sets in
+      let kk = Array.length arrs in
+      if Array.exists (fun a -> Array.length a = 0) arrs then []
+      else begin
+        let idx = Array.make kk 0 in
+        let out = ref [] in
+        let maxv = ref first.(0) in
+        let agree = ref 1 in
+        let p = ref 1 in
+        let running = ref true in
+        while !running do
+          let a = arrs.(!p) in
+          let i = array_seek a idx.(!p) !maxv in
+          idx.(!p) <- i;
+          if i >= Array.length a then running := false
+          else if Int.equal a.(i) !maxv then begin
+            incr agree;
+            if Int.equal !agree kk then begin
+              out := !maxv :: !out;
+              idx.(!p) <- i + 1;
+              if i + 1 >= Array.length a then running := false
+              else begin
+                maxv := a.(i + 1);
+                agree := 1
+              end
+            end;
+            p := (!p + 1) mod kk
+          end
+          else begin
+            maxv := a.(i);
+            agree := 1;
+            p := (!p + 1) mod kk
+          end
+        done;
+        List.rev !out
+      end
+
+(* ---------------------------- reference --------------------------- *)
+
+(* The differential oracle: never optimized, on purpose.  Each row
+   combination is checked against the raw constraint list with the real
+   [Value.eq] — no dictionary, no variables, no sharing — so it cannot
+   inherit a bug from the machinery it is meant to check. *)
+let reference rels eqs =
+  if Array.length rels = 0 then invalid_arg "Leapfrog.reference: no relations";
+  validate rels eqs;
+  let k = Array.length rels in
+  let out = ref [] in
+  let vec = Array.make k 0 in
+  let rec go r =
+    if Int.equal r k then begin
+      let ok =
+        List.for_all
+          (fun ((r1, c1), (r2, c2)) ->
+            Value.eq
+              (Tuple.get (Relation.row rels.(r1) vec.(r1)) c1)
+              (Tuple.get (Relation.row rels.(r2) vec.(r2)) c2))
+          eqs
+      in
+      if ok then out := Array.copy vec :: !out
+    end
+    else
+      for row = 0 to Relation.cardinality rels.(r) - 1 do
+        vec.(r) <- row;
+        go (r + 1)
+      done
+  in
+  go 0;
+  Array.of_list (List.rev !out)
+
+(* ----------------------- shared code plumbing --------------------- *)
+
+(* Columns of variable [v] inside relation [r]. *)
+let cols_in comps v r =
+  List.filter_map
+    (fun (rr, c) -> if Int.equal rr r then Some c else None)
+    comps.(v)
+
+(* The code variable [v] takes in row [row] of relation [r]: [Some x]
+   when every column agrees on the non-NULL code [x]. *)
+let var_code codes r row cols =
+  match cols with
+  | [] -> None
+  | c0 :: rest ->
+      let x = codes.(r).(row).(c0) in
+      if Int.equal x Dict.no_code then None
+      else if List.for_all (fun c -> Int.equal codes.(r).(row).(c) x) rest
+      then Some x
+      else None
+
+(* ----------------------------- compose ---------------------------- *)
+
+let compose rels eqs =
+  if Array.length rels = 0 then invalid_arg "Leapfrog.compose: no relations";
+  let k = Array.length rels in
+  let comps = components rels eqs in
+  let nvars = Array.length comps in
+  let dict = Dict.create () in
+  let codes = Array.map (Dict.encode_rows dict) rels in
+  (* rel_cols.(r): the variables touching r, each with its columns. *)
+  let rel_cols = Array.make k [] in
+  for v = nvars - 1 downto 0 do
+    for r = k - 1 downto 0 do
+      match cols_in comps v r with
+      | [] -> ()
+      | _ :: _ as cols -> rel_cols.(r) <- (v, cols) :: rel_cols.(r)
+    done
+  done;
+  let valid_rows r =
+    let acc = ref [] in
+    for row = Relation.cardinality rels.(r) - 1 downto 0 do
+      if
+        List.for_all
+          (fun (_v, cols) -> Option.is_some (var_code codes r row cols))
+          rel_cols.(r)
+      then acc := row :: !acc
+    done;
+    !acc
+  in
+  (* Any prefix position of variable [v] (positions are ascending, so
+     the head below relation [i] serves). *)
+  let prefix_pos i v = List.find_opt (fun (r, _) -> r < i) comps.(v) in
+  let acc = ref (List.map (fun row -> [| row |]) (valid_rows 0)) in
+  for i = 1 to k - 1 do
+    let shared =
+      List.filter_map
+        (fun (v, cols) ->
+          match prefix_pos i v with
+          | Some (r, c) -> Some (cols, r, c)
+          | None -> None)
+        rel_cols.(i)
+    in
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun row ->
+        let key =
+          Array.of_list
+            (List.map
+               (fun (cols, _, _) ->
+                 match var_code codes i row cols with
+                 | Some x -> x
+                 | None -> Dict.no_code (* unreachable: row is valid *))
+               shared)
+        in
+        let prev =
+          match Hashtbl.find_opt tbl key with Some l -> l | None -> []
+        in
+        Hashtbl.replace tbl key (row :: prev))
+      (valid_rows i);
+    acc :=
+      List.concat_map
+        (fun vec ->
+          let key =
+            Array.of_list
+              (List.map (fun (_, r, c) -> codes.(r).(vec.(r)).(c)) shared)
+          in
+          match Hashtbl.find_opt tbl key with
+          | None -> []
+          | Some matches ->
+              List.rev_map
+                (fun row ->
+                  let nv = Array.make (i + 1) 0 in
+                  Array.blit vec 0 nv 0 i;
+                  nv.(i) <- row;
+                  nv)
+                matches)
+        !acc
+  done;
+  Array.of_list !acc
+
+(* ------------------------------ join ------------------------------ *)
+
+let check_permutation order nvars =
+  if not (Int.equal (Array.length order) nvars) then
+    invalid_arg
+      (Printf.sprintf "Leapfrog.join: order has %d entries for %d variables"
+         (Array.length order) nvars);
+  let seen = Array.make (max 1 nvars) false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= nvars then
+        invalid_arg (Printf.sprintf "Leapfrog.join: variable %d out of range" v);
+      if seen.(v) then
+        invalid_arg (Printf.sprintf "Leapfrog.join: variable %d repeated" v);
+      seen.(v) <- true)
+    order
+
+let join ?order rels eqs =
+  if Array.length rels = 0 then invalid_arg "Leapfrog.join: no relations";
+  let k = Array.length rels in
+  let comps = components rels eqs in
+  let nvars = Array.length comps in
+  let order =
+    match order with
+    | None -> Array.init nvars (fun i -> i)
+    | Some o ->
+        check_permutation o nvars;
+        Array.copy o
+  in
+  let dict = Dict.create () in
+  let codes = Array.map (Dict.encode_rows dict) rels in
+  (* rel_vars.(r): depths (positions in the global ordering) at which
+     relation r participates, ascending — these are r's trie levels. *)
+  let rel_vars = Array.make k [] in
+  let rel_depth = Array.make k 0 in
+  for d = nvars - 1 downto 0 do
+    let v = order.(d) in
+    List.iter
+      (fun (r, _) ->
+        match rel_vars.(r) with
+        | d' :: _ when Int.equal d' d -> ()
+        | [] | _ :: _ ->
+            rel_vars.(r) <- d :: rel_vars.(r);
+            rel_depth.(r) <- rel_depth.(r) + 1)
+      comps.(v)
+  done;
+  let tries =
+    Array.init k (fun r ->
+        match rel_vars.(r) with
+        | [] -> None
+        | _ :: _ as vds ->
+            let depth = rel_depth.(r) in
+            let var_cols =
+              Array.of_list (List.map (fun d -> cols_in comps order.(d) r) vds)
+            in
+            let entries = ref [] in
+            for row = Relation.cardinality rels.(r) - 1 downto 0 do
+              let key = Array.make depth 0 in
+              let ok = ref true in
+              Array.iteri
+                (fun i cols ->
+                  match var_code codes r row cols with
+                  | Some x -> key.(i) <- x
+                  | None -> ok := false)
+                var_cols;
+              if !ok then entries := (key, row) :: !entries
+            done;
+            Some (Trie.create ~depth !entries))
+  in
+  let iters =
+    Array.map
+      (function None -> None | Some trie -> Some (Trie.iter trie))
+      tries
+  in
+  let iter_of r =
+    match iters.(r) with
+    | Some it -> it
+    | None -> invalid_arg "Leapfrog.join: relation without a trie opened"
+  in
+  (* parts.(d): relations participating at depth d. *)
+  let parts =
+    Array.init nvars (fun d ->
+        let touched = Array.make k false in
+        List.iter (fun (r, _) -> touched.(r) <- true) comps.(order.(d));
+        let acc = ref [] in
+        for r = k - 1 downto 0 do
+          if touched.(r) then acc := r :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  let all_rows =
+    Array.init k (fun r ->
+        match rel_vars.(r) with
+        | [] -> Array.init (Relation.cardinality rels.(r)) (fun i -> i)
+        | _ :: _ -> [||])
+  in
+  let out = ref [] in
+  let vec = Array.make k 0 in
+  let emit () =
+    let sets =
+      Array.init k (fun r ->
+          match tries.(r) with
+          | None -> all_rows.(r)
+          | Some _ -> Trie.rows (iter_of r))
+    in
+    let rec prod r =
+      if Int.equal r k then out := Array.copy vec :: !out
+      else
+        Array.iter
+          (fun row ->
+            vec.(r) <- row;
+            prod (r + 1))
+          sets.(r)
+    in
+    prod 0
+  in
+  let rec go d =
+    if Int.equal d nvars then emit ()
+    else begin
+      let its = Array.map iter_of parts.(d) in
+      Array.iter Trie.open_ its;
+      if not (Array.exists Trie.at_end its) then begin
+        (* Leapfrog search: keep the iterators sorted by key, advance
+           the smallest to the current maximum; a match means all sit on
+           one value, and we descend. *)
+        let arr = Array.copy its in
+        Array.sort (fun a b -> Int.compare (Trie.key a) (Trie.key b)) arr;
+        let kk = Array.length arr in
+        let p = ref 0 in
+        let maxk = ref (Trie.key arr.(kk - 1)) in
+        let running = ref true in
+        while !running do
+          let it = arr.(!p) in
+          if Int.equal (Trie.key it) !maxk then begin
+            go (d + 1);
+            Trie.next it;
+            if Trie.at_end it then running := false
+            else begin
+              maxk := Trie.key it;
+              p := (!p + 1) mod kk
+            end
+          end
+          else begin
+            Trie.seek it !maxk;
+            if Trie.at_end it then running := false
+            else begin
+              maxk := Trie.key it;
+              p := (!p + 1) mod kk
+            end
+          end
+        done
+      end;
+      Array.iter Trie.up its
+    end
+  in
+  go 0;
+  Array.of_list (List.rev !out)

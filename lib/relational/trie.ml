@@ -1,0 +1,157 @@
+(* Sorted-array tries.  The whole structure is two parallel arrays —
+   distinct key vectors in lexicographic order, and the row ids behind
+   each — so "the subtrie under the current key" is always a contiguous
+   index range and every iterator move is a binary search over one
+   column of the key matrix.  This is the standard simple backing store
+   for Leapfrog Triejoin: no nodes, no pointers, cache-friendly scans. *)
+
+type t = {
+  depth : int;
+  keys : int array array;  (* distinct, lexicographically sorted *)
+  rows : int array array;  (* rows.(i): ascending row ids of keys.(i) *)
+}
+
+let compare_keys (a : int array) (b : int array) =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then 0
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let create ~depth entries =
+  if depth < 0 then invalid_arg "Trie.create: negative depth";
+  List.iter
+    (fun (key, _) ->
+      if Array.length key <> depth then
+        invalid_arg
+          (Printf.sprintf "Trie.create: key of length %d in a depth-%d trie"
+             (Array.length key) depth))
+    entries;
+  let sorted =
+    List.sort
+      (fun (k1, r1) (k2, r2) ->
+        let c = compare_keys k1 k2 in
+        if c <> 0 then c else Int.compare r1 r2)
+      entries
+  in
+  (* Group runs of equal keys; rows were prepended so reverse restores
+     ascending order. *)
+  let groups =
+    List.fold_left
+      (fun acc (key, row) ->
+        match acc with
+        | (k, rs) :: tl when compare_keys k key = 0 -> (k, row :: rs) :: tl
+        | [] | (_, _) :: _ -> (key, [ row ]) :: acc)
+      [] sorted
+  in
+  let n = List.length groups in
+  let keys = Array.make n [||] and rows = Array.make n [||] in
+  List.iteri
+    (fun idx (k, rs) ->
+      let i = n - 1 - idx in
+      keys.(i) <- Array.copy k;
+      rows.(i) <- Array.of_list (List.rev rs))
+    groups;
+  { depth; keys; rows }
+
+let depth t = t.depth
+let size t = Array.length t.keys
+let keys t = Array.map Array.copy t.keys
+
+(* ----------------------------- iterators -------------------------- *)
+
+(* One (lo, hi, pos) frame per level.  [pos] always sits on the *first*
+   index of the current key value (next/seek land there by construction),
+   so the current key's subtrie is [pos, upper-bound-of-key). *)
+type iter = {
+  trie : t;
+  mutable ilevel : int;  (* -1 at the root *)
+  lo : int array;
+  hi : int array;
+  pos : int array;
+}
+
+let iter trie =
+  let d = max 1 trie.depth in
+  {
+    trie;
+    ilevel = -1;
+    lo = Array.make d 0;
+    hi = Array.make d 0;
+    pos = Array.make d 0;
+  }
+
+let level it = it.ilevel
+
+let at_end it =
+  if it.ilevel < 0 then invalid_arg "Trie.at_end: iterator at the root";
+  it.pos.(it.ilevel) >= it.hi.(it.ilevel)
+
+let key it =
+  if it.ilevel < 0 then invalid_arg "Trie.key: iterator at the root";
+  if it.pos.(it.ilevel) >= it.hi.(it.ilevel) then
+    invalid_arg "Trie.key: iterator at the end";
+  it.trie.keys.(it.pos.(it.ilevel)).(it.ilevel)
+
+(* First index in [pos, hi) whose level-[l] key exceeds [v]. *)
+let upper it l v =
+  let lo = ref it.pos.(l) and hi = ref it.hi.(l) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if it.trie.keys.(mid).(l) <= v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index in [pos, hi) whose level-[l] key is at least [v]. *)
+let lower it l v =
+  let lo = ref it.pos.(l) and hi = ref it.hi.(l) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if it.trie.keys.(mid).(l) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let open_ it =
+  if it.ilevel + 1 >= it.trie.depth then
+    invalid_arg "Trie.open_: already at the leaf level";
+  if it.ilevel < 0 then begin
+    it.ilevel <- 0;
+    it.lo.(0) <- 0;
+    it.hi.(0) <- Array.length it.trie.keys;
+    it.pos.(0) <- 0
+  end
+  else begin
+    let l = it.ilevel in
+    if it.pos.(l) >= it.hi.(l) then invalid_arg "Trie.open_: iterator at the end";
+    let stop = upper it l it.trie.keys.(it.pos.(l)).(l) in
+    it.ilevel <- l + 1;
+    it.lo.(l + 1) <- it.pos.(l);
+    it.hi.(l + 1) <- stop;
+    it.pos.(l + 1) <- it.pos.(l)
+  end
+
+let up it =
+  if it.ilevel < 0 then invalid_arg "Trie.up: iterator at the root";
+  it.ilevel <- it.ilevel - 1
+
+let next it =
+  if it.ilevel < 0 then invalid_arg "Trie.next: iterator at the root";
+  let l = it.ilevel in
+  if it.pos.(l) >= it.hi.(l) then invalid_arg "Trie.next: iterator at the end";
+  it.pos.(l) <- upper it l it.trie.keys.(it.pos.(l)).(l)
+
+let seek it v =
+  if it.ilevel < 0 then invalid_arg "Trie.seek: iterator at the root";
+  let l = it.ilevel in
+  if it.pos.(l) >= it.hi.(l) then invalid_arg "Trie.seek: iterator at the end";
+  it.pos.(l) <- lower it l v
+
+let rows it =
+  if it.ilevel <> it.trie.depth - 1 || it.ilevel < 0 then
+    invalid_arg "Trie.rows: iterator not at the leaf level";
+  if it.pos.(it.ilevel) >= it.hi.(it.ilevel) then
+    invalid_arg "Trie.rows: iterator at the end";
+  it.trie.rows.(it.pos.(it.ilevel))

@@ -1,0 +1,76 @@
+(** Sorted trie indexes over dictionary codes, with the iterator
+    interface Leapfrog Triejoin drives (Veldhuizen, ICDT 2014).
+
+    A trie of depth [d] stores a set of length-[d] integer key vectors
+    (typically [Dict] codes of a relation's join columns, permuted to a
+    variable ordering), each carrying the row ids that produced it.  The
+    physical layout is a lexicographically sorted array of distinct key
+    vectors; every iterator level is a [(lo, hi)] slice of that array and
+    all movement ([next], [seek]) is binary search, so a trie is built in
+    O(n log n) and never materializes internal nodes.
+
+    Iterators are deliberately low-level and mutable — one allocation per
+    join, zero per movement — and enforce the triejoin discipline by
+    raising [Invalid_argument] on misuse (reading a key at the root or
+    past the end, opening below the leaf level).  The laws the interface
+    obeys (seek is monotone and lands on the least key ≥ target; open/up
+    are inverse level moves; a full depth-first walk re-emits the sorted
+    key set) are pinned by the QCheck suite in [test/test_trie.ml]. *)
+
+type t
+
+(** [create ~depth entries] builds a trie from [(key, row)] pairs.  Keys
+    must all have length [depth]; equal keys merge, accumulating their
+    row ids.  Raises [Invalid_argument] on a key of the wrong length or a
+    negative [depth]. *)
+val create : depth:int -> (int array * int) list -> t
+
+val depth : t -> int
+
+(** Number of distinct key vectors. *)
+val size : t -> int
+
+(** The distinct key vectors in lexicographic order (a fresh copy). *)
+val keys : t -> int array array
+
+(** {1 Iterators} *)
+
+type iter
+
+(** A fresh iterator positioned at the root (level [-1]). *)
+val iter : t -> iter
+
+(** Current level: [-1] at the root, [0 .. depth-1] when open. *)
+val level : iter -> int
+
+(** Descend to the first key of the next level, within the current key's
+    subtrie.  Raises [Invalid_argument] at the leaf level, past the end,
+    or on a depth-0 trie. *)
+val open_ : iter -> unit
+
+(** Ascend one level (the parent position is restored).  Raises
+    [Invalid_argument] at the root. *)
+val up : iter -> unit
+
+(** No key left at the current level.  Raises [Invalid_argument] at the
+    root. *)
+val at_end : iter -> bool
+
+(** The current key.  Raises [Invalid_argument] at the root or past the
+    end. *)
+val key : iter -> int
+
+(** Advance to the next distinct key at this level (possibly to the
+    end).  Raises [Invalid_argument] at the root or past the end. *)
+val next : iter -> unit
+
+(** [seek it v] moves to the least key ≥ [v] at this level, or to the
+    end.  Never moves backwards: seeking below the current key is a
+    no-op.  Raises [Invalid_argument] at the root or past the end. *)
+val seek : iter -> int -> unit
+
+(** Row ids of the current full key vector, ascending.  Only valid at
+    the leaf level ([depth - 1]) when not at the end; raises
+    [Invalid_argument] otherwise.  The returned array is shared — do not
+    mutate. *)
+val rows : iter -> int array

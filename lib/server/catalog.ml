@@ -60,8 +60,11 @@ let names t =
     (with_names t (fun () ->
          Hashtbl.fold (fun name _ acc -> name :: acc) t.relations []))
 
-let universe t r p =
-  let key = Relation.fingerprint r ^ ":" ^ Relation.fingerprint p in
+(* One cache serves both arities: the key is the colon-joined fingerprint
+   list, and a binary list builds via [Universe.build] (byte-identical to
+   [Universe.build_kary] on two relations, so mixed lookups are safe). *)
+let universe_list t rels =
+  let key = String.concat ":" (List.map Relation.fingerprint rels) in
   Shard.with_key t.shards key (fun shard ->
       match Hashtbl.find_opt shard.universes key with
       | Some u ->
@@ -73,10 +76,14 @@ let universe t r p =
           Obs.Counter.incr c_miss;
           let u =
             Obs.span ~attrs:[ ("key", key) ] "server.universe_build" (fun () ->
-                Universe.build r p)
+                match rels with
+                | [ r; p ] -> Universe.build r p
+                | _ -> Universe.build_kary rels)
           in
           Hashtbl.replace shard.universes key u;
           (false, u))
+
+let universe t r p = universe_list t [ r; p ]
 
 let shard_stats t = Shard.mapi t.shards (fun _ s -> (s.hits, s.misses))
 

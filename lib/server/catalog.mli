@@ -42,6 +42,14 @@ val universe :
   t -> Jqi_relational.Relation.t -> Jqi_relational.Relation.t ->
   bool * Jqi_core.Universe.t
 
+(** K-ary {!universe}: the cache key is the colon-joined fingerprint
+    list; two relations build via [Universe.build], more via
+    [Universe.build_kary] (byte-identical on k = 2, so binary and k-ary
+    lookups share entries).  Build errors ([Invalid_argument],
+    [Universe.Kary_too_large]) propagate to the caller. *)
+val universe_list :
+  t -> Jqi_relational.Relation.t list -> bool * Jqi_core.Universe.t
+
 (** (cache hits, cache misses) per shard, in shard order.  Exact: the
     counters are updated under the shard locks. *)
 val shard_stats : t -> (int * int) list

@@ -47,8 +47,7 @@ let error_message = function
 
 type info = {
   id : string;
-  r_name : string;
-  p_name : string;
+  rel_names : string list;  (* catalog names, in relation order *)
   strategy_name : string;
   classes : int;
   omega_width : int;
@@ -94,8 +93,7 @@ let add_stats a b =
 
 type session = {
   s_id : string;
-  s_r : string;
-  s_p : string;
+  s_rels : string list;  (* catalog names, in relation order *)
   s_strategy : string;  (* [Strategy.name], e.g. "TD" *)
   s_universe : Universe.t;
   mutable s_engine : Engine.t;
@@ -148,14 +146,12 @@ let fresh_id t = Printf.sprintf "s%d" (Atomic.fetch_and_add t.next_id 1)
 
 (* Shared tail of open/resume: wrap an engine into a registered session.
    The id is drawn before locking, so only the target shard is held. *)
-let register t ~r_name ~p_name ~strategy_name ~universe ~cache_hit ~resumed
-    engine =
+let register t ~rel_names ~strategy_name ~universe ~cache_hit ~resumed engine =
   let id = fresh_id t in
   let session =
     {
       s_id = id;
-      s_r = r_name;
-      s_p = p_name;
+      s_rels = rel_names;
       s_strategy = strategy_name;
       s_universe = universe;
       s_engine = engine;
@@ -169,42 +165,53 @@ let register t ~r_name ~p_name ~strategy_name ~universe ~cache_hit ~resumed
          else { shard.st with opened = shard.st.opened + 1 }));
   {
     id;
-    r_name;
-    p_name;
+    rel_names;
     strategy_name;
     classes = Universe.n_classes universe;
     omega_width = Jqi_core.Omega.width (Universe.omega universe);
     cache_hit;
   }
 
-let relation_pair t ~r ~p =
-  match (Catalog.find t.catalog r, Catalog.find t.catalog p) with
-  | Some rr, Some pp -> Ok (rr, pp)
-  | None, _ -> Error (Unknown_relation r)
-  | Some _, None -> Error (Unknown_relation p)
+(* Resolve catalog names in order; the first unknown name is the error. *)
+let relation_list t names =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+        match Catalog.find t.catalog name with
+        | Some rel -> go (rel :: acc) rest
+        | None -> Error (Unknown_relation name))
+  in
+  go [] names
 
-let open_session t ~r ~p ~strategy =
-  Obs.span ~attrs:[ ("r", r); ("p", p) ] "server.open" (fun () ->
-      match relation_pair t ~r ~p with
+let span_attrs names = [ ("relations", String.concat "," names) ]
+
+(* Shared front of open/resume over any arity.  [Invalid_argument] (fewer
+   than two relations) and [Universe.Kary_too_large] propagate — the
+   service layer renders both as error frames. *)
+let open_list t ~relations ~strategy =
+  Obs.span ~attrs:(span_attrs relations) "server.open" (fun () ->
+      match relation_list t relations with
       | Error e -> Error e
-      | Ok (rr, pp) -> (
+      | Ok rels -> (
           match Strategy.of_name ~seed:t.seed strategy with
           | None -> Error (Unknown_strategy strategy)
           | Some strat ->
-              let cache_hit, universe = Catalog.universe t.catalog rr pp in
+              let cache_hit, universe = Catalog.universe_list t.catalog rels in
               let engine = Engine.create universe strat in
               Obs.Counter.incr c_opened;
               Ok
-                (register t ~r_name:r ~p_name:p
+                (register t ~rel_names:relations
                    ~strategy_name:(Strategy.name strat) ~universe ~cache_hit
                    ~resumed:false engine)))
 
-let resume_session t ~r ~p ?strategy doc =
-  Obs.span ~attrs:[ ("r", r); ("p", p) ] "server.resume" (fun () ->
-      match relation_pair t ~r ~p with
+let open_session t ~r ~p ~strategy = open_list t ~relations:[ r; p ] ~strategy
+
+let resume_list t ~relations ?strategy doc =
+  Obs.span ~attrs:(span_attrs relations) "server.resume" (fun () ->
+      match relation_list t relations with
       | Error e -> Error e
-      | Ok (rr, pp) -> (
-          let cache_hit, universe = Catalog.universe t.catalog rr pp in
+      | Ok rels -> (
+          let cache_hit, universe = Catalog.universe_list t.catalog rels in
           match Session.of_json_full universe doc with
           | exception Session.Corrupt msg -> Error (Corrupt_session msg)
           | loaded -> (
@@ -227,9 +234,12 @@ let resume_session t ~r ~p ?strategy doc =
                   in
                   Obs.Counter.incr c_resumed;
                   Ok
-                    (register t ~r_name:r ~p_name:p
+                    (register t ~rel_names:relations
                        ~strategy_name:(Strategy.name strat) ~universe
                        ~cache_hit ~resumed:true engine))))
+
+let resume_session t ~r ~p ?strategy doc =
+  resume_list t ~relations:[ r; p ] ?strategy doc
 
 (* Run [f] on the live session [id] under its shard's lock, stamping the
    idle clock.  All reads and writes of a session happen inside this. *)

@@ -39,8 +39,7 @@ val error_message : error -> string
 (** What [open_session]/[resume_session] report back. *)
 type info = {
   id : string;
-  r_name : string;
-  p_name : string;
+  rel_names : string list;  (** catalog names, in relation order *)
   strategy_name : string;
   classes : int;
   omega_width : int;
@@ -81,9 +80,18 @@ val catalog : t -> Catalog.t
 val shards : t -> int
 
 (** Open a fresh session over two catalog relations with a strategy
-    named as in [Strategy.of_name]. *)
+    named as in [Strategy.of_name].  Equivalent to {!open_list} over the
+    two-element relation list. *)
 val open_session :
   t -> r:string -> p:string -> strategy:string -> (info, error) result
+
+(** Open a fresh session over [relations] catalog names, in order.  Two
+    names give the classic binary session; three or more build a k-ary
+    quotient universe via [Universe.build_kary].  Build errors
+    ([Invalid_argument] on degenerate lists, [Universe.Kary_too_large])
+    propagate to the caller. *)
+val open_list :
+  t -> relations:string list -> strategy:string -> (info, error) result
 
 (** Thaw a [Session] document (v1 or v2) into a live session.
     [strategy] overrides the persisted strategy name; without either the
@@ -91,6 +99,12 @@ val open_session :
     it is still informative. *)
 val resume_session :
   t -> r:string -> p:string -> ?strategy:string -> Jqi_util.Json.t ->
+  (info, error) result
+
+(** K-ary {!resume_session}: thaw a session document (v3 for k > 2, any
+    version for two relations) over [relations] catalog names. *)
+val resume_list :
+  t -> relations:string list -> ?strategy:string -> Jqi_util.Json.t ->
   (info, error) result
 
 val ask : t -> string -> (turn, error) result

@@ -26,6 +26,12 @@ type request =
       strategy : string option;
       doc : Json.t;
     }
+  | Open_kary of { relations : string list; strategy : string }
+  | Resume_kary of {
+      relations : string list;
+      strategy : string option;
+      doc : Json.t;
+    }
   | Close of { session : string }
   | Stats
 
@@ -38,6 +44,13 @@ type question = {
   q_p_cells : string list;
 }
 
+type kquestion = {
+  k_session : string;
+  k_class : int;
+  k_rows : int list;
+  k_cells : string list list;
+}
+
 type response =
   | Welcome of { version : int }
   | Loaded of { name : string; rows : int }
@@ -48,6 +61,7 @@ type response =
       cache_hit : bool;
     }
   | Question of question
+  | Kquestion of kquestion
   | Done of {
       session : string;
       predicate : (string * string) list;
@@ -112,6 +126,31 @@ let str_list_field name json =
   | None ->
       None
 
+(* A list of string lists — the per-relation cell rows of a kquestion. *)
+let str_list_list_field name json =
+  match Json.member name json with
+  | Some (Json.List l) ->
+      let row = function
+        | Json.List cells ->
+            let strs =
+              List.filter_map
+                (function
+                  | Json.Str s -> Some s
+                  | Json.Null | Json.Bool _ | Json.Num _ | Json.List _
+                  | Json.Obj _ ->
+                      None)
+                cells
+            in
+            if List.compare_lengths strs cells = 0 then Some strs else None
+        | Json.Null | Json.Bool _ | Json.Num _ | Json.Str _ | Json.Obj _ ->
+            None
+      in
+      let rows = List.filter_map row l in
+      if List.compare_lengths rows l = 0 then Some rows else None
+  | Some (Json.Null | Json.Bool _ | Json.Num _ | Json.Str _ | Json.Obj _)
+  | None ->
+      None
+
 let label_to_string = function
   | Sample.Positive -> "+"
   | Sample.Negative -> "-"
@@ -164,6 +203,25 @@ let request_fields = function
           | None -> []);
           [ ("doc", doc) ];
         ]
+  | Open_kary { relations; strategy } ->
+      [
+        ("op", Json.Str "open_kary");
+        ("relations", Json.List (List.map (fun n -> Json.Str n) relations));
+        ("strategy", Json.Str strategy);
+      ]
+  | Resume_kary { relations; strategy; doc } ->
+      List.concat
+        [
+          [
+            ("op", Json.Str "resume_kary");
+            ( "relations",
+              Json.List (List.map (fun n -> Json.Str n) relations) );
+          ];
+          (match strategy with
+          | Some s -> [ ("strategy", Json.Str s) ]
+          | None -> []);
+          [ ("doc", doc) ];
+        ]
   | Close { session } ->
       [ ("op", Json.Str "close"); ("session", Json.Str session) ]
   | Stats -> [ ("op", Json.Str "stats") ]
@@ -203,6 +261,20 @@ let response_fields = function
         ("p_row", Json.int q.q_p_row);
         ("r_cells", Json.List (List.map (fun c -> Json.Str c) q.q_r_cells));
         ("p_cells", Json.List (List.map (fun c -> Json.Str c) q.q_p_cells));
+      ]
+  | Kquestion k ->
+      [
+        ("ok", Json.Bool true);
+        ("op", Json.Str "kquestion");
+        ("session", Json.Str k.k_session);
+        ("class", Json.int k.k_class);
+        ("rows", Json.List (List.map Json.int k.k_rows));
+        ( "cells",
+          Json.List
+            (List.map
+               (fun row ->
+                 Json.List (List.map (fun c -> Json.Str c) row))
+               k.k_cells) );
       ]
   | Done { session; predicate; n_interactions } ->
       [
@@ -325,6 +397,19 @@ let decode_request line =
       let* p = required ~id ~op "p" (str_field "p" json) in
       let* doc = required ~id ~op "doc" (Json.member "doc" json) in
       Stdlib.Ok (id, Resume { r; p; strategy = str_field "strategy" json; doc })
+  | "open_kary" ->
+      let* relations =
+        required ~id ~op "relations" (str_list_field "relations" json)
+      in
+      let* strategy = required ~id ~op "strategy" (str_field "strategy" json) in
+      Stdlib.Ok (id, Open_kary { relations; strategy })
+  | "resume_kary" ->
+      let* relations =
+        required ~id ~op "relations" (str_list_field "relations" json)
+      in
+      let* doc = required ~id ~op "doc" (Json.member "doc" json) in
+      Stdlib.Ok
+        (id, Resume_kary { relations; strategy = str_field "strategy" json; doc })
   | "close" ->
       let* session = required ~id ~op "session" (str_field "session" json) in
       Stdlib.Ok (id, Close { session })
@@ -386,6 +471,20 @@ let decode_response line =
           in
           Stdlib.Ok
             (id, Question { q_session; q_class; q_r_row; q_p_row; q_r_cells; q_p_cells })
+      | "kquestion" ->
+          let* k_session = str "session" in
+          let* k_class = int "class" in
+          let* k_rows =
+            match int_list_field "rows" json with
+            | Some l -> Stdlib.Ok l
+            | None -> fail "response missing rows"
+          in
+          let* k_cells =
+            match str_list_list_field "cells" json with
+            | Some l -> Stdlib.Ok l
+            | None -> fail "response missing cells"
+          in
+          Stdlib.Ok (id, Kquestion { k_session; k_class; k_rows; k_cells })
       | "done" ->
           let* session = str "session" in
           let* n_interactions = int "n_interactions" in

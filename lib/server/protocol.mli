@@ -33,6 +33,14 @@ type request =
       strategy : string option;  (** overrides the persisted name *)
       doc : Jqi_util.Json.t;  (** a [Session] document, v1 or v2 *)
     }
+  | Open_kary of { relations : string list; strategy : string }
+      (** open over an ordered list of catalog names; two names behave
+          exactly like [Open_session] *)
+  | Resume_kary of {
+      relations : string list;
+      strategy : string option;
+      doc : Jqi_util.Json.t;  (** a [Session] document; v3 for k > 2 *)
+    }
   | Close of { session : string }
   | Stats
 
@@ -47,6 +55,17 @@ type question = {
   q_p_cells : string list;
 }
 
+(** The k-ary rendering of {!question}: one row index and one cell row
+    per relation, in session relation order.  Sessions opened over
+    exactly two relations keep answering with the classic [Question]
+    frame, so existing clients never see this op. *)
+type kquestion = {
+  k_session : string;
+  k_class : int;
+  k_rows : int list;
+  k_cells : string list list;
+}
+
 type response =
   | Welcome of { version : int }
   | Loaded of { name : string; rows : int }
@@ -57,9 +76,12 @@ type response =
       cache_hit : bool;
     }
   | Question of question
+  | Kquestion of kquestion
   | Done of {
       session : string;
-      predicate : (string * string) list;  (** attribute pairs of T(S+) *)
+      predicate : (string * string) list;
+          (** attribute pairs of T(S+); k-ary sessions qualify both
+              sides as ["rel.attr"] *)
       n_interactions : int;
     }
   | Saved of { session : string; doc : Jqi_util.Json.t }

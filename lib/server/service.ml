@@ -32,29 +32,54 @@ let opened (info : Manager.info) =
 
 let cells tuple = List.map Value.to_string (Tuple.to_list tuple)
 
+(* Binary sessions keep the historical [Question] frame byte-for-byte;
+   wider sessions answer with [Kquestion] (one row + cell list per
+   relation). *)
 let render_question universe session (q : Engine.question) =
-  let r_row, p_row = (Universe.cls universe q.Engine.class_id).Universe.rep in
-  let r_cells, p_cells =
-    match q.Engine.representative with
-    | Some (tr, tp) -> (cells tr, cells tp)
-    | None -> ([], [])
-  in
-  Protocol.Question
-    {
-      q_session = session;
-      q_class = q.Engine.class_id;
-      q_r_row = r_row;
-      q_p_row = p_row;
-      q_r_cells = r_cells;
-      q_p_cells = p_cells;
-    }
+  let rep = (Universe.cls universe q.Engine.class_id).Universe.rep in
+  if Universe.n_relations universe = 2 then
+    let r_cells, p_cells =
+      match q.Engine.representative with
+      | Some (tr, tp) -> (cells tr, cells tp)
+      | None -> ([], [])
+    in
+    Protocol.Question
+      {
+        q_session = session;
+        q_class = q.Engine.class_id;
+        q_r_row = rep.(0);
+        q_p_row = rep.(1);
+        q_r_cells = r_cells;
+        q_p_cells = p_cells;
+      }
+  else
+    let k_cells =
+      match q.Engine.rows with
+      | Some tuples -> Array.to_list (Array.map cells tuples)
+      | None -> []
+    in
+    Protocol.Kquestion
+      {
+        k_session = session;
+        k_class = q.Engine.class_id;
+        k_rows = Array.to_list rep;
+        k_cells;
+      }
 
 let render_done universe session (outcome : Engine.outcome) =
   let omega = Universe.omega universe in
   let predicate =
-    List.map
-      (fun (i, j) -> (Omega.r_name omega i, Omega.p_name omega j))
-      (Omega.to_pairs omega outcome.Engine.predicate)
+    if Universe.n_relations universe = 2 then
+      List.map
+        (fun (i, j) -> (Omega.r_name omega i, Omega.p_name omega j))
+        (Omega.to_pairs omega outcome.Engine.predicate)
+    else
+      let qualify i a =
+        Omega.rel_name omega i ^ "." ^ Omega.attr_name omega i a
+      in
+      List.map
+        (fun ((i, a), (j, b)) -> (qualify i a, qualify j b))
+        (Omega.to_kpairs omega outcome.Engine.predicate)
   in
   Protocol.Done
     {
@@ -121,6 +146,36 @@ let handle manager request =
       match Manager.resume_session manager ~r ~p ?strategy doc with
       | exception Invalid_argument message ->
           Protocol.Error { code = "invalid"; message }
+      | Ok info -> opened info
+      | Error e -> error e)
+  | Protocol.Open_kary { relations; strategy } -> (
+      match Manager.open_list manager ~relations ~strategy with
+      | exception Invalid_argument message ->
+          Protocol.Error { code = "invalid"; message }
+      | exception Universe.Kary_too_large { work; limit } ->
+          Protocol.Error
+            {
+              code = "too_large";
+              message =
+                Printf.sprintf
+                  "k-ary universe too large: %d work units exceeds limit %d"
+                  work limit;
+            }
+      | Ok info -> opened info
+      | Error e -> error e)
+  | Protocol.Resume_kary { relations; strategy; doc } -> (
+      match Manager.resume_list manager ~relations ?strategy doc with
+      | exception Invalid_argument message ->
+          Protocol.Error { code = "invalid"; message }
+      | exception Universe.Kary_too_large { work; limit } ->
+          Protocol.Error
+            {
+              code = "too_large";
+              message =
+                Printf.sprintf
+                  "k-ary universe too large: %d work units exceeds limit %d"
+                  work limit;
+            }
       | Ok info -> opened info
       | Error e -> error e)
   | Protocol.Close { session } -> (

@@ -190,7 +190,7 @@ let test_session_v2_roundtrip () =
   let loaded = Session.of_json_full universe0 json in
   Alcotest.(check (option string)) "strategy persisted" (Some "TD")
     loaded.Session.strategy;
-  Alcotest.(check (option (pair int int))) "pending persisted" (Some pending)
+  Alcotest.(check (option (array int))) "pending persisted" (Some pending)
     loaded.Session.pending;
   Alcotest.check bits_testable "same T(S+)" (State.tpos st)
     (State.tpos loaded.Session.state);
@@ -203,7 +203,7 @@ let test_session_v1_fixture_loads () =
   let loaded = Session.load_full "data/session_v1.json" universe0 in
   Alcotest.(check (option string)) "no strategy in v1" None
     loaded.Session.strategy;
-  Alcotest.(check (option (pair int int))) "no pending in v1" None
+  Alcotest.(check (option (array int))) "no pending in v1" None
     loaded.Session.pending;
   let st = session_state () in
   Alcotest.check bits_testable "replays to the same T(S+)" (State.tpos st)
@@ -216,12 +216,12 @@ let test_session_version_errors () =
     corrupt_message (fun () ->
         Session.of_json universe0
           (Json.Obj
-             [ ("version", Json.int 3); ("examples", Json.List []) ]))
+             [ ("version", Json.int 4); ("examples", Json.List []) ]))
   in
   Alcotest.(check bool) "names the bad version" true
-    (contains ~needle:"unsupported session version 3" msg);
+    (contains ~needle:"unsupported session version 4" msg);
   Alcotest.(check bool) "names the supported range" true
-    (contains ~needle:"1-2" msg);
+    (contains ~needle:"1-3" msg);
   let missing = corrupt_message (fun () -> Session.of_json universe0 (Json.Obj [])) in
   Alcotest.(check bool) "missing version named" true
     (contains ~needle:"version" missing)

@@ -328,6 +328,15 @@ let gen_request =
         map3
           (fun (r, p) strategy doc -> P.Resume { r; p; strategy; doc })
           (pair gen_str gen_str) (option gen_str) gen_doc;
+        map2
+          (fun relations strategy -> P.Open_kary { relations; strategy })
+          (list_size (int_range 0 4) gen_str)
+          gen_str;
+        map3
+          (fun relations strategy doc ->
+            P.Resume_kary { relations; strategy; doc })
+          (list_size (int_range 0 4) gen_str)
+          (option gen_str) gen_doc;
         map (fun session -> P.Close { session }) gen_str;
         return P.Stats;
       ])
@@ -358,6 +367,12 @@ let gen_response =
           gen_str
           (list_size (int_range 0 3) (pair gen_str gen_str))
           (int_bound 99);
+        map3
+          (fun (k_session, k_class) k_rows k_cells ->
+            P.Kquestion { k_session; k_class; k_rows; k_cells })
+          (pair gen_str (int_bound 99))
+          (list_size (int_range 0 4) (int_bound 99))
+          (list_size (int_range 0 4) (list_size (int_range 0 3) gen_str));
         map2 (fun session doc -> P.Saved { session; doc }) gen_str gen_doc;
         map (fun session -> P.Closed { session }) gen_str;
         map3
@@ -492,6 +507,105 @@ let test_service_full_flight () =
             relations
       | _ -> Alcotest.fail "stats")
 
+(* Three-relation chain over the wire: open_kary answers with kquestion
+   frames (one row + one cell list per relation), and the closing done
+   frame qualifies attribute names as "rel.attr".  Binary frames are
+   untouched by any of this — sessions over exactly two relations still
+   answer with the classic question frame (test_service_full_flight). *)
+let test_service_kary_flight () =
+  let rel name attrs rows =
+    Relation.of_list ~name
+      ~schema:(Jqi_relational.Schema.of_names ~ty:Jqi_relational.Value.TInt attrs)
+      (List.map Jqi_relational.Tuple.ints rows)
+  in
+  let a = rel "a" [ "ak" ] [ [ 1 ]; [ 2 ]; [ 3 ] ] in
+  let b = rel "b" [ "bk"; "bv" ] [ [ 1; 10 ]; [ 2; 20 ]; [ 9; 10 ] ] in
+  let c = rel "c" [ "ck" ] [ [ 10 ]; [ 20 ]; [ 30 ] ] in
+  let catalog = Catalog.create () in
+  List.iter (Catalog.add catalog) [ a; b; c ];
+  let manager = Manager.create catalog in
+  let handle = Service.handle manager in
+  (* The labelling side runs the same byte-identical universe build the
+     server does, so the kquestion's class index addresses it directly. *)
+  let u = Jqi_core.Universe.build_kary [ a; b; c ] in
+  let goal =
+    Jqi_core.Omega.of_names_kary (Jqi_core.Universe.omega u)
+      [ ("a.ak", "b.bk"); ("b.bv", "c.ck") ]
+  in
+  let session =
+    match
+      handle (P.Open_kary { relations = [ "a"; "b"; "c" ]; strategy = "td" })
+    with
+    | P.Opened { session; cache_hit = false; _ } -> session
+    | _ -> Alcotest.fail "open_kary"
+  in
+  let questions = ref 0 in
+  let rec loop resp =
+    match resp with
+    | P.Kquestion { k_session; k_class; k_rows; k_cells } ->
+        incr questions;
+        Alcotest.(check string) "session echoed" session k_session;
+        Alcotest.(check int) "one row per relation" 3 (List.length k_rows);
+        Alcotest.(check int) "one cell list per relation" 3
+          (List.length k_cells);
+        Alcotest.(check (list int)) "cell list arities" [ 1; 2; 1 ]
+          (List.map List.length k_cells);
+        let label = label_for goal (Jqi_core.Universe.signature u k_class) in
+        loop (handle (P.Tell { session; label }))
+    | P.Done { predicate; n_interactions; _ } ->
+        Alcotest.(check (list (pair string string)))
+          "predicate qualified as rel.attr"
+          [ ("a.ak", "b.bk"); ("b.bv", "c.ck") ]
+          predicate;
+        Alcotest.(check int) "interaction count" !questions n_interactions
+    | _ -> Alcotest.fail "unexpected k-ary turn"
+  in
+  loop (handle (P.Ask { session }));
+  (* A second open over the same relation list hits the universe cache. *)
+  (match
+     handle (P.Open_kary { relations = [ "a"; "b"; "c" ]; strategy = "bu" })
+   with
+  | P.Opened { cache_hit = true; _ } -> ()
+  | _ -> Alcotest.fail "second open_kary should hit the cache");
+  (* Save then resume the session over the wire, k-ary ops throughout. *)
+  let doc =
+    match handle (P.Save { session }) with
+    | P.Saved { doc; _ } -> doc
+    | _ -> Alcotest.fail "save"
+  in
+  match
+    handle
+      (P.Resume_kary
+         { relations = [ "a"; "b"; "c" ]; strategy = None; doc })
+  with
+  | P.Opened { session = _; _ } -> ()
+  | _ -> Alcotest.fail "resume_kary"
+
+let test_service_kary_errors () =
+  let catalog = fh_catalog () in
+  let manager = Manager.create catalog in
+  let handle = Service.handle manager in
+  (match handle (P.Open_kary { relations = [ "Flight" ]; strategy = "td" }) with
+  | P.Error { code = "invalid"; _ } -> ()
+  | _ -> Alcotest.fail "fewer than two relations");
+  (match
+     handle
+       (P.Open_kary { relations = [ "Flight"; "zz"; "Hotel" ]; strategy = "td" })
+   with
+  | P.Error { code = "unknown_relation"; _ } -> ()
+  | _ -> Alcotest.fail "unknown relation in the list");
+  match
+    handle
+      (P.Resume_kary
+         {
+           relations = [ "Flight"; "Hotel" ];
+           strategy = None;
+           doc = Json.Obj [];
+         })
+  with
+  | P.Error { code = "corrupt_session"; _ } -> ()
+  | _ -> Alcotest.fail "corrupt k-ary resume"
+
 let test_service_errors () =
   let manager = Manager.create (fh_catalog ()) in
   let handle = Service.handle manager in
@@ -537,5 +651,8 @@ let suite =
     Alcotest.test_case "decoder yields error frames" `Quick test_decode_garbage;
     Alcotest.test_case "version negotiation" `Quick test_negotiate;
     Alcotest.test_case "service full session" `Quick test_service_full_flight;
+    Alcotest.test_case "service k-ary session" `Quick test_service_kary_flight;
+    Alcotest.test_case "service k-ary error frames" `Quick
+      test_service_kary_errors;
     Alcotest.test_case "service error frames" `Quick test_service_errors;
   ]

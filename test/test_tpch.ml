@@ -129,6 +129,70 @@ let test_goal_join_is_fk_join () =
     (Relation.cardinality db.partsupp)
     (Relation.cardinality result)
 
+(* --------------------- k-ary inference pin ------------------------ *)
+
+(* End-to-end over the 3-table natural-key chain
+   part ⋈ partsupp ⋈ supplier (projected to the join-relevant columns so
+   the quotient stays small): BU, TD and L2S must all converge to a
+   predicate instance-equivalent to the FK chain, with bit-identical
+   traces whichever k-ary universe builder produced the quotient — the
+   in-process counterpart of `jqinfer infer --relations ... --universe`. *)
+let test_kary_chain_inference () =
+  let part = Jqi_relational.Algebra.project db.part [ "p_partkey"; "p_size" ] in
+  let partsupp =
+    Jqi_relational.Algebra.project db.partsupp [ "ps_partkey"; "ps_suppkey" ]
+  in
+  let supplier =
+    Jqi_relational.Algebra.project db.supplier [ "s_suppkey"; "s_nationkey" ]
+  in
+  let rels = [ part; partsupp; supplier ] in
+  let u_quot = Universe.build_kary rels in
+  let u_naive = Universe.build_kary_naive rels in
+  let goal u =
+    Omega.of_names_kary (Universe.omega u)
+      [
+        ("part.p_partkey", "partsupp.ps_partkey");
+        ("partsupp.ps_suppkey", "supplier.s_suppkey");
+      ]
+  in
+  let label_equal a b =
+    match (a, b) with
+    | Jqi_core.Sample.Positive, Jqi_core.Sample.Positive
+    | Jqi_core.Sample.Negative, Jqi_core.Sample.Negative ->
+        true
+    | Jqi_core.Sample.Positive, Jqi_core.Sample.Negative
+    | Jqi_core.Sample.Negative, Jqi_core.Sample.Positive ->
+        false
+  in
+  List.iter
+    (fun (name, strategy) ->
+      let run u =
+        Jqi_core.Inference.run u strategy
+          (Jqi_core.Oracle.honest ~goal:(goal u))
+      in
+      let a = run u_quot and b = run u_naive in
+      Alcotest.(check bool)
+        (name ^ " converges on the quotient universe")
+        true
+        (Jqi_core.Inference.verified u_quot ~goal:(goal u_quot) a);
+      Alcotest.(check bool)
+        (name ^ " converges on the naive universe")
+        true
+        (Jqi_core.Inference.verified u_naive ~goal:(goal u_naive) b);
+      Alcotest.(check bool)
+        (name ^ " predicates identical across builders")
+        true
+        (Jqi_util.Bits.equal a.Jqi_core.Inference.predicate
+           b.Jqi_core.Inference.predicate);
+      Alcotest.(check bool)
+        (name ^ " traces identical across builders")
+        true
+        (List.equal
+           (fun (c1, l1) (c2, l2) -> Int.equal c1 c2 && label_equal l1 l2)
+           a.Jqi_core.Inference.steps b.Jqi_core.Inference.steps))
+    [ ("bu", Jqi_core.Strategy.bu); ("td", Jqi_core.Strategy.td);
+      ("l2s", Jqi_core.Strategy.lks 2) ]
+
 let suite =
   [
     Alcotest.test_case "table arities" `Quick test_arities;
@@ -139,4 +203,6 @@ let suite =
     Alcotest.test_case "deterministic by seed" `Quick test_deterministic;
     Alcotest.test_case "goal joins metadata" `Quick test_joins_metadata;
     Alcotest.test_case "goal join is the FK join" `Quick test_goal_join_is_fk_join;
+    Alcotest.test_case "3-table k-ary chain inference pin" `Quick
+      test_kary_chain_inference;
   ]

@@ -1,0 +1,242 @@
+(* QCheck law suite for the sorted-array tries behind Leapfrog Triejoin:
+   a full depth-first iterator walk re-emits exactly the sorted distinct
+   key set with its grouped row ids; [seek] is monotone and lands on the
+   least key >= target; [open_]/[up] are inverse level moves that keep
+   the parent position; and every misuse of the low-level iterator
+   raises [Invalid_argument] instead of corrupting state. *)
+
+module Trie = Jqi_relational.Trie
+
+let compare_key = List.compare Int.compare
+
+(* Reference model: distinct keys in lex order, each with the ascending
+   (duplicate-preserving) row ids of the entries that produced it. *)
+let model entries =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (key, row) ->
+      let k = Array.to_list key in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k (row :: prev))
+    entries;
+  Hashtbl.fold (fun k rs acc -> (k, List.sort Int.compare rs) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare_key a b)
+
+(* Full depth-first walk using only the iterator interface. *)
+let walk t =
+  let d = Trie.depth t in
+  let it = Trie.iter t in
+  let acc = ref [] in
+  let rec go level prefix =
+    Trie.open_ it;
+    while not (Trie.at_end it) do
+      let prefix' = Trie.key it :: prefix in
+      if level = d - 1 then
+        acc := (List.rev prefix', Array.to_list (Trie.rows it)) :: !acc
+      else go (level + 1) prefix';
+      Trie.next it
+    done;
+    Trie.up it
+  in
+  if d > 0 then go 0 [];
+  List.rev !acc
+
+let entry_list = Alcotest.(list (pair (list int) (list int)))
+
+(* ------------------------------ units ------------------------------ *)
+
+let test_create_validation () =
+  Alcotest.check_raises "wrong key length"
+    (Invalid_argument "Trie.create: key of length 1 in a depth-2 trie")
+    (fun () -> ignore (Trie.create ~depth:2 [ ([| 1 |], 0) ]));
+  Alcotest.check_raises "negative depth"
+    (Invalid_argument "Trie.create: negative depth") (fun () ->
+      ignore (Trie.create ~depth:(-1) []))
+
+let test_small_walk () =
+  let t =
+    Trie.create ~depth:2
+      [ ([| 2; 1 |], 4); ([| 1; 1 |], 0); ([| 1; 1 |], 2); ([| 1; 0 |], 7) ]
+  in
+  Alcotest.(check int) "size counts distinct keys" 3 (Trie.size t);
+  Alcotest.check entry_list "walk emits sorted grouped keys"
+    [ ([ 1; 0 ], [ 7 ]); ([ 1; 1 ], [ 0; 2 ]); ([ 2; 1 ], [ 4 ]) ]
+    (walk t)
+
+let test_empty_trie () =
+  let t = Trie.create ~depth:2 [] in
+  Alcotest.(check int) "empty size" 0 (Trie.size t);
+  let it = Trie.iter t in
+  Trie.open_ it;
+  Alcotest.(check bool) "level 0 of empty trie is at the end" true
+    (Trie.at_end it);
+  Alcotest.check entry_list "walk of empty trie" [] (walk t)
+
+let test_iterator_misuse () =
+  let t = Trie.create ~depth:1 [ ([| 3 |], 0) ] in
+  let root_raises name f =
+    Alcotest.check_raises name
+      (Invalid_argument (Printf.sprintf "Trie.%s: iterator at the root" name))
+      (fun () -> f (Trie.iter t))
+  in
+  root_raises "key" (fun it -> ignore (Trie.key it));
+  root_raises "next" Trie.next;
+  root_raises "seek" (fun it -> Trie.seek it 0);
+  root_raises "at_end" (fun it -> ignore (Trie.at_end it));
+  root_raises "up" Trie.up;
+  let it = Trie.iter t in
+  Trie.open_ it;
+  Alcotest.check_raises "open_ below the leaf level"
+    (Invalid_argument "Trie.open_: already at the leaf level") (fun () ->
+      Trie.open_ it);
+  Trie.next it;
+  Alcotest.check_raises "key past the end"
+    (Invalid_argument "Trie.key: iterator at the end") (fun () ->
+      ignore (Trie.key it));
+  Alcotest.check_raises "next past the end"
+    (Invalid_argument "Trie.next: iterator at the end") (fun () ->
+      Trie.next it);
+  Alcotest.check_raises "rows past the end"
+    (Invalid_argument "Trie.rows: iterator at the end") (fun () ->
+      ignore (Trie.rows it));
+  let t2 = Trie.create ~depth:2 [ ([| 1; 2 |], 0) ] in
+  let it2 = Trie.iter t2 in
+  Trie.open_ it2;
+  Alcotest.check_raises "rows off the leaf level"
+    (Invalid_argument "Trie.rows: iterator not at the leaf level") (fun () ->
+      ignore (Trie.rows it2))
+
+(* ------------------------------ qcheck ----------------------------- *)
+
+let gen_trie =
+  QCheck.Gen.(
+    let* depth = int_range 1 3 in
+    let key = map Array.of_list (list_repeat depth (int_bound 4)) in
+    let* entries = list_size (int_range 0 24) (pair key (int_bound 30)) in
+    return (depth, entries))
+
+let arb_trie =
+  QCheck.make
+    ~print:(fun (depth, entries) ->
+      Printf.sprintf "depth=%d [%s]" depth
+        (String.concat "; "
+           (List.map
+              (fun (k, r) ->
+                Printf.sprintf "([%s], %d)"
+                  (String.concat ";" (List.map string_of_int (Array.to_list k)))
+                  r)
+              entries)))
+    gen_trie
+
+let qcheck_walk_matches_model =
+  QCheck.Test.make ~name:"full DFS walk = sorted grouped key set" ~count:300
+    arb_trie (fun (depth, entries) ->
+      let t = Trie.create ~depth entries in
+      let expected = model entries in
+      List.equal
+        (fun (k1, r1) (k2, r2) ->
+          List.equal Int.equal k1 k2 && List.equal Int.equal r1 r2)
+        expected (walk t)
+      && Int.equal (Trie.size t) (List.length expected)
+      && List.equal (List.equal Int.equal)
+           (List.map fst expected)
+           (List.map Array.to_list (Array.to_list (Trie.keys t))))
+
+(* The keys present at the current level of [it] (a fresh sibling scan
+   via next from a copy of the position is not possible — iterators are
+   single — so the law checks run against the model of the slice). *)
+let qcheck_seek_least_upper_bound =
+  QCheck.Test.make
+    ~name:"seek is monotone and lands on the least key >= target" ~count:300
+    QCheck.(pair arb_trie (small_list (QCheck.make Gen.(int_range (-1) 6))))
+    (fun ((depth, entries), targets) ->
+      let t = Trie.create ~depth entries in
+      (* Walk every level of every subtrie; at each, replay the slice's
+         key list and check seek against the model. *)
+      let ok = ref true in
+      let it = Trie.iter t in
+      let rec go level =
+        Trie.open_ it;
+        (* collect the distinct keys of this slice *)
+        let keys = ref [] in
+        while not (Trie.at_end it) do
+          keys := Trie.key it :: !keys;
+          if level < depth - 1 then go (level + 1);
+          Trie.next it
+        done;
+        let keys = List.rev !keys in
+        (* replay: a second pass over the same slice testing seek *)
+        Trie.up it;
+        Trie.open_ it;
+        List.iter
+          (fun target ->
+            if not (Trie.at_end it) then begin
+              let before = Trie.key it in
+              Trie.seek it target;
+              let expect =
+                List.find_opt (fun k -> k >= target && k >= before) keys
+              in
+              (match expect with
+              | None -> ok := !ok && Trie.at_end it
+              | Some k ->
+                  ok :=
+                    !ok && (not (Trie.at_end it)) && Int.equal (Trie.key it) k)
+            end)
+          targets;
+        Trie.up it
+      in
+      if Trie.size t > 0 then go 0;
+      !ok)
+
+let qcheck_open_up_invariants =
+  QCheck.Test.make ~name:"open_/up level moves restore the parent position"
+    ~count:300 arb_trie (fun (depth, entries) ->
+      let t = Trie.create ~depth entries in
+      let ok = ref true in
+      let it = Trie.iter t in
+      let rec go level =
+        Trie.open_ it;
+        ok := !ok && Int.equal (Trie.level it) level;
+        while not (Trie.at_end it) do
+          let here = Trie.key it in
+          if level < depth - 1 then begin
+            go (level + 1);
+            (* up restored both the level and the parent key *)
+            ok :=
+              !ok && Int.equal (Trie.level it) level
+              && Int.equal (Trie.key it) here
+          end;
+          Trie.next it
+        done;
+        Trie.up it;
+        ok := !ok && Int.equal (Trie.level it) (level - 1)
+      in
+      ok := Int.equal (Trie.level it) (-1);
+      if Trie.size t > 0 then go 0;
+      !ok && Int.equal (Trie.level it) (-1))
+
+let qcheck_rows_partition =
+  QCheck.Test.make ~name:"leaf rows partition the entry multiset" ~count:300
+    arb_trie (fun (depth, entries) ->
+      let t = Trie.create ~depth entries in
+      let emitted =
+        List.concat_map (fun (_, rows) -> rows) (walk t)
+        |> List.sort Int.compare
+      in
+      let expected = List.sort Int.compare (List.map snd entries) in
+      List.equal Int.equal emitted expected)
+
+let suite =
+  [
+    Alcotest.test_case "create validates input" `Quick test_create_validation;
+    Alcotest.test_case "small walk" `Quick test_small_walk;
+    Alcotest.test_case "empty trie" `Quick test_empty_trie;
+    Alcotest.test_case "iterator misuse raises" `Quick test_iterator_misuse;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        qcheck_walk_matches_model;
+        qcheck_seek_least_upper_bound;
+        qcheck_open_up_invariants;
+        qcheck_rows_partition;
+      ]

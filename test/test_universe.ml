@@ -126,7 +126,7 @@ let test_parallel_equals_sequential () =
         (Universe.signature u1 i) (Universe.signature u2 i);
       Alcotest.(check int) "same count" (Universe.count u1 i)
         (Universe.count u2 i);
-      Alcotest.(check (pair int int)) "same representative"
+      Alcotest.(check (array int)) "same representative"
         (Universe.cls u1 i).Universe.rep (Universe.cls u2 i).Universe.rep
     done
   in
