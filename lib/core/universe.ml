@@ -259,6 +259,10 @@ let build_parallel ?domains r p =
     handles;
   let sigs = H.fold (fun s (c, rep) l -> (s, c, rep) :: l) merged [] in
   of_ksignature_list ~relations:[| r; p |] omega sigs
+(* R11 waiver: this is the one sanctioned fork/join in the core — spawned
+   domains share nothing mutable, results merge deterministically, and
+   callers opt in explicitly ([build] stays sequential). *)
+[@@lint.allow "R11"]
 
 (* Approximate universe for products too large to scan (the paper's §1:
    "the database instances may be too big to be skimmed"): draw [pairs]

@@ -1,0 +1,309 @@
+(* R9..R12: the interprocedural rule checkers.
+
+   Inputs: the [Typed_source] program view, the [Callgraph] per-function
+   summaries, and the [Effects] fixpoints.  Each checker walks the
+   summaries of the units in its scope and emits findings; the driver
+   then applies [@lint.allow] scopes and the baseline like any other
+   rule.
+
+   Conventions shared by R9 and R10:
+   - the lock set charged to an event is the local must-set at the event
+     joined with [Effects.always_held] of the enclosing function; when
+     the latter is Top (a private helper with no observed call site) the
+     check stays silent rather than guessing;
+   - self-recursive call edges are exempt from the call-site checks:
+     holding your own lock while re-entering your own loop is the
+     hand-over-hand worker idiom (pool.ml), and the direct checks still
+     cover the body itself. *)
+
+module T = Typed_source
+module Tok = Callgraph.Tok
+module Tset = Callgraph.Tset
+
+let line_col (loc : Location.t) =
+  (loc.loc_start.Lexing.pos_lnum, loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol)
+
+let finding ~rule ~unit_path ~(loc : Location.t) message =
+  let hint =
+    match Rules.find_rule rule with Some r -> r.Rules.hint | None -> ""
+  in
+  let line, col = line_col loc in
+  Finding.make ~file:unit_path ~line ~col ~rule ~message ~hint
+
+(* ------------------------------------------------------------------ *)
+(* Scopes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let starts p s = String.starts_with ~prefix:p s
+
+let locked_scope u = starts "lib/" u
+
+let sans_io_units = [ "lib/core/"; "lib/relational/"; "lib/sat/" ]
+
+(* Files inside the sans-IO tiers whose whole purpose is IO at the edge:
+   the CSV and DIMACS loaders. *)
+let sans_io_exempt = [ "lib/relational/csv.ml"; "lib/sat/dimacs.ml" ]
+
+let sans_io_scope u =
+  List.exists (fun p -> starts p u) sans_io_units
+  && not (List.exists (String.equal u) sans_io_exempt)
+
+(* Units whose effects are sanctioned by design: the Obs boundary is the
+   one ambient-clock door the architecture permits (doc/OBSERVABILITY),
+   and the edge loaders do IO on purpose.  Calls *into* these do not
+   count as reaching a forbidden effect. *)
+let sanctioned u =
+  starts "lib/obs/" u
+  || String.equal u "lib/util/timer.ml"
+  || List.exists (String.equal u) sans_io_exempt
+
+(* R12 entry points: the decoder surface that must be total. *)
+let decoder_entry (d : T.def) =
+  let depth n = List.length (String.split_on_char '.' n) in
+  match d.d_unit with
+  | "lib/server/protocol.ml" ->
+      depth d.d_name = 1
+      && (starts "decode" d.d_name || starts "parse_frame" d.d_name)
+  | "lib/server/listener.ml" ->
+      starts "Framing." d.d_name && depth d.d_name = 2
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Lock-set helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The effective lock set at an event, or None when entry context is
+   unknown (Top). *)
+let effective eff key must =
+  match Effects.always_held eff key with
+  | Effects.Top -> None
+  | Effects.Held h -> Some (Tset.union must h)
+
+let holds held (tok : Tok.t) = Tset.mem tok held
+
+let self_edge (sm : Callgraph.summary) (s : Callgraph.site) =
+  match s.s_target with
+  | T.Internal (tu, tf) ->
+      String.equal tu sm.sm_def.T.d_unit && String.equal tf sm.sm_def.T.d_name
+  | T.Param _ | T.External _ -> false
+
+let internal_key (s : Callgraph.site) =
+  match s.s_target with
+  | T.Internal (tu, tf) -> Some (T.key tu tf, tu, tf)
+  | T.Param _ | T.External _ -> None
+
+let short tu tf = Printf.sprintf "%s:%s" (Filename.basename tu) tf
+
+(* ------------------------------------------------------------------ *)
+(* R9 — lock discipline                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_r9 prog (cg : Callgraph.t) eff key (sm : Callgraph.summary) out =
+  let u = sm.sm_def.T.d_unit in
+  ignore cg;
+  (* (a) guarded-field accesses must hold the declared lock *)
+  List.iter
+    (fun (x : Callgraph.access) ->
+      match effective eff key x.x_must with
+      | Some held when not (holds held x.x_guard) ->
+          out
+            (finding ~rule:"R9" ~unit_path:u ~loc:x.x_loc
+               (Printf.sprintf
+                  "field \"%s\" is accessed without holding \"%s\" (declared \
+                   [@lint.guarded_by \"%s\"]); held here: {%s}"
+                  x.x_field x.x_guard.Tok.name x.x_guard.Tok.name
+                  (Callgraph.pp_tokens held)))
+      | Some _ | None -> ())
+    sm.sm_accesses;
+  (* (b) no reentrant acquisition; at most one shard lock at a time *)
+  List.iter
+    (fun (a : Callgraph.acquire) ->
+      match effective eff key a.a_held with
+      | Some held ->
+          if holds held a.a_tok then
+            out
+              (finding ~rule:"R9" ~unit_path:u ~loc:a.a_loc
+                 (Printf.sprintf
+                    "lock \"%s\" is acquired while already (possibly) held — \
+                     reentrant locking deadlocks OCaml mutexes"
+                    (Tok.pp a.a_tok)))
+          else if a.a_tok.Tok.kind = Tok.Kshard then
+            Tset.iter
+              (fun t ->
+                if t.Tok.kind = Tok.Kshard then
+                  out
+                    (finding ~rule:"R9" ~unit_path:u ~loc:a.a_loc
+                       (Printf.sprintf
+                          "shard lock \"%s\" is acquired while shard lock \
+                           \"%s\" is held; the shard contract allows at most \
+                           one shard lock at a time"
+                          (Tok.pp a.a_tok) (Tok.pp t))))
+              held
+      | None -> ())
+    sm.sm_acquires;
+  (* (c) no call into a function that may re-acquire a lock we hold *)
+  List.iter
+    (fun (s : Callgraph.site) ->
+      if not (self_edge sm s) then
+        match internal_key s with
+        | Some (tk, tu, tf) -> (
+            match effective eff key s.s_must with
+            | Some held ->
+                let inter = Tset.inter held (Effects.may_enter eff tk) in
+                Tset.choose_opt inter
+                |> Option.iter (fun t ->
+                       out
+                         (finding ~rule:"R9" ~unit_path:u ~loc:s.s_loc
+                            (Printf.sprintf
+                               "call to %s may re-acquire \"%s\" which is \
+                                already held here"
+                               (short tu tf) (Tok.pp t))))
+            | None -> ())
+        | None -> ())
+    sm.sm_calls;
+  (* (e) the critical section must not outlive the function *)
+  if not (Tset.is_empty sm.sm_exit_may) then
+    out
+      (finding ~rule:"R9" ~unit_path:u ~loc:sm.sm_def.T.d_loc
+         (Printf.sprintf
+            "\"%s\" may return while still holding {%s}; wrap the critical \
+             section in Mutex.protect (or Shard.with_key) so every exit \
+             releases the lock"
+            sm.sm_def.T.d_name
+            (Callgraph.pp_tokens sm.sm_exit_may)));
+  ignore prog
+
+(* (d) completeness: every mutable field sharing a record with a mutex
+   must declare its guard (or carry a field-level allow). *)
+let check_r9_completeness prog out =
+  List.iter
+    (fun (ug : T.unguarded) ->
+      if locked_scope ug.ug_unit then
+        out
+          (finding ~rule:"R9" ~unit_path:ug.ug_unit ~loc:ug.ug_loc
+             (Printf.sprintf
+                "mutable field \"%s\" shares a record with mutex \"%s\" but \
+                 declares no [@lint.guarded_by] (add the guard, or a \
+                 field-level [@lint.allow \"R9\"] with a comment)"
+                ug.ug_field ug.ug_mutex)))
+    prog.T.unguarded
+
+(* ------------------------------------------------------------------ *)
+(* R10 — no blocking under a lock                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_r10 eff key (sm : Callgraph.summary) out =
+  let u = sm.sm_def.T.d_unit in
+  List.iter
+    (fun (b : Callgraph.blocking) ->
+      if not b.b_deferred then
+        match effective eff key b.b_must with
+        | Some held ->
+            let held =
+              match b.b_self with
+              | Some s -> Tset.remove s held
+              | None -> held
+            in
+            if not (Tset.is_empty held) then
+              out
+                (finding ~rule:"R10" ~unit_path:u ~loc:b.b_loc
+                   (Printf.sprintf
+                      "%s may block while holding {%s}; release the lock \
+                       before blocking"
+                      b.b_what (Callgraph.pp_tokens held)))
+        | None -> ())
+    sm.sm_blocking;
+  List.iter
+    (fun (s : Callgraph.site) ->
+      if (not s.s_deferred) && not (self_edge sm s) then
+        match internal_key s with
+        | Some (tk, tu, tf) -> (
+            match (effective eff key s.s_must, Effects.may_block eff tk) with
+            | Some held, Some witness when not (Tset.is_empty held) ->
+                out
+                  (finding ~rule:"R10" ~unit_path:u ~loc:s.s_loc
+                     (Printf.sprintf
+                        "call to %s may block while holding {%s}: %s"
+                        (short tu tf)
+                        (Callgraph.pp_tokens held)
+                        witness))
+            | _ -> ())
+        | None -> ())
+    sm.sm_calls
+
+(* ------------------------------------------------------------------ *)
+(* R11 — sans-IO purity of core tiers                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_r11 eff key (sm : Callgraph.summary) out =
+  ignore key;
+  let u = sm.sm_def.T.d_unit in
+  if sans_io_scope u then (
+    List.iter
+      (fun (what, loc) ->
+        out
+          (finding ~rule:"R11" ~unit_path:u ~loc
+             (Printf.sprintf
+                "sans-IO tier reaches %s; core/relational/sat must stay free \
+                 of IO, threads, and ambient clocks"
+                what)))
+      sm.sm_forbidden;
+    List.iter
+      (fun (s : Callgraph.site) ->
+        match internal_key s with
+        | Some (tk, tu, tf) -> (
+            (* In-scope callees are flagged at their own definition;
+               sanctioned units are the permitted effect boundary. *)
+            if (not (sans_io_scope tu)) && not (sanctioned tu) then
+              match Effects.reaches_forbidden eff tk with
+              | Some (what, witness) ->
+                  out
+                    (finding ~rule:"R11" ~unit_path:u ~loc:s.s_loc
+                       (Printf.sprintf
+                          "sans-IO tier calls %s which reaches %s: %s"
+                          (short tu tf) what witness))
+              | None -> ())
+        | None -> ())
+      sm.sm_calls)
+
+(* ------------------------------------------------------------------ *)
+(* R12 — decoder totality                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_r12 eff key (sm : Callgraph.summary) out =
+  if decoder_entry sm.sm_def then
+    List.iter
+      (fun (exn, witness) ->
+        out
+          (finding ~rule:"R12" ~unit_path:sm.sm_def.T.d_unit
+             ~loc:sm.sm_def.T.d_loc
+             (Printf.sprintf
+                "decoder entry \"%s\" may raise %s (decode must return Error, \
+                 never raise): %s"
+                sm.sm_def.T.d_name exn witness)))
+      (Effects.may_raise eff key)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check prog (cg : Callgraph.t) (eff : Effects.t) : Finding.t list =
+  let acc = ref [] in
+  let out f = acc := f :: !acc in
+  let keys =
+    Hashtbl.fold (fun k _ l -> k :: l) cg.summaries []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt cg.summaries key with
+      | Some sm ->
+          if locked_scope sm.sm_def.T.d_unit then (
+            check_r9 prog cg eff key sm out;
+            check_r10 eff key sm out);
+          check_r11 eff key sm out;
+          check_r12 eff key sm out
+      | None -> ())
+    keys;
+  check_r9_completeness prog out;
+  List.sort_uniq Finding.compare !acc

@@ -1,0 +1,19 @@
+(** The interprocedural rule checkers R9..R12 (doc/LINTING.md):
+
+    - R9 lock discipline: [@lint.guarded_by] fields only touched under
+      their lock, no reentrant acquisition, at most one shard lock at a
+      time, no returning while holding, and guard-table completeness;
+    - R10 no blocking under a lock (deadlock/convoy prevention);
+    - R11 sans-IO purity of lib/core, lib/relational, lib/sat;
+    - R12 decoder totality: nothing raising reachable from the
+      [Protocol.decode]/[Framing] surface without a handler.
+
+    Findings come back position-sorted and deduplicated; [@lint.allow]
+    and the baseline are applied by the driver. *)
+
+(** Units whose effects are by design (the Obs/timer boundary and the
+    edge loaders); pass to [Effects.build]. *)
+val sanctioned : string -> bool
+
+val check :
+  Typed_source.program -> Callgraph.t -> Effects.t -> Finding.t list

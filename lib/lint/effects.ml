@@ -1,0 +1,363 @@
+(* Interprocedural effect fixpoints over the call-graph summaries.
+
+   Five facts are computed per definition, each by a simple round-based
+   fixpoint (the call graph is shallow; rounds are capped defensively):
+
+   - [always_held]: locks held on *every* entry to the function — a
+     greatest fixpoint meeting over call sites.  Functions on the mli
+     surface can be entered from anywhere, so their value is pinned to
+     the empty set; private helpers start at Top and only keep what all
+     their observed call sites agree on.  A helper that is only ever
+     invoked inside [Shard.with_key] therefore satisfies R9 guard
+     obligations without any annotation.
+   - [may_enter]: locks the function may acquire, transitively — feeds
+     the R9 reentrancy check at call sites.
+   - [may_block]: whether a blocking operation is reachable without an
+     intervening thread hop, with a witness chain — feeds R10.
+   - [may_raise]: exceptions that can escape the function, after
+     subtracting handlers both locally and around each call site —
+     feeds R12.
+   - [reaches_forbidden]: whether a concurrency/IO/clock primitive is
+     reachable, including through spawned closures — feeds R11.
+     Sanctioned units (the Obs boundary) contribute nothing.
+
+   Closures handed to spawn primitives were walked with [deferred] set
+   by the callgraph layer: their blocking/raising happens on another
+   thread, so deferred events and edges are excluded everywhere except
+   [reaches_forbidden] (spawning a domain *is* an effect). *)
+
+(* Catch-alls over (summary option * ah) pairs are clearer than
+   enumerating the absent cases; fragile-match stays off here. *)
+[@@@warning "-4"]
+
+module T = Typed_source
+module Tset = Callgraph.Tset
+
+type ah = Top | Held of Tset.t
+
+type t = {
+  ah : (string, ah) Hashtbl.t;
+  enter : (string, Tset.t) Hashtbl.t;
+  block : (string, string) Hashtbl.t;
+  raises : (string, (string * string) list) Hashtbl.t;
+  forbidden : (string, string * string) Hashtbl.t;
+}
+
+let always_held t k =
+  match Hashtbl.find_opt t.ah k with Some v -> v | None -> Top
+
+let may_enter t k =
+  match Hashtbl.find_opt t.enter k with Some v -> v | None -> Tset.empty
+
+let may_block t k = Hashtbl.find_opt t.block k
+
+let may_raise t k =
+  match Hashtbl.find_opt t.raises k with Some v -> v | None -> []
+
+let reaches_forbidden t k = Hashtbl.find_opt t.forbidden k
+
+let short_fn unit_path name =
+  Printf.sprintf "%s:%s" (Filename.basename unit_path) name
+
+let line (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+let sorted_keys (cg : Callgraph.t) =
+  Hashtbl.fold (fun k _ l -> k :: l) cg.summaries []
+  |> List.sort String.compare
+
+let summary_of (cg : Callgraph.t) k = Hashtbl.find_opt cg.summaries k
+
+let internal_target (cg : Callgraph.t) (s : Callgraph.site) =
+  match s.s_target with
+  | T.Internal (tu, tf) ->
+      let k = T.key tu tf in
+      if Hashtbl.mem cg.summaries k then Some (k, tu, tf) else None
+  | T.Param _ | T.External _ -> None
+
+let max_rounds = 64
+
+(* ------------------------------------------------------------------ *)
+(* always_held: greatest fixpoint, meet over call sites                *)
+(* ------------------------------------------------------------------ *)
+
+let compute_ah cg keys =
+  let ah = Hashtbl.create 256 in
+  List.iter
+    (fun k ->
+      match summary_of cg k with
+      | Some sm ->
+          Hashtbl.replace ah k
+            (if sm.Callgraph.sm_def.T.d_public then Held Tset.empty else Top)
+      | None -> ())
+    keys;
+  let round () =
+    let contributions = Hashtbl.create 64 in
+    List.iter
+      (fun caller ->
+        match (summary_of cg caller, Hashtbl.find_opt ah caller) with
+        | Some sm, Some (Held base) ->
+            List.iter
+              (fun (s : Callgraph.site) ->
+                match internal_target cg s with
+                | Some (k, _, _) ->
+                    let contrib = Tset.union base s.s_must in
+                    let v =
+                      match Hashtbl.find_opt contributions k with
+                      | None -> contrib
+                      | Some t -> Tset.inter t contrib
+                    in
+                    Hashtbl.replace contributions k v
+                | None -> ())
+              sm.Callgraph.sm_calls
+        | _ -> ())
+      keys;
+    let changed = ref false in
+    List.iter
+      (fun k ->
+        match summary_of cg k with
+        | Some sm when not sm.Callgraph.sm_def.T.d_public -> (
+            match Hashtbl.find_opt contributions k with
+            | Some toks ->
+                let next = Held toks in
+                if Hashtbl.find_opt ah k <> Some next then (
+                  Hashtbl.replace ah k next;
+                  changed := true)
+            | None -> ())
+        | _ -> ())
+      keys;
+    !changed
+  in
+  let rec fix n = if n < max_rounds && round () then fix (n + 1) in
+  fix 0;
+  ah
+
+(* ------------------------------------------------------------------ *)
+(* may_enter: least fixpoint, union over acquisitions and callees      *)
+(* ------------------------------------------------------------------ *)
+
+let compute_enter cg keys =
+  let enter = Hashtbl.create 256 in
+  let get k =
+    match Hashtbl.find_opt enter k with Some v -> v | None -> Tset.empty
+  in
+  let round () =
+    let changed = ref false in
+    List.iter
+      (fun k ->
+        match summary_of cg k with
+        | Some sm ->
+            let direct =
+              List.fold_left
+                (fun s (a : Callgraph.acquire) ->
+                  if a.a_deferred then s else Tset.add a.a_tok s)
+                Tset.empty sm.Callgraph.sm_acquires
+            in
+            let via =
+              List.fold_left
+                (fun s (site : Callgraph.site) ->
+                  if site.s_deferred then s
+                  else
+                    match internal_target cg site with
+                    | Some (tk, _, _) -> Tset.union s (get tk)
+                    | None -> s)
+                direct sm.Callgraph.sm_calls
+            in
+            if not (Tset.subset via (get k)) then (
+              Hashtbl.replace enter k (Tset.union via (get k));
+              changed := true)
+        | None -> ())
+      keys;
+    !changed
+  in
+  let rec fix n = if n < max_rounds && round () then fix (n + 1) in
+  fix 0;
+  enter
+
+(* ------------------------------------------------------------------ *)
+(* may_block: reachability with witness chain                          *)
+(* ------------------------------------------------------------------ *)
+
+let compute_block cg keys =
+  let block = Hashtbl.create 64 in
+  List.iter
+    (fun k ->
+      match summary_of cg k with
+      | Some sm -> (
+          match
+            List.find_opt
+              (fun (b : Callgraph.blocking) -> not b.b_deferred)
+              sm.Callgraph.sm_blocking
+          with
+          | Some b ->
+              Hashtbl.replace block k
+                (Printf.sprintf "%s (line %d)" b.b_what (line b.b_loc))
+          | None -> ())
+      | None -> ())
+    keys;
+  let round () =
+    let changed = ref false in
+    List.iter
+      (fun k ->
+        if not (Hashtbl.mem block k) then
+          match summary_of cg k with
+          | Some sm ->
+              let found =
+                List.find_map
+                  (fun (s : Callgraph.site) ->
+                    if s.s_deferred then None
+                    else
+                      match internal_target cg s with
+                      | Some (tk, tu, tf) -> (
+                          match Hashtbl.find_opt block tk with
+                          | Some w ->
+                              Some (Printf.sprintf "%s -> %s" (short_fn tu tf) w)
+                          | None -> None)
+                      | None -> None)
+                  sm.Callgraph.sm_calls
+              in
+              (match found with
+              | Some w ->
+                  Hashtbl.replace block k w;
+                  changed := true
+              | None -> ())
+          | None -> ())
+      keys;
+    !changed
+  in
+  let rec fix n = if n < max_rounds && round () then fix (n + 1) in
+  fix 0;
+  block
+
+(* ------------------------------------------------------------------ *)
+(* may_raise: escaping exceptions with witness chains                  *)
+(* ------------------------------------------------------------------ *)
+
+let caught_at caught exn =
+  List.exists (String.equal "*") caught
+  || ((not (String.equal exn "*")) && List.exists (String.equal exn) caught)
+
+let compute_raise cg keys =
+  let raises = Hashtbl.create 64 in
+  List.iter
+    (fun k ->
+      match summary_of cg k with
+      | Some sm ->
+          let direct =
+            List.fold_left
+              (fun l (exn, loc, deferred) ->
+                if deferred || List.mem_assoc exn l then l
+                else (exn, Printf.sprintf "%s (line %d)" exn (line loc)) :: l)
+              [] sm.Callgraph.sm_raises
+          in
+          if direct <> [] then Hashtbl.replace raises k (List.rev direct)
+      | None -> ())
+    keys;
+  let round () =
+    let changed = ref false in
+    List.iter
+      (fun k ->
+        match summary_of cg k with
+        | Some sm ->
+            let cur =
+              match Hashtbl.find_opt raises k with Some l -> l | None -> []
+            in
+            let next =
+              List.fold_left
+                (fun curl (s : Callgraph.site) ->
+                  if s.s_deferred then curl
+                  else
+                    match internal_target cg s with
+                    | Some (tk, tu, tf) ->
+                        let callee =
+                          match Hashtbl.find_opt raises tk with
+                          | Some l -> l
+                          | None -> []
+                        in
+                        List.fold_left
+                          (fun curl (exn, w) ->
+                            if
+                              caught_at s.s_caught exn
+                              || List.mem_assoc exn curl
+                            then curl
+                            else
+                              ( exn,
+                                Printf.sprintf "%s -> %s" (short_fn tu tf) w )
+                              :: curl)
+                          curl callee
+                    | None -> curl)
+                cur sm.Callgraph.sm_calls
+            in
+            (* the fold threads [cur] through physically when it adds
+               nothing, so growth is a pointer comparison *)
+            if next != cur then (
+              Hashtbl.replace raises k next;
+              changed := true)
+        | None -> ())
+      keys;
+    !changed
+  in
+  let rec fix n = if n < max_rounds && round () then fix (n + 1) in
+  fix 0;
+  raises
+
+(* ------------------------------------------------------------------ *)
+(* reaches_forbidden: R11 reachability (deferred edges included)       *)
+(* ------------------------------------------------------------------ *)
+
+let compute_forbidden cg keys ~sanctioned =
+  let forbidden = Hashtbl.create 64 in
+  List.iter
+    (fun k ->
+      match summary_of cg k with
+      | Some sm -> (
+          if not (sanctioned sm.Callgraph.sm_def.T.d_unit) then
+            match sm.Callgraph.sm_forbidden with
+            | (what, loc) :: _ ->
+                Hashtbl.replace forbidden k
+                  (what, Printf.sprintf "%s (line %d)" what (line loc))
+            | [] -> ())
+      | None -> ())
+    keys;
+  let round () =
+    let changed = ref false in
+    List.iter
+      (fun k ->
+        if not (Hashtbl.mem forbidden k) then
+          match summary_of cg k with
+          | Some sm when not (sanctioned sm.Callgraph.sm_def.T.d_unit) ->
+              let found =
+                List.find_map
+                  (fun (s : Callgraph.site) ->
+                    match internal_target cg s with
+                    | Some (tk, tu, tf) -> (
+                        match Hashtbl.find_opt forbidden tk with
+                        | Some (what, w) ->
+                            Some
+                              ( what,
+                                Printf.sprintf "%s -> %s" (short_fn tu tf) w )
+                        | None -> None)
+                    | None -> None)
+                  sm.Callgraph.sm_calls
+              in
+              (match found with
+              | Some entry ->
+                  Hashtbl.replace forbidden k entry;
+                  changed := true
+              | None -> ())
+          | _ -> ())
+      keys;
+    !changed
+  in
+  let rec fix n = if n < max_rounds && round () then fix (n + 1) in
+  fix 0;
+  forbidden
+
+let build (cg : Callgraph.t) ~sanctioned =
+  let keys = sorted_keys cg in
+  {
+    ah = compute_ah cg keys;
+    enter = compute_enter cg keys;
+    block = compute_block cg keys;
+    raises = compute_raise cg keys;
+    forbidden = compute_forbidden cg keys ~sanctioned;
+  }

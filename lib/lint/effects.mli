@@ -1,0 +1,33 @@
+(** Interprocedural effect fixpoints over [Callgraph] summaries: locks
+    always held on entry (meet over call sites), locks a function may
+    acquire transitively, blocking reachability, escaping exceptions,
+    and forbidden-effect reachability — each keyed by
+    [Typed_source.key unit name] and carrying a human-readable witness
+    chain where a rule message needs one.  Events recorded inside
+    closures handed to spawn primitives are excluded from blocking and
+    raising (they happen on another thread) but still count as
+    forbidden effects. *)
+
+type ah = Top | Held of Callgraph.Tset.t
+
+type t
+
+(** [Top] means "no call site observed" (an unreachable private helper):
+    guard checks treat it as unknown and stay silent. *)
+val always_held : t -> string -> ah
+
+val may_enter : t -> string -> Callgraph.Tset.t
+
+(** Witness chain like ["respond -> pool.ml:submit -> Condition.wait
+    (line 120)"]. *)
+val may_block : t -> string -> string option
+
+(** Escaping exceptions with witnesses, handlers already subtracted. *)
+val may_raise : t -> string -> (string * string) list
+
+val reaches_forbidden : t -> string -> (string * string) option
+
+(** [sanctioned] names units (by path) whose effects are by design —
+    the Obs/timer boundary — and contribute nothing to
+    [reaches_forbidden]. *)
+val build : Callgraph.t -> sanctioned:(string -> bool) -> t

@@ -55,16 +55,23 @@ let github fresh =
     fresh;
   Buffer.contents b
 
-let json ~files ~findings ~fresh ~stale =
-  Json.to_string
-    (Json.Obj
-       [
-         ("files", Json.int files);
-         ( "counts",
-           Json.Obj
-             (List.map (fun (r, n) -> (r, Json.int n)) (count_by_rule findings))
-         );
-         ("findings", Json.List (List.map Finding.to_json findings));
-         ("fresh", Json.List (List.map Finding.to_json fresh));
-         ("stale", Json.List (List.map Baseline.entry_to_json stale));
-       ])
+let json ?(wall_ms = 0.) ?analysis ~files ~findings ~fresh ~stale () =
+  let base =
+    [
+      ("files", Json.int files);
+      ("wall_ms", Json.Num wall_ms);
+      ( "counts",
+        Json.Obj
+          (List.map (fun (r, n) -> (r, Json.int n)) (count_by_rule findings))
+      );
+      ("findings", Json.List (List.map Finding.to_json findings));
+      ("fresh", Json.List (List.map Finding.to_json fresh));
+      ("stale", Json.List (List.map Baseline.entry_to_json stale));
+    ]
+  in
+  let fields =
+    match analysis with
+    | Some a -> base @ [ ("analysis", a) ]
+    | None -> base
+  in
+  Json.to_string (Json.Obj fields)

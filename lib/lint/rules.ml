@@ -75,6 +75,36 @@ let catalog =
       title = "catch-all exception handler";
       hint = "match the specific exceptions; with _ -> hides real bugs";
     };
+    {
+      id = "R9";
+      title = "lock discipline around [@lint.guarded_by] state";
+      hint =
+        "touch guarded fields only inside Mutex.protect / Shard.with_key \
+         critical sections, never re-acquire a held lock, and hold at most \
+         one shard lock at a time (lib/server/shard.mli contract)";
+    };
+    {
+      id = "R10";
+      title = "blocking operation reachable while holding a lock";
+      hint =
+        "release the mutex before IO, Pool.submit, joins, or waiting on a \
+         foreign condition — blocking under a lock convoys every other \
+         domain";
+    };
+    {
+      id = "R11";
+      title = "sans-IO tier reaching IO, threads, or ambient clocks";
+      hint =
+        "lib/core, lib/relational and lib/sat must stay pure: inject effects \
+         from the service layer or route them through the Obs boundary";
+    };
+    {
+      id = "R12";
+      title = "exception reachable from the Protocol.decode/Framing surface";
+      hint =
+        "decoders are total: return Error frames for garbage input; add a \
+         handler or use the _opt variant on the raising path";
+    };
   ]
 
 let find_rule id = List.find_opt (fun r -> String.equal r.id id) catalog

@@ -23,14 +23,15 @@ let c_hit = Obs.Counter.make "server.universe_cache_hit"
 let c_miss = Obs.Counter.make "server.universe_cache_miss"
 
 type ushard = {
-  universes : (string, Universe.t) Hashtbl.t;  (* "fp(R):fp(P)" keyed *)
-  mutable hits : int;
-  mutable misses : int;
+  universes : (string, Universe.t) Hashtbl.t [@lint.guarded_by "shards"];
+      (* "fp(R):fp(P)" keyed *)
+  mutable hits : int [@lint.guarded_by "shards"];
+  mutable misses : int [@lint.guarded_by "shards"];
 }
 
 type t = {
   names_mutex : Mutex.t;
-  relations : (string, Relation.t) Hashtbl.t;
+  relations : (string, Relation.t) Hashtbl.t [@lint.guarded_by "names_mutex"];
   shards : ushard Shard.t;
 }
 
@@ -45,9 +46,7 @@ let create ?shards () =
 
 let shards t = Shard.size t.shards
 
-let with_names t f =
-  Mutex.lock t.names_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.names_mutex) f
+let with_names t f = Mutex.protect t.names_mutex f
 
 let add ?name t rel =
   let name = match name with Some n -> n | None -> Relation.name rel in

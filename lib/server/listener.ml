@@ -101,13 +101,16 @@ type t = {
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   actual : addr;
-  conns : (int, Unix.file_descr) Hashtbl.t;
+  conns : (int, Unix.file_descr) Hashtbl.t [@lint.guarded_by "conns_mutex"];
   conns_mutex : Mutex.t;
-  mutable next_conn : int;
-  mutable threads : Thread.t list;
-  mutable accept_thread : Thread.t option;
-  mutable sweep_thread : Thread.t option;
-  mutable stopping : bool;
+  mutable next_conn : int [@lint.guarded_by "conns_mutex"];
+  mutable threads : Thread.t list [@lint.guarded_by "conns_mutex"];
+  mutable accept_thread : Thread.t option
+      [@lint.allow "R9"];
+      (* Written in [start] before any other thread can see [t], read
+         only by [stop]; same for [sweep_thread]. *)
+  mutable sweep_thread : Thread.t option [@lint.allow "R9"];
+  stopping : bool Atomic.t;
 }
 
 let ignore_unix_error f = try f () with Unix.Unix_error (_, _, _) -> ()
@@ -186,20 +189,18 @@ let conn_main t cid fd =
     | exception Unix.Unix_error (_, _, _) -> alive := false
   done;
   ignore_unix_error (fun () -> Unix.close fd);
-  Mutex.lock t.conns_mutex;
-  Hashtbl.remove t.conns cid;
-  Mutex.unlock t.conns_mutex
+  Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns cid)
 
 (* Block in [select] (listen fd + self-pipe), not in [accept]: a byte
    on the pipe from [stop] ends the loop promptly, which a plain
    blocking [accept] would never notice. *)
 let accept_loop t =
   let rec loop () =
-    if not t.stopping then
+    if not (Atomic.get t.stopping) then
       match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.) with
       | exception Unix.Unix_error (_, _, _) -> ()
       | readable, _, _ ->
-          if t.stopping || List.memq t.wake_r readable then ()
+          if Atomic.get t.stopping || List.memq t.wake_r readable then ()
           else if List.memq t.listen_fd readable then begin
             match Unix.accept t.listen_fd with
             | exception Unix.Unix_error (_, _, _) -> loop ()
@@ -212,13 +213,14 @@ let accept_loop t =
                         Unix.setsockopt fd Unix.TCP_NODELAY true)
                 | Unix_path _ -> ());
                 Obs.Counter.incr c_accepted;
-                Mutex.lock t.conns_mutex;
-                let cid = t.next_conn in
-                t.next_conn <- cid + 1;
-                Hashtbl.replace t.conns cid fd;
-                let thread = Thread.create (fun () -> conn_main t cid fd) () in
-                t.threads <- thread :: t.threads;
-                Mutex.unlock t.conns_mutex;
+                Mutex.protect t.conns_mutex (fun () ->
+                    let cid = t.next_conn in
+                    t.next_conn <- cid + 1;
+                    Hashtbl.replace t.conns cid fd;
+                    let thread =
+                      Thread.create (fun () -> conn_main t cid fd) ()
+                    in
+                    t.threads <- thread :: t.threads);
                 loop ()
           end
           else loop ()
@@ -229,7 +231,7 @@ let accept_loop t =
 let sweep_loop t every =
   let tick = 0.05 in
   let rec go elapsed =
-    if not t.stopping then
+    if not (Atomic.get t.stopping) then
       if elapsed >= every then begin
         ignore (Manager.sweep t.manager);
         go 0.
@@ -280,7 +282,7 @@ let start ?(max_frame = Framing.default_max_frame) ?sweep_every ~pool manager
       threads = [];
       accept_thread = None;
       sweep_thread = None;
-      stopping = false;
+      stopping = Atomic.make false;
     }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
@@ -293,18 +295,15 @@ let start ?(max_frame = Framing.default_max_frame) ?sweep_every ~pool manager
 let address t = t.actual
 
 let connections t =
-  Mutex.lock t.conns_mutex;
-  let n = Hashtbl.length t.conns in
-  Mutex.unlock t.conns_mutex;
-  n
+  Mutex.protect t.conns_mutex (fun () -> Hashtbl.length t.conns)
 
 let stop t =
-  t.stopping <- true;
+  Atomic.set t.stopping true;
   ignore_unix_error (fun () -> ignore (Unix.write_substring t.wake_w "x" 0 1));
-  Mutex.lock t.conns_mutex;
-  let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
-  let threads = t.threads in
-  Mutex.unlock t.conns_mutex;
+  let fds, threads =
+    Mutex.protect t.conns_mutex (fun () ->
+        (Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [], t.threads))
+  in
   List.iter
     (fun fd -> ignore_unix_error (fun () -> Unix.shutdown fd Unix.SHUTDOWN_ALL))
     fds;

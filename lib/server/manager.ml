@@ -96,17 +96,20 @@ type session = {
   s_rels : string list;  (* catalog names, in relation order *)
   s_strategy : string;  (* [Strategy.name], e.g. "TD" *)
   s_universe : Universe.t;
-  mutable s_engine : Engine.t;
-  mutable s_last_active : float;
+  mutable s_engine : Engine.t [@lint.guarded_by "shards"];
+  mutable s_last_active : float [@lint.guarded_by "shards"];
 }
 
 (* Everything inside a shard is guarded by that shard's mutex; the
    counters are exact, unlike the best-effort cross-domain Obs ones. *)
 type shard = {
-  sessions : (string, session) Hashtbl.t;
-  morgue : (string, Jqi_util.Json.t) Hashtbl.t;  (* autosaved evictees *)
-  morgue_order : string Queue.t;  (* FIFO for the morgue bound *)
-  mutable st : stats;  (* [live] unused here; computed from [sessions] *)
+  sessions : (string, session) Hashtbl.t [@lint.guarded_by "shards"];
+  morgue : (string, Jqi_util.Json.t) Hashtbl.t [@lint.guarded_by "shards"];
+      (* autosaved evictees *)
+  morgue_order : string Queue.t [@lint.guarded_by "shards"];
+      (* FIFO for the morgue bound *)
+  mutable st : stats [@lint.guarded_by "shards"];
+      (* [live] unused here; computed from [sessions] *)
 }
 
 (* Autosaved documents kept per shard; older ones are dropped first. *)

@@ -32,14 +32,17 @@ type stats = {
 type t = {
   mutex : Mutex.t;
   not_empty : Condition.t;
-  jobs : (unit -> unit) Queue.t;
+  jobs : (unit -> unit) Queue.t [@lint.guarded_by "mutex"];
   capacity : int;
-  mutable closing : bool;
-  mutable submitted : int;
-  mutable completed : int;
-  mutable shed : int;
-  mutable max_depth : int;
-  mutable domains : unit Domain.t list;
+  mutable closing : bool [@lint.guarded_by "mutex"];
+  mutable submitted : int [@lint.guarded_by "mutex"];
+  mutable completed : int [@lint.guarded_by "mutex"];
+  mutable shed : int [@lint.guarded_by "mutex"];
+  mutable max_depth : int [@lint.guarded_by "mutex"];
+  mutable domains : unit Domain.t list
+      [@lint.allow "R9"];
+      (* Written once in [create] before [t] escapes, read/cleared in
+         [shutdown] after every worker has been joined — never raced. *)
 }
 
 let worker t =
@@ -116,7 +119,8 @@ let async t job =
 type 'a cell = {
   cm : Mutex.t;
   cc : Condition.t;
-  mutable state : [ `Pending | `Value of 'a | `Raised of exn ];
+  mutable state : [ `Pending | `Value of 'a | `Raised of exn ]
+      [@lint.guarded_by "cm"];
 }
 
 let submit t f =
@@ -143,17 +147,13 @@ let submit t f =
   end
 
 let stats t =
-  Mutex.lock t.mutex;
-  let s =
-    {
-      submitted = t.submitted;
-      completed = t.completed;
-      shed = t.shed;
-      max_depth = t.max_depth;
-    }
-  in
-  Mutex.unlock t.mutex;
-  s
+  Mutex.protect t.mutex (fun () ->
+      {
+        submitted = t.submitted;
+        completed = t.completed;
+        shed = t.shed;
+        max_depth = t.max_depth;
+      })
 
 let shutdown t =
   Mutex.lock t.mutex;

@@ -41,10 +41,7 @@ let fnv1a key =
 
 let index t key = fnv1a key mod Array.length t.states
 
-let with_slot t i f =
-  let m = t.mutexes.(i) in
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f t.states.(i))
+let with_slot t i f = Mutex.protect t.mutexes.(i) (fun () -> f t.states.(i))
 
 let with_key t key f = with_slot t (index t key) f
 

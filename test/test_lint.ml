@@ -236,6 +236,300 @@ let test_null_eq_regression_is_fresh () =
     "Null comparison escapes the baseline" [ "R1" ]
     (List.map (fun (f : Finding.t) -> f.Finding.rule) fresh)
 
+(* ---------------------- R9..R12 (interprocedural) -------------------- *)
+
+(* Findings from [sources] (path * content pairs linted as one program)
+   with only [rules] selected, as "rule@line" strings in report order. *)
+let program_rules_of rules sources =
+  let opts = { Driver.default_options with Driver.rules = Some rules } in
+  List.map
+    (fun (f : Finding.t) -> Printf.sprintf "%s@%d" f.Finding.rule f.Finding.line)
+    (Driver.lint_sources ~opts sources)
+
+let check_program ?(path = "lib/fixture/fixture.ml") name rules expected src =
+  Alcotest.(check (list string))
+    name expected
+    (program_rules_of rules [ (path, src) ])
+
+let guarded_record =
+  "type t = { m : Mutex.t; mutable n : int [@lint.guarded_by \"m\"] }\n"
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1))
+  in
+  go 0
+
+let test_r9_guarded_access () =
+  check_program "unguarded write flagged" [ "R9" ] [ "R9@2" ]
+    (guarded_record ^ "let reset t = t.n <- 0");
+  check_program "reads are accesses too" [ "R9" ] [ "R9@2"; "R9@2" ]
+    (guarded_record ^ "let bump t = t.n <- t.n + 1");
+  check_program "access under Mutex.protect fine" [ "R9" ] []
+    (guarded_record
+   ^ "let bump t = Mutex.protect t.m (fun () -> t.n <- t.n + 1)");
+  (* The finding names both the field and the declared lock. *)
+  let opts =
+    { Driver.default_options with Driver.rules = Some [ "R9" ] }
+  in
+  match
+    Driver.lint_source ~opts ~path:"lib/fixture/fixture.ml"
+      (guarded_record ^ "let reset t = t.n <- 0")
+  with
+  | [ f ] ->
+      let has s =
+        Alcotest.(check bool)
+          (Printf.sprintf "message mentions %s" s)
+          true
+          (contains ~needle:s f.Finding.message)
+      in
+      has "\"n\"";
+      has "\"m\""
+  | fs -> Alcotest.failf "expected one R9 finding, got %d" (List.length fs)
+
+let test_r9_reentrancy () =
+  check_program "nested Mutex.protect on the same lock" [ "R9" ] [ "R9@3" ]
+    (guarded_record
+   ^ "let bad t =\n\
+     \  Mutex.protect t.m (fun () -> Mutex.protect t.m (fun () -> t.n <- 1))");
+  check_program "interprocedural re-acquisition at the call site" [ "R9" ]
+    [ "R9@3" ]
+    (guarded_record
+   ^ "let lock_it t = Mutex.protect t.m (fun () -> t.n <- 1)\n\
+      let bad t = Mutex.protect t.m (fun () -> lock_it t)");
+  check_program "distinct locks nest fine" [ "R9" ] []
+    ("type t = { m : Mutex.t; m2 : Mutex.t }\n"
+   ^ "let ok t = Mutex.protect t.m (fun () -> Mutex.protect t.m2 (fun () -> ()))")
+
+let test_r9_exit_holding () =
+  (* A bare Mutex.lock with no unlock on some path trips the exit check;
+     the access itself is guarded, so (a) stays quiet. *)
+  check_program "lock held at exit" [ "R9" ] [ "R9@2" ]
+    (guarded_record ^ "let bad t = Mutex.lock t.m; t.n <- 1")
+
+let test_r9_completeness () =
+  check_program "mutable sibling of a mutex must declare its guard" [ "R9" ]
+    [ "R9@1" ] "type t = { m : Mutex.t; mutable n : int }\nlet mk m = { m; n = 0 }";
+  check_program "field-level allow waives completeness" [ "R9" ] []
+    "type t = { m : Mutex.t; mutable n : int [@lint.allow \"R9\"] }\n\
+     let mk m = { m; n = 0 }";
+  check_program "immutable siblings need no guard" [ "R9" ] []
+    "type t = { m : Mutex.t; label : string }\nlet mk m = { m; label = \"x\" }"
+
+let test_r9_always_held () =
+  (* A private helper (absent from the mli) only ever called under the
+     lock inherits it via the always-held meet: no annotation needed. *)
+  let ml =
+    guarded_record
+    ^ "let helper t = t.n <- 1\n\
+       let bump t = Mutex.protect t.m (fun () -> helper t)"
+  in
+  Alcotest.(check (list string))
+    "private helper inherits the callers' lock" []
+    (program_rules_of [ "R9" ]
+       [
+         ("lib/fixture/fixture.ml", ml);
+         ("lib/fixture/fixture.mli", "type t\nval bump : t -> unit");
+       ]);
+  (* Public helpers can be entered from anywhere: the same body flags. *)
+  Alcotest.(check (list string))
+    "public helper must hold the lock itself" [ "R9@2" ]
+    (program_rules_of [ "R9" ] [ ("lib/fixture/fixture.ml", ml) ])
+
+let test_r10_blocking_under_lock () =
+  check_program "direct blocking call under Mutex.protect" [ "R10" ] [ "R10@2" ]
+    (guarded_record ^ "let bad t = Mutex.protect t.m (fun () -> Unix.sleep 1)");
+  check_program "blocking reached through a callee" [ "R10" ] [ "R10@3" ]
+    (guarded_record
+   ^ "let nap () = Unix.sleep 1\n\
+      let bad t = Mutex.protect t.m (fun () -> nap ())");
+  check_program "spawned closures block on their own thread" [ "R10" ] []
+    (guarded_record
+   ^ "let ok t =\n\
+     \  Mutex.protect t.m (fun () ->\n\
+     \      ignore (Thread.create (fun () -> Unix.sleep 1) ()))");
+  check_program "Condition.wait on the held mutex is the idiom" [ "R10" ] []
+    (guarded_record
+   ^ "let wait t c = Mutex.protect t.m (fun () -> Condition.wait c t.m)");
+  check_program "Condition.wait on a foreign mutex still flags" [ "R10" ]
+    [ "R10@3" ]
+    (guarded_record ^ "type u = { m2 : Mutex.t }\n"
+   ^ "let bad t u c = Mutex.protect t.m (fun () -> Condition.wait c u.m2)")
+
+let test_r11_sans_io () =
+  check_program ~path:"lib/core/fixture.ml" "core reaching the clock" [ "R11" ]
+    [ "R11@1" ] "let now () = Unix.gettimeofday ()";
+  check_program ~path:"lib/core/fixture.ml" "core spawning a domain" [ "R11" ]
+    [ "R11@1" ] "let go f = Domain.spawn f";
+  check_program ~path:"lib/server/fixture.ml" "server tier may do IO" [ "R11" ]
+    [] "let now () = Unix.gettimeofday ()";
+  check_program ~path:"lib/core/fixture.ml" "waiver with a comment" [ "R11" ] []
+    "let now () = Unix.gettimeofday () [@@lint.allow \"R11\"]"
+
+let test_r12_decoder_totality () =
+  let proto = "lib/server/protocol.ml" in
+  check_program ~path:proto "failwith on the decode surface" [ "R12" ]
+    [ "R12@1" ]
+    "let decode_widget s = if String.equal s \"\" then failwith \"empty\" else s";
+  check_program ~path:proto "partial stdlib call on the decode surface"
+    [ "R12" ] [ "R12@1" ] "let decode_widget h k = Hashtbl.find h k";
+  check_program ~path:proto "handled exception is fine" [ "R12" ] []
+    "let decode_widget s = try int_of_string s with Failure _ -> 0";
+  check_program ~path:proto "raising helpers propagate to the entry" [ "R12" ]
+    [ "R12@2" ]
+    "let helper s = failwith s\nlet decode_widget s = helper s";
+  check_program ~path:proto "non-entry functions may raise" [ "R12" ] []
+    "let encode_widget s = failwith s";
+  check_program ~path:"lib/server/listener.ml" "Framing is decode surface"
+    [ "R12" ] [ "R12@2" ]
+    "module Framing = struct\n  let split s = List.hd s\nend"
+
+let test_rule_selection () =
+  let opts_of rules = { Driver.default_options with Driver.rules = Some rules } in
+  let rules_only rules src =
+    List.map
+      (fun (f : Finding.t) -> f.Finding.rule)
+      (Driver.lint_source ~opts:(opts_of rules) ~path:"lib/fixture/fixture.ml"
+         src)
+  in
+  Alcotest.(check (list string))
+    "--rules filters per-file findings" [ "R2" ]
+    (rules_only [ "R2" ]
+       "let f h k = Hashtbl.find h k\n\
+        let g xs = List.iter (fun x -> ignore (List.length xs + x)) xs");
+  Alcotest.(check (list string))
+    "parse errors always surface" [ "P0" ]
+    (rules_only [ "R9" ] "let f x = ")
+
+(* ------------------------- munge regressions ------------------------- *)
+
+let read_staged path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let replace_once ~needle ~by s =
+  let nl = String.length needle in
+  let rec find i =
+    if i + nl > String.length s then
+      Alcotest.failf "munge anchor %S not found" needle
+    else if String.equal (String.sub s i nl) needle then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub s 0 i ^ by ^ String.sub s (i + nl) (String.length s - i - nl)
+
+let in_repo_root f =
+  let cwd = Sys.getcwd () in
+  Fun.protect
+    ~finally:(fun () -> Sys.chdir cwd)
+    (fun () ->
+      Sys.chdir "..";
+      f ())
+
+(* Deleting the Mutex.protect wrapper from the Catalog name-table
+   accessor must surface as R9 findings naming the field and its lock. *)
+let test_r9_catalog_munge () =
+  in_repo_root (fun () ->
+      let munged =
+        replace_once
+          ~needle:"let with_names t f = Mutex.protect t.names_mutex f"
+          ~by:"let with_names t f = f ()"
+          (read_staged "lib/server/catalog.ml")
+      in
+      let opts =
+        { Driver.default_options with Driver.rules = Some [ "R9" ] }
+      in
+      let findings =
+        Driver.lint_sources ~opts [ ("lib/server/catalog.ml", munged) ]
+        |> List.filter (fun (f : Finding.t) -> String.equal f.Finding.rule "R9")
+      in
+      Alcotest.(check bool)
+        "dropping the lock wrapper is caught" true
+        (List.length findings > 0);
+      List.iter
+        (fun (f : Finding.t) ->
+          Alcotest.(check bool)
+            "finding names the unguarded field and its lock" true
+            (contains ~needle:"\"relations\"" f.Finding.message
+            && contains ~needle:"\"names_mutex\"" f.Finding.message))
+        findings)
+
+(* Reintroducing a raising path under Protocol.decode must surface as a
+   fresh R12 with a witness chain through the helper. *)
+let test_r12_protocol_munge () =
+  in_repo_root (fun () ->
+      let munged =
+        replace_once ~needle:"let label_of_string = function"
+          ~by:"let label_of_string = function\n  | \"!\" -> failwith \"boom\""
+          (read_staged "lib/server/protocol.ml")
+      in
+      let opts =
+        { Driver.default_options with Driver.rules = Some [ "R12" ] }
+      in
+      let findings =
+        Driver.lint_sources ~opts [ ("lib/server/protocol.ml", munged) ]
+        |> List.filter (fun (f : Finding.t) -> String.equal f.Finding.rule "R12")
+      in
+      Alcotest.(check bool)
+        "failwith in a decode helper is caught" true
+        (List.length findings > 0);
+      Alcotest.(check bool)
+        "witness chain passes through label_of_string" true
+        (List.exists
+           (fun (f : Finding.t) ->
+             contains ~needle:"label_of_string" f.Finding.message)
+           findings))
+
+(* The analyzer's own sources hold themselves to the same bar. *)
+let test_lint_self_clean () =
+  in_repo_root (fun () ->
+      let _, findings, analysis = Driver.lint_paths [ "lib/lint" ] in
+      List.iter
+        (fun f -> Alcotest.failf "lib/lint finding: %a" Finding.pp f)
+        findings;
+      match analysis with
+      | Some a -> Alcotest.(check bool) "program pass ran" true (a.Driver.units > 0)
+      | None -> Alcotest.fail "interprocedural stage did not run")
+
+(* Changed mode restricts reports (and stale budgets) to the given set;
+   the parallel driver reports the same findings in the same order. *)
+let test_driver_modes () =
+  in_repo_root (fun () ->
+      let changed =
+        {
+          Driver.default_options with
+          Driver.changed = Some [ "lib/lint/driver.ml" ];
+        }
+      in
+      let outcome = Driver.run ~opts:changed [ "lib/lint" ] in
+      Alcotest.(check int) "one file in the changed set" 1 outcome.Driver.files;
+      Alcotest.(check (list string))
+        "changed mode reports nothing stale" []
+        (List.map (fun (e : Baseline.entry) -> e.Baseline.file) outcome.Driver.stale);
+      List.iter
+        (fun (f : Finding.t) ->
+          Alcotest.(check string)
+            "findings restricted to the changed file" "lib/lint/driver.ml"
+            f.Finding.file)
+        outcome.Driver.findings;
+      let seq = Driver.lint_paths [ "lib/lint" ] in
+      let par =
+        Driver.lint_paths
+          ~opts:{ Driver.default_options with Driver.jobs = 4 }
+          [ "lib/lint" ]
+      in
+      let show (_, findings, _) =
+        List.map
+          (fun (f : Finding.t) ->
+            Printf.sprintf "%s:%d:%s" f.Finding.file f.Finding.line f.Finding.rule)
+          findings
+      in
+      Alcotest.(check (list string))
+        "parallel run is deterministic" (show seq) (show par))
+
 let suite =
   [
     Alcotest.test_case "r1-poly-eq" `Quick test_r1_poly_eq;
@@ -252,6 +546,19 @@ let suite =
     Alcotest.test_case "baseline-roundtrip" `Quick test_baseline_roundtrip;
     Alcotest.test_case "baseline-fresh-stale" `Quick test_baseline_fresh_and_stale;
     Alcotest.test_case "baseline-malformed" `Quick test_baseline_rejects_malformed;
+    Alcotest.test_case "r9-guarded-access" `Quick test_r9_guarded_access;
+    Alcotest.test_case "r9-reentrancy" `Quick test_r9_reentrancy;
+    Alcotest.test_case "r9-exit-holding" `Quick test_r9_exit_holding;
+    Alcotest.test_case "r9-completeness" `Quick test_r9_completeness;
+    Alcotest.test_case "r9-always-held" `Quick test_r9_always_held;
+    Alcotest.test_case "r10-blocking-under-lock" `Quick test_r10_blocking_under_lock;
+    Alcotest.test_case "r11-sans-io" `Quick test_r11_sans_io;
+    Alcotest.test_case "r12-decoder-totality" `Quick test_r12_decoder_totality;
+    Alcotest.test_case "rule-selection" `Quick test_rule_selection;
+    Alcotest.test_case "r9-catalog-munge" `Quick test_r9_catalog_munge;
+    Alcotest.test_case "r12-protocol-munge" `Quick test_r12_protocol_munge;
+    Alcotest.test_case "lint-self-clean" `Quick test_lint_self_clean;
+    Alcotest.test_case "driver-modes" `Quick test_driver_modes;
     Alcotest.test_case "clean-tree" `Quick test_clean_tree;
     Alcotest.test_case "null-eq-regression" `Quick test_null_eq_regression_is_fresh;
   ]
