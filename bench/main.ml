@@ -22,6 +22,24 @@ module Obs = Jqi_obs.Obs
 let section_header title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
 
+(* Typed comparisons for the result checks below (R1: no polymorphic
+   compare in Value-adjacent code). *)
+let int_array_equal a b =
+  Int.equal (Array.length a) (Array.length b)
+  &&
+  let rec go i = i >= Array.length a || (Int.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let int_array_compare a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i >= n then Int.compare (Array.length a) (Array.length b)
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
 (* --universe: which constructor builds the fig6/fig7 universes (mirrors
    jqinfer's flag), so those sections report which builder produced their
    timings.  The quotient is the default everywhere. *)
@@ -92,8 +110,11 @@ let run_lookahead_bench ~seed =
             in
             let speedup = per_choice reference /. per_choice fast in
             let traces_match =
-              fast.steps = reference.steps
-              && fast.n_interactions = reference.n_interactions
+              List.equal
+                (fun (c1, l1) (c2, l2) ->
+                  Int.equal c1 c2 && Jqi_core.Sample.equal_label l1 l2)
+                fast.steps reference.steps
+              && Int.equal fast.n_interactions reference.n_interactions
             in
             Printf.printf
               "  %-22s L%dS: fast %8.3f ms/choice (%2d questions), reference \
@@ -397,12 +418,13 @@ let run_universe ~full ~seed =
     "Universe construction — naive vs quotient vs parallel (profile quotient)";
   let scales = if full then [ 4; 16 ] else [ 2; 8 ] in
   let universes_equal u1 u2 =
-    Universe.n_classes u1 = Universe.n_classes u2
+    Int.equal (Universe.n_classes u1) (Universe.n_classes u2)
     && (let rec go i =
           i >= Universe.n_classes u1
           || Bits.equal (Universe.signature u1 i) (Universe.signature u2 i)
-             && Universe.count u1 i = Universe.count u2 i
-             && (Universe.cls u1 i).Universe.rep = (Universe.cls u2 i).Universe.rep
+             && Int.equal (Universe.count u1 i) (Universe.count u2 i)
+             && int_array_equal (Universe.cls u1 i).Universe.rep
+                  (Universe.cls u2 i).Universe.rep
              && go (i + 1)
         in
         go 0)
@@ -548,13 +570,13 @@ let run_kary ~full ~seed =
     time_best (fun () -> Universe.build_kary_naive wide_list)
   in
   let universes_equal u1 u2 =
-    Universe.n_classes u1 = Universe.n_classes u2
+    Int.equal (Universe.n_classes u1) (Universe.n_classes u2)
     && (let rec go i =
           i >= Universe.n_classes u1
           || Bits.equal (Universe.signature u1 i) (Universe.signature u2 i)
-             && Universe.count u1 i = Universe.count u2 i
-             && (Universe.cls u1 i).Universe.rep
-                = (Universe.cls u2 i).Universe.rep
+             && Int.equal (Universe.count u1 i) (Universe.count u2 i)
+             && int_array_equal (Universe.cls u1 i).Universe.rep
+                  (Universe.cls u2 i).Universe.rep
              && go (i + 1)
         in
         go 0)
@@ -579,11 +601,16 @@ let run_kary ~full ~seed =
   let ref_rows, ref_s = time_best (fun () -> Leapfrog.reference rels eqs) in
   let canon rows =
     let c = Array.map Array.copy rows in
-    Array.sort Stdlib.compare c;
+    Array.sort int_array_compare c;
     c
   in
+  let rows_agree a b =
+    Int.equal (Array.length a) (Array.length b)
+    && Array.for_all2 int_array_equal a b
+  in
   let agree =
-    canon tj_rows = canon comp_rows && canon tj_rows = canon ref_rows
+    rows_agree (canon tj_rows) (canon comp_rows)
+    && rows_agree (canon tj_rows) (canon ref_rows)
   in
   let speedup_ref = ref_s /. tj_s in
   let speedup_comp = comp_s /. tj_s in
@@ -665,6 +692,178 @@ let run_kary ~full ~seed =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Out-of-core storage: paged heap files vs in-memory arrays.          *)
+(* ------------------------------------------------------------------ *)
+
+(* The flagship storage experiment: TPC-H lineitem and orders are saved
+   as CSV, loaded once in memory and once into heap-file stores whose
+   page count exceeds the buffer-pool budget (so universe builds really
+   do evict), then the quotient universe is built over both backends
+   and compared class by class — signatures, counts, representatives
+   and join ratio must be byte-identical.  Alongside the A/B we record
+   the buffer-pool hit rate of the paged build (sequential heap scans
+   pin per record, so a 4 KiB page amortizes ~60 pins per fault —
+   the acceptance floor is 0.9), random point-read throughput with its
+   page-fault rate, a disk B-tree index probe, and the pinned-frame
+   leak check.  Results land in BENCH_STORAGE.json. *)
+let run_storage ~full ~seed =
+  let module Json = Jqi_util.Json in
+  let module Relation = Jqi_relational.Relation in
+  let module Csv = Jqi_relational.Csv in
+  let module Tuple = Jqi_relational.Tuple in
+  let module Relstore = Jqi_storage.Relstore in
+  let module Buffer_pool = Jqi_storage.Buffer_pool in
+  let module Heap = Jqi_storage.Heap in
+  let module Btree = Jqi_storage.Btree in
+  section_header "Out-of-core storage — paged heap files vs in-memory arrays";
+  let scale = if full then 60 else 20 in
+  let frames = 8 in
+  let db = Tpch.generate ~seed ~scale () in
+  let tmp suffix = Filename.temp_file "jqibench" suffix in
+  let r_csv = tmp "-lineitem.csv" and p_csv = tmp "-orders.csv" in
+  Csv.save_relation r_csv db.lineitem;
+  Csv.save_relation p_csv db.orders;
+  (* Memory backend: the whole file becomes tuple arrays. *)
+  let (mem_r, mem_p), mem_load_s =
+    Jqi_util.Timer.time (fun () ->
+        ( Csv.load_relation ~name:"lineitem" r_csv,
+          Csv.load_relation ~name:"orders" p_csv ))
+  in
+  (* Paged backend: rows stream into heap files; keep the store handles
+     so we can reach the pools, heaps and point reads directly. *)
+  let (store_r, store_p), paged_load_s =
+    Jqi_util.Timer.time (fun () ->
+        ( Relstore.load_csv ~pool_frames:frames ~dest:(tmp "-lineitem.jqh")
+            ~name:"lineitem" r_csv,
+          Relstore.load_csv ~pool_frames:frames ~dest:(tmp "-orders.jqh")
+            ~name:"orders" p_csv ))
+  in
+  let paged_r = Relstore.relation store_r in
+  let paged_p = Relstore.relation store_p in
+  let pages_r = Heap.data_pages (Relstore.heap store_r) in
+  let pages_p = Heap.data_pages (Relstore.heap store_p) in
+  let out_of_core = pages_r > frames && pages_p > frames in
+  Printf.printf
+    "  lineitem: %d rows in %d heap pages; orders: %d rows in %d pages; \
+     pool budget %d frames each (%s)\n"
+    (Relation.cardinality paged_r) pages_r (Relation.cardinality paged_p)
+    pages_p frames
+    (if out_of_core then "out-of-core" else "FITS IN POOL");
+  let fp_equal =
+    String.equal (Relation.fingerprint mem_r) (Relation.fingerprint paged_r)
+    && String.equal (Relation.fingerprint mem_p) (Relation.fingerprint paged_p)
+  in
+  (* Quotient universe over both backends; the paged build is bracketed
+     by pool-stat resets so the hit rate covers exactly that scan. *)
+  let mem_u, mem_build_s =
+    Jqi_util.Timer.time (fun () -> Universe.build_quotient mem_r mem_p)
+  in
+  Buffer_pool.reset_stats (Relstore.pool store_r);
+  Buffer_pool.reset_stats (Relstore.pool store_p);
+  let paged_u, paged_build_s =
+    Jqi_util.Timer.time (fun () -> Universe.build_quotient paged_r paged_p)
+  in
+  let hit_rate =
+    let st_r = Buffer_pool.stats (Relstore.pool store_r) in
+    let st_p = Buffer_pool.stats (Relstore.pool store_p) in
+    let hits = st_r.Buffer_pool.hits + st_p.Buffer_pool.hits in
+    let misses = st_r.Buffer_pool.misses + st_p.Buffer_pool.misses in
+    if hits + misses = 0 then 0. else float hits /. float (hits + misses)
+  in
+  let universes_equal u1 u2 =
+    Int.equal (Universe.n_classes u1) (Universe.n_classes u2)
+    && Float.equal (Universe.join_ratio u1) (Universe.join_ratio u2)
+    && (let rec go i =
+          i >= Universe.n_classes u1
+          || Bits.equal (Universe.signature u1 i) (Universe.signature u2 i)
+             && Int.equal (Universe.count u1 i) (Universe.count u2 i)
+             && int_array_equal (Universe.cls u1 i).Universe.rep
+                  (Universe.cls u2 i).Universe.rep
+             && go (i + 1)
+        in
+        go 0)
+  in
+  let identical = universes_equal mem_u paged_u in
+  Printf.printf
+    "  fingerprints %s; universe: %d classes %s (mem %.2f ms, paged %.2f ms)\n\
+    \  buffer-pool hit rate on the universe-build scan: %.4f\n"
+    (if fp_equal then "equal" else "DIVERGED")
+    (Universe.n_classes paged_u)
+    (if identical then "identical" else "DIVERGED")
+    (mem_build_s *. 1e3) (paged_build_s *. 1e3) hit_rate;
+  (* Random point reads: rid-addressed row fetches through the pool,
+     far exceeding the budget so faults are real. *)
+  let prng = Prng.create (seed + 1) in
+  let n_reads = if full then 50_000 else 20_000 in
+  let n_rows = Relstore.row_count store_r in
+  Buffer_pool.reset_stats (Relstore.pool store_r);
+  let (), read_s =
+    Jqi_util.Timer.time (fun () ->
+        for _ = 1 to n_reads do
+          ignore (Relstore.get_row store_r (Prng.int prng n_rows))
+        done)
+  in
+  let read_stats = Buffer_pool.stats (Relstore.pool store_r) in
+  let reads_per_s = float n_reads /. read_s in
+  let fault_rate = float read_stats.Buffer_pool.misses /. float n_reads in
+  Printf.printf
+    "  point reads: %.0f rows/s (%d random reads, fault rate %.3f)\n"
+    reads_per_s n_reads fault_rate;
+  (* Disk B-tree over l_orderkey: every indexed rid must decode to a row
+     whose column equals the probed key's value. *)
+  let bt_path = tmp "-lineitem-okey.jqb" in
+  let bt = Relstore.index_column ~pool_frames:frames ~path:bt_path store_r 0 in
+  let bt_ok = ref (Int.equal (Btree.count bt) n_rows) in
+  Btree.iter bt (fun code rid ->
+      let row = Relstore.row_of_rid store_r (Int64.to_int rid) in
+      let v = Tuple.get row 0 in
+      let expect = Relstore.value_of_code store_r (Int64.to_int code) in
+      if not (Jqi_relational.Value.eq v expect) then bt_ok := false);
+  Printf.printf "  b-tree on l_orderkey: %d entries, height %d, probe %s\n"
+    (Btree.count bt) (Btree.height bt)
+    (if !bt_ok then "ok" else "MISMATCH");
+  let pinned_leaked =
+    Buffer_pool.pinned (Relstore.pool store_r)
+    + Buffer_pool.pinned (Relstore.pool store_p)
+  in
+  Printf.printf "  pinned frames leaked after all scans: %d\n" pinned_leaked;
+  let path = "BENCH_STORAGE.json" in
+  Json.save_file path
+    (Json.Obj
+       [
+         ("seed", Json.int seed);
+         ("scale", Json.int scale);
+         ( "instance",
+           Json.Str
+             "TPC-H lineitem x orders, CSV-loaded into heap-file stores \
+              under a fixed buffer-pool budget" );
+         ("rows_r", Json.int (Relation.cardinality paged_r));
+         ("rows_p", Json.int (Relation.cardinality paged_p));
+         ("heap_pages_r", Json.int pages_r);
+         ("heap_pages_p", Json.int pages_p);
+         ("pool_frames", Json.int frames);
+         ("out_of_core", Json.Bool out_of_core);
+         ("load_mem_s", Json.Num mem_load_s);
+         ("load_paged_s", Json.Num paged_load_s);
+         ("classes", Json.int (Universe.n_classes paged_u));
+         ("universe_mem_s", Json.Num mem_build_s);
+         ("universe_paged_s", Json.Num paged_build_s);
+         ("fingerprints_equal", Json.Bool fp_equal);
+         ("identical", Json.Bool identical);
+         ("hit_rate", Json.Num hit_rate);
+         ("point_reads_per_s", Json.Num reads_per_s);
+         ("point_read_fault_rate", Json.Num fault_rate);
+         ("btree_entries", Json.int (Btree.count bt));
+         ("btree_height", Json.int (Btree.height bt));
+         ("btree_ok", Json.Bool !bt_ok);
+         ("pinned_leaked", Json.int pinned_leaked);
+       ]);
+  Btree.close bt;
+  Relstore.close store_r;
+  Relstore.close store_p;
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Observability overhead: instrumentation on vs off (ISSUE 2).        *)
 (* ------------------------------------------------------------------ *)
 
@@ -709,7 +908,7 @@ let run_obs ~full ~seed =
   in
   let median xs =
     let a = Array.of_list xs in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     a.(Array.length a / 2)
   in
   workload ();
@@ -1238,7 +1437,7 @@ let run_micro ~seed =
         in
         (name, ns) :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   print_string
     (Jqi_util.Ascii_table.render
@@ -1261,7 +1460,7 @@ let run_micro ~seed =
 
 let all_sections =
   [ "fig6"; "fig7"; "table1"; "semijoin"; "scaling"; "ablation"; "universe";
-    "kary"; "obs"; "server"; "server-load"; "micro" ]
+    "kary"; "storage"; "obs"; "server"; "server-load"; "micro" ]
 
 let run sections full seed universe_spec =
   let sections = if sections = [] then all_sections else sections in
@@ -1309,6 +1508,7 @@ let run sections full seed universe_spec =
   if want "ablation" then run_ablation ~full ~seed;
   if want "universe" then run_universe ~full ~seed;
   if want "kary" then run_kary ~full ~seed;
+  if want "storage" then run_storage ~full ~seed;
   if want "obs" then run_obs ~full ~seed;
   if want "server" then run_server ~full ~seed;
   if want "server-load" then run_server_load ~full ~seed;

@@ -26,6 +26,7 @@ module Inference = Jqi_core.Inference
 module Lattice = Jqi_core.Lattice
 module Prng = Jqi_util.Prng
 module Obs = Jqi_obs.Obs
+module Relstore = Jqi_storage.Relstore
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -50,15 +51,19 @@ let obs_finish ~trace ~metrics =
     print_string (Obs.Report.render (Obs.Report.snapshot ()))
   end
 
-let load_rel path =
-  Csv.load_relation
+(* --backend mem|paged: [Mem] materializes rows in arrays; [Paged]
+   streams the CSV into a heap-file store and scans it through a
+   --buffer-pages-frame buffer pool (temp files, removed on exit). *)
+let load_rel ?(backend = Relstore.Mem) path =
+  Relstore.load_csv_relation ~backend
     ~name:(Filename.remove_extension (Filename.basename path))
     path
 
-let load_pair r_path p_path = (load_rel r_path, load_rel p_path)
+let load_pair ?backend r_path p_path =
+  (load_rel ?backend r_path, load_rel ?backend p_path)
 
 (* "--relations a.csv,b.csv,c.csv" — the k-ary instance. *)
-let load_relations spec =
+let load_relations ?backend spec =
   let paths =
     List.filter
       (fun s -> not (String.equal s ""))
@@ -68,7 +73,7 @@ let load_relations spec =
     Printf.eprintf "--relations needs at least two CSV paths, got %S\n" spec;
     exit 2
   end;
-  List.map load_rel paths
+  List.map (fun p -> load_rel ?backend p) paths
 
 (* Lookahead engine selection (--engine): the fast engine is the default;
    the reference engine is the Algorithm 5 transcription kept as the
@@ -178,10 +183,10 @@ let save_session path universe strategy engine =
     universe (Engine.result engine).Engine.state
 
 let cmd_infer_binary r_path p_path strategy_name seed verbose engine ubuilder
-    resume save trace metrics =
+    backend resume save trace metrics =
   setup_logs verbose;
   obs_setup ~trace ~metrics;
-  let r, p = load_pair r_path p_path in
+  let r, p = load_pair ~backend r_path p_path in
   let universe = builder_of ~seed ubuilder r p in
   let omega = Universe.omega universe in
   Printf.printf
@@ -285,11 +290,11 @@ let selected_tuples universe predicate =
   done;
   !total
 
-let cmd_infer_kary spec strategy_name seed verbose engine ubuilder resume save
-    trace metrics =
+let cmd_infer_kary spec strategy_name seed verbose engine ubuilder backend
+    resume save trace metrics =
   setup_logs verbose;
   obs_setup ~trace ~metrics;
-  let rels = load_relations spec in
+  let rels = load_relations ~backend spec in
   let universe = kary_builder_of ~seed ubuilder rels in
   let omega = Universe.omega universe in
   let rel_arr = Array.of_list rels in
@@ -366,18 +371,18 @@ let cmd_infer_kary spec strategy_name seed verbose engine ubuilder resume save
       obs_finish ~trace ~metrics
 
 let cmd_infer r_path p_path relations strategy_name seed verbose engine
-    ubuilder resume save trace metrics =
+    ubuilder backend resume save trace metrics =
   match (relations, r_path, p_path) with
   | Some spec, None, None ->
-      cmd_infer_kary spec strategy_name seed verbose engine ubuilder resume
-        save trace metrics
+      cmd_infer_kary spec strategy_name seed verbose engine ubuilder backend
+        resume save trace metrics
   | Some _, Some _, _ | Some _, _, Some _ ->
       Printf.eprintf
         "infer takes either R.csv P.csv positionals or --relations, not both\n";
       exit 2
   | None, Some r, Some p ->
-      cmd_infer_binary r p strategy_name seed verbose engine ubuilder resume
-        save trace metrics
+      cmd_infer_binary r p strategy_name seed verbose engine ubuilder backend
+        resume save trace metrics
   | None, None, _ | None, _, None ->
       Printf.eprintf "infer needs R.csv P.csv positionals or --relations\n";
       exit 2
@@ -385,10 +390,10 @@ let cmd_infer r_path p_path relations strategy_name seed verbose engine
 (* ---------------------------- simulate ---------------------------- *)
 
 let cmd_simulate_binary r_path p_path goal_spec seed verbose engine ubuilder
-    trace metrics =
+    backend trace metrics =
   setup_logs verbose;
   obs_setup ~trace ~metrics;
-  let r, p = load_pair r_path p_path in
+  let r, p = load_pair ~backend r_path p_path in
   let universe = builder_of ~seed ubuilder r p in
   let omega = Universe.omega universe in
   let goal = Omega.of_names omega (parse_goal goal_spec) in
@@ -415,11 +420,11 @@ let cmd_simulate_binary r_path p_path goal_spec seed verbose engine ubuilder
     (sql_of_predicate r p omega td_result.predicate);
   obs_finish ~trace ~metrics
 
-let cmd_simulate_kary spec goal_spec seed verbose engine ubuilder trace metrics
-    =
+let cmd_simulate_kary spec goal_spec seed verbose engine ubuilder backend
+    trace metrics =
   setup_logs verbose;
   obs_setup ~trace ~metrics;
-  let rels = load_relations spec in
+  let rels = load_relations ~backend spec in
   let universe = kary_builder_of ~seed ubuilder rels in
   let omega = Universe.omega universe in
   let goal = Omega.of_names_kary omega (parse_goal goal_spec) in
@@ -444,20 +449,20 @@ let cmd_simulate_kary spec goal_spec seed verbose engine ubuilder trace metrics
     [ "bu"; "td"; "l1s"; "l2s"; "rnd"; "igs"; "hybrid" ];
   obs_finish ~trace ~metrics
 
-let cmd_simulate r_path p_path relations goal_spec seed verbose engine ubuilder
-    trace metrics =
+let cmd_simulate r_path p_path relations goal_spec seed verbose engine
+    ubuilder backend trace metrics =
   match (relations, r_path, p_path) with
   | Some spec, None, None ->
-      cmd_simulate_kary spec goal_spec seed verbose engine ubuilder trace
-        metrics
+      cmd_simulate_kary spec goal_spec seed verbose engine ubuilder backend
+        trace metrics
   | Some _, Some _, _ | Some _, _, Some _ ->
       Printf.eprintf
         "simulate takes either R.csv P.csv positionals or --relations, not \
          both\n";
       exit 2
   | None, Some r, Some p ->
-      cmd_simulate_binary r p goal_spec seed verbose engine ubuilder trace
-        metrics
+      cmd_simulate_binary r p goal_spec seed verbose engine ubuilder backend
+        trace metrics
   | None, None, _ | None, _, None ->
       Printf.eprintf "simulate needs R.csv P.csv positionals or --relations\n";
       exit 2
@@ -686,16 +691,17 @@ let parse_listen_addr spec =
    the concurrent front end: a socket listener feeding a domain worker
    pool over the sharded manager. *)
 let cmd_serve table_specs seed idle_timeout listen workers queue shards
-    sweep_every =
+    sweep_every backend =
   let catalog = Jqi_server.Catalog.create ~shards () in
+  let loader ~name path = Relstore.load_csv_relation ~backend ~name path in
   List.iter
     (fun spec ->
       let name, path = parse_table_spec spec in
-      Jqi_server.Catalog.add ~name catalog (Csv.load_relation ~name path))
+      Jqi_server.Catalog.add ~name catalog (loader ~name path))
     table_specs;
   let idle_timeout = if idle_timeout > 0. then Some idle_timeout else None in
   let manager =
-    Jqi_server.Manager.create ?idle_timeout ~seed ~shards catalog
+    Jqi_server.Manager.create ?idle_timeout ~seed ~shards ~loader catalog
   in
   match listen with
   | None -> Jqi_server.Service.serve_channels manager stdin stdout
@@ -940,6 +946,31 @@ let metrics_arg =
         ~doc:"Print the instrumentation report (counters, histograms, span \
               tree) after the run.")
 
+let backend_str_arg =
+  Arg.(
+    value & opt string "mem"
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:"Relation storage backend: $(b,mem) (rows in arrays — the \
+              default) or $(b,paged) (rows stream into heap-file stores \
+              read back through a --buffer-pages-frame buffer pool; \
+              universes are byte-identical across backends).")
+
+let buffer_pages_arg =
+  Arg.(
+    value & opt int Relstore.default_frames
+    & info [ "buffer-pages" ] ~docv:"N"
+        ~doc:"Buffer-pool frames per paged relation (with --backend paged).")
+
+let backend_term =
+  Term.(
+    const (fun spec frames ->
+        match Relstore.backend_of_string ~frames spec with
+        | Some b -> b
+        | None ->
+            Printf.eprintf "unknown --backend %S (mem|paged)\n" spec;
+            Stdlib.exit 2)
+    $ backend_str_arg $ buffer_pages_arg)
+
 let resume_arg =
   Arg.(value & opt (some file) None
        & info [ "resume" ] ~docv:"SESSION.json" ~doc:"Resume a saved session.")
@@ -955,7 +986,7 @@ let infer_cmd =
              --relations)")
     Term.(const cmd_infer $ r_opt_arg $ p_opt_arg $ relations_arg
           $ strategy_arg $ seed_arg $ verbose_arg $ engine_term $ universe_arg
-          $ resume_arg $ save_arg $ trace_arg $ metrics_arg)
+          $ backend_term $ resume_arg $ save_arg $ trace_arg $ metrics_arg)
 
 let goal_arg =
   Arg.(
@@ -967,8 +998,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Replay inference with a known goal, all strategies")
     Term.(const cmd_simulate $ r_opt_arg $ p_opt_arg $ relations_arg $ goal_arg
-          $ seed_arg $ verbose_arg $ engine_term $ universe_arg $ trace_arg
-          $ metrics_arg)
+          $ seed_arg $ verbose_arg $ engine_term $ universe_arg $ backend_term
+          $ trace_arg $ metrics_arg)
 
 let scale_arg = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Scale factor.")
 let out_arg = Arg.(value & opt string "data" & info [ "out" ] ~doc:"Output directory.")
@@ -1088,7 +1119,7 @@ let serve_cmd =
              --listen for the concurrent socket front end)")
     Term.(const cmd_serve $ tables_arg $ seed_arg $ idle_timeout_arg
           $ listen_arg $ workers_arg $ queue_arg $ shards_arg
-          $ sweep_every_arg)
+          $ sweep_every_arg $ backend_term)
 
 let server_command_arg =
   Arg.(

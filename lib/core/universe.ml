@@ -142,21 +142,26 @@ module PH = Hashtbl.Make (Profile)
 
 type profile = { codes : int array; mutable multiplicity : int; first_row : int }
 
-(* Group encoded rows by code vector, in first-seen (i.e. ascending
-   first-row) order; [first_row] is the smallest row index of the group
-   because rows are scanned in ascending order. *)
-let profiles_of encoded =
-  let tbl = PH.create (max 16 (Array.length encoded)) in
+(* Group a relation's rows by code vector, in first-seen (i.e.
+   ascending first-row) order; [first_row] is the smallest row index of
+   the group because rows are scanned in ascending order.
+
+   Streaming: one [Dict.iter_encoded] pass over the relation, so a
+   paged relation is grouped directly off its heap-file scan under the
+   buffer pool's page budget — memory is bounded by the number of
+   *distinct* profiles, never by the row count.  The reused code
+   buffer is copied only on first sight of a profile. *)
+let stream_profiles dict rel =
+  let tbl = PH.create (max 16 (min 65536 (Relation.cardinality rel))) in
   let order = Vec.create () in
-  Array.iteri
-    (fun i codes ->
+  Dict.iter_encoded dict rel (fun i codes ->
       match PH.find_opt tbl codes with
       | Some prof -> prof.multiplicity <- prof.multiplicity + 1
       | None ->
+          let codes = Array.copy codes in
           let prof = { codes; multiplicity = 1; first_row = i } in
           PH.add tbl codes prof;
-          Vec.push order prof)
-    encoded;
+          Vec.push order prof);
   Vec.to_array order
 
 let c_dict_values = Obs.Counter.make "universe.dict_values"
@@ -171,8 +176,8 @@ let quotient_profiles r p =
   let nr = Relation.cardinality r and np = Relation.cardinality p in
   if nr = 0 || np = 0 then invalid_arg "Universe.build: empty Cartesian product";
   let dict = Dict.create ~size:(nr + np) () in
-  let rprofs = profiles_of (Dict.encode_rows dict r) in
-  let pprofs = profiles_of (Dict.encode_rows dict p) in
+  let rprofs = stream_profiles dict r in
+  let pprofs = stream_profiles dict p in
   Obs.Counter.add c_dict_values (Dict.size dict);
   Obs.Counter.add c_profiles_r (Array.length rprofs);
   Obs.Counter.add c_profiles_p (Array.length pprofs);
@@ -383,7 +388,7 @@ let build_kary ?(limit = default_kary_limit) rels =
   let width = Omega.width omega in
   let total_rows = Array.fold_left (fun s r -> s + Relation.cardinality r) 0 rels in
   let dict = Dict.create ~size:total_rows () in
-  let profs = Array.map (fun r -> profiles_of (Dict.encode_rows dict r)) rels in
+  let profs = Array.map (fun r -> stream_profiles dict r) rels in
   Array.iter (fun ps -> Obs.Counter.add c_kary_profiles (Array.length ps)) profs;
   (* Which codes appear anywhere in each relation. *)
   let rel_codes =

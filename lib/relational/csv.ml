@@ -108,14 +108,35 @@ let to_string ?(sep = ',') records =
     records;
   Buffer.contents buf
 
-let read_file ?sep path =
+(* Stream records out of a channel: physical lines via [input_line]
+   (CRLF-tolerant), logical records via [split_record].  Nothing is
+   ever materialized beyond one record — the old reader slurped the
+   whole file into a string and split it, which defeated out-of-core
+   loading. *)
+let fold_channel_records ~sep ic f acc =
+  let next_line () =
+    match In_channel.input_line ic with
+    | None -> None
+    | Some l ->
+        let n = String.length l in
+        if n > 0 && l.[n - 1] = '\r' then Some (String.sub l 0 (n - 1))
+        else Some l
+  in
+  let rec go acc =
+    match split_record ~sep next_line with
+    | None -> acc
+    | Some r -> go (f acc r)
+  in
+  go acc
+
+let fold_file_records ~sep path f acc =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      let text = really_input_string ic n in
-      parse_string ?sep text)
+    (fun () -> fold_channel_records ~sep ic f acc)
+
+let read_file ?(sep = ',') path =
+  List.rev (fold_file_records ~sep path (fun acc r -> r :: acc) [])
 
 let write_file ?sep path records =
   let oc = open_out_bin path in
@@ -165,8 +186,99 @@ let relation_of_records ~name ?schema records =
       in
       Relation.of_list ~name ~schema (List.map parse_row data)
 
+(* Streaming import: two bounded-memory passes over the file.
+
+   Pass 1 reads the header, checks every record against it (same error
+   message and numbering as [relation_of_records]) and — when no
+   schema is supplied — folds the per-column type-capability flags
+   that replicate [Value.infer_ty] ("can every cell parse as TInt?
+   else TFloat? else TBool? else TString") without a column slice.
+   Pass 2 re-streams the file, parses each record under the now-known
+   schema and hands the tuple to the sink.  Peak memory is one record
+   plus whatever the sink keeps — a heap-file sink keeps nothing. *)
+let load_into ?(sep = ',') ?schema path ~init ~push =
+  let header = ref None in
+  let n_data = ref 0 in
+  let caps = ref [||] (* per column: can_int, can_float, can_bool *) in
+  let see_header h =
+    header := Some (Array.of_list h);
+    caps := Array.map (fun _ -> (true, true, true)) (Array.of_list h)
+  in
+  let check_arity r =
+    match !header with
+    | None -> assert false
+    | Some h ->
+        incr n_data;
+        if not (Int.equal (Array.length r) (Array.length h)) then
+          invalid_arg
+            (Printf.sprintf "Csv: record %d has %d fields, header has %d"
+               !n_data (Array.length r) (Array.length h))
+  in
+  fold_file_records ~sep path
+    (fun () record ->
+      match !header with
+      | None -> see_header record
+      | Some _ ->
+          let r = Array.of_list record in
+          check_arity r;
+          if Option.is_none schema then
+            Array.iteri
+              (fun i cell ->
+                let can_i, can_f, can_b = !caps.(i) in
+                (* skip the three parses once the column is TString *)
+                if can_i || can_f || can_b then
+                  !caps.(i) <-
+                    ( (can_i && Value.parse Value.TInt cell <> None),
+                      (can_f && Value.parse Value.TFloat cell <> None),
+                      (can_b && Value.parse Value.TBool cell <> None) ))
+              r)
+    ();
+  let header =
+    match !header with
+    | None -> invalid_arg "Csv: empty input (no header)"
+    | Some h -> h
+  in
+  let schema =
+    match schema with
+    | Some s -> s
+    | None ->
+        Schema.of_columns
+          (List.mapi
+             (fun i h ->
+               let can_i, can_f, can_b = !caps.(i) in
+               let ty =
+                 if can_i then Value.TInt
+                 else if can_f then Value.TFloat
+                 else if can_b then Value.TBool
+                 else Value.TString
+               in
+               Schema.column h ty)
+             (Array.to_list header))
+  in
+  let sink = init schema in
+  let parse_cell i cell =
+    let ty = Schema.ty_at schema i in
+    match Value.parse ty cell with
+    | Some v -> v
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Csv: cannot parse %S as %s" cell (Value.ty_name ty))
+  in
+  let first = ref true in
+  fold_file_records ~sep path
+    (fun () record ->
+      if !first then first := false
+      else push sink (Array.of_list record |> Array.mapi parse_cell))
+    ();
+  (sink, schema)
+
 let load_relation ?sep ~name ?schema path =
-  relation_of_records ~name ?schema (read_file ?sep path)
+  let vec, schema =
+    load_into ?sep ?schema path
+      ~init:(fun _ -> Jqi_util.Vec.create ())
+      ~push:Jqi_util.Vec.push
+  in
+  Relation.create ~name ~schema (Jqi_util.Vec.to_array vec)
 
 let records_of_relation rel =
   Schema.names (Relation.schema rel)

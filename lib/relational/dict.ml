@@ -59,7 +59,46 @@ let find t v =
 
 let encode_row t row = Array.init (Tuple.arity row) (fun i -> code t (Tuple.get row i))
 
-let encode_rows t rel = Array.map (encode_row t) (Relation.rows rel)
+(* Streaming row-major encoding.  The in-memory arm interns cell by
+   cell, exactly like [encode_row] over [Relation.rows] used to.  The
+   paged arm with coded access avoids re-hashing every cell: the
+   store's codes are dense in first-occurrence order, which IS
+   row-major first-sight order, so interning the store's value list in
+   code order performs the same sequence of [code] calls as a
+   row-major scan would — the shared dictionary ends up bit-identical,
+   and each row then translates through a plain array lookup. *)
+let iter_encoded t rel f =
+  match Relation.backend rel with
+  | Relation.Backend.Paged
+      { Relation.Backend.coded = Some c; n_rows = _; get_row = _;
+        iter_rows = _; describe = _ } ->
+      let translate =
+        Array.init c.Relation.Backend.distinct (fun fc ->
+            code t (c.Relation.Backend.value fc))
+      in
+      c.Relation.Backend.iter_codes (fun i codes ->
+          for k = 0 to Array.length codes - 1 do
+            let fc = codes.(k) in
+            codes.(k) <- (if fc < 0 then no_code else translate.(fc))
+          done;
+          f i codes)
+  | Relation.Backend.Mem _
+  | Relation.Backend.Paged
+      { Relation.Backend.coded = None; n_rows = _; get_row = _;
+        iter_rows = _; describe = _ } ->
+      let buf = Array.make (Relation.arity rel) no_code in
+      Relation.iteri
+        (fun i row ->
+          for k = 0 to Array.length buf - 1 do
+            buf.(k) <- code t (Tuple.get row k)
+          done;
+          f i buf)
+        rel
+
+let encode_rows t rel =
+  let out = Array.make (Relation.cardinality rel) [||] in
+  iter_encoded t rel (fun i codes -> out.(i) <- Array.copy codes);
+  out
 
 let encode_column t rel col =
   if col < 0 || col >= Relation.arity rel then

@@ -31,8 +31,19 @@ val codable : Value.t -> bool
 (** Code vector of one row, in column order. *)
 val encode_row : t -> Tuple.t -> int array
 
+(** One streaming pass over [rel] in row order: [f i codes] receives
+    the code vector of row [i].  The buffer is reused between rows —
+    callers must copy it to retain it.  Interns values in row-major
+    first-sight order on every backend (on a paged backend with coded
+    access, via a translation table over the store's value dictionary
+    instead of re-hashing each cell), so the resulting shared code
+    space is identical whichever backend the relation lives on —
+    the byte-identity contract the universe builder relies on. *)
+val iter_encoded : t -> Relation.t -> (int -> int array -> unit) -> unit
+
 (** Row-major encoding of a whole relation:
-    [(encode_rows d r).(i).(k)] is the code of row [i], column [k]. *)
+    [(encode_rows d r).(i).(k)] is the code of row [i], column [k].
+    Materializes {!iter_encoded}. *)
 val encode_rows : t -> Relation.t -> int array array
 
 (** Single-column encoding, one code per row.  Raises [Invalid_argument]

@@ -43,13 +43,15 @@ let build rel ~columns =
   Obs.Counter.add c_build_rows (Relation.cardinality rel);
   let columns = Array.of_list columns in
   let table = H.create (max 16 (Relation.cardinality rel)) in
-  Array.iteri
+  (* Stream rather than materialize: on a Paged relation this is one
+     heap scan under the buffer-pool budget. *)
+  Relation.iteri
     (fun i row ->
       let key = key_of_row columns row in
       if not (has_null key) then
         let prev = Option.value ~default:[] (H.find_opt table key) in
         H.replace table key (i :: prev))
-    (Relation.rows rel);
+    rel;
   { columns; table }
 
 (* [find_key] looks rows up by a caller-owned key buffer; the table never

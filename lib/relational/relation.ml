@@ -1,11 +1,38 @@
-(* A relation instance: a name, a schema and an array of rows.
+(* A relation instance: a name, a schema and a row store.
 
-   Rows are stored in insertion order; set semantics, when an operator needs
-   them, are applied explicitly ([distinct]).  The inference engine treats
-   R and P as arrays so that a tuple of the Cartesian product is addressed
-   by a pair of row indexes. *)
+   Rows live behind a storage backend: [Backend.Mem] is the original
+   in-memory array; [Backend.Paged] is a closure record wired up by an
+   out-of-core store (jqi.storage's Relstore) so that this module — and
+   the whole sans-IO relational tier — never references the storage
+   library or does IO itself.  Rows are stored in insertion order; set
+   semantics, when an operator needs them, are applied explicitly
+   ([distinct]).  The inference engine treats R and P as arrays so that
+   a tuple of the Cartesian product is addressed by a pair of row
+   indexes; a paged backend must therefore provide random access
+   ([get_row]) as well as the streaming scan ([iter_rows]) the
+   universe builder prefers. *)
 
-type t = { name : string; schema : Schema.t; rows : Tuple.t array }
+module Backend = struct
+  type coded = {
+    distinct : int;
+    value : int -> Value.t;
+    iter_codes : (int -> int array -> unit) -> unit;
+  }
+
+  type paged = {
+    n_rows : int;
+    get_row : int -> Tuple.t;
+    iter_rows : (int -> Tuple.t -> unit) -> unit;
+    coded : coded option;
+    describe : string;
+  }
+
+  type t = Mem of Tuple.t array | Paged of paged
+
+  let name = function Mem _ -> "mem" | Paged _ -> "paged"
+end
+
+type t = { name : string; schema : Schema.t; backend : Backend.t }
 
 let create ~name ~schema rows =
   let arity = Schema.arity schema in
@@ -16,27 +43,62 @@ let create ~name ~schema rows =
           (Printf.sprintf "Relation %s: row arity %d, schema arity %d" name
              (Tuple.arity r) arity))
     rows;
-  { name; schema; rows }
+  { name; schema; backend = Backend.Mem rows }
 
 let of_list ~name ~schema rows = create ~name ~schema (Array.of_list rows)
 
+let of_paged ~name ~schema paged =
+  { name; schema; backend = Backend.Paged paged }
+
 let name t = t.name
 let schema t = t.schema
-let rows t = t.rows
-let cardinality t = Array.length t.rows
-let row t i = t.rows.(i)
+let backend t = t.backend
+let backend_name t = Backend.name t.backend
+
+let cardinality t =
+  match t.backend with
+  | Backend.Mem rows -> Array.length rows
+  | Backend.Paged p -> p.Backend.n_rows
+
+let row t i =
+  match t.backend with
+  | Backend.Mem rows -> rows.(i)
+  | Backend.Paged p -> p.Backend.get_row i
+
+let iteri f t =
+  match t.backend with
+  | Backend.Mem rows -> Array.iteri f rows
+  | Backend.Paged p -> p.Backend.iter_rows f
+
+let iter f t = iteri (fun _ r -> f r) t
+
+let rows t =
+  match t.backend with
+  | Backend.Mem rows -> rows
+  | Backend.Paged p ->
+      let out = Array.make p.Backend.n_rows [||] in
+      p.Backend.iter_rows (fun i r -> out.(i) <- r);
+      out
+
 let arity t = Schema.arity t.schema
 let is_empty t = cardinality t = 0
 
 let with_name t name = { t with name }
 let with_rows t rows = create ~name:t.name ~schema:t.schema rows
 
-let fold f acc t = Array.fold_left f acc t.rows
-let iter f t = Array.iter f t.rows
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun r -> acc := f !acc r) t;
+  !acc
 
-let mem t tup = Array.exists (fun r -> Tuple.equal r tup) t.rows
+exception Found
 
-let to_list t = Array.to_list t.rows
+let mem t tup =
+  match iter (fun r -> if Tuple.equal r tup then raise Found) t with
+  | () -> false
+  | exception Found -> true
+
+let to_list t = Array.to_list (rows t)
 
 module Tuple_set = Set.Make (struct
   type t = Tuple.t
@@ -44,20 +106,20 @@ module Tuple_set = Set.Make (struct
   let compare = Tuple.compare
 end)
 
-let tuple_set t = Tuple_set.of_seq (Array.to_seq t.rows)
+let tuple_set t = fold (fun s r -> Tuple_set.add r s) Tuple_set.empty t
 
 (* Multiset-insensitive equality: same schema and same set of rows. *)
 let equal_contents a b =
-  Schema.equal a.schema b.schema
-  && Tuple_set.equal (tuple_set a) (tuple_set b)
+  Schema.equal a.schema b.schema && Tuple_set.equal (tuple_set a) (tuple_set b)
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>%s%a (%d rows)" t.name Schema.pp t.schema (cardinality t);
   let shown = min 20 (cardinality t) in
   for i = 0 to shown - 1 do
-    Fmt.pf ppf "@,  %a" Tuple.pp t.rows.(i)
+    Fmt.pf ppf "@,  %a" Tuple.pp (row t i)
   done;
-  if shown < cardinality t then Fmt.pf ppf "@,  ... (%d more)" (cardinality t - shown);
+  if shown < cardinality t then
+    Fmt.pf ppf "@,  ... (%d more)" (cardinality t - shown);
   Fmt.pf ppf "@]"
 
 (* Content fingerprint: FNV-1a 64-bit over a canonical serialization of
@@ -66,7 +128,9 @@ let pp ppf t =
    alike — Null vs Str "", Int 1 vs Str "1", 1.0 vs 2.0-1.0 rounding —
    cannot collide structurally.  Two relations with equal fingerprints can
    be treated as the same instance for caching purposes: equal name,
-   schema, row order and cell values. *)
+   schema, row order and cell values.  Computed over the streaming scan,
+   so a paged relation fingerprints straight off its heap file and
+   matches the in-memory backend byte for byte. *)
 let fingerprint t =
   let h = ref 0xcbf29ce484222325L in
   let feed_byte b =
@@ -105,15 +169,17 @@ let fingerprint t =
       feed_string c.name;
       feed_string (Value.ty_name c.ty))
     (Schema.columns t.schema);
-  Array.iter (fun r -> Array.iter feed_value r) t.rows;
+  iter (fun r -> Array.iter feed_value r) t;
   Printf.sprintf "%016Lx" !h
 
 (* Console convenience for the interactive CLI; rendering itself lives in
    Ascii_table, this is the one sanctioned stdout write of the module. *)
 let print t =
   let headers = Schema.names t.schema in
-  let rows =
-    Array.to_list
-      (Array.map (fun r -> List.map Value.to_string (Tuple.to_list r)) t.rows)
+  let body =
+    List.rev
+      (fold
+         (fun acc r -> List.map Value.to_string (Tuple.to_list r) :: acc)
+         [] t)
   in
-  (print_string [@lint.allow "R5"]) (Jqi_util.Ascii_table.render ~headers rows)
+  (print_string [@lint.allow "R5"]) (Jqi_util.Ascii_table.render ~headers body)

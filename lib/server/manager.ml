@@ -115,8 +115,11 @@ type shard = {
 (* Autosaved documents kept per shard; older ones are dropped first. *)
 let max_morgue = 512
 
+type loader = name:string -> string -> Jqi_relational.Relation.t
+
 type t = {
   catalog : Catalog.t;
+  loader : loader;
   shards : shard Shard.t;
   clock : unit -> float;
   idle_timeout : float option;
@@ -124,10 +127,18 @@ type t = {
   next_id : int Atomic.t;
 }
 
-let create ?clock ?idle_timeout ?(seed = 42) ?shards catalog =
+(* The default loader materializes in memory; [bin/jqinfer] injects a
+   paged one (jqi.storage) so served relations can live in heap files
+   under a buffer-pool budget without this library depending on the
+   storage engine. *)
+let default_loader ~name path = Jqi_relational.Csv.load_relation ~name path
+
+let create ?clock ?idle_timeout ?(seed = 42) ?shards ?loader catalog =
   let clock = match clock with Some c -> c | None -> Obs.now in
+  let loader = match loader with Some l -> l | None -> default_loader in
   {
     catalog;
+    loader;
     shards =
       Shard.create ?shards (fun _ ->
           {
@@ -144,6 +155,14 @@ let create ?clock ?idle_timeout ?(seed = 42) ?shards catalog =
 
 let catalog t = t.catalog
 let shards t = Shard.size t.shards
+
+(* Load a CSV through the injected backend and register it in the
+   catalog under [name].  Exceptions ([Sys_error], [Invalid_argument])
+   propagate for the transport layer to render. *)
+let load t ~name path =
+  let rel = t.loader ~name path in
+  Catalog.add ~name t.catalog rel;
+  rel
 
 let fresh_id t = Printf.sprintf "s%d" (Atomic.fetch_and_add t.next_id 1)
 

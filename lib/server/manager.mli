@@ -67,14 +67,24 @@ type stats = {
 val zero_stats : stats
 val add_stats : stats -> stats -> stats
 
+(** How [Load] requests turn a CSV path into a relation.  The default
+    materializes in memory ([Csv.load_relation]); the CLI injects a
+    paged loader (jqi.storage) so served relations stream from heap
+    files — this library never depends on the storage engine. *)
+type loader = name:string -> string -> Jqi_relational.Relation.t
+
 (** [clock] defaults to [Obs.now]; [idle_timeout] (seconds) enables
     {!sweep}; [seed] feeds randomized strategies; [shards] defaults to
-    {!Shard.default_shards}. *)
+    {!Shard.default_shards}; [loader] services [Load] requests. *)
 val create :
   ?clock:(unit -> float) -> ?idle_timeout:float -> ?seed:int ->
-  ?shards:int -> Catalog.t -> t
+  ?shards:int -> ?loader:loader -> Catalog.t -> t
 
 val catalog : t -> Catalog.t
+
+val load : t -> name:string -> string -> Jqi_relational.Relation.t
+(** Load a CSV via the manager's backend loader and add it to the
+    catalog.  Raises [Sys_error] / [Invalid_argument] on bad input. *)
 
 (** Number of session shards. *)
 val shards : t -> int

@@ -117,13 +117,11 @@ let handle manager request =
         | Some n -> n
         | None -> Filename.remove_extension (Filename.basename path)
       in
-      match Csv.load_relation ~name path with
+      match Manager.load manager ~name path with
       | exception Sys_error message -> Protocol.Error { code = "io"; message }
       | exception Invalid_argument message ->
           Protocol.Error { code = "csv"; message }
-      | rel ->
-          Catalog.add ~name (Manager.catalog manager) rel;
-          Protocol.Loaded { name; rows = Relation.cardinality rel })
+      | rel -> Protocol.Loaded { name; rows = Relation.cardinality rel })
   | Protocol.Open_session { r; p; strategy } -> (
       match Manager.open_session manager ~r ~p ~strategy with
       | exception Invalid_argument message ->

@@ -1,0 +1,296 @@
+(* Disk-backed B+tree multimap (int64 -> int64).
+
+   Meta page (page 0): [1]=kind  [4]=u32 root  [8]=i64 count
+                       [16]=u16 height
+   Leaf page:          [1]=kind  [2]=u16 n  [4]=u32 next (0 = none)
+                       entries at [12 + 16i] = { i64 key; i64 value }
+   Node page:          [1]=kind  [2]=u16 n (#keys)  [4]=u32 child0
+                       pairs at [12 + 12i] = { i64 key; u32 child_{i+1} }
+
+   Split rule: insert first (a node at rest always has n < capacity,
+   so there is room), then split when n reaches capacity and promote
+   the middle key.  With duplicates a run of equal keys may straddle a
+   separator: left subtree keys are <= separator, right subtree keys
+   are >=.  Lookups therefore descend leftmost (strict <) and scan
+   forward along the leaf chain; inserts descend rightmost (<=) so a
+   key's values stay in insertion order.
+
+   R10 waiver: inserts do page I/O (through the buffer pool) while
+   holding the tree latch.  Single-latch single-writer design, as in
+   the buffer pool itself — see the header there and doc/STORAGE.md. *)
+[@@@lint.allow "R10"]
+
+let hdr = 12
+let leaf_entry = 16
+let node_pair = 12
+
+type t = {
+  pool : Buffer_pool.t;
+  page_size : int;
+  latch : Mutex.t;
+  mutable root : int; [@lint.guarded_by "latch"]
+  mutable count_ : int; [@lint.guarded_by "latch"]
+  mutable height_ : int; [@lint.guarded_by "latch"]
+}
+
+let pool t = t.pool
+let leaf_cap t = (t.page_size - hdr) / leaf_entry
+let node_cap t = (t.page_size - hdr) / node_pair
+
+let check_caps t =
+  if leaf_cap t < 4 || node_cap t < 4 then
+    invalid_arg "Btree: page size too small for 4 entries per node"
+
+let write_meta t =
+  Buffer_pool.with_page_rw t.pool 0 (fun buf ->
+      Page.set_u32 buf 4 t.root;
+      Page.set_i64 buf 8 (Int64.of_int t.count_);
+      Page.set_u16 buf 16 t.height_)
+
+let create pool =
+  let pager = Buffer_pool.pager pool in
+  if Pager.page_count pager <> 0 then
+    invalid_arg "Btree.create: pager is not empty";
+  let meta = Buffer_pool.allocate pool Page.Meta in
+  ignore meta;
+  let root = Buffer_pool.allocate pool Page.Btree_leaf in
+  let t =
+    {
+      pool;
+      page_size = Pager.page_size pager;
+      latch = Mutex.create ();
+      root;
+      count_ = 0;
+      height_ = 1;
+    }
+  in
+  check_caps t;
+  Mutex.protect t.latch (fun () -> write_meta t);
+  t
+
+let open_existing pool =
+  let pager = Buffer_pool.pager pool in
+  let root, count_, height_ =
+    Buffer_pool.with_page pool 0 (fun buf ->
+        if not (Page.has_kind buf Page.Meta) then
+          raise (Pager.Bad_file "Btree: bad meta page");
+        (Page.get_u32 buf 4, Int64.to_int (Page.get_i64 buf 8),
+         Page.get_u16 buf 16))
+  in
+  let t =
+    { pool; page_size = Pager.page_size pager; latch = Mutex.create ();
+      root; count_; height_ }
+  in
+  check_caps t;
+  t
+
+let create_file ?(page_size = Page.default_size) ?(pool_frames = 64) path =
+  create (Buffer_pool.create ~frames:pool_frames (Pager.create ~page_size path))
+
+let open_file ?(pool_frames = 64) path =
+  open_existing
+    (Buffer_pool.create ~frames:pool_frames (Pager.open_existing path))
+
+(* --- in-page accessors (leaf) --- *)
+
+let leaf_n buf = Page.get_u16 buf 2
+let leaf_next buf = Page.get_u32 buf 4
+let leaf_key buf i = Page.get_i64 buf (hdr + (i * leaf_entry))
+let leaf_value buf i = Page.get_i64 buf (hdr + (i * leaf_entry) + 8)
+
+let leaf_set buf i k v =
+  Page.set_i64 buf (hdr + (i * leaf_entry)) k;
+  Page.set_i64 buf (hdr + (i * leaf_entry) + 8) v
+
+(* --- in-page accessors (interior node) --- *)
+
+let node_n buf = Page.get_u16 buf 2
+let node_key buf i = Page.get_i64 buf (hdr + (i * node_pair))
+
+let node_child buf i =
+  if i = 0 then Page.get_u32 buf 4
+  else Page.get_u32 buf (hdr + ((i - 1) * node_pair) + 8)
+
+let node_set_pair buf i k c =
+  Page.set_i64 buf (hdr + (i * node_pair)) k;
+  Page.set_u32 buf (hdr + (i * node_pair) + 8) c
+
+(* first index with key > k (rightmost/insert descent uses child of
+   this index); binary search over sorted keys *)
+let upper_bound key n k =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.compare (key mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* first index with key >= k (leftmost/lookup descent) *)
+let lower_bound key n k =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.compare (key mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* --- insertion --- *)
+
+(* Split a full leaf [pid]; returns (promoted key, right page id). *)
+let split_leaf t pid =
+  let right = Buffer_pool.allocate t.pool Page.Btree_leaf in
+  Buffer_pool.with_page_rw t.pool pid (fun lbuf ->
+      Buffer_pool.with_page_rw t.pool right (fun rbuf ->
+          let n = leaf_n lbuf in
+          let mid = n / 2 in
+          for i = mid to n - 1 do
+            leaf_set rbuf (i - mid) (leaf_key lbuf i) (leaf_value lbuf i)
+          done;
+          Page.set_u16 rbuf 2 (n - mid);
+          Page.set_u32 rbuf 4 (leaf_next lbuf);
+          Page.set_u16 lbuf 2 mid;
+          Page.set_u32 lbuf 4 right;
+          (leaf_key rbuf 0, right)))
+
+(* Split a full interior node [pid]; promotes the middle key. *)
+let split_node t pid =
+  let right = Buffer_pool.allocate t.pool Page.Btree_node in
+  Buffer_pool.with_page_rw t.pool pid (fun lbuf ->
+      Buffer_pool.with_page_rw t.pool right (fun rbuf ->
+          let n = node_n lbuf in
+          let mid = n / 2 in
+          let promoted = node_key lbuf mid in
+          Page.set_u32 rbuf 4 (node_child lbuf (mid + 1));
+          for i = mid + 1 to n - 1 do
+            node_set_pair rbuf (i - mid - 1) (node_key lbuf i)
+              (node_child lbuf (i + 1))
+          done;
+          Page.set_u16 rbuf 2 (n - mid - 1);
+          Page.set_u16 lbuf 2 mid;
+          (promoted, right)))
+
+(* Insert (k, v) under page [pid] at [depth] (1 = leaf).  Returns
+   [Some (separator, right_pid)] when the child split. *)
+let rec ins t pid depth k v =
+  if depth = 1 then begin
+    let n =
+      Buffer_pool.with_page_rw t.pool pid (fun buf ->
+          let n = leaf_n buf in
+          let pos = upper_bound (leaf_key buf) n k in
+          (* shift entries [pos..n-1] one slot right (overlapping blit
+             is memmove) *)
+          Bytes.blit buf (hdr + (pos * leaf_entry)) buf
+            (hdr + ((pos + 1) * leaf_entry))
+            ((n - pos) * leaf_entry);
+          leaf_set buf pos k v;
+          Page.set_u16 buf 2 (n + 1);
+          n + 1)
+    in
+    if n >= leaf_cap t then Some (split_leaf t pid) else None
+  end
+  else begin
+    let j, child =
+      Buffer_pool.with_page t.pool pid (fun buf ->
+          let j = upper_bound (node_key buf) (node_n buf) k in
+          (j, node_child buf j))
+    in
+    match ins t child (depth - 1) k v with
+    | None -> None
+    | Some (sep, right_pid) ->
+        let n =
+          Buffer_pool.with_page_rw t.pool pid (fun buf ->
+              let n = node_n buf in
+              (* the split child was child_j, so the separator goes at
+                 pair index j — re-searching could land past an equal
+                 key and break child adjacency under duplicates *)
+              Bytes.blit buf (hdr + (j * node_pair)) buf
+                (hdr + ((j + 1) * node_pair))
+                ((n - j) * node_pair);
+              node_set_pair buf j sep right_pid;
+              Page.set_u16 buf 2 (n + 1);
+              n + 1)
+        in
+        if n >= node_cap t then Some (split_node t pid) else None
+  end
+
+(* Page faults happen under the tree latch: inserts are single-writer
+   by design. *)
+let insert t k v =
+  Mutex.protect t.latch (fun () ->
+      (match ins t t.root t.height_ k v with
+      | None -> ()
+      | Some (sep, right) ->
+          let new_root = Buffer_pool.allocate t.pool Page.Btree_node in
+          Buffer_pool.with_page_rw t.pool new_root (fun buf ->
+              Page.set_u32 buf 4 t.root;
+              node_set_pair buf 0 sep right;
+              Page.set_u16 buf 2 1);
+          t.root <- new_root;
+          t.height_ <- t.height_ + 1);
+      t.count_ <- t.count_ + 1;
+      write_meta t)
+
+let count t = Mutex.protect t.latch (fun () -> t.count_)
+let height t = Mutex.protect t.latch (fun () -> t.height_)
+
+(* Leftmost descent to the leaf that may hold the first entry >= k. *)
+let descend_leftmost t k =
+  let rec go pid depth =
+    if depth = 1 then pid
+    else
+      let child =
+        Buffer_pool.with_page t.pool pid (fun buf ->
+            node_child buf (lower_bound (node_key buf) (node_n buf) k))
+      in
+      go child (depth - 1)
+  in
+  let root, h = Mutex.protect t.latch (fun () -> (t.root, t.height_)) in
+  go root h
+
+(* Walk the leaf chain from [pid] starting at entry [pos]; [f] returns
+   false to stop. *)
+let scan_from t pid pos f =
+  let rec go pid pos =
+    let cont, next =
+      Buffer_pool.with_page t.pool pid (fun buf ->
+          let n = leaf_n buf in
+          let cont = ref true in
+          let i = ref pos in
+          while !cont && !i < n do
+            cont := f (leaf_key buf !i) (leaf_value buf !i);
+            incr i
+          done;
+          (!cont, leaf_next buf))
+    in
+    if cont && next <> 0 then go next 0
+  in
+  go pid pos
+
+let find_all t k =
+  let leaf = descend_leftmost t k in
+  let pos =
+    Buffer_pool.with_page t.pool leaf (fun buf ->
+        lower_bound (leaf_key buf) (leaf_n buf) k)
+  in
+  let acc = ref [] in
+  scan_from t leaf pos (fun key v ->
+      if Int64.equal key k then begin
+        acc := v :: !acc;
+        true
+      end
+      else false);
+  List.rev !acc
+
+let iter_from t k f =
+  let leaf = descend_leftmost t k in
+  let pos =
+    Buffer_pool.with_page t.pool leaf (fun buf ->
+        lower_bound (leaf_key buf) (leaf_n buf) k)
+  in
+  scan_from t leaf pos (fun key v ->
+      f key v;
+      true)
+
+let iter t f = iter_from t Int64.min_int f
+let sync t = Buffer_pool.flush t.pool
+let close t = Buffer_pool.close t.pool

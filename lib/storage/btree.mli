@@ -1,0 +1,51 @@
+(** Disk-backed B+tree multimap from int64 keys to int64 values, over
+    its own {!Buffer_pool}.
+
+    The relation store keys it on [Dict] codes (key = column code,
+    value = rid), giving an out-of-core secondary index. Duplicate
+    keys are kept; values of one key come back in insertion order.
+    Leaves are chained left-to-right, so {!iter} / {!iter_from} stream
+    in key order without touching interior nodes.
+
+    Invariants (checked by test/test_storage.ml against a sorted
+    model): every node holds [n < capacity] entries at rest; a left
+    subtree's keys are [<=] its separator, the right subtree's [>=] —
+    duplicates may straddle a separator, which the leftmost-descent +
+    leaf-chain scan in {!find_all} handles.
+
+    Inserts are serialized by an internal latch; lookups and scans are
+    latch-free and safe once writing is done. The pool needs at least
+    4 frames (a split pins two pages plus the meta page). *)
+
+type t
+
+val create : Buffer_pool.t -> t
+(** Format the (empty) pager behind [pool] as a b-tree file; takes
+    ownership of the pool. *)
+
+val open_existing : Buffer_pool.t -> t
+(** Reopen a tree written by {!create}. Raises {!Pager.Bad_file} on a
+    foreign file. *)
+
+val create_file : ?page_size:int -> ?pool_frames:int -> string -> t
+val open_file : ?pool_frames:int -> string -> t
+val pool : t -> Buffer_pool.t
+
+val insert : t -> int64 -> int64 -> unit
+val count : t -> int
+
+val find_all : t -> int64 -> int64 list
+(** All values stored under the key, in insertion order. *)
+
+val iter : t -> (int64 -> int64 -> unit) -> unit
+(** Full scan in key order (ties in insertion order). *)
+
+val iter_from : t -> int64 -> (int64 -> int64 -> unit) -> unit
+(** Scan in key order starting at the first entry with key [>=] the
+    given key. *)
+
+val height : t -> int
+(** Tree height (1 = root is a leaf). *)
+
+val sync : t -> unit
+val close : t -> unit

@@ -1,0 +1,255 @@
+(* Append-only heap file: meta page + directory chain + slotted data
+   pages.  Offsets inside pages are u16, so heap page sizes are capped
+   at 32 KiB.
+
+   Meta page (page 0):   [1]=kind  [4]=u32 first_dir  [8]=u32 meta_len
+                         [12..]=meta blob
+   Directory page:       [1]=kind  [4]=u32 next_dir (0 = none)
+                         [8]=u16 n_entries
+                         [12 + 8i] = { u32 data_page; u16 n_slots;
+                                       u16 free_bytes }
+   Data page:            [1]=kind  [2]=u16 n_slots  [4]=u16 data_start
+                         slot i at [8 + 4i] = { u16 off; u16 len };
+                         record bytes packed downward from page end.
+
+   R10 waiver: appends (and the directory walk that rebuilds append
+   state on open) fault pages through the buffer pool while holding
+   the heap latch.  Single-latch single-writer design — see the
+   buffer pool header and doc/STORAGE.md. *)
+[@@@lint.allow "R10"]
+
+let dir_header = 12
+let dir_entry = 8
+let data_header = 8
+let slot_entry = 4
+let max_heap_page = 32768
+
+type t = {
+  pool : Buffer_pool.t;
+  page_size : int;
+  latch : Mutex.t;
+  mutable n_records : int; [@lint.guarded_by "latch"]
+  mutable n_data_pages : int; [@lint.guarded_by "latch"]
+  mutable last_dir : int; [@lint.guarded_by "latch"]
+  mutable tail : int; (* data page appends go to; -1 = none *)
+      [@lint.guarded_by "latch"]
+  mutable tail_dir : int; (* dir page holding [tail]'s entry *)
+      [@lint.guarded_by "latch"]
+  mutable tail_idx : int; (* entry index of [tail] in [tail_dir] *)
+      [@lint.guarded_by "latch"]
+  mutable tail_free : int; (* cached free_bytes of [tail] *)
+      [@lint.guarded_by "latch"]
+}
+
+let pool t = t.pool
+let max_record t = t.page_size - data_header - slot_entry
+let dir_capacity t = (t.page_size - dir_header) / dir_entry
+let rid pid slot = (pid lsl 16) lor slot
+
+let check_page_size n =
+  if n > max_heap_page then
+    invalid_arg
+      (Printf.sprintf "Heap: page size %d exceeds %d (u16 offsets)" n
+         max_heap_page)
+
+let create pool =
+  let pager = Buffer_pool.pager pool in
+  check_page_size (Pager.page_size pager);
+  if Pager.page_count pager <> 0 then
+    invalid_arg "Heap.create: pager is not empty";
+  let meta_pid = Buffer_pool.allocate pool Page.Meta in
+  let first_dir = Buffer_pool.allocate pool Page.Heap_dir in
+  Buffer_pool.with_page_rw pool meta_pid (fun buf ->
+      Page.set_u32 buf 4 first_dir;
+      Page.set_u32 buf 8 0);
+  {
+    pool;
+    page_size = Pager.page_size pager;
+    latch = Mutex.create ();
+    n_records = 0;
+    n_data_pages = 0;
+    last_dir = first_dir;
+    tail = -1;
+    tail_dir = first_dir;
+    tail_idx = -1;
+    tail_free = 0;
+  }
+
+(* Snapshot one directory page: (next, [(data_page, n_slots, free)]). *)
+let read_dir pool pid =
+  Buffer_pool.with_page pool pid (fun buf ->
+      if not (Page.has_kind buf Page.Heap_dir) then
+        raise (Pager.Bad_file "Heap: expected a directory page");
+      let next = Page.get_u32 buf 4 in
+      let n = Page.get_u16 buf 8 in
+      let entries =
+        Array.init n (fun i ->
+            let off = dir_header + (i * dir_entry) in
+            ( Page.get_u32 buf off,
+              Page.get_u16 buf (off + 4),
+              Page.get_u16 buf (off + 6) ))
+      in
+      (next, entries))
+
+let open_existing pool =
+  let pager = Buffer_pool.pager pool in
+  check_page_size (Pager.page_size pager);
+  let first_dir =
+    Buffer_pool.with_page pool 0 (fun buf ->
+        if not (Page.has_kind buf Page.Meta) then
+          raise (Pager.Bad_file "Heap: bad meta page");
+        Page.get_u32 buf 4)
+  in
+  let t =
+    {
+      pool;
+      page_size = Pager.page_size pager;
+      latch = Mutex.create ();
+      n_records = 0;
+      n_data_pages = 0;
+      last_dir = first_dir;
+      tail = -1;
+      tail_dir = first_dir;
+      tail_idx = -1;
+      tail_free = 0;
+    }
+  in
+  let rec walk pid =
+    let next, entries = read_dir pool pid in
+    Array.iteri
+      (fun i (data_pid, n_slots, free) ->
+        t.n_records <- t.n_records + n_slots;
+        t.n_data_pages <- t.n_data_pages + 1;
+        t.tail <- data_pid;
+        t.tail_dir <- pid;
+        t.tail_idx <- i;
+        t.tail_free <- free)
+      entries;
+    t.last_dir <- pid;
+    if next <> 0 then walk next
+  in
+  Mutex.protect t.latch (fun () -> walk first_dir);
+  t
+
+let create_file ?(page_size = Page.default_size) ?(pool_frames = 64) path =
+  create (Buffer_pool.create ~frames:pool_frames (Pager.create ~page_size path))
+
+let open_file ?(pool_frames = 64) path =
+  open_existing
+    (Buffer_pool.create ~frames:pool_frames (Pager.open_existing path))
+
+(* Update the tail entry's (n_slots, free_bytes) in its dir page. *)
+let write_tail_entry t ~n_slots =
+  Buffer_pool.with_page_rw t.pool t.tail_dir (fun buf ->
+      let off = dir_header + (t.tail_idx * dir_entry) in
+      Page.set_u16 buf (off + 4) n_slots;
+      Page.set_u16 buf (off + 6) t.tail_free)
+
+(* Open a fresh data page and register it in the directory, growing
+   the directory chain when the tail dir page is full. Latch held. *)
+let grow t =
+  let data_pid = Buffer_pool.allocate t.pool Page.Heap_data in
+  Buffer_pool.with_page_rw t.pool data_pid (fun buf ->
+      Page.set_u16 buf 2 0;
+      Page.set_u16 buf 4 t.page_size);
+  let n_entries =
+    Buffer_pool.with_page t.pool t.last_dir (fun buf -> Page.get_u16 buf 8)
+  in
+  let dir, idx =
+    if n_entries < dir_capacity t then (t.last_dir, n_entries)
+    else begin
+      let fresh = Buffer_pool.allocate t.pool Page.Heap_dir in
+      Buffer_pool.with_page_rw t.pool t.last_dir (fun buf ->
+          Page.set_u32 buf 4 fresh);
+      t.last_dir <- fresh;
+      (fresh, 0)
+    end
+  in
+  t.tail <- data_pid;
+  t.tail_dir <- dir;
+  t.tail_idx <- idx;
+  t.tail_free <- t.page_size - data_header;
+  t.n_data_pages <- t.n_data_pages + 1;
+  Buffer_pool.with_page_rw t.pool dir (fun buf ->
+      Page.set_u16 buf 8 (idx + 1);
+      let off = dir_header + (idx * dir_entry) in
+      Page.set_u32 buf off data_pid;
+      Page.set_u16 buf (off + 4) 0;
+      Page.set_u16 buf (off + 6) t.tail_free)
+
+(* Buffer-pool page faults under the heap latch: appends are
+   serialized by design (single-writer heap). *)
+let append t record =
+  let len = String.length record in
+  if len > max_record t then
+    invalid_arg
+      (Printf.sprintf "Heap.append: record of %d bytes exceeds max %d" len
+         (max_record t));
+  Mutex.protect t.latch (fun () ->
+      let need = slot_entry + len in
+      if t.tail < 0 || t.tail_free < need then grow t;
+      let slot =
+        Buffer_pool.with_page_rw t.pool t.tail (fun buf ->
+            let n_slots = Page.get_u16 buf 2 in
+            let data_start = Page.get_u16 buf 4 in
+            let off = data_start - len in
+            Page.set_string buf ~off record;
+            let slot_off = data_header + (n_slots * slot_entry) in
+            Page.set_u16 buf slot_off off;
+            Page.set_u16 buf (slot_off + 2) len;
+            Page.set_u16 buf 2 (n_slots + 1);
+            Page.set_u16 buf 4 off;
+            n_slots)
+      in
+      t.tail_free <- t.tail_free - need;
+      write_tail_entry t ~n_slots:(slot + 1);
+      t.n_records <- t.n_records + 1;
+      rid t.tail slot)
+
+let get t r =
+  let pid = r lsr 16 and slot = r land 0xffff in
+  Buffer_pool.with_page t.pool pid (fun buf ->
+      if not (Page.has_kind buf Page.Heap_data) then
+        invalid_arg "Heap.get: rid does not name a data page";
+      let n_slots = Page.get_u16 buf 2 in
+      if slot >= n_slots then invalid_arg "Heap.get: slot out of range";
+      let slot_off = data_header + (slot * slot_entry) in
+      let off = Page.get_u16 buf slot_off in
+      let len = Page.get_u16 buf (slot_off + 2) in
+      Page.get_string buf ~off ~len)
+
+let iter t f =
+  let first_dir =
+    Buffer_pool.with_page t.pool 0 (fun buf -> Page.get_u32 buf 4)
+  in
+  let rec walk dir_pid =
+    let next, entries = read_dir t.pool dir_pid in
+    Array.iter
+      (fun (data_pid, n_slots, _free) ->
+        for slot = 0 to n_slots - 1 do
+          (* one pin per record, deliberately: see .mli *)
+          let r = rid data_pid slot in
+          f r (get t r)
+        done)
+      entries;
+    if next <> 0 then walk next
+  in
+  walk first_dir
+
+let record_count t = Mutex.protect t.latch (fun () -> t.n_records)
+let data_pages t = Mutex.protect t.latch (fun () -> t.n_data_pages)
+
+let set_meta t blob =
+  if String.length blob > t.page_size - dir_header then
+    invalid_arg "Heap.set_meta: blob does not fit the meta page";
+  Buffer_pool.with_page_rw t.pool 0 (fun buf ->
+      Page.set_u32 buf 8 (String.length blob);
+      Page.set_string buf ~off:12 blob)
+
+let meta t =
+  Buffer_pool.with_page t.pool 0 (fun buf ->
+      let len = Page.get_u32 buf 8 in
+      Page.get_string buf ~off:12 ~len)
+
+let sync t = Buffer_pool.flush t.pool
+let close t = Buffer_pool.close t.pool

@@ -1,0 +1,72 @@
+(** Append-only heap file of variable-length records over a
+    {!Buffer_pool}.
+
+    Layout (see doc/STORAGE.md):
+    - page 0 — [Meta]: first directory page id + an application meta
+      blob (the relation store keeps the name/schema there);
+    - directory pages — [Heap_dir]: a chained array of
+      [(data page, n_slots, free_bytes)] entries, giving free-space
+      tracking and a scan order without touching data pages;
+    - data pages — [Heap_data]: classic slotted pages, slot array
+      growing from the header, record bytes packed from the end.
+
+    Record ids ([rid]) encode [page_id lsl 16 lor slot] and are stable
+    forever (append-only, no compaction, no delete, no WAL).
+
+    Appends are serialized by an internal latch; reads ({!get},
+    {!iter}) are latch-free and may run concurrently with each other
+    once loading is done. Appending concurrently with reads is not
+    supported. *)
+
+type t
+
+val create : Buffer_pool.t -> t
+(** Format the (empty) pager behind [pool] as a heap file. The heap
+    takes ownership of the pool: {!close} closes it. Raises
+    [Invalid_argument] if the pager already has pages or the page size
+    exceeds 32 KiB. *)
+
+val open_existing : Buffer_pool.t -> t
+(** Open a heap previously written by {!create}; rebuilds the append
+    state (record count, tail page) from the directory chain. Raises
+    {!Pager.Bad_file} on a non-heap file. *)
+
+val create_file : ?page_size:int -> ?pool_frames:int -> string -> t
+(** [create] over a fresh {!Pager}/{!Buffer_pool} on [path]. *)
+
+val open_file : ?pool_frames:int -> string -> t
+(** [open_existing] over [path]. *)
+
+val pool : t -> Buffer_pool.t
+
+val max_record : t -> int
+(** Largest record length that fits one data page. *)
+
+val append : t -> string -> int
+(** Append a record, returning its rid. Raises [Invalid_argument] when
+    the record exceeds {!max_record}. *)
+
+val get : t -> int -> string
+(** Fetch a record by rid; raises [Invalid_argument] on an unknown
+    rid. *)
+
+val iter : t -> (int -> string -> unit) -> unit
+(** [iter t f] calls [f rid record] for every record in append order.
+    Pins the containing page once per record (not once per page), so
+    a full scan against a warm pool reports [n_slots - 1] hits per
+    page — the hit-rate contract the storage bench measures. *)
+
+val record_count : t -> int
+val data_pages : t -> int
+
+val set_meta : t -> string -> unit
+(** Store an application blob in the meta page (raises
+    [Invalid_argument] if it does not fit one page). *)
+
+val meta : t -> string
+
+val sync : t -> unit
+(** Flush the pool (writes back every dirty page, fsyncs). *)
+
+val close : t -> unit
+(** {!sync} then close the pool and pager. *)

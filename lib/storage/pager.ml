@@ -1,0 +1,107 @@
+(* File of fixed-size pages behind a 4 KiB header. All I/O is
+   lseek + full-length read/write loops; synchronization is the
+   caller's job (the buffer pool holds the only latch). *)
+
+let magic = "JQIPGv1\n"
+let header_len = 4096
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  page_size : int;
+  mutable n_pages : int;
+  mutable closed : bool;
+}
+
+exception Bad_file of string
+
+let page_size t = t.page_size
+let path t = t.path
+let page_count t = t.n_pages
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then
+      let n = Unix.read fd buf off len in
+      if n = 0 then (* short file: unwritten tail reads as zeroes *)
+        Bytes.fill buf off len '\000'
+      else go (off + n) (len - n)
+  in
+  go off len
+
+let really_write fd buf off len =
+  let rec go off len =
+    if len > 0 then
+      let n = Unix.write fd buf off len in
+      go (off + n) (len - n)
+  in
+  go off len
+
+let write_header t =
+  let buf = Bytes.make header_len '\000' in
+  Bytes.blit_string magic 0 buf 0 (String.length magic);
+  Page.set_u32 buf 8 t.page_size;
+  Page.set_u32 buf 12 t.n_pages;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  really_write t.fd buf 0 header_len
+
+let create ?(page_size = Page.default_size) path =
+  let page_size = Page.check_size page_size in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let t = { fd; path; page_size; n_pages = 0; closed = false } in
+  write_header t;
+  t
+
+let open_existing path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let buf = Bytes.make header_len '\000' in
+  let n = Unix.read fd buf 0 header_len in
+  if n < 16 || Bytes.sub_string buf 0 (String.length magic) <> magic then begin
+    Unix.close fd;
+    raise (Bad_file (path ^ ": not a jqi page file"))
+  end;
+  let page_size = Page.get_u32 buf 8 in
+  (match Page.check_size page_size with
+  | _ -> ()
+  | exception Invalid_argument _ ->
+      Unix.close fd;
+      raise (Bad_file (path ^ ": corrupt page size in header")));
+  let n_pages = Page.get_u32 buf 12 in
+  { fd; path; page_size; n_pages; closed = false }
+
+let check_open t = if t.closed then invalid_arg "Pager: file is closed"
+
+let check_pid t pid buf =
+  check_open t;
+  if pid < 0 || pid >= t.n_pages then
+    invalid_arg (Printf.sprintf "Pager: page %d out of range 0..%d" pid (t.n_pages - 1));
+  if Bytes.length buf <> t.page_size then
+    invalid_arg "Pager: buffer length <> page size"
+
+let allocate t =
+  check_open t;
+  let pid = t.n_pages in
+  t.n_pages <- pid + 1;
+  pid
+
+let read t pid buf =
+  check_pid t pid buf;
+  ignore (Unix.lseek t.fd (header_len + (pid * t.page_size)) Unix.SEEK_SET);
+  really_read t.fd buf 0 t.page_size
+
+let write t pid buf =
+  check_pid t pid buf;
+  ignore (Unix.lseek t.fd (header_len + (pid * t.page_size)) Unix.SEEK_SET);
+  really_write t.fd buf 0 t.page_size
+
+let sync t =
+  check_open t;
+  write_header t;
+  Unix.fsync t.fd
+
+let close t =
+  if not t.closed then begin
+    write_header t;
+    t.closed <- true;
+    Unix.close t.fd
+  end

@@ -1,0 +1,48 @@
+(** A file of fixed-size pages.
+
+    The file starts with a 4 KiB header (magic + page size) so
+    {!open_existing} can recover the page size; logical page ids are
+    dense from 0 and map to [header + pid * page_size].
+
+    A pager is single-owner and NOT internally synchronized: callers
+    go through a {!Buffer_pool}, whose latch serializes all I/O on the
+    underlying descriptor. *)
+
+type t
+
+exception Bad_file of string
+(** Raised by {!open_existing} on a missing/foreign/truncated header. *)
+
+val create : ?page_size:int -> string -> t
+(** [create path] creates (or truncates) [path] with a fresh header.
+    Raises [Invalid_argument] on a bad [page_size] (see
+    {!Page.check_size}). *)
+
+val open_existing : string -> t
+(** Open an existing page file, reading the page size from the
+    header. *)
+
+val page_size : t -> int
+val path : t -> string
+
+val page_count : t -> int
+(** Number of allocated pages (high-water mark, not file length). *)
+
+val allocate : t -> int
+(** Reserve the next page id. The page is materialized on first
+    {!write}. *)
+
+val read : t -> int -> bytes -> unit
+(** [read t pid buf] fills [buf] (exactly [page_size] bytes) with page
+    [pid]. Pages allocated but never written read back as zeroes.
+    Raises [Invalid_argument] on an out-of-range pid or wrong-sized
+    buffer. *)
+
+val write : t -> int -> bytes -> unit
+(** [write t pid buf] persists [buf] as page [pid]. *)
+
+val sync : t -> unit
+(** fsync the file. *)
+
+val close : t -> unit
+(** Close the descriptor; idempotent. Does not sync. *)
