@@ -864,6 +864,179 @@ let run_storage ~full ~seed =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Data churn: incremental universe maintenance vs rebuild.            *)
+(* ------------------------------------------------------------------ *)
+
+(* The delta pipeline's headline number: updates/s through
+   [Universe.apply_delta] vs re-running [Universe.build] after every
+   batch, on a duplicate-heavy synthetic pair (small value domain, so
+   deltas mostly shuffle class multiplicities — the incremental sweet
+   spot).  The same pre-generated edit script drives both sides at each
+   batch size, half deletions of live rows and half fresh insertions,
+   and the final universes must be byte-identical — the differential
+   guarantee test/test_churn.ml pins per batch, asserted here end to
+   end and by CI on the emitted BENCH_CHURN.json.  The crossover is the
+   smallest batch size at which a full rebuild amortizes better than
+   patching (null when patching wins everywhere measured). *)
+let run_churn ~full ~seed =
+  let module Json = Jqi_util.Json in
+  let module Relation = Jqi_relational.Relation in
+  let module Tuple = Jqi_relational.Tuple in
+  let module Delta = Jqi_relational.Delta in
+  section_header
+    "Data churn — incremental universe maintenance vs rebuild-from-scratch";
+  let rows = if full then 4_000 else 1_000 in
+  let values = 8 in
+  let total_updates = if full then 512 else 128 in
+  let cfg = Synth.config 3 3 rows values in
+  let r0, p = Synth.generate (Prng.create seed) cfg in
+  let arity = Jqi_relational.Schema.arity (Relation.schema r0) in
+  (* One edit script per batch size, deterministic in the seed: each
+     batch removes ⌊b/2⌋ live R-rows (tracked through the script, so a
+     row is never claimed twice) and inserts ⌈b/2⌉ fresh rows from the
+     generator's distribution. *)
+  let gen_script ~batch =
+    let prng = Prng.create (seed + batch) in
+    let n_batches = max 1 (total_updates / batch) in
+    (* Live R-rows as a swap-remove array with an explicit count, so
+       picking and deleting a random live row is O(1). *)
+    let base = Relation.rows r0 in
+    let live = Array.make (Array.length base + (batch * n_batches)) base.(0) in
+    Array.blit base 0 live 0 (Array.length base);
+    let n_live = ref (Array.length base) in
+    List.init n_batches (fun _ ->
+        let n_rm = batch / 2 and n_add = batch - (batch / 2) in
+        let removes =
+          List.init n_rm (fun _ ->
+              let i = Prng.int prng !n_live in
+              let row = live.(i) in
+              live.(i) <- live.(!n_live - 1);
+              decr n_live;
+              row)
+        in
+        let adds =
+          List.init n_add (fun _ ->
+              let row =
+                Tuple.ints (List.init arity (fun _ -> Prng.int prng values))
+              in
+              live.(!n_live) <- row;
+              incr n_live;
+              row)
+        in
+        Delta.of_lists ~adds ~removes)
+  in
+  let universes_equal u1 u2 =
+    Int.equal (Universe.n_classes u1) (Universe.n_classes u2)
+    && Float.equal (Universe.join_ratio u1) (Universe.join_ratio u2)
+    &&
+    let rec go i =
+      i >= Universe.n_classes u1
+      || Bits.equal (Universe.signature u1 i) (Universe.signature u2 i)
+         && Int.equal (Universe.count u1 i) (Universe.count u2 i)
+         && int_array_equal (Universe.cls u1 i).Universe.rep
+              (Universe.cls u2 i).Universe.rep
+         && go (i + 1)
+    in
+    go 0
+  in
+  let u0 = Universe.build r0 p in
+  Printf.printf
+    "  instance: R×P %d×%d rows, %d values/attr, %d classes; %d row \
+     updates per batch size\n"
+    (Relation.cardinality r0) (Relation.cardinality p) values
+    (Universe.n_classes u0) total_updates;
+  let batches = [ 1; 4; 16; 64; 256 ] in
+  let measurements =
+    List.map
+      (fun batch ->
+        let script = gen_script ~batch in
+        let n_batches = max 1 (total_updates / batch) in
+        let updates = batch * n_batches in
+        (* Incremental chain: patch the live universe per batch. *)
+        let u_inc = ref (Universe.build r0 p) in
+        let (), inc_s =
+          Jqi_util.Timer.time (fun () ->
+              List.iter
+                (fun d -> u_inc := Universe.apply_delta !u_inc [ (0, d) ])
+                script)
+        in
+        (* Rebuild chain: fold the delta into the relation, then build
+           the universe from scratch — the pre-pipeline behaviour. *)
+        let r_cur = ref r0 in
+        let u_rb = ref u0 in
+        let (), rb_s =
+          Jqi_util.Timer.time (fun () ->
+              List.iter
+                (fun d ->
+                  r_cur := Relation.apply_delta !r_cur d;
+                  u_rb := Universe.build !r_cur p)
+                script)
+        in
+        let identical = universes_equal !u_inc !u_rb in
+        let inc_ups = float updates /. inc_s in
+        let rb_ups = float updates /. rb_s in
+        Printf.printf
+          "  batch %3d: incremental %9.0f updates/s, rebuild %9.0f \
+           updates/s, speedup %6.1fx, final universes %s\n"
+          batch inc_ups rb_ups (inc_ups /. rb_ups)
+          (if identical then "identical" else "DIVERGED");
+        (batch, updates, inc_s, rb_s, inc_ups, rb_ups, identical))
+      batches
+  in
+  let all_identical =
+    List.for_all (fun (_, _, _, _, _, _, ok) -> ok) measurements
+  in
+  let speedup_at_1 =
+    match measurements with
+    | (1, _, _, _, inc, rb, _) :: _ -> inc /. rb
+    | _ -> 0.
+  in
+  let crossover =
+    List.find_map
+      (fun (batch, _, _, _, inc, rb, _) -> if rb >= inc then Some batch else None)
+      measurements
+  in
+  Printf.printf
+    "  speedup at batch 1: %.1fx (floor: 5x); crossover batch: %s\n"
+    speedup_at_1
+    (match crossover with Some b -> string_of_int b | None -> "none measured");
+  let path = "BENCH_CHURN.json" in
+  Json.save_file path
+    (Json.Obj
+       [
+         ("seed", Json.int seed);
+         ( "instance",
+           Json.Str
+             "synthetic (3,3) pair, duplicate-heavy value domain, churn on R \
+              only" );
+         ("rows", Json.int rows);
+         ("values", Json.int values);
+         ("classes", Json.int (Universe.n_classes u0));
+         ("updates_per_size", Json.int total_updates);
+         ( "batches",
+           Json.List
+             (List.map
+                (fun (batch, updates, inc_s, rb_s, inc_ups, rb_ups, ok) ->
+                  Json.Obj
+                    [
+                      ("batch", Json.int batch);
+                      ("updates", Json.int updates);
+                      ("incremental_s", Json.Num inc_s);
+                      ("rebuild_s", Json.Num rb_s);
+                      ("incremental_updates_per_s", Json.Num inc_ups);
+                      ("rebuild_updates_per_s", Json.Num rb_ups);
+                      ("speedup", Json.Num (inc_ups /. rb_ups));
+                      ("identical", Json.Bool ok);
+                    ])
+                measurements) );
+         ("identical", Json.Bool all_identical);
+         ("speedup_at_batch_1", Json.Num speedup_at_1);
+         ( "crossover_batch",
+           match crossover with Some b -> Json.int b | None -> Json.Null );
+       ]);
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Observability overhead: instrumentation on vs off (ISSUE 2).        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1460,7 +1633,7 @@ let run_micro ~seed =
 
 let all_sections =
   [ "fig6"; "fig7"; "table1"; "semijoin"; "scaling"; "ablation"; "universe";
-    "kary"; "storage"; "obs"; "server"; "server-load"; "micro" ]
+    "kary"; "storage"; "churn"; "obs"; "server"; "server-load"; "micro" ]
 
 let run sections full seed universe_spec =
   let sections = if sections = [] then all_sections else sections in
@@ -1509,6 +1682,7 @@ let run sections full seed universe_spec =
   if want "universe" then run_universe ~full ~seed;
   if want "kary" then run_kary ~full ~seed;
   if want "storage" then run_storage ~full ~seed;
+  if want "churn" then run_churn ~full ~seed;
   if want "obs" then run_obs ~full ~seed;
   if want "server" then run_server ~full ~seed;
   if want "server-load" then run_server_load ~full ~seed;

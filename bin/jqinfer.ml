@@ -737,7 +737,8 @@ let cmd_serve table_specs seed idle_timeout listen workers queue shards
    honestly against --goal, evaluated locally.  Exits non-zero on any
    protocol failure, so CI can assert on both the exit code and the
    final "predicate:" line. *)
-let cmd_client server_command r_path p_path goal_spec strategy resume_after =
+let cmd_client server_command r_path p_path goal_spec strategy resume_after
+    churn_after =
   let module P = Jqi_server.Protocol in
   let ic, oc = Unix.open_process server_command in
   let next_id = ref 0 in
@@ -813,6 +814,40 @@ let cmd_client server_command r_path p_path goal_spec strategy resume_after =
         | resp -> unexpected "resume" resp)
     | resp -> unexpected "save" resp
   in
+  (* After --churn-after answers: duplicate R's first row over the wire,
+     then delete the duplicate again — a net no-op churn round-trip whose
+     point is the server-side machinery: both deltas must patch the
+     cached universe and re-certify this very session (a stale flag is a
+     protocol failure, since no label is contradicted). *)
+  let churn () =
+    let first_row_cells =
+      List.map Jqi_relational.Value.to_string
+        (Jqi_relational.Tuple.to_list (Relation.rows r).(0))
+    in
+    let send what insert delete =
+      match call (P.Delta { relation = r_name; insert; delete }) with
+      | P.Delta_applied
+          { d_added; d_removed; d_cache_patched; d_recertified; d_stale; _ }
+        ->
+          Printf.printf
+            "churn %s: +%d/-%d rows, %d cache entries patched, %d sessions \
+             re-certified\n"
+            what d_added d_removed d_cache_patched
+            (List.length d_recertified);
+          if not (List.mem !session d_recertified) then begin
+            Printf.eprintf "churn %s: session %s was not re-certified\n" what
+              !session;
+            exit 1
+          end;
+          if not (List.is_empty d_stale) then begin
+            Printf.eprintf "churn %s: unexpected stale sessions\n" what;
+            exit 1
+          end
+      | resp -> unexpected ("churn " ^ what) resp
+    in
+    send "insert" [ first_row_cells ] [];
+    send "delete" [] [ first_row_cells ]
+  in
   let rec drive turn =
     match turn with
     | P.Question { q_r_row; q_p_row; q_r_cells; q_p_cells; _ } ->
@@ -823,6 +858,7 @@ let cmd_client server_command r_path p_path goal_spec strategy resume_after =
           (String.concat ", " q_p_cells)
           (match label with Sample.Positive -> "+" | Sample.Negative -> "-");
         let next = call (P.Tell { session = !session; label }) in
+        if Int.equal !answered churn_after then churn ();
         if Int.equal !answered resume_after then begin
           freeze_thaw ();
           drive (call (P.Ask { session = !session }))
@@ -1135,12 +1171,20 @@ let resume_after_arg =
         ~doc:"After N answers, save the session, close it and thaw it again \
               (exercises persistence and the universe cache); 0 disables.")
 
+let churn_after_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "churn-after" ] ~docv:"N"
+        ~doc:"After N answers, insert a duplicate of R's first row over the \
+              wire and delete it again (exercises delta frames and session \
+              re-certification); 0 disables.")
+
 let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:"Drive a served inference session to completion with a known goal")
     Term.(const cmd_client $ server_command_arg $ r_arg $ p_arg $ goal_arg
-          $ strategy_arg $ resume_after_arg)
+          $ strategy_arg $ resume_after_arg $ churn_after_arg)
 
 let main =
   Cmd.group

@@ -107,6 +107,69 @@ let answer t label =
       State.label state cls label;
       select { t with state; asked = t.asked + 1; pending = None }
 
+type stale_reason =
+  | Label_retired of {
+      step : int;
+      signature : Bits.t;
+      label : Sample.label;
+    }
+  | Label_contradicts of {
+      step : int;
+      signature : Bits.t;
+      label : Sample.label;
+    }
+  | Question_retired of { signature : Bits.t }
+
+type recertification = Recertified of t | Stale of stale_reason
+
+exception Stale_at of stale_reason
+
+(* Replay the engine's history *by signature* into a fresh state over the
+   new universe.  Signatures are the whole semantics — informativeness,
+   certainty and selection depend only on T(t) — so a replay that finds
+   every labeled signature still present reconstructs an equivalent
+   sample.  [State.label] tolerates same-sign certainty, and a history
+   that was consistent stays consistent under any universe carrying the
+   same signatures, so [Label_contradicts] is defensive; the live stale
+   mode is a *retired* signature (its class died under churn). *)
+let recertify t new_universe =
+  Obs.span "engine.recertify" (fun () ->
+      let old_u = t.universe in
+      let replay () =
+        let state = State.create new_universe in
+        List.iteri
+          (fun i (cls, lbl) ->
+            let signature = Universe.signature old_u cls in
+            match Universe.find_class new_universe signature with
+            | None ->
+                raise
+                  (Stale_at
+                     (Label_retired { step = i + 1; signature; label = lbl }))
+            | Some c -> (
+                try State.label state c lbl
+                with State.Inconsistent _ ->
+                  raise
+                    (Stale_at
+                       (Label_contradicts
+                          { step = i + 1; signature; label = lbl }))))
+          (State.history t.state);
+        let pending =
+          match t.pending with
+          | None -> None
+          | Some cls -> (
+              let signature = Universe.signature old_u cls in
+              match Universe.find_class new_universe signature with
+              | Some c -> Some c
+              | None -> raise (Stale_at (Question_retired { signature })))
+        in
+        let max_interactions =
+          Option.map (fun b -> max 0 (b - t.asked)) t.max_interactions
+        in
+        Recertified
+          (create ?max_interactions ~state ?pending new_universe t.strategy)
+      in
+      try replay () with Stale_at r -> Stale r)
+
 let finished (t : t) = t.pending = None
 let halted (t : t) = t.halted && t.pending = None
 let n_asked t = t.asked

@@ -63,6 +63,48 @@ val pending : t -> question option
     contradicts a certain label (Algorithm 1 lines 6-7). *)
 val answer : t -> Sample.label -> t
 
+(** {2 Re-certification after churn}
+
+    When the universe changes under a live session ({!Universe.apply_delta}),
+    the session's labels refer to classes of the {e old} universe.  Because
+    every semantic notion — informativeness, certainty, selection — depends
+    only on signatures, a session stays meaningful exactly when each
+    labeled signature still names a class of the new universe. *)
+
+(** Why a session could not be carried over. *)
+type stale_reason =
+  | Label_retired of {
+      step : int;  (** 1-based position in the history *)
+      signature : Jqi_util.Bits.t;
+      label : Sample.label;
+    }
+      (** A labeled signature no longer has tuples in D — the class was
+          retired by churn, so the user's example refers to nothing. *)
+  | Label_contradicts of {
+      step : int;
+      signature : Jqi_util.Bits.t;
+      label : Sample.label;
+    }
+      (** Replaying the label hit an opposite certain label.  Defensive:
+          consistency of a sample depends only on its signature multiset,
+          so a signature-preserving replay cannot newly contradict. *)
+  | Question_retired of { signature : Jqi_util.Bits.t }
+      (** The in-flight question's class is gone; its answer would label
+          a tuple that no longer exists. *)
+
+type recertification = Recertified of t | Stale of stale_reason
+
+(** [recertify t u'] carries a session over to the post-delta universe
+    [u']: the history is replayed {e by signature} into a fresh state
+    over [u'], the pending question is re-anchored to the class now
+    carrying its signature, and the remaining budget is preserved.
+    Still-consistent sessions continue — a pending question whose answer
+    became certain under [u'] is simply re-selected — while sessions
+    referring to retired signatures come back [Stale] with a typed
+    reason.  [t] itself is unchanged and remains valid against its own
+    universe. *)
+val recertify : t -> Universe.t -> recertification
+
 (** No question pending: either Γ was reached or the budget ran out. *)
 val finished : t -> bool
 

@@ -24,6 +24,12 @@ module Relation = Jqi_relational.Relation
 
 exception Corrupt of string
 
+exception
+  Stale_label of {
+    signature : Jqi_util.Bits.t;
+    label : Sample.label option;
+  }
+
 let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
 let version = 3
@@ -32,6 +38,7 @@ type loaded = {
   state : State.t;
   strategy : string option;
   pending : int array option;
+  pending_sig : Jqi_util.Bits.t option;
 }
 
 let label_to_string = function
@@ -48,6 +55,17 @@ let relations_of universe =
   | Some rels -> rels
   | None -> fail "session requires a universe built from relations"
 
+let signature_of universe rels rows =
+  Tsig.of_ktuples (Universe.omega universe)
+    (Array.mapi (fun d i -> Relation.row rels.(d) i) rows)
+
+(* The additive "sig" field (since the churn pipeline): a signature as
+   its sorted set-bit positions.  Unlike row indexes, signatures survive
+   churn-induced row renumbering, so a loader that prefers them can thaw
+   a session saved against a pre-delta instance — or detect, with a
+   typed error, that a labeled class no longer exists. *)
+let sig_field s = ("sig", Json.List (List.map Json.int (Jqi_util.Bits.elements s)))
+
 let to_json ?strategy ?pending universe state =
   let rels = relations_of universe in
   let binary = Int.equal (Array.length rels) 2 in
@@ -58,7 +76,10 @@ let to_json ?strategy ?pending universe state =
   let example (cls, label) =
     Json.Obj
       (rows_fields (Universe.cls universe cls).Universe.rep
-      @ [ ("label", Json.Str (label_to_string label)) ])
+      @ [
+          sig_field (Universe.signature universe cls);
+          ("label", Json.Str (label_to_string label));
+        ])
   in
   Json.Obj
     (List.concat
@@ -68,7 +89,12 @@ let to_json ?strategy ?pending universe state =
          | Some s -> [ ("strategy", Json.Str s) ]
          | None -> []);
          (match pending with
-         | Some rep -> [ ("pending", Json.Obj (rows_fields rep)) ]
+         | Some rep ->
+             let fields =
+               rows_fields rep
+               @ [ sig_field (signature_of universe rels rep) ]
+             in
+             [ ("pending", Json.Obj fields) ]
          | None -> []);
          [ ("examples", Json.List (List.map example (State.history state))) ];
        ])
@@ -107,9 +133,24 @@ let row_vector ~what ~v rels json =
     [| check_row rels 0 (field "r"); check_row rels 1 (field "p") |]
   end
 
-let signature_of universe rels rows =
-  Tsig.of_ktuples (Universe.omega universe)
-    (Array.mapi (fun d i -> Relation.row rels.(d) i) rows)
+(* The "sig" member of an example/pending object, when present:
+   a list of set-bit positions in [0, |Ω|). *)
+let sig_of_member ~what universe json =
+  match Json.member "sig" json with
+  | None | Some Json.Null -> None
+  | Some (Json.List l) ->
+      let width = Omega.width (Universe.omega universe) in
+      Some
+        (Jqi_util.Bits.of_list width
+           (List.map
+              (fun j ->
+                match Json.to_int j with
+                | Some b when b >= 0 && b < width -> b
+                | Some b -> fail "%s sig bit %d out of range" what b
+                | None -> fail "%s sig has a non-integer bit" what)
+              l))
+  | Some (Json.Bool _ | Json.Num _ | Json.Str _ | Json.Obj _) ->
+      fail "%s sig must be a list of bit positions" what
 
 let of_json_full universe json =
   let v =
@@ -139,10 +180,20 @@ let of_json_full universe json =
         | None ->
             fail "example missing label"
       in
-      let rows = row_vector ~what:"example" ~v rels ex in
-      let signature = signature_of universe rels rows in
+      (* Prefer the signature when persisted: it survives churn-induced
+         row renumbering, and its absence from the universe is a typed
+         staleness (the labeled class was retired), not corruption. *)
+      let signature, from_sig, describe =
+        match sig_of_member ~what:"example" universe ex with
+        | Some s -> (s, true, fun () -> Jqi_util.Bits.to_string s)
+        | None ->
+            let rows = row_vector ~what:"example" ~v rels ex in
+            (signature_of universe rels rows, false, fun () -> pp_rows rows)
+      in
       match Universe.find_class universe signature with
-      | None -> fail "tuple (%s) has no class in this universe" (pp_rows rows)
+      | None ->
+          if from_sig then raise (Stale_label { signature; label = Some label })
+          else fail "tuple (%s) has no class in this universe" (describe ())
       | Some cls -> (
           match State.certain_label state cls with
           | Some certain when certain = label ->
@@ -151,7 +202,7 @@ let of_json_full universe json =
           | _ -> (
               try State.label state cls label
               with State.Inconsistent _ ->
-                fail "example (%s) contradicts earlier labels" (pp_rows rows))))
+                fail "example (%s) contradicts earlier labels" (describe ()))))
     examples;
   let strategy =
     if v < 2 then None
@@ -162,16 +213,26 @@ let of_json_full universe json =
       | Some (Json.Bool _ | Json.Num _ | Json.List _ | Json.Obj _) ->
           fail "strategy must be a string"
   in
-  let pending =
-    if v < 2 then None
+  let pending, pending_sig =
+    if v < 2 then (None, None)
     else
       match Json.member "pending" json with
-      | Some (Json.Obj _ as obj) -> Some (row_vector ~what:"pending" ~v rels obj)
-      | None | Some Json.Null -> None
+      | Some (Json.Obj _ as obj) -> (
+          match sig_of_member ~what:"pending" universe obj with
+          | Some s ->
+              (* With a signature to anchor on, stale row indexes (the
+                 rows may have been renumbered away) are tolerable. *)
+              let rows =
+                try Some (row_vector ~what:"pending" ~v rels obj)
+                with Corrupt _ -> None
+              in
+              (rows, Some s)
+          | None -> (Some (row_vector ~what:"pending" ~v rels obj), None))
+      | None | Some Json.Null -> (None, None)
       | Some (Json.Bool _ | Json.Num _ | Json.Str _ | Json.List _) ->
-          fail "pending must be an object"
+          (fail "pending must be an object", None)
   in
-  { state; strategy; pending }
+  { state; strategy; pending; pending_sig }
 
 let of_json universe json = (of_json_full universe json).state
 
@@ -193,9 +254,13 @@ let parse_file path =
 let load path universe = of_json universe (parse_file path)
 let load_full path universe = of_json_full universe (parse_file path)
 
-(* The class of a persisted pending row vector in [universe], when it
-   still names a question worth re-asking. *)
-let pending_class universe state = function
+(* The class of a persisted pending question in [universe], when it
+   still names a question worth re-asking.  A persisted signature is
+   authoritative: it survives row renumbering, and a signature with no
+   class is the typed staleness of a question whose tuples were all
+   deleted — unlike dangling rows, which are silently dropped (legacy
+   documents cannot distinguish churn from corruption). *)
+let pending_class_rows universe state = function
   | None -> None
   | Some rows -> (
       match Universe.relation_array universe with
@@ -214,3 +279,12 @@ let pending_class universe state = function
             with
             | Some cls when State.informative state cls -> Some cls
             | Some _ | None -> None))
+
+let pending_class ?signature universe state rows =
+  match signature with
+  | Some s -> (
+      match Universe.find_class universe s with
+      | Some cls when State.informative state cls -> Some cls
+      | Some _ -> None
+      | None -> raise (Stale_label { signature = s; label = None }))
+  | None -> pending_class_rows universe state rows

@@ -11,6 +11,17 @@
 
 exception Corrupt of string
 
+(** A structurally valid document referring to a signature the universe no
+    longer carries — the typed outcome of loading a session across a data
+    delta that retired a labeled class or the pending question's class
+    ([label] is [None] for the pending question).  Distinct from
+    {!Corrupt}: the file is fine, the data moved. *)
+exception
+  Stale_label of {
+    signature : Jqi_util.Bits.t;
+    label : Sample.label option;
+  }
+
 (** The newest version this build writes (3 — k-ary sessions only; binary
     sessions write 2).  Versions 1..[version] load. *)
 val version : int
@@ -20,7 +31,13 @@ val version : int
 type loaded = {
   state : State.t;
   strategy : string option;  (** strategy name, e.g. ["TD"] *)
-  pending : int array option;  (** in-flight question as a row vector *)
+  pending : int array option;
+      (** in-flight question as a row vector; [None] when absent — or when
+          the document carries a signature and the rows dangle (churn) *)
+  pending_sig : Jqi_util.Bits.t option;
+      (** the in-flight question's signature, when the document carries
+          the additive ["sig"] field (written since the churn pipeline);
+          authoritative over [pending] for resuming *)
 }
 
 (** Requires a universe built from relations; raises [Corrupt] otherwise.
@@ -43,7 +60,13 @@ val save :
 val load : string -> Universe.t -> State.t
 val load_full : string -> Universe.t -> loaded
 
-(** Map a thawed [pending] row vector back to its class, provided the
-    class is still informative under [state] — the guard a resuming
-    engine uses before re-presenting the frozen question. *)
-val pending_class : Universe.t -> State.t -> int array option -> int option
+(** Map a thawed [pending] question back to its class, provided the class
+    is still informative under [state] — the guard a resuming engine uses
+    before re-presenting the frozen question.  When [signature] (the
+    document's [pending_sig]) is given it is authoritative: the row
+    vector is ignored, and a signature naming no class raises
+    {!Stale_label} with [label = None] — the question's tuples were
+    deleted.  Without it, dangling rows degrade to [None] as before. *)
+val pending_class :
+  ?signature:Jqi_util.Bits.t -> Universe.t -> State.t -> int array option ->
+  int option

@@ -20,11 +20,21 @@ module Vec = Jqi_util.Vec
 
 type cls = { signature : Bits.t; count : int; rep : int array }
 
+(* Carried forward along a chain of [apply_delta] calls so each batch
+   pays only for the changed rows: the shared dictionary (append-only —
+   codes are never recycled, mirroring [Dict]'s contract) and one code
+   vector per row per relation.  Lazily built on the first delta; rows
+   of unchanged relations share their arrays across universes. *)
+type delta_cache = { dict : Dict.t; codes : int array array array }
+
 type t = {
   omega : Omega.t;
   classes : cls array;
   total : int;  (* |D|; the sum of class multiplicities *)
   relations : Relation.t array option;
+  (* Memoized on first use; single-writer like the relations it encodes
+     (the server mutates universes only under its catalog shard lock). *)
+  mutable cache : delta_cache option;
 }
 
 exception Kary_too_large of { work : int; limit : int }
@@ -70,7 +80,7 @@ let of_ksignature_list ?relations omega sigs =
     |> Array.of_list
   in
   let total = Array.fold_left (fun s c -> s + c.count) 0 classes in
-  { omega; classes; total; relations }
+  { omega; classes; total; relations; cache = None }
 
 let of_signature_list ?relations omega sigs =
   of_ksignature_list
@@ -536,6 +546,241 @@ let build_sampled_kary prng ~tuples rels =
   done;
   of_ksignature_list ~relations:rels omega
     (H.fold (fun s (c, r) l -> (s, c, r) :: l) acc [])
+
+(* ---------------- incremental maintenance under churn -------------- *)
+
+(* [apply_delta] maintains Ω instead of rebuilding it.  The key fact is
+   that a tuple combination's signature depends only on its cell values
+   (never on row positions or dictionary code values), so churn on one
+   relation only does count arithmetic on the class table:
+
+     U_new  =  U_old  −  (removed rows × partners)  +  (added rows × partners)
+
+   Each contribution is computed through the same profile quotient the
+   builders use — removed/added rows group into profiles, partners group
+   into profiles, and one signature per distinct-profile combination
+   carries the product of multiplicities.  A batch of b changed rows
+   against partners with d distinct profiles costs O(rows) integer
+   re-grouping plus O(b_profiles · d) signatures, against the builder's
+   O(d_R · d_P) — the updates/s gap `bench churn` measures.
+
+   Representatives stay lexicographically smallest:
+   - survivors renumber monotonically (new = old − #removed below), so a
+     surviving rep is still the minimum over the surviving members;
+   - added combinations min-merge their candidate vectors in, and a
+     signature unseen before can only arise from added rows, so minted
+     classes take the add-side minimum;
+   - a class whose rep row was deleted is "damaged": a targeted repair
+     pass re-scans all profile combinations but merges reps only for
+     damaged signatures — one signature phase, no re-encoding, and only
+     when a deletion actually hit a representative.
+
+   Classes whose multiplicity reaches zero retire; any signature going
+   negative, or a remove that matches no row, raises [Invalid_argument].
+   The result is byte-identical to a from-scratch [build]/[build_kary]
+   on the post-delta relations (test/test_churn.ml pins this
+   differentially on random edit scripts, Mem and Paged). *)
+
+module Delta = Jqi_relational.Delta
+
+(* Mutable per-class adjustment; [a_rep = None] marks damage. *)
+type adj = { mutable a_count : int; mutable a_rep : int array option }
+
+let ensure_cache t rels =
+  match t.cache with
+  | Some c -> c
+  | None ->
+      let total_rows =
+        Array.fold_left (fun s r -> s + Relation.cardinality r) 0 rels
+      in
+      let dict = Dict.create ~size:total_rows () in
+      let codes = Array.map (fun r -> Dict.encode_rows dict r) rels in
+      let c = { dict; codes } in
+      t.cache <- Some c;
+      c
+
+(* Group a code matrix into profiles (first-seen order, like
+   [stream_profiles], but over already-encoded rows — integer hashing
+   only). *)
+let group_codes codes =
+  let tbl = PH.create (max 16 (min 65536 (Array.length codes))) in
+  let order = Vec.create () in
+  Array.iteri
+    (fun i cv ->
+      match PH.find_opt tbl cv with
+      | Some prof -> prof.multiplicity <- prof.multiplicity + 1
+      | None ->
+          let prof = { codes = cv; multiplicity = 1; first_row = i } in
+          PH.add tbl cv prof;
+          Vec.push order prof)
+    codes;
+  Vec.to_array order
+
+(* Position of [x] among the sorted [removed] indexes: [None] when [x]
+   itself was removed, else [Some] of its post-delta index. *)
+let renumber removed x =
+  let lo = ref 0 and hi = ref (Array.length removed) in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if removed.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  if !lo < Array.length removed && Int.equal removed.(!lo) x then None
+  else Some (x - !lo)
+
+let apply_delta t deltas =
+  Obs.span "universe.apply_delta" @@ fun () ->
+  let rels =
+    match t.relations with
+    | Some rels -> Array.copy rels
+    | None ->
+        invalid_arg "Universe.apply_delta: universe was built without relations"
+  in
+  let k = Array.length rels in
+  let cache = ensure_cache t rels in
+  let codes = Array.copy cache.codes in
+  let dict = cache.dict in
+  let tbl = H.create (max 64 (2 * Array.length t.classes)) in
+  Array.iter
+    (fun c ->
+      H.replace tbl c.signature
+        { a_count = c.count; a_rep = Some (Array.copy c.rep) })
+    t.classes;
+  (* Enumerate distinct-profile combinations with relation [ridx] pinned
+     to [dprof]; [f] receives the code vectors, the multiplicity product
+     and the first-row vector (a fresh candidate rep must copy it). *)
+  let with_combos profs ridx dprof f =
+    let vecs = Array.make k [||] and frows = Array.make k 0 in
+    vecs.(ridx) <- dprof.codes;
+    frows.(ridx) <- dprof.first_row;
+    let rec go j mult =
+      if Int.equal j k then f vecs mult frows
+      else if Int.equal j ridx then go (j + 1) mult
+      else
+        Array.iter
+          (fun p ->
+            vecs.(j) <- p.codes;
+            frows.(j) <- p.first_row;
+            go (j + 1) (mult * p.multiplicity))
+          profs.(j)
+    in
+    go 0 dprof.multiplicity
+  in
+  let step (ridx, d) =
+    if ridx < 0 || ridx >= k then
+      invalid_arg "Universe.apply_delta: no such relation";
+    if not (Delta.is_empty d) then begin
+      let removed = Relation.resolve_removes rels.(ridx) d in
+      let add_codes = Dict.intern_delta dict d in
+      let old_codes = codes.(ridx) in
+      let n_removed = Array.length removed in
+      let survivors = Array.length old_codes - n_removed in
+      let new_codes = Array.make (survivors + Array.length add_codes) [||] in
+      let w = ref 0 and j = ref 0 in
+      Array.iteri
+        (fun i cv ->
+          if !j < n_removed && Int.equal removed.(!j) i then incr j
+          else begin
+            new_codes.(!w) <- cv;
+            incr w
+          end)
+        old_codes;
+      Array.iteri (fun i cv -> new_codes.(survivors + i) <- cv) add_codes;
+      let partner_profs =
+        Array.mapi
+          (fun ji cm -> if Int.equal ji ridx then [||] else group_codes cm)
+          codes
+      in
+      (* minus: removed rows re-join into profile groups and decrement *)
+      let xprofs = group_codes (Array.map (fun i -> old_codes.(i)) removed) in
+      Array.iter
+        (fun xp ->
+          with_combos partner_profs ridx xp (fun vecs mult _frows ->
+              let s = Tsig.of_kcodes t.omega vecs in
+              match H.find_opt tbl s with
+              | Some a when a.a_count >= mult -> a.a_count <- a.a_count - mult
+              | Some _ | None ->
+                  invalid_arg
+                    "Universe.apply_delta: delta inconsistent with the universe"))
+        xprofs;
+      (* retire emptied classes before adds can re-mint their signature *)
+      let retired =
+        H.fold (fun s a acc -> if Int.equal a.a_count 0 then s :: acc else acc)
+          tbl []
+      in
+      List.iter (H.remove tbl) retired;
+      (* renumber surviving reps; a rep that lost its row is damaged *)
+      if n_removed > 0 then
+        H.iter
+          (fun _ a ->
+            match a.a_rep with
+            | None -> ()
+            | Some rep -> (
+                match renumber removed rep.(ridx) with
+                | Some x -> rep.(ridx) <- x
+                | None -> a.a_rep <- None))
+          tbl;
+      (* plus: added rows land in existing classes or mint new ones *)
+      let aprofs =
+        Array.map
+          (fun p -> { p with first_row = survivors + p.first_row })
+          (group_codes add_codes)
+      in
+      Array.iter
+        (fun ap ->
+          with_combos partner_profs ridx ap (fun vecs mult frows ->
+              let s = Tsig.of_kcodes t.omega vecs in
+              match H.find_opt tbl s with
+              | Some a ->
+                  a.a_count <- a.a_count + mult;
+                  (match a.a_rep with
+                  | Some rep -> a.a_rep <- Some (rep_min rep (Array.copy frows))
+                  | None -> ())
+              | None ->
+                  H.replace tbl s
+                    { a_count = mult; a_rep = Some (Array.copy frows) }))
+        aprofs;
+      (* targeted rep repair: one signature pass over all combinations,
+         merging only damaged signatures *)
+      let damaged = H.create 8 in
+      H.iter
+        (fun s a -> if Option.is_none a.a_rep then H.replace damaged s ())
+        tbl;
+      if H.length damaged > 0 then begin
+        let all_profs = Array.copy partner_profs in
+        all_profs.(ridx) <- group_codes new_codes;
+        Array.iter
+          (fun p0 ->
+            with_combos all_profs 0 p0 (fun vecs _mult frows ->
+                let s = Tsig.of_kcodes t.omega vecs in
+                if H.mem damaged s then
+                  let a = H.find tbl s in
+                  match a.a_rep with
+                  | Some rep -> a.a_rep <- Some (rep_min rep (Array.copy frows))
+                  | None -> a.a_rep <- Some (Array.copy frows)))
+          all_profs.(0)
+      end;
+      codes.(ridx) <- new_codes;
+      (* The relation update comes last, after the class arithmetic has
+         validated the delta: on a paged backend this mutates the backing
+         store in place, so an inconsistent delta must raise before it. *)
+      rels.(ridx) <- Relation.apply_delta rels.(ridx) d
+    end
+  in
+  List.iter step deltas;
+  let sigs =
+    H.fold
+      (fun s a acc ->
+        match a.a_rep with
+        | Some rep -> (s, a.a_count, rep) :: acc
+        | None -> invalid_arg "Universe.apply_delta: unrepaired class")
+      tbl []
+  in
+  (match sigs with
+  | [] -> invalid_arg "Universe.apply_delta: empty Cartesian product"
+  | _ :: _ -> ());
+  let u = of_ksignature_list ~relations:rels t.omega sigs in
+  u.cache <- Some { dict; codes };
+  u
 
 let omega t = t.omega
 let classes t = t.classes

@@ -107,6 +107,32 @@ val of_ksignature_list :
   (Jqi_util.Bits.t * int * int array) list ->
   t
 
+(** {2 Incremental Ω maintenance under churn}
+
+    [apply_delta u [(i, d); …]] folds each delta into the universe in
+    list order: relation [i]'s removed rows re-join into their profile
+    groups and decrement class multiplicities (classes reaching zero
+    retire), added rows land in an existing signature class or mint a
+    new one, and representatives are kept lexicographically smallest by
+    min-merge — with a targeted repair pass when a deletion hits a
+    representative row.  The result is {e byte-identical} to a
+    from-scratch {!build}/{!build_kary} over the post-delta relations
+    (same classes, counts and representatives; pinned differentially in
+    test/test_churn.ml), at a per-batch cost proportional to the
+    changed rows' profile combinations rather than the whole product —
+    `bench churn` measures the gap and the crossover batch size.
+
+    A signature-interning cache (dictionary + per-row code vectors)
+    rides along the universe chain, so only the first delta after a
+    fresh build pays an encoding pass.  Deltas on [Paged] relations
+    mutate the backing store in place (see {!Relation.apply_delta}) —
+    the pre-delta universe's relations become stale views.
+
+    Raises [Invalid_argument] when the universe was built without
+    relations, on an unknown relation index, an arity-mismatched row, a
+    remove matching no row, or a delta emptying the product. *)
+val apply_delta : t -> (int * Jqi_relational.Delta.t) list -> t
+
 val omega : t -> Omega.t
 val classes : t -> cls array
 val n_classes : t -> int

@@ -59,6 +59,13 @@ let find t v =
 
 let encode_row t row = Array.init (Tuple.arity row) (fun i -> code t (Tuple.get row i))
 
+(* Churn interning: only the *added* rows can carry unseen values, and a
+   first-sight cell mints the next dense code exactly as a fresh build
+   would.  Removed rows never surrender their codes — codes are minted
+   forever, so every signature computed before the delta stays
+   comparable with every signature computed after it. *)
+let intern_delta t (d : Delta.t) = Array.map (encode_row t) d.Delta.adds
+
 (* Streaming row-major encoding.  The in-memory arm interns cell by
    cell, exactly like [encode_row] over [Relation.rows] used to.  The
    paged arm with coded access avoids re-hashing every cell: the
@@ -71,7 +78,7 @@ let iter_encoded t rel f =
   match Relation.backend rel with
   | Relation.Backend.Paged
       { Relation.Backend.coded = Some c; n_rows = _; get_row = _;
-        iter_rows = _; describe = _ } ->
+        iter_rows = _; describe = _; apply_delta = _ } ->
       let translate =
         Array.init c.Relation.Backend.distinct (fun fc ->
             code t (c.Relation.Backend.value fc))
@@ -85,7 +92,7 @@ let iter_encoded t rel f =
   | Relation.Backend.Mem _
   | Relation.Backend.Paged
       { Relation.Backend.coded = None; n_rows = _; get_row = _;
-        iter_rows = _; describe = _ } ->
+        iter_rows = _; describe = _; apply_delta = _ } ->
       let buf = Array.make (Relation.arity rel) no_code in
       Relation.iteri
         (fun i row ->

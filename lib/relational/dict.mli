@@ -31,6 +31,12 @@ val codable : Value.t -> bool
 (** Code vector of one row, in column order. *)
 val encode_row : t -> Tuple.t -> int array
 
+(** Intern a churn batch: the code vectors of the delta's {e added}
+    rows, in batch order, minting dense codes for never-seen cells.
+    Removed rows release nothing — codes are never recycled, so
+    pre-delta and post-delta signatures stay mutually comparable. *)
+val intern_delta : t -> Delta.t -> int array array
+
 (** One streaming pass over [rel] in row order: [f i codes] receives
     the code vector of row [i].  The buffer is reused between rows —
     callers must copy it to retain it.  Interns values in row-major

@@ -25,6 +25,7 @@ module Backend = struct
     iter_rows : (int -> Tuple.t -> unit) -> unit;
     coded : coded option;
     describe : string;
+    apply_delta : (adds:Tuple.t array -> removed:int array -> paged) option;
   }
 
   type t = Mem of Tuple.t array | Paged of paged
@@ -122,6 +123,64 @@ let pp ppf t =
     Fmt.pf ppf "@,  ... (%d more)" (cardinality t - shown);
   Fmt.pf ppf "@]"
 
+(* Churn: apply one Delta batch, yielding the relation with the removed
+   rows gone (surviving rows keep their relative order) and the added
+   rows appended after them.  Removes address rows by value; resolution
+   assigns each remove the earliest still-unclaimed [Tuple.equal]
+   occurrence, in one streaming scan so a paged backend pays one pass,
+   not |removes| random probes. *)
+let resolve_removes t (d : Delta.t) =
+  let n_removes = Array.length d.Delta.removes in
+  let out = Jqi_util.Vec.create () in
+  if n_removes > 0 then begin
+    let pending = Array.map Option.some d.Delta.removes in
+    let remaining = ref n_removes in
+    iteri
+      (fun i row ->
+        if !remaining > 0 then begin
+          let k = ref 0 and found = ref false in
+          while (not !found) && !k < n_removes do
+            (match pending.(!k) with
+            | Some tup when Tuple.equal tup row ->
+                pending.(!k) <- None;
+                decr remaining;
+                Jqi_util.Vec.push out i;
+                found := true
+            | Some _ | None -> ());
+            incr k
+          done
+        end)
+      t;
+    if !remaining > 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Delta: %d delete row(s) not present in relation %s" !remaining
+           t.name)
+  end;
+  (* Scan order is row order, so the indexes come out sorted ascending. *)
+  Jqi_util.Vec.to_array out
+
+let apply_delta t (d : Delta.t) =
+  Delta.check_arity (Schema.arity t.schema) d;
+  let removed = resolve_removes t d in
+  match t.backend with
+  | Backend.Paged { Backend.apply_delta = Some f; _ } ->
+      let p = f ~adds:d.Delta.adds ~removed in
+      { t with backend = Backend.Paged p }
+  | Backend.Mem _ | Backend.Paged _ ->
+      (* Mem, or a paged store without in-place delta support: build the
+         surviving rows ++ adds as a fresh in-memory backend. *)
+      let old_rows = rows t in
+      let n = Array.length old_rows in
+      let keep = Array.make n true in
+      Array.iter (fun i -> keep.(i) <- false) removed;
+      let out = Jqi_util.Vec.create () in
+      for i = 0 to n - 1 do
+        if keep.(i) then Jqi_util.Vec.push out old_rows.(i)
+      done;
+      Array.iter (Jqi_util.Vec.push out) d.Delta.adds;
+      { t with backend = Backend.Mem (Jqi_util.Vec.to_array out) }
+
 (* Content fingerprint: FNV-1a 64-bit over a canonical serialization of
    name, schema and every cell, in row-major order.  Cells are fed with a
    type tag (and floats by their IEEE bits), so values that merely render
@@ -131,46 +190,49 @@ let pp ppf t =
    schema, row order and cell values.  Computed over the streaming scan,
    so a paged relation fingerprints straight off its heap file and
    matches the in-memory backend byte for byte. *)
-let fingerprint t =
-  let h = ref 0xcbf29ce484222325L in
-  let feed_byte b =
-    h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) 0x100000001b3L
-  in
-  let feed_string s =
+module Fp = struct
+  type acc = int64
+
+  let feed_byte h b =
+    Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) 0x100000001b3L
+
+  let feed_string h s =
     (* Length prefix keeps "ab"+"c" distinct from "a"+"bc". *)
-    feed_byte (String.length s);
-    feed_byte (String.length s lsr 8);
-    String.iter (fun c -> feed_byte (Char.code c)) s
-  in
-  let feed_int64 x =
+    let h = feed_byte h (String.length s) in
+    let h = feed_byte h (String.length s lsr 8) in
+    String.fold_left (fun h c -> feed_byte h (Char.code c)) h s
+
+  let feed_int64 h x =
+    let h = ref h in
     for shift = 0 to 7 do
-      feed_byte (Int64.to_int (Int64.shift_right_logical x (shift * 8)))
-    done
-  in
-  let feed_value v =
+      h := feed_byte !h (Int64.to_int (Int64.shift_right_logical x (shift * 8)))
+    done;
+    !h
+
+  let feed_value h v =
     match v with
-    | Value.Null -> feed_byte 0
-    | Value.Bool b ->
-        feed_byte 1;
-        feed_byte (Bool.to_int b)
-    | Value.Int i ->
-        feed_byte 2;
-        feed_int64 (Int64.of_int i)
-    | Value.Float f ->
-        feed_byte 3;
-        feed_int64 (Int64.bits_of_float f)
-    | Value.Str s ->
-        feed_byte 4;
-        feed_string s
-  in
-  feed_string t.name;
-  List.iter
-    (fun (c : Schema.column) ->
-      feed_string c.name;
-      feed_string (Value.ty_name c.ty))
-    (Schema.columns t.schema);
-  iter (fun r -> Array.iter feed_value r) t;
-  Printf.sprintf "%016Lx" !h
+    | Value.Null -> feed_byte h 0
+    | Value.Bool b -> feed_byte (feed_byte h 1) (Bool.to_int b)
+    | Value.Int i -> feed_int64 (feed_byte h 2) (Int64.of_int i)
+    | Value.Float f -> feed_int64 (feed_byte h 3) (Int64.bits_of_float f)
+    | Value.Str s -> feed_string (feed_byte h 4) s
+
+  let feed_row h row = Array.fold_left feed_value h row
+  let feed_rows h rows = Array.fold_left feed_row h rows
+
+  let header t =
+    let h = feed_string 0xcbf29ce484222325L t.name in
+    List.fold_left
+      (fun h (c : Schema.column) ->
+        feed_string (feed_string h c.name) (Value.ty_name c.ty))
+      h
+      (Schema.columns t.schema)
+
+  let of_relation t = fold feed_row (header t) t
+  let render h = Printf.sprintf "%016Lx" h
+end
+
+let fingerprint t = Fp.render (Fp.of_relation t)
 
 (* Console convenience for the interactive CLI; rendering itself lives in
    Ascii_table, this is the one sanctioned stdout write of the module. *)

@@ -33,6 +33,14 @@ module Backend : sig
     iter_rows : (int -> Tuple.t -> unit) -> unit;
     coded : coded option;
     describe : string;
+    apply_delta : (adds:Tuple.t array -> removed:int array -> paged) option;
+        (** In-place churn support: [f ~adds ~removed] deletes the rows at
+            the (sorted ascending, pre-delta) indexes [removed] from the
+            store, appends [adds] after the survivors, and returns a fresh
+            [paged] view of the mutated store.  Destructive — earlier
+            views over the same store are invalidated.  When [None],
+            {!Relation.apply_delta} falls back to materializing a [Mem]
+            relation. *)
   }
 
   type t = Mem of Tuple.t array | Paged of paged
@@ -92,6 +100,41 @@ val tuple_set : t -> Tuple_set.t
 (** Same schema and same *set* of rows (order- and duplicate-
     insensitive). *)
 val equal_contents : t -> t -> bool
+
+(** Resolve a delta's by-value removes to concrete (pre-delta) row
+    indexes, sorted ascending: one streaming scan assigns each remove
+    the earliest still-unclaimed [Tuple.equal] occurrence.  Raises
+    [Invalid_argument] when some remove matches no remaining row. *)
+val resolve_removes : t -> Delta.t -> int array
+
+(** Apply one churn batch: the removed rows disappear (survivors keep
+    their relative order) and the added rows are appended after them.
+    On [Mem] this builds a fresh backing array, leaving the input value
+    untouched.  On [Paged] stores that support it the store is mutated
+    {e in place} (earlier views over the same store are invalidated);
+    stores without delta support fall back to a materialized [Mem]
+    result.  Raises [Invalid_argument] on an arity-mismatched row or an
+    unmatched remove. *)
+val apply_delta : t -> Delta.t -> t
+
+(** Streaming fingerprint accumulator — the guts of {!fingerprint},
+    exposed so the server catalog can {e extend} a cached fingerprint
+    with appended rows in O(|adds|) instead of re-hashing the whole
+    relation.  FNV-1a is sequential, so for an append-only delta
+    [render (feed_rows acc adds)] equals the from-scratch fingerprint of
+    the grown relation, provided [acc] covered the old contents. *)
+module Fp : sig
+  type acc
+
+  (** Accumulator over name, schema and all current rows —
+    [render (of_relation t) = fingerprint t]. *)
+  val of_relation : t -> acc
+
+  (** Extend with rows appended after everything [acc] has seen. *)
+  val feed_rows : acc -> Tuple.t array -> acc
+
+  val render : acc -> string
+end
 
 (** Content fingerprint (FNV-1a 64-bit, rendered as 16 hex digits) over
     name, schema and all cells in row-major order.  Cells are hashed with

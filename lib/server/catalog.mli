@@ -50,6 +50,40 @@ val universe :
 val universe_list :
   t -> Jqi_relational.Relation.t list -> bool * Jqi_core.Universe.t
 
+(** Outcome of {!apply_delta}: the post-delta relation now registered
+    under the name, the fingerprint transition, and what happened to the
+    universe cache — [patched] entries were migrated in place (universe
+    updated via [Universe.apply_delta], re-keyed under [new_fp]);
+    [dropped] entries were evicted and will rebuild on next use. *)
+type churn = {
+  new_rel : Jqi_relational.Relation.t;
+  old_fp : string;
+  new_fp : string;
+  patched : int;
+  dropped : int;
+}
+
+(** Fold a delta into the named relation at cache granularity: instead
+    of evicting every universe that involves the relation, each cached
+    universe keyed on its pre-delta fingerprint is patched with
+    [Universe.apply_delta] and re-keyed under the post-delta
+    fingerprint, so open sessions re-certify against an
+    already-maintained Ω with no rebuild.  The registered relation and
+    its fingerprint accumulator are updated (append-only deltas extend
+    the fingerprint in O(|adds|)).
+
+    Paged relations share one mutable backing store, so the delta is
+    applied to the store exactly once: the first cached single-position
+    entry is patched (or, with no cache entries, the relation is
+    updated directly) and any further entries — including self-join
+    entries, where the fingerprint appears at two key positions — are
+    dropped rather than double-applied.
+
+    [None] when no relation is registered under [name].  Raises
+    [Invalid_argument] when the delta itself is invalid against the
+    relation (arity mismatch, or a remove matching no row). *)
+val apply_delta : t -> name:string -> Jqi_relational.Delta.t -> churn option
+
 (** (cache hits, cache misses) per shard, in shard order.  Exact: the
     counters are updated under the shard locks. *)
 val shard_stats : t -> (int * int) list

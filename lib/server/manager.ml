@@ -18,6 +18,8 @@ module Engine = Jqi_core.Engine
 module Strategy = Jqi_core.Strategy
 module Session = Jqi_core.Session
 module Universe = Jqi_core.Universe
+module Sample = Jqi_core.Sample
+module Delta = Jqi_relational.Delta
 module Obs = Jqi_obs.Obs
 
 let c_opened = Obs.Counter.make "server.sessions_opened"
@@ -27,6 +29,8 @@ let c_evicted = Obs.Counter.make "server.sessions_evicted"
 let c_questions = Obs.Counter.make "server.questions"
 let c_labels = Obs.Counter.make "server.labels"
 let c_autosaved = Obs.Counter.make "server.shard.evict_autosave"
+let c_recertified = Obs.Counter.make "server.sessions_recertified"
+let c_stale = Obs.Counter.make "server.sessions_stale"
 
 type error =
   | Unknown_relation of string
@@ -34,6 +38,8 @@ type error =
   | Unknown_session of string
   | No_pending of string
   | Corrupt_session of string
+  | Stale_label of string
+  | Bad_delta of string
 
 let error_message = function
   | Unknown_relation n -> Printf.sprintf "no relation %S in the catalog" n
@@ -44,6 +50,34 @@ let error_message = function
   | No_pending id ->
       Printf.sprintf "session %S has no outstanding question (ask first)" id
   | Corrupt_session msg -> Printf.sprintf "session document rejected: %s" msg
+  | Stale_label msg -> msg
+  | Bad_delta msg -> Printf.sprintf "delta rejected: %s" msg
+
+let label_glyph = function Sample.Positive -> "+" | Sample.Negative -> "-"
+
+(* Render [Engine.stale_reason] for the wire: which part of the replay
+   died, and on which signature, so a client can decide what to re-ask. *)
+let stale_reason_string = function
+  | Engine.Label_retired { step; signature; label } ->
+      Printf.sprintf "label #%d (%s on %s) names a class retired by churn"
+        step (label_glyph label)
+        (Jqi_util.Bits.to_string signature)
+  | Engine.Label_contradicts { step; signature; label } ->
+      Printf.sprintf
+        "label #%d (%s on %s) contradicts the post-churn instance" step
+        (label_glyph label)
+        (Jqi_util.Bits.to_string signature)
+  | Engine.Question_retired { signature } ->
+      Printf.sprintf
+        "the pending question's class %s was retired by churn"
+        (Jqi_util.Bits.to_string signature)
+
+let stale_doc_message signature label =
+  Printf.sprintf "%s class %s was retired by churn"
+    (match label with
+    | Some l -> Printf.sprintf "the %s-labeled" (label_glyph l)
+    | None -> "the pending question's")
+    (Jqi_util.Bits.to_string signature)
 
 type info = {
   id : string;
@@ -95,8 +129,11 @@ type session = {
   s_id : string;
   s_rels : string list;  (* catalog names, in relation order *)
   s_strategy : string;  (* [Strategy.name], e.g. "TD" *)
-  s_universe : Universe.t;
+  mutable s_universe : Universe.t [@lint.guarded_by "shards"];
+      (* swapped by [apply_delta] when the session re-certifies *)
   mutable s_engine : Engine.t [@lint.guarded_by "shards"];
+  mutable s_stale : string option [@lint.guarded_by "shards"];
+      (* set when re-certification failed; ask/tell refuse, save works *)
   mutable s_last_active : float [@lint.guarded_by "shards"];
 }
 
@@ -177,6 +214,7 @@ let register t ~rel_names ~strategy_name ~universe ~cache_hit ~resumed engine =
       s_strategy = strategy_name;
       s_universe = universe;
       s_engine = engine;
+      s_stale = None;
       s_last_active = t.clock ();
     }
   in
@@ -236,6 +274,8 @@ let resume_list t ~relations ?strategy doc =
           let cache_hit, universe = Catalog.universe_list t.catalog rels in
           match Session.of_json_full universe doc with
           | exception Session.Corrupt msg -> Error (Corrupt_session msg)
+          | exception Session.Stale_label { signature; label } ->
+              Error (Stale_label (stale_doc_message signature label))
           | loaded -> (
               let strategy_name =
                 match (strategy, loaded.Session.strategy) with
@@ -245,20 +285,24 @@ let resume_list t ~relations ?strategy doc =
               in
               match Strategy.of_name ~seed:t.seed strategy_name with
               | None -> Error (Unknown_strategy strategy_name)
-              | Some strat ->
-                  let pending =
-                    Session.pending_class universe loaded.Session.state
-                      loaded.Session.pending
-                  in
-                  let engine =
-                    Engine.create ~state:loaded.Session.state ?pending universe
-                      strat
-                  in
-                  Obs.Counter.incr c_resumed;
-                  Ok
-                    (register t ~rel_names:relations
-                       ~strategy_name:(Strategy.name strat) ~universe
-                       ~cache_hit ~resumed:true engine))))
+              | Some strat -> (
+                  match
+                    Session.pending_class
+                      ?signature:loaded.Session.pending_sig universe
+                      loaded.Session.state loaded.Session.pending
+                  with
+                  | exception Session.Stale_label { signature; label } ->
+                      Error (Stale_label (stale_doc_message signature label))
+                  | pending ->
+                      let engine =
+                        Engine.create ~state:loaded.Session.state ?pending
+                          universe strat
+                      in
+                      Obs.Counter.incr c_resumed;
+                      Ok
+                        (register t ~rel_names:relations
+                           ~strategy_name:(Strategy.name strat) ~universe
+                           ~cache_hit ~resumed:true engine)))))
 
 let resume_session t ~r ~p ?strategy doc =
   resume_list t ~relations:[ r; p ] ?strategy doc
@@ -281,20 +325,38 @@ let turn_of shard session =
       Next q
   | None -> Finished (Engine.result session.s_engine)
 
+(* A stale session refuses further inference — its engine is pinned to a
+   pre-delta universe the catalog no longer serves — but [save] still
+   works, so the labels are recoverable. *)
+let check_live id session =
+  match session.s_stale with
+  | None -> Ok ()
+  | Some reason ->
+      Error
+        (Stale_label
+           (Printf.sprintf "session %S is stale after data churn: %s" id
+              reason))
+
 let ask t id =
   Obs.span ~attrs:[ ("session", id) ] "server.ask" (fun () ->
-      with_session t id (fun shard s -> Ok (turn_of shard s)))
+      with_session t id (fun shard s ->
+          match check_live id s with
+          | Error err -> Error err
+          | Ok () -> Ok (turn_of shard s)))
 
 let tell t id label =
   Obs.span ~attrs:[ ("session", id) ] "server.tell" (fun () ->
       with_session t id (fun shard session ->
-          match Engine.pending session.s_engine with
-          | None -> Error (No_pending id)
-          | Some _ ->
-              Obs.Counter.incr c_labels;
-              shard.st <- { shard.st with labels = shard.st.labels + 1 };
-              session.s_engine <- Engine.answer session.s_engine label;
-              Ok (turn_of shard session)))
+          match check_live id session with
+          | Error err -> Error err
+          | Ok () -> (
+              match Engine.pending session.s_engine with
+              | None -> Error (No_pending id)
+              | Some _ ->
+                  Obs.Counter.incr c_labels;
+                  shard.st <- { shard.st with labels = shard.st.labels + 1 };
+                  session.s_engine <- Engine.answer session.s_engine label;
+                  Ok (turn_of shard session))))
 
 (* Freeze a session as a v2 document: labels, strategy, and the pending
    question.  Called under the shard lock (from [save] and [sweep]). *)
@@ -319,6 +381,85 @@ let close t id =
       Obs.Counter.incr c_closed;
       shard.st <- { shard.st with closed = shard.st.closed + 1 };
       Ok ())
+
+(* ---- data churn: delta ingestion + re-certification broadcast ---- *)
+
+type delta_info = {
+  relation : string;
+  added : int;
+  removed : int;
+  cache_patched : int;  (* universe-cache entries migrated, not rebuilt *)
+  cache_dropped : int;  (* universe-cache entries evicted *)
+  recertified : string list;  (* sessions carried over, sorted *)
+  stale : (string * string) list;  (* (session id, reason), sorted *)
+}
+
+(* Carry one session over to the post-delta universe.  Runs under the
+   session's shard lock; the catalog lookup is expected to hit the entry
+   [Catalog.apply_delta] just patched (distinct lock domains, so the
+   nesting is safe). *)
+let recertify_one t s =
+  match relation_list t s.s_rels with
+  | Error (Unknown_relation n) ->
+      Error (Printf.sprintf "relation %S left the catalog" n)
+  | Error
+      ( Unknown_strategy _ | Unknown_session _ | No_pending _
+      | Corrupt_session _ | Stale_label _ | Bad_delta _ ) ->
+      Error "a session relation left the catalog"
+  | Ok rels -> (
+      match Catalog.universe_list t.catalog rels with
+      | exception Universe.Kary_too_large { work; limit } ->
+          Error
+            (Printf.sprintf
+               "the post-delta universe exceeds the k-ary work limit \
+                (%d > %d)"
+               work limit)
+      | exception Invalid_argument msg -> Error msg
+      | _hit, u' -> (
+          match Engine.recertify s.s_engine u' with
+          | Engine.Recertified e' ->
+              s.s_engine <- e';
+              s.s_universe <- u';
+              s.s_stale <- None;
+              Ok ()
+          | Engine.Stale r -> Error (stale_reason_string r)))
+
+(* Broadcast: every live session over [relation] is re-certified against
+   the post-delta universe; the ones that fail are flagged stale (their
+   engines keep the pre-delta universe, so [save] stays coherent). *)
+let recertify_sessions t ~relation =
+  Shard.fold t.shards ~init:([], []) ~f:(fun acc _ shard ->
+      Hashtbl.fold
+        (fun id s (ok, bad) ->
+          if not (List.mem relation s.s_rels) then (ok, bad)
+          else
+            match recertify_one t s with
+            | Ok () ->
+                Obs.Counter.incr c_recertified;
+                (id :: ok, bad)
+            | Error reason ->
+                s.s_stale <- Some reason;
+                Obs.Counter.incr c_stale;
+                (ok, (id, reason) :: bad))
+        shard.sessions acc)
+
+let apply_delta t ~relation d =
+  Obs.span ~attrs:[ ("relation", relation) ] "server.delta" (fun () ->
+      match Catalog.apply_delta t.catalog ~name:relation d with
+      | None -> Error (Unknown_relation relation)
+      | exception Invalid_argument msg -> Error (Bad_delta msg)
+      | Some churn ->
+          let ok, bad = recertify_sessions t ~relation in
+          Ok
+            {
+              relation;
+              added = Array.length d.Delta.adds;
+              removed = Array.length d.Delta.removes;
+              cache_patched = churn.Catalog.patched;
+              cache_dropped = churn.Catalog.dropped;
+              recertified = List.sort String.compare ok;
+              stale = List.sort (fun (a, _) (b, _) -> String.compare a b) bad;
+            })
 
 (* Stash an evicted session's document, dropping the oldest entries past
    the morgue bound.  Under the shard lock. *)

@@ -33,6 +33,11 @@ type error =
   | Unknown_session of string
   | No_pending of string  (** tell without an outstanding question *)
   | Corrupt_session of string  (** resume document rejected; message *)
+  | Stale_label of string
+      (** a churn delta retired a class the session depends on: resuming
+          a document whose label/pending signature no longer exists, or
+          ask/tell on a session flagged stale by {!apply_delta} *)
+  | Bad_delta of string  (** delta rejected against the live relation *)
 
 val error_message : error -> string
 
@@ -118,6 +123,8 @@ val resume_list :
   (info, error) result
 
 val ask : t -> string -> (turn, error) result
+(** Fails with [Stale_label] on a session flagged stale by
+    {!apply_delta} — {!save} remains available to recover the labels. *)
 
 (** Label the outstanding question; returns the following turn. *)
 val tell : t -> string -> Jqi_core.Sample.label -> (turn, error) result
@@ -127,6 +134,40 @@ val tell : t -> string -> Jqi_core.Sample.label -> (turn, error) result
 val save : t -> string -> (Jqi_util.Json.t, error) result
 
 val close : t -> string -> (unit, error) result
+
+(** {2 Data churn}
+
+    Outcome of {!apply_delta}: the cache work the catalog did and the
+    fate of every live session over the relation. *)
+type delta_info = {
+  relation : string;
+  added : int;  (** rows inserted *)
+  removed : int;  (** rows deleted *)
+  cache_patched : int;
+      (** universe-cache entries migrated via [Universe.apply_delta] *)
+  cache_dropped : int;  (** universe-cache entries evicted instead *)
+  recertified : string list;  (** sessions carried over, sorted *)
+  stale : (string * string) list;
+      (** (session id, reason) for sessions that could not be carried
+          over, sorted by id.  Stale sessions refuse {!ask}/{!tell} but
+          keep their pre-delta engine so {!save} stays coherent. *)
+}
+
+(** Fold a churn batch into the named catalog relation and broadcast
+    re-certification: the catalog patches its cached universes at delta
+    granularity ({!Catalog.apply_delta}), then every live session over
+    the relation is replayed {e by signature} against the post-delta
+    universe ([Engine.recertify]).  Still-consistent sessions continue
+    transparently — same id, labels preserved, pending question
+    re-anchored — while sessions depending on a retired class are
+    flagged stale with a typed reason.
+
+    [Unknown_relation] when [relation] is not registered; [Bad_delta]
+    when the rows mismatch the relation's arity or a remove matches no
+    live row (the relation and cache are untouched in both cases). *)
+val apply_delta :
+  t -> relation:string -> Jqi_relational.Delta.t ->
+  (delta_info, error) result
 
 (** Evict sessions idle past [idle_timeout]; returns the evicted ids,
     sorted.  Each evicted session is autosaved first — its v2 document

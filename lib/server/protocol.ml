@@ -32,6 +32,11 @@ type request =
       strategy : string option;
       doc : Json.t;
     }
+  | Delta of {
+      relation : string;
+      insert : string list list;  (* rows to add, as CSV-style cells *)
+      delete : string list list;  (* rows to remove, matched by value *)
+    }
   | Close of { session : string }
   | Stats
 
@@ -68,6 +73,15 @@ type response =
       n_interactions : int;
     }
   | Saved of { session : string; doc : Json.t }
+  | Delta_applied of {
+      d_relation : string;
+      d_added : int;
+      d_removed : int;
+      d_cache_patched : int;
+      d_cache_dropped : int;
+      d_recertified : string list;  (* session ids carried over *)
+      d_stale : (string * string) list;  (* (session id, reason) *)
+    }
   | Closed of { session : string }
   | Stats_reply of {
       sessions : int;
@@ -222,6 +236,19 @@ let request_fields = function
           | None -> []);
           [ ("doc", doc) ];
         ]
+  | Delta { relation; insert; delete } ->
+      let rows rs =
+        Json.List
+          (List.map
+             (fun row -> Json.List (List.map (fun c -> Json.Str c) row))
+             rs)
+      in
+      [
+        ("op", Json.Str "delta");
+        ("relation", Json.Str relation);
+        ("insert", rows insert);
+        ("delete", rows delete);
+      ]
   | Close { session } ->
       [ ("op", Json.Str "close"); ("session", Json.Str session) ]
   | Stats -> [ ("op", Json.Str "stats") ]
@@ -295,6 +322,25 @@ let response_fields = function
         ("op", Json.Str "saved");
         ("session", Json.Str session);
         ("doc", doc);
+      ]
+  | Delta_applied d ->
+      [
+        ("ok", Json.Bool true);
+        ("op", Json.Str "delta_applied");
+        ("relation", Json.Str d.d_relation);
+        ("added", Json.int d.d_added);
+        ("removed", Json.int d.d_removed);
+        ("cache_patched", Json.int d.d_cache_patched);
+        ("cache_dropped", Json.int d.d_cache_dropped);
+        ( "recertified",
+          Json.List (List.map (fun s -> Json.Str s) d.d_recertified) );
+        ( "stale",
+          Json.List
+            (List.map
+               (fun (id, reason) ->
+                 Json.Obj
+                   [ ("session", Json.Str id); ("reason", Json.Str reason) ])
+               d.d_stale) );
       ]
   | Closed { session } ->
       [
@@ -410,6 +456,25 @@ let decode_request line =
       let* doc = required ~id ~op "doc" (Json.member "doc" json) in
       Stdlib.Ok
         (id, Resume_kary { relations; strategy = str_field "strategy" json; doc })
+  | "delta" ->
+      let* relation = required ~id ~op "relation" (str_field "relation" json) in
+      (* Both row lists are optional on the wire; a missing field is an
+         empty batch side, but a malformed present one is an error. *)
+      let rows field =
+        match Json.member field json with
+        | None | Some Json.Null -> Stdlib.Ok []
+        | Some
+            (Json.Bool _ | Json.Num _ | Json.Str _ | Json.List _ | Json.Obj _)
+          -> (
+            match str_list_list_field field json with
+            | Some rs -> Stdlib.Ok rs
+            | None ->
+                err ~id "malformed" "delta %s must be a list of cell rows"
+                  field)
+      in
+      let* insert = rows "insert" in
+      let* delete = rows "delete" in
+      Stdlib.Ok (id, Delta { relation; insert; delete })
   | "close" ->
       let* session = required ~id ~op "session" (str_field "session" json) in
       Stdlib.Ok (id, Close { session })
@@ -515,6 +580,49 @@ let decode_response line =
             | None -> fail "response missing doc"
           in
           Stdlib.Ok (id, Saved { session; doc })
+      | "delta_applied" ->
+          let* d_relation = str "relation" in
+          let* d_added = int "added" in
+          let* d_removed = int "removed" in
+          let* d_cache_patched = int "cache_patched" in
+          let* d_cache_dropped = int "cache_dropped" in
+          let* d_recertified =
+            match str_list_field "recertified" json with
+            | Some l -> Stdlib.Ok l
+            | None -> fail "response missing recertified"
+          in
+          let* d_stale =
+            match Json.member "stale" json with
+            | Some (Json.List l) ->
+                let pairs =
+                  List.filter_map
+                    (fun entry ->
+                      match
+                        (str_field "session" entry, str_field "reason" entry)
+                      with
+                      | Some s, Some r -> Some (s, r)
+                      | (Some _ | None), (Some _ | None) -> None)
+                    l
+                in
+                if List.compare_lengths pairs l = 0 then Stdlib.Ok pairs
+                else fail "stale entries must be {session,reason} objects"
+            | Some
+                (Json.Null | Json.Bool _ | Json.Num _ | Json.Str _ | Json.Obj _)
+            | None ->
+                fail "response missing stale"
+          in
+          Stdlib.Ok
+            ( id,
+              Delta_applied
+                {
+                  d_relation;
+                  d_added;
+                  d_removed;
+                  d_cache_patched;
+                  d_cache_dropped;
+                  d_recertified;
+                  d_stale;
+                } )
       | "closed" ->
           let* session = str "session" in
           Stdlib.Ok (id, Closed { session })

@@ -41,6 +41,18 @@ type request =
       strategy : string option;
       doc : Jqi_util.Json.t;  (** a [Session] document; v3 for k > 2 *)
     }
+  | Delta of {
+      relation : string;
+      insert : string list list;
+          (** rows to append, one cell list per row, parsed under the
+              relation's schema like CSV cells ("" is NULL) *)
+      delete : string list list;
+          (** rows to remove, matched {e by value} — each claims one
+              occurrence of an equal live row *)
+    }
+      (** fold a churn batch into a named relation; the server patches
+          its caches and re-certifies every open session over it.  Both
+          row lists may be omitted on the wire (empty). *)
   | Close of { session : string }
   | Stats
 
@@ -85,6 +97,18 @@ type response =
       n_interactions : int;
     }
   | Saved of { session : string; doc : Jqi_util.Json.t }
+  | Delta_applied of {
+      d_relation : string;
+      d_added : int;
+      d_removed : int;
+      d_cache_patched : int;
+          (** universe-cache entries migrated incrementally *)
+      d_cache_dropped : int;  (** entries evicted (rebuild on next use) *)
+      d_recertified : string list;
+          (** sessions carried over transparently, sorted *)
+      d_stale : (string * string) list;
+          (** (session id, reason) for sessions now refusing ask/tell *)
+    }  (** answer to [Delta] *)
   | Closed of { session : string }
   | Stats_reply of {
       sessions : int;

@@ -17,6 +17,8 @@ let error_code = function
   | Manager.Unknown_session _ -> "unknown_session"
   | Manager.No_pending _ -> "no_pending"
   | Manager.Corrupt_session _ -> "corrupt_session"
+  | Manager.Stale_label _ -> "stale_label"
+  | Manager.Bad_delta _ -> "bad_delta"
 
 let error e =
   Protocol.Error { code = error_code e; message = Manager.error_message e }
@@ -176,6 +178,59 @@ let handle manager request =
             }
       | Ok info -> opened info
       | Error e -> error e)
+  | Protocol.Delta { relation; insert; delete } -> (
+      match Catalog.find (Manager.catalog manager) relation with
+      | None -> error (Manager.Unknown_relation relation)
+      | Some rel -> (
+          (* Wire rows are cell strings; parse them under the live
+             relation's schema, CSV-style ("" is NULL), so a client
+             speaks the same dialect it loaded with. *)
+          let schema = Relation.schema rel in
+          let columns = Jqi_relational.Schema.columns schema in
+          let arity = Jqi_relational.Schema.arity schema in
+          let parse_rows what rows =
+            List.map
+              (fun cells ->
+                if List.compare_lengths cells columns <> 0 then
+                  invalid_arg
+                    (Printf.sprintf "%s row cell count mismatch: %s has arity %d"
+                       what relation arity)
+                else
+                  Tuple.of_list
+                    (List.map2
+                       (fun (col : Jqi_relational.Schema.column) c ->
+                         match Value.parse col.Jqi_relational.Schema.ty c with
+                         | Some v -> v
+                         | None ->
+                             invalid_arg
+                               (Printf.sprintf
+                                  "%s row cell %s: %S does not parse as %s"
+                                  what col.Jqi_relational.Schema.name c
+                                  (Value.ty_name col.Jqi_relational.Schema.ty)))
+                       columns cells))
+              rows
+          in
+          match
+            Jqi_relational.Delta.of_lists
+              ~adds:(parse_rows "insert" insert)
+              ~removes:(parse_rows "delete" delete)
+          with
+          | exception Invalid_argument message ->
+              Protocol.Error { code = "bad_delta"; message }
+          | d -> (
+              match Manager.apply_delta manager ~relation d with
+              | Ok info ->
+                  Protocol.Delta_applied
+                    {
+                      d_relation = info.Manager.relation;
+                      d_added = info.Manager.added;
+                      d_removed = info.Manager.removed;
+                      d_cache_patched = info.Manager.cache_patched;
+                      d_cache_dropped = info.Manager.cache_dropped;
+                      d_recertified = info.Manager.recertified;
+                      d_stale = info.Manager.stale;
+                    }
+              | Error e -> error e)))
   | Protocol.Close { session } -> (
       match Manager.close manager session with
       | Ok () -> Protocol.Closed { session }

@@ -230,6 +230,57 @@ let insert t k v =
       t.count_ <- t.count_ + 1;
       write_meta t)
 
+(* Remove one (k, v) entry.  Leftmost descent to the first leaf that
+   can hold k, then walk the leaf chain over the (possibly
+   separator-straddling) run of equal keys until a matching value is
+   found; entries to its right shift one slot left.  No rebalancing or
+   merging: a leaf may underflow — even to empty — which scans and
+   descents tolerate (separator keys stay valid as bounds even when
+   the keyed entry is gone).  Page faults happen under the tree latch,
+   as for inserts (single-writer design). *)
+let remove t k v =
+  Mutex.protect t.latch (fun () ->
+      let rec descend pid depth =
+        if depth = 1 then pid
+        else
+          let child =
+            Buffer_pool.with_page t.pool pid (fun buf ->
+                node_child buf (lower_bound (node_key buf) (node_n buf) k))
+          in
+          descend child (depth - 1)
+      in
+      let rec seek pid =
+        let removed, past, next =
+          Buffer_pool.with_page_rw t.pool pid (fun buf ->
+              let n = leaf_n buf in
+              let i = ref (lower_bound (leaf_key buf) n k) in
+              let removed = ref false and past = ref false in
+              while (not !removed) && (not !past) && !i < n do
+                if not (Int64.equal (leaf_key buf !i) k) then past := true
+                else if Int64.equal (leaf_value buf !i) v then begin
+                  Bytes.blit buf
+                    (hdr + ((!i + 1) * leaf_entry))
+                    buf
+                    (hdr + (!i * leaf_entry))
+                    ((n - !i - 1) * leaf_entry);
+                  Page.set_u16 buf 2 (n - 1);
+                  removed := true
+                end
+                else incr i
+              done;
+              (!removed, !past, leaf_next buf))
+        in
+        if removed then true
+        else if past || next = 0 then false
+        else seek next
+      in
+      let hit = seek (descend t.root t.height_) in
+      if hit then begin
+        t.count_ <- t.count_ - 1;
+        write_meta t
+      end;
+      hit)
+
 let count t = Mutex.protect t.latch (fun () -> t.count_)
 let height t = Mutex.protect t.latch (fun () -> t.height_)
 

@@ -32,6 +32,14 @@ val open_file : ?pool_frames:int -> string -> t
 val pool : t -> Buffer_pool.t
 
 val insert : t -> int64 -> int64 -> unit
+
+val remove : t -> int64 -> int64 -> bool
+(** [remove t k v] deletes one [(k, v)] entry (the first in insertion
+    order among duplicates); [false] when no such entry exists.  No
+    rebalancing: leaves may underflow (even to empty), which scans and
+    descents tolerate — the index-side counterpart of the heap's
+    tombstone deletion.  Serialized by the same latch as {!insert}. *)
+
 val count : t -> int
 
 val find_all : t -> int64 -> int64 list

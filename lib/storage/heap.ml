@@ -1,21 +1,33 @@
-(* Append-only heap file: meta page + directory chain + slotted data
-   pages.  Offsets inside pages are u16, so heap page sizes are capped
-   at 32 KiB.
+(* Tail-append heap file with tombstone deletion: meta page + directory
+   chain + slotted data pages.  Offsets inside pages are u16, so heap
+   page sizes are capped at 32 KiB.
 
    Meta page (page 0):   [1]=kind  [4]=u32 first_dir  [8]=u32 meta_len
                          [12..]=meta blob
    Directory page:       [1]=kind  [4]=u32 next_dir (0 = none)
                          [8]=u16 n_entries
-                         [12 + 8i] = { u32 data_page; u16 n_slots;
+                         [12 + 8i] = { u32 data_page; u16 n_live;
                                        u16 free_bytes }
    Data page:            [1]=kind  [2]=u16 n_slots  [4]=u16 data_start
                          slot i at [8 + 4i] = { u16 off; u16 len };
                          record bytes packed downward from page end.
 
-   R10 waiver: appends (and the directory walk that rebuilds append
-   state on open) fault pages through the buffer pool while holding
-   the heap latch.  Single-latch single-writer design — see the
-   buffer pool header and doc/STORAGE.md. *)
+   Deletion tombstones a slot by setting its offset to 0xffff (never a
+   valid offset: pages are <= 32 KiB).  The length is preserved so that
+   when the page's *last* slot is deleted, the frontier cascades over
+   any trailing tombstones, reclaiming their bytes and slot entries in
+   one go.  Appends remain tail-only — mid-page holes are never reused
+   for new records, which keeps physical scan order equal to logical
+   append order (the invariant Relstore's reopen scan depends on).
+   Directory entries carry the page's *live* record count (not its
+   physical slot count, which lives in the page header), so opening a
+   churned file still rebuilds the record count from the directory
+   chain alone.
+
+   R10 waiver: appends/deletes (and the directory walk that rebuilds
+   append state on open) fault pages through the buffer pool while
+   holding the heap latch.  Single-latch single-writer design — see
+   the buffer pool header and doc/STORAGE.md. *)
 [@@@lint.allow "R10"]
 
 let dir_header = 12
@@ -23,6 +35,10 @@ let dir_entry = 8
 let data_header = 8
 let slot_entry = 4
 let max_heap_page = 32768
+
+(* Slot-offset sentinel marking a deleted record; valid offsets are
+   always < [max_heap_page]. *)
+let tombstone = 0xffff
 
 type t = {
   pool : Buffer_pool.t;
@@ -38,6 +54,8 @@ type t = {
   mutable tail_idx : int; (* entry index of [tail] in [tail_dir] *)
       [@lint.guarded_by "latch"]
   mutable tail_free : int; (* cached free_bytes of [tail] *)
+      [@lint.guarded_by "latch"]
+  mutable tail_live : int; (* cached live-record count of [tail] *)
       [@lint.guarded_by "latch"]
 }
 
@@ -73,9 +91,10 @@ let create pool =
     tail_dir = first_dir;
     tail_idx = -1;
     tail_free = 0;
+    tail_live = 0;
   }
 
-(* Snapshot one directory page: (next, [(data_page, n_slots, free)]). *)
+(* Snapshot one directory page: (next, [(data_page, n_live, free)]). *)
 let read_dir pool pid =
   Buffer_pool.with_page pool pid (fun buf ->
       if not (Page.has_kind buf Page.Heap_dir) then
@@ -112,18 +131,20 @@ let open_existing pool =
       tail_dir = first_dir;
       tail_idx = -1;
       tail_free = 0;
+      tail_live = 0;
     }
   in
   let rec walk pid =
     let next, entries = read_dir pool pid in
     Array.iteri
-      (fun i (data_pid, n_slots, free) ->
-        t.n_records <- t.n_records + n_slots;
+      (fun i (data_pid, n_live, free) ->
+        t.n_records <- t.n_records + n_live;
         t.n_data_pages <- t.n_data_pages + 1;
         t.tail <- data_pid;
         t.tail_dir <- pid;
         t.tail_idx <- i;
-        t.tail_free <- free)
+        t.tail_free <- free;
+        t.tail_live <- n_live)
       entries;
     t.last_dir <- pid;
     if next <> 0 then walk next
@@ -138,11 +159,11 @@ let open_file ?(pool_frames = 64) path =
   open_existing
     (Buffer_pool.create ~frames:pool_frames (Pager.open_existing path))
 
-(* Update the tail entry's (n_slots, free_bytes) in its dir page. *)
-let write_tail_entry t ~n_slots =
+(* Update the tail entry's (n_live, free_bytes) in its dir page. *)
+let write_tail_entry t =
   Buffer_pool.with_page_rw t.pool t.tail_dir (fun buf ->
       let off = dir_header + (t.tail_idx * dir_entry) in
-      Page.set_u16 buf (off + 4) n_slots;
+      Page.set_u16 buf (off + 4) t.tail_live;
       Page.set_u16 buf (off + 6) t.tail_free)
 
 (* Open a fresh data page and register it in the directory, growing
@@ -169,6 +190,7 @@ let grow t =
   t.tail_dir <- dir;
   t.tail_idx <- idx;
   t.tail_free <- t.page_size - data_header;
+  t.tail_live <- 0;
   t.n_data_pages <- t.n_data_pages + 1;
   Buffer_pool.with_page_rw t.pool dir (fun buf ->
       Page.set_u16 buf 8 (idx + 1);
@@ -202,11 +224,13 @@ let append t record =
             n_slots)
       in
       t.tail_free <- t.tail_free - need;
-      write_tail_entry t ~n_slots:(slot + 1);
+      t.tail_live <- t.tail_live + 1;
+      write_tail_entry t;
       t.n_records <- t.n_records + 1;
       rid t.tail slot)
 
-let get t r =
+(* [None] when the slot is tombstoned. *)
+let get_opt t r =
   let pid = r lsr 16 and slot = r land 0xffff in
   Buffer_pool.with_page t.pool pid (fun buf ->
       if not (Page.has_kind buf Page.Heap_data) then
@@ -215,8 +239,15 @@ let get t r =
       if slot >= n_slots then invalid_arg "Heap.get: slot out of range";
       let slot_off = data_header + (slot * slot_entry) in
       let off = Page.get_u16 buf slot_off in
-      let len = Page.get_u16 buf (slot_off + 2) in
-      Page.get_string buf ~off ~len)
+      if off = tombstone then None
+      else
+        let len = Page.get_u16 buf (slot_off + 2) in
+        Some (Page.get_string buf ~off ~len))
+
+let get t r =
+  match get_opt t r with
+  | Some record -> record
+  | None -> invalid_arg "Heap.get: record deleted"
 
 let iter t f =
   let first_dir =
@@ -225,16 +256,117 @@ let iter t f =
   let rec walk dir_pid =
     let next, entries = read_dir t.pool dir_pid in
     Array.iter
-      (fun (data_pid, n_slots, _free) ->
+      (fun (data_pid, _live, _free) ->
+        (* Physical slot count lives in the page header (the directory
+           tracks live counts); tombstoned slots are skipped. *)
+        let n_slots =
+          Buffer_pool.with_page t.pool data_pid (fun buf ->
+              if not (Page.has_kind buf Page.Heap_data) then
+                raise (Pager.Bad_file "Heap: expected a data page");
+              Page.get_u16 buf 2)
+        in
         for slot = 0 to n_slots - 1 do
           (* one pin per record, deliberately: see .mli *)
           let r = rid data_pid slot in
-          f r (get t r)
+          match get_opt t r with
+          | Some record -> f r record
+          | None -> ()
         done)
       entries;
     if next <> 0 then walk next
   in
   walk first_dir
+
+(* Find the directory entry of [data_pid]: (dir page, entry index). *)
+let find_dir_entry t data_pid =
+  let first_dir =
+    Buffer_pool.with_page t.pool 0 (fun buf -> Page.get_u32 buf 4)
+  in
+  let rec walk dir_pid =
+    let next, entries = read_dir t.pool dir_pid in
+    let found = ref (-1) in
+    Array.iteri
+      (fun i (dp, _, _) -> if dp = data_pid && !found < 0 then found := i)
+      entries;
+    if !found >= 0 then (dir_pid, !found)
+    else if next <> 0 then walk next
+    else invalid_arg "Heap.delete: rid does not name a data page"
+  in
+  walk first_dir
+
+(* Delete the record named by [r]: tombstone its slot, or — when it is
+   the page's frontier (last) record — drop the slot and cascade over
+   any trailing tombstones, reclaiming their bytes too.  rids of
+   deleted records become invalid; a cascaded slot index on the tail
+   page may be reissued by a later append. *)
+let delete t r =
+  let pid = r lsr 16 and slot = r land 0xffff in
+  Mutex.protect t.latch (fun () ->
+      let page_free =
+        Buffer_pool.with_page_rw t.pool pid (fun buf ->
+            if not (Page.has_kind buf Page.Heap_data) then
+              invalid_arg "Heap.delete: rid does not name a data page";
+            let n_slots = Page.get_u16 buf 2 in
+            if slot >= n_slots then
+              invalid_arg "Heap.delete: slot out of range";
+            let slot_off = data_header + (slot * slot_entry) in
+            if Page.get_u16 buf slot_off = tombstone then
+              invalid_arg "Heap.delete: record already deleted";
+            if slot = n_slots - 1 then begin
+              (* Frontier record: its offset IS data_start (records pack
+                 downward, the last slot is the lowest).  Reclaim it and
+                 cascade over trailing tombstones. *)
+              let data_start =
+                ref (Page.get_u16 buf 4 + Page.get_u16 buf (slot_off + 2))
+              in
+              let n = ref slot in
+              let scanning = ref true in
+              while !scanning && !n > 0 do
+                let so = data_header + ((!n - 1) * slot_entry) in
+                if Page.get_u16 buf so = tombstone then begin
+                  data_start := !data_start + Page.get_u16 buf (so + 2);
+                  decr n
+                end
+                else scanning := false
+              done;
+              Page.set_u16 buf 2 !n;
+              Page.set_u16 buf 4 !data_start
+            end
+            else Page.set_u16 buf slot_off tombstone;
+            let n_slots = Page.get_u16 buf 2 in
+            Page.get_u16 buf 4 - (data_header + (n_slots * slot_entry)))
+      in
+      if pid = t.tail then begin
+        t.tail_free <- page_free;
+        t.tail_live <- t.tail_live - 1;
+        write_tail_entry t
+      end
+      else begin
+        let dir_pid, idx = find_dir_entry t pid in
+        Buffer_pool.with_page_rw t.pool dir_pid (fun buf ->
+            let off = dir_header + (idx * dir_entry) in
+            let live = Page.get_u16 buf (off + 4) in
+            if live = 0 then
+              invalid_arg "Heap.delete: page has no live records";
+            Page.set_u16 buf (off + 4) (live - 1);
+            Page.set_u16 buf (off + 6) page_free)
+      end;
+      t.n_records <- t.n_records - 1)
+
+(* Contiguous free bytes across all data pages, per the directory. *)
+let free_bytes t =
+  Mutex.protect t.latch (fun () ->
+      let first_dir =
+        Buffer_pool.with_page t.pool 0 (fun buf -> Page.get_u32 buf 4)
+      in
+      let total = ref 0 in
+      let rec walk dir_pid =
+        let next, entries = read_dir t.pool dir_pid in
+        Array.iter (fun (_, _, free) -> total := !total + free) entries;
+        if next <> 0 then walk next
+      in
+      walk first_dir;
+      !total)
 
 let record_count t = Mutex.protect t.latch (fun () -> t.n_records)
 let data_pages t = Mutex.protect t.latch (fun () -> t.n_data_pages)

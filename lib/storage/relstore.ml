@@ -341,22 +341,53 @@ let iter_codes t f =
         incr i
       end)
 
-let relation t =
+(* Churn: tombstone the removed rows' heap records ([removed] holds
+   sorted pre-delta row indexes), drop their rids from the row-id
+   table, then append the added rows at the heap tail.  Tail-only
+   appends keep physical order = logical order, so a reopen scan
+   rebuilds exactly this row sequence: survivors in their old order,
+   then the adds.  'D' records are never deleted — store codes are
+   minted forever, like [Dict] codes. *)
+let apply_delta t ~adds ~removed =
+  Array.iter (fun i -> Heap.delete t.heap (Vec.get t.rids i)) removed;
+  if Array.length removed > 0 then begin
+    let old = Vec.to_array t.rids in
+    Vec.clear t.rids;
+    let j = ref 0 in
+    Array.iteri
+      (fun i rid ->
+        if !j < Array.length removed && Int.equal removed.(!j) i then incr j
+        else Vec.push t.rids rid)
+      old
+  end;
+  Array.iter (append_row t) adds;
+  Heap.sync t.heap
+
+let delete_row t i = apply_delta t ~adds:[||] ~removed:[| i |]
+
+let rec paged_backend t =
   let n = row_count t in
-  Relation.of_paged ~name:t.name ~schema:t.schema
-    {
-      Relation.Backend.n_rows = n;
-      get_row = (fun i -> get_row t i);
-      iter_rows = (fun f -> iter_rows t f);
-      coded =
-        Some
-          {
-            Relation.Backend.distinct = distinct_values t;
-            value = (fun c -> Vec.get t.values c);
-            iter_codes = (fun f -> iter_codes t f);
-          };
-      describe = "paged:" ^ path t;
-    }
+  {
+    Relation.Backend.n_rows = n;
+    get_row = (fun i -> get_row t i);
+    iter_rows = (fun f -> iter_rows t f);
+    coded =
+      Some
+        {
+          Relation.Backend.distinct = distinct_values t;
+          value = (fun c -> Vec.get t.values c);
+          iter_codes = (fun f -> iter_codes t f);
+        };
+    describe = "paged:" ^ path t;
+    apply_delta =
+      Some
+        (fun ~adds ~removed ->
+          apply_delta t ~adds ~removed;
+          paged_backend t);
+  }
+
+let relation t =
+  Relation.of_paged ~name:t.name ~schema:t.schema (paged_backend t)
 
 let index_column ?page_size ?pool_frames ~path t col =
   if col < 0 || col >= Schema.arity t.schema then

@@ -57,10 +57,27 @@ val row_of_rid : t -> int -> Jqi_relational.Tuple.t
 val iter_rows : t -> (int -> Jqi_relational.Tuple.t -> unit) -> unit
 (** Stream rows in order; one heap scan, one page pin per record. *)
 
+val apply_delta :
+  t -> adds:Jqi_relational.Tuple.t array -> removed:int array -> unit
+(** Apply one churn batch in place: tombstone the rows at the (sorted
+    ascending, pre-delta) indexes [removed] in the heap, drop them from
+    the row-id table, then append [adds] at the tail and sync.  Row
+    indexes re-pack: survivors keep their relative order, adds follow —
+    the exact sequence a reopen scan rebuilds.  ['D'] records are never
+    deleted (store codes are minted forever).  Rids handed out earlier
+    (e.g. inside an {!index_column} B-tree) dangle for removed rows;
+    {!Btree.remove} is the index-side counterpart. *)
+
+val delete_row : t -> int -> unit
+(** {!apply_delta} with a single removed row index. *)
+
 val relation : t -> Jqi_relational.Relation.t
 (** Wrap as a [Paged] relation. Take it after loading finishes: the
     row count is snapshotted here. The relation's closures keep the
-    store (and its file descriptor) alive. *)
+    store (and its file descriptor) alive.  The backend supports
+    [Relation.apply_delta], which mutates this store in place and
+    invalidates earlier wrappings (their snapshotted row counts go
+    stale). *)
 
 val index_column :
   ?page_size:int -> ?pool_frames:int -> path:string -> t -> int -> Btree.t

@@ -14,6 +14,7 @@ module Catalog = Jqi_server.Catalog
 module Manager = Jqi_server.Manager
 module P = Jqi_server.Protocol
 module Service = Jqi_server.Service
+module Delta = Jqi_relational.Delta
 
 let fh_omega =
   Jqi_core.Omega.of_schemas
@@ -296,6 +297,256 @@ let test_eviction_autosaves_pending () =
   Alcotest.check bits_testable "same θ after evict and thaw" fh_goal
     outcome.Engine.predicate
 
+(* ------------------------- churn broadcast ------------------------- *)
+
+let has_substring ~needle hay =
+  let nl = String.length needle in
+  let hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1)) in
+  go 0
+
+(* A duplicate row changes no signature, so every open session must
+   re-certify transparently: same id, labels kept, pending question
+   re-anchored, and the cached universe patched rather than rebuilt. *)
+let test_manager_delta_recertify () =
+  let manager = Manager.create (fh_catalog ()) in
+  let id =
+    (expect_ok "open"
+       (Manager.open_session manager ~r:"Flight" ~p:"Hotel" ~strategy:"td"))
+      .Manager.id
+  in
+  let q1 =
+    match expect_ok "ask" (Manager.ask manager id) with
+    | Manager.Next q -> q
+    | Manager.Finished _ -> Alcotest.fail "finished too early"
+  in
+  let q2 =
+    match
+      expect_ok "tell"
+        (Manager.tell manager id (label_for fh_goal q1.Engine.signature))
+    with
+    | Manager.Next q -> q
+    | Manager.Finished _ -> Alcotest.fail "finished too early"
+  in
+  let dup = (Relation.rows Fixtures.flight).(0) in
+  let info =
+    expect_ok "delta"
+      (Manager.apply_delta manager ~relation:"Flight"
+         (Delta.of_lists ~adds:[ dup ] ~removes:[]))
+  in
+  Alcotest.(check int) "one row added" 1 info.Manager.added;
+  Alcotest.(check int) "no rows removed" 0 info.Manager.removed;
+  Alcotest.(check (list string))
+    "session carried over" [ id ] info.Manager.recertified;
+  Alcotest.(check (list (pair string string)))
+    "nobody stale" [] info.Manager.stale;
+  Alcotest.(check int) "cached universe patched in place" 1
+    info.Manager.cache_patched;
+  Alcotest.(check int) "nothing evicted" 0 info.Manager.cache_dropped;
+  (match expect_ok "ask after churn" (Manager.ask manager id) with
+  | Manager.Next q ->
+      Alcotest.check bits_testable "pending question survived churn"
+        q2.Engine.signature q.Engine.signature
+  | Manager.Finished _ -> Alcotest.fail "lost the pending question");
+  let outcome =
+    drive_manager manager id (expect_ok "ask" (Manager.ask manager id))
+  in
+  Alcotest.check bits_testable "goal reached across churn" fh_goal
+    outcome.Engine.predicate
+
+(* Tiny deterministic pair for retirement scenarios.  The product has
+   three classes — {} (twice), {a1=b1} and the join {a1=b1, a2=b2} — and
+   the join class is carried by exactly one pair, (TR row 0, TP row 0).
+   Its signature is a strict subset of Ω, so it is never implied-certain
+   (a full-signature class would be), and deleting TR row (1,10) retires
+   it while the other classes survive. *)
+let tiny_rel name attrs rows =
+  Relation.of_list ~name
+    ~schema:
+      (Jqi_relational.Schema.of_names ~ty:Jqi_relational.Value.TInt attrs)
+    (List.map Tuple.ints rows)
+
+let tiny_r () = tiny_rel "TR" [ "a1"; "a2" ] [ [ 1; 10 ]; [ 2; 20 ] ]
+let tiny_p () = tiny_rel "TP" [ "b1"; "b2" ] [ [ 1; 10 ]; [ 2; 21 ] ]
+
+let tiny_catalog () =
+  let catalog = Catalog.create () in
+  Catalog.add catalog (tiny_r ());
+  Catalog.add catalog (tiny_p ());
+  catalog
+
+let tiny_join_sig () =
+  let omega =
+    Jqi_core.Omega.of_schemas
+      (Relation.schema (tiny_r ()))
+      (Relation.schema (tiny_p ()))
+  in
+  Sample.signature_of_tuple omega (tiny_r ()) (tiny_p ()) (0, 0)
+
+let sig_json s = Json.List (List.map Json.int (Bits.elements s))
+
+(* Deleting the only joining pair retires a labeled class: the session
+   comes back stale with a typed reason, refuses ask/tell, and still
+   saves (the labels stay recoverable).  The history is pinned through a
+   signature-anchored document, so the scenario is strategy-independent:
+   the live session provably carries a label on the class about to
+   retire. *)
+let test_manager_delta_stale () =
+  let manager = Manager.create (tiny_catalog ()) in
+  let doc =
+    Json.Obj
+      [
+        ("version", Json.int 2);
+        ("strategy", Json.Str "TD");
+        ( "examples",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("r", Json.int 0);
+                  ("p", Json.int 0);
+                  ("sig", sig_json (tiny_join_sig ()));
+                  ("label", Json.Str "+");
+                ];
+            ] );
+      ]
+  in
+  let id =
+    (expect_ok "resume" (Manager.resume_session manager ~r:"TR" ~p:"TP" doc))
+      .Manager.id
+  in
+  let info =
+    expect_ok "delta"
+      (Manager.apply_delta manager ~relation:"TR"
+         (Delta.of_lists ~adds:[] ~removes:[ Tuple.ints [ 1; 10 ] ]))
+  in
+  Alcotest.(check (list string)) "nobody recertified" []
+    info.Manager.recertified;
+  (match info.Manager.stale with
+  | [ (sid, reason) ] ->
+      Alcotest.(check string) "the session is flagged" id sid;
+      Alcotest.(check bool) "reason names retirement" true
+        (has_substring ~needle:"retired" reason)
+  | [] | _ :: _ -> Alcotest.fail "expected exactly one stale session");
+  (match Manager.ask manager id with
+  | Error (Manager.Stale_label msg) ->
+      Alcotest.(check bool) "ask refusal carries the reason" true
+        (has_substring ~needle:"stale" msg)
+  | Ok _ | Error _ -> Alcotest.fail "stale session must refuse ask");
+  (match Manager.tell manager id Sample.Positive with
+  | Error (Manager.Stale_label _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "stale session must refuse tell");
+  match Manager.save manager id with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.fail ("stale session must still save: " ^ Manager.error_message e)
+
+(* Satellite (d): a saved session whose pending question's tuples are
+   deleted by a delta must resume as the typed stale_label error, not
+   corrupt and not a silent drop — the persisted signature is
+   authoritative.  The document freezes an in-flight question on the
+   joining class; the same document resumes fine before the delta. *)
+let test_resume_stale_pending () =
+  let manager = Manager.create (tiny_catalog ()) in
+  let doc =
+    Json.Obj
+      [
+        ("version", Json.int 2);
+        ("strategy", Json.Str "TD");
+        ("examples", Json.List []);
+        ( "pending",
+          Json.Obj
+            [
+              ("r", Json.int 0);
+              ("p", Json.int 0);
+              ("sig", sig_json (tiny_join_sig ()));
+            ] );
+      ]
+  in
+  let pre =
+    expect_ok "resume pre-delta"
+      (Manager.resume_session manager ~r:"TR" ~p:"TP" doc)
+  in
+  (match expect_ok "ask pre-delta" (Manager.ask manager pre.Manager.id) with
+  | Manager.Next (q : Engine.question) ->
+      Alcotest.(check (list int)) "pending anchored on the joining class"
+        (Bits.elements (tiny_join_sig ()))
+        (Bits.elements q.Engine.signature)
+  | Manager.Finished _ -> Alcotest.fail "frozen question lost pre-delta");
+  expect_ok "close" (Manager.close manager pre.Manager.id);
+  ignore
+    (expect_ok "delta"
+       (Manager.apply_delta manager ~relation:"TR"
+          (Delta.of_lists ~adds:[] ~removes:[ Tuple.ints [ 1; 10 ] ])));
+  match Manager.resume_session manager ~r:"TR" ~p:"TP" doc with
+  | Error (Manager.Stale_label msg) ->
+      Alcotest.(check bool) "names the pending question" true
+        (has_substring ~needle:"pending" msg)
+  | Ok _ -> Alcotest.fail "resume must surface the retired pending class"
+  | Error e ->
+      Alcotest.fail
+        ("expected stale_label, got: " ^ Manager.error_message e)
+
+(* Churn then idle eviction, with an injected clock: the re-certified
+   session autosaves on sweep and thaws against the patched universe —
+   no real time passes and no rebuild happens. *)
+let test_eviction_after_churn () =
+  let now = ref 0. in
+  let manager =
+    Manager.create ~clock:(fun () -> !now) ~idle_timeout:10. (fh_catalog ())
+  in
+  let id =
+    (expect_ok "open"
+       (Manager.open_session manager ~r:"Flight" ~p:"Hotel" ~strategy:"td"))
+      .Manager.id
+  in
+  let q1 =
+    match expect_ok "ask" (Manager.ask manager id) with
+    | Manager.Next q -> q
+    | Manager.Finished _ -> Alcotest.fail "finished too early"
+  in
+  let q2 =
+    match
+      expect_ok "tell"
+        (Manager.tell manager id (label_for fh_goal q1.Engine.signature))
+    with
+    | Manager.Next q -> q
+    | Manager.Finished _ -> Alcotest.fail "finished too early"
+  in
+  let dup = (Relation.rows Fixtures.flight).(1) in
+  let info =
+    expect_ok "delta"
+      (Manager.apply_delta manager ~relation:"Flight"
+         (Delta.of_lists ~adds:[ dup ] ~removes:[]))
+  in
+  Alcotest.(check (list string)) "carried over before eviction" [ id ]
+    info.Manager.recertified;
+  now := 20.;
+  Alcotest.(check (list string)) "evicted on schedule" [ id ]
+    (Manager.sweep manager);
+  let doc =
+    match Manager.evicted_doc manager id with
+    | Some doc -> doc
+    | None -> Alcotest.fail "churned session left no autosave"
+  in
+  let info2 =
+    expect_ok "resume"
+      (Manager.resume_session manager ~r:"Flight" ~p:"Hotel" doc)
+  in
+  Alcotest.(check bool) "thaw hits the patched universe cache" true
+    info2.Manager.cache_hit;
+  (match expect_ok "ask" (Manager.ask manager info2.Manager.id) with
+  | Manager.Next q ->
+      Alcotest.check bits_testable "pending survived churn + eviction"
+        q2.Engine.signature q.Engine.signature
+  | Manager.Finished _ -> Alcotest.fail "lost the pending question");
+  let outcome =
+    drive_manager manager info2.Manager.id
+      (expect_ok "ask" (Manager.ask manager info2.Manager.id))
+  in
+  Alcotest.check bits_testable "same θ after churn, evict and thaw" fh_goal
+    outcome.Engine.predicate
+
 (* ----------------------------- protocol ---------------------------- *)
 
 let gen_str = QCheck.Gen.(string_size ~gen:printable (int_range 0 10))
@@ -337,6 +588,11 @@ let gen_request =
             P.Resume_kary { relations; strategy; doc })
           (list_size (int_range 0 4) gen_str)
           (option gen_str) gen_doc;
+        map3
+          (fun relation insert delete -> P.Delta { relation; insert; delete })
+          gen_str
+          (list_size (int_range 0 3) (list_size (int_range 0 3) gen_str))
+          (list_size (int_range 0 3) (list_size (int_range 0 3) gen_str));
         map (fun session -> P.Close { session }) gen_str;
         return P.Stats;
       ])
@@ -374,6 +630,24 @@ let gen_response =
           (list_size (int_range 0 4) (int_bound 99))
           (list_size (int_range 0 4) (list_size (int_range 0 3) gen_str));
         map2 (fun session doc -> P.Saved { session; doc }) gen_str gen_doc;
+        map3
+          (fun (d_relation, (d_added, d_removed))
+               (d_cache_patched, d_cache_dropped) (d_recertified, d_stale) ->
+            P.Delta_applied
+              {
+                d_relation;
+                d_added;
+                d_removed;
+                d_cache_patched;
+                d_cache_dropped;
+                d_recertified;
+                d_stale;
+              })
+          (pair gen_str (pair (int_bound 99) (int_bound 99)))
+          (pair (int_bound 99) (int_bound 99))
+          (pair
+             (list_size (int_range 0 3) gen_str)
+             (list_size (int_range 0 3) (pair gen_str gen_str)));
         map (fun session -> P.Closed { session }) gen_str;
         map3
           (fun sessions relations (cache_hits, cache_misses) ->
@@ -430,7 +704,17 @@ let test_decode_garbage () =
     "{\"v\":1,\"id\":7,\"op\":\"tell\",\"session\":\"s1\"}";
   expect_error_frame "bad label" "malformed" 7
     "{\"v\":1,\"id\":7,\"op\":\"tell\",\"session\":\"s1\",\"label\":\"maybe\"}";
-  expect_error_frame "unknown op" "unsupported" 7 "{\"v\":1,\"id\":7,\"op\":\"zap\"}"
+  expect_error_frame "unknown op" "unsupported" 7 "{\"v\":1,\"id\":7,\"op\":\"zap\"}";
+  expect_error_frame "delta missing relation" "malformed" 7
+    "{\"v\":1,\"id\":7,\"op\":\"delta\",\"insert\":[]}";
+  expect_error_frame "delta rows not lists" "malformed" 7
+    "{\"v\":1,\"id\":7,\"op\":\"delta\",\"relation\":\"R\",\"insert\":3}";
+  (* Omitted row lists are empty batch sides, not errors. *)
+  match
+    P.decode_request "{\"v\":1,\"id\":7,\"op\":\"delta\",\"relation\":\"R\"}"
+  with
+  | Ok (7, P.Delta { relation = "R"; insert = []; delete = [] }) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "bare delta frame must decode empty"
 
 let test_negotiate () =
   Alcotest.(check (option int)) "current version" (Some 1) (P.negotiate [ 1 ]);
@@ -606,6 +890,70 @@ let test_service_kary_errors () =
   | P.Error { code = "corrupt_session"; _ } -> ()
   | _ -> Alcotest.fail "corrupt k-ary resume"
 
+(* The delta frame over the wire: cells parse under the loaded schema,
+   the cache reports patch work, and open sessions ride through. *)
+let test_service_delta () =
+  with_temp_csvs (fun r_path p_path ->
+      let manager = Manager.create (Catalog.create ()) in
+      let handle = Service.handle manager in
+      (match handle (P.Load { name = Some "flight"; path = r_path }) with
+      | P.Loaded _ -> ()
+      | _ -> Alcotest.fail "load flight");
+      (match handle (P.Load { name = Some "hotel"; path = p_path }) with
+      | P.Loaded _ -> ()
+      | _ -> Alcotest.fail "load hotel");
+      let session =
+        match
+          handle (P.Open_session { r = "flight"; p = "hotel"; strategy = "td" })
+        with
+        | P.Opened { session; _ } -> session
+        | _ -> Alcotest.fail "open"
+      in
+      let row0 =
+        List.map Jqi_relational.Value.to_string
+          (Tuple.to_list (Relation.rows Fixtures.flight).(0))
+      in
+      (match
+         handle (P.Delta { relation = "flight"; insert = [ row0 ]; delete = [] })
+       with
+      | P.Delta_applied
+          { d_relation; d_added; d_removed; d_recertified; d_stale; _ } ->
+          Alcotest.(check string) "relation echoed" "flight" d_relation;
+          Alcotest.(check int) "added" 1 d_added;
+          Alcotest.(check int) "removed" 0 d_removed;
+          Alcotest.(check (list string))
+            "open session re-certified" [ session ] d_recertified;
+          Alcotest.(check (list (pair string string)))
+            "nobody stale" [] d_stale
+      | _ -> Alcotest.fail "delta_applied expected");
+      (* Deleting the row we just inserted round-trips the relation. *)
+      (match
+         handle (P.Delta { relation = "flight"; insert = []; delete = [ row0 ] })
+       with
+      | P.Delta_applied { d_removed; _ } ->
+          Alcotest.(check int) "removed" 1 d_removed
+      | _ -> Alcotest.fail "delete delta_applied expected");
+      (match
+         handle
+           (P.Delta { relation = "flight"; insert = [ [ "x" ] ]; delete = [] })
+       with
+      | P.Error { code = "bad_delta"; _ } -> ()
+      | _ -> Alcotest.fail "arity mismatch must be bad_delta");
+      (match
+         handle
+           (P.Delta
+              { relation = "flight"; insert = []; delete = [ [ "z"; "z"; "z" ] ] })
+       with
+      | P.Error { code = "bad_delta"; _ } -> ()
+      | _ -> Alcotest.fail "unmatched remove must be bad_delta");
+      (match handle (P.Delta { relation = "nope"; insert = []; delete = [] }) with
+      | P.Error { code = "unknown_relation"; _ } -> ()
+      | _ -> Alcotest.fail "unknown relation");
+      (* The session still serves questions after the churn. *)
+      match handle (P.Ask { session }) with
+      | P.Question _ -> ()
+      | _ -> Alcotest.fail "session must answer after churn")
+
 let test_service_errors () =
   let manager = Manager.create (fh_catalog ()) in
   let handle = Service.handle manager in
@@ -645,6 +993,14 @@ let suite =
     Alcotest.test_case "manager idle eviction" `Quick test_manager_idle_eviction;
     Alcotest.test_case "eviction autosaves a pending question" `Quick
       test_eviction_autosaves_pending;
+    Alcotest.test_case "delta re-certifies open sessions" `Quick
+      test_manager_delta_recertify;
+    Alcotest.test_case "delta flags contradicted sessions stale" `Quick
+      test_manager_delta_stale;
+    Alcotest.test_case "resume of a deleted pending question is stale_label"
+      `Quick test_resume_stale_pending;
+    Alcotest.test_case "eviction after churn still autosaves" `Quick
+      test_eviction_after_churn;
     QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_decoder_total;
@@ -654,5 +1010,6 @@ let suite =
     Alcotest.test_case "service k-ary session" `Quick test_service_kary_flight;
     Alcotest.test_case "service k-ary error frames" `Quick
       test_service_kary_errors;
+    Alcotest.test_case "service delta frames" `Quick test_service_delta;
     Alcotest.test_case "service error frames" `Quick test_service_errors;
   ]
